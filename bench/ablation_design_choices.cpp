@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ablations of the CoopRT design choices the paper argues about in
+ * prose (beyond its numbered figures):
+ *
+ *  - LBU bandwidth: 1 node moved per cycle (the paper's design) vs 2
+ *    and 4 — Section 5.1 sets the push count to 1 per cycle;
+ *  - steal position: TOS (paper) vs bottom-of-stack — Section 4.2
+ *    claims "the degree of parallelization is not affected by which
+ *    address is taken by a helper thread";
+ *  - helper re-targeting: Vulkan-sim-like eager (default) vs
+ *    conservative helpers that wait for their last fetch;
+ *  - traversal order: DFS (paper) vs the BFS generalization of
+ *    Section 4.2, with front-of-queue stealing.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    void (*apply)(cooprt::core::RunConfig &);
+};
+
+const Variant kVariants[] = {
+    {"coop (paper)",
+     [](cooprt::core::RunConfig &c) { c.gpu.trace.coop = true; }},
+    {"lbu 2/cycle",
+     [](cooprt::core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.lbu_moves_per_cycle = 2;
+     }},
+    {"lbu 4/cycle",
+     [](cooprt::core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.lbu_moves_per_cycle = 4;
+     }},
+    {"steal bottom",
+     [](cooprt::core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.steal_from_bottom = true;
+     }},
+    {"eager helpers",
+     [](cooprt::core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.helper_requires_idle = false;
+     }},
+    {"bfs coop",
+     [](cooprt::core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.order = cooprt::rtunit::TraversalOrder::Bfs;
+     }},
+    {"gto sched",
+     [](cooprt::core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.sched =
+             cooprt::rtunit::WarpSchedPolicy::GreedyThenOldest;
+     }},
+    {"oldest sched",
+     [](cooprt::core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.sched =
+             cooprt::rtunit::WarpSchedPolicy::OldestFirst;
+     }},
+    {"sectored L1",
+     [](cooprt::core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.mem.l1_sector_bytes = 32;
+     }},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    // A representative subset keeps this ablation quick by default.
+    if (opt.scenes.size() == scene::SceneRegistry::allLabels().size())
+        opt.scenes = {"wknd", "bath", "crnvl", "fox", "robot"};
+
+    benchutil::banner("Ablation — CoopRT design choices "
+                      "(speedup over baseline)", opt);
+
+    std::vector<std::string> headers = {"scene"};
+    for (const auto &v : kVariants)
+        headers.push_back(v.name);
+    stats::Table t(headers);
+    std::vector<std::vector<double>> cols(std::size(kVariants));
+
+    for (const auto &label : opt.scenes) {
+        benchutil::note("ablation " + label);
+        const auto &sim = core::simulationFor(label);
+        const auto base = sim.run(core::RunConfig{});
+        auto row = &t.row().cell(label);
+        for (std::size_t k = 0; k < std::size(kVariants); ++k) {
+            core::RunConfig cfg;
+            kVariants[k].apply(cfg);
+            const auto r = sim.run(cfg);
+            const double s =
+                double(base.gpu.cycles) / double(r.gpu.cycles);
+            cols[k].push_back(s);
+            row->cell(s, 2);
+        }
+    }
+    if (!cols[0].empty()) {
+        auto row = &t.row().cell("gmean");
+        for (auto &c : cols)
+            row->cell(stats::geomean(c), 2);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table bench binaries.
+ *
+ * Every binary regenerates one of the paper's tables or figures and
+ * prints the same rows/series the paper reports. Common flags:
+ *
+ *   --csv              machine-readable output
+ *   --scenes a,b,c     restrict to a subset of the 15 scenes
+ */
+
+#ifndef COOPRT_BENCH_BENCH_UTIL_HPP
+#define COOPRT_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "stats/table.hpp"
+
+namespace cooprt::benchutil {
+
+/** Parsed common command-line options. */
+struct Options
+{
+    bool csv = false;
+    std::vector<std::string> scenes;
+};
+
+inline Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    opt.scenes = scene::SceneRegistry::allLabels();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--scenes" && i + 1 < argc) {
+            opt.scenes.clear();
+            std::stringstream ss(argv[++i]);
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                if (scene::SceneRegistry::has(tok))
+                    opt.scenes.push_back(tok);
+        }
+    }
+    return opt;
+}
+
+/** Print @p table per the --csv flag. */
+inline void
+emit(const stats::Table &table, const Options &opt)
+{
+    if (opt.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+/** Progress note on stderr (kept off the table output). */
+inline void
+note(const std::string &msg)
+{
+    std::fprintf(stderr, "[bench] %s\n", msg.c_str());
+}
+
+/** Header line naming the experiment. */
+inline void
+banner(const std::string &what, const Options &opt)
+{
+    if (!opt.csv)
+        std::cout << "== " << what << " ==\n";
+}
+
+} // namespace cooprt::benchutil
+
+#endif // COOPRT_BENCH_BENCH_UTIL_HPP

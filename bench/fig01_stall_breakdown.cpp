@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Paper Fig. 1: share of pipeline stalls by instruction class (RT =
+ * trace_ray, MEM/ALU/SFU = CUDA-core instructions) on the baseline
+ * GPU, path tracing, 1 spp. The paper's point: trace_ray dominates.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 1 — pipeline stall breakdown (baseline, "
+                      "path tracing)", opt);
+
+    stats::Table t({"scene", "RT %", "MEM %", "ALU %", "SFU %"});
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig01 " + label);
+        const auto &sim = core::simulationFor(label);
+        core::RunOutcome r = sim.run(core::RunConfig{});
+        const double total = double(r.gpu.stalls.total());
+        t.row()
+            .cell(label)
+            .cell(100.0 * double(r.gpu.stalls.rt) / total, 1)
+            .cell(100.0 * double(r.gpu.stalls.mem) / total, 1)
+            .cell(100.0 * double(r.gpu.stalls.alu) / total, 1)
+            .cell(100.0 * double(r.gpu.stalls.sfu) / total, 1);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

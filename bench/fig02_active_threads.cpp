@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Paper Fig. 2: percentage of busy threads in the RT unit over time
+ * (baseline, path tracing). The paper shows ~100% on the primary
+ * rays, then a steep drop as bounce divergence accumulates.
+ *
+ * Output: one row per time bucket (fraction of the frame) per scene.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 2 — busy-thread ratio in the RT unit over "
+                      "time (baseline)", opt);
+
+    const int buckets = 10;
+    std::vector<std::string> headers = {"scene"};
+    for (int b = 0; b < buckets; ++b)
+        headers.push_back(std::to_string((b + 1) * 100 / buckets) +
+                          "% frame");
+    stats::Table t(headers);
+
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig02 " + label);
+        const auto &sim = core::simulationFor(label);
+        core::RunOutcome r = sim.run(core::RunConfig{});
+        const auto &series = r.gpu.utilization_series;
+        auto row = &t.row().cell(label);
+        if (series.empty())
+            continue;
+        const std::size_t per =
+            std::max<std::size_t>(1, series.size() / buckets);
+        for (int b = 0; b < buckets; ++b) {
+            double sum = 0.0;
+            std::size_t n = 0;
+            for (std::size_t i = std::size_t(b) * per;
+                 i < std::size_t(b + 1) * per && i < series.size();
+                 ++i, ++n)
+                sum += series[i];
+            row->cell(n ? 100.0 * sum / double(n) : 0.0, 1);
+        }
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

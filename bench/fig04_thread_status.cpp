@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Paper Fig. 4: distribution of thread status inside the RT unit
+ * (inactive / busy / waiting-after-early-finish), sampled at fixed
+ * intervals on the baseline, path tracing.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 4 — thread status distribution (baseline)",
+                      opt);
+
+    stats::Table t({"scene", "inactive %", "busy %", "early-wait %"});
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig04 " + label);
+        const auto &sim = core::simulationFor(label);
+        core::RunOutcome r = sim.run(core::RunConfig{});
+        const double total = double(r.gpu.thread_status.total());
+        if (total == 0)
+            continue;
+        t.row()
+            .cell(label)
+            .cell(100.0 * double(r.gpu.thread_status.inactive) / total,
+                  1)
+            .cell(100.0 * double(r.gpu.thread_status.busy) / total, 1)
+            .cell(100.0 * double(r.gpu.thread_status.waiting) / total,
+                  1);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Paper Fig. 9: CoopRT speedup, power and energy vs the baseline RT
+ * unit, path tracing, per scene plus the geometric mean. The paper
+ * reports up to 5.11x, gmean 2.15x, power ~2.02x, energy ~0.94x.
+ *
+ * Pass --config to also echo the Table 1 hardware configuration.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+void
+printConfig(const cooprt::gpu::GpuConfig &c)
+{
+    std::printf("GPU configuration (Table 1, bench-scaled):\n");
+    std::printf("  SMs: %d, warps/SM: %d, RT warp buffer: %d entries\n",
+                c.num_sms, c.max_warps_per_sm,
+                c.trace.warp_buffer_entries);
+    std::printf("  L1: %llu KB fully-assoc, %u cyc; L2: %llu KB "
+                "%u-way, %u cyc\n",
+                (unsigned long long)c.mem.l1.size_bytes / 1024,
+                c.mem.l1.latency,
+                (unsigned long long)c.mem.l2.size_bytes / 1024,
+                c.mem.l2.assoc, c.mem.l2.latency);
+    std::printf("  DRAM: %u channels, %u cyc, %.1f B/cyc/channel\n\n",
+                c.mem.dram.channels, c.mem.dram.latency,
+                c.mem.dram.bytes_per_cycle);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--config")
+            printConfig(gpu::GpuConfig::rtx2060Bench());
+
+    benchutil::banner("Fig. 9 — CoopRT speedup / power / energy over "
+                      "baseline (path tracing)", opt);
+
+    stats::Table t({"scene", "speedup", "power", "energy",
+                    "util base", "util coop"});
+    std::vector<double> speedups, powers, energies;
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig09 " + label);
+        core::Comparison cmp =
+            core::compareCoop(label, core::RunConfig{});
+        speedups.push_back(cmp.speedup());
+        powers.push_back(cmp.powerRatio());
+        energies.push_back(cmp.energyRatio());
+        t.row()
+            .cell(label)
+            .cell(cmp.speedup(), 2)
+            .cell(cmp.powerRatio(), 2)
+            .cell(cmp.energyRatio(), 2)
+            .cell(cmp.base.gpu.avg_thread_utilization, 2)
+            .cell(cmp.coop.gpu.avg_thread_utilization, 2);
+    }
+    if (!speedups.empty())
+        t.row()
+            .cell("gmean")
+            .cell(stats::geomean(speedups), 2)
+            .cell(stats::geomean(powers), 2)
+            .cell(stats::geomean(energies), 2);
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Paper Fig. 10: average RT-unit thread utilization, baseline vs
+ * CoopRT (AerialVision-style 500-cycle sampling). The paper's
+ * observation: speedups track the utilization *improvement*, not the
+ * absolute final utilization.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 10 — average thread utilization, baseline "
+                      "vs CoopRT", opt);
+
+    stats::Table t({"scene", "baseline %", "CoopRT %", "improvement",
+                    "speedup"});
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig10 " + label);
+        core::Comparison cmp =
+            core::compareCoop(label, core::RunConfig{});
+        const double b = cmp.base.gpu.avg_thread_utilization;
+        const double c = cmp.coop.gpu.avg_thread_utilization;
+        t.row()
+            .cell(label)
+            .cell(100.0 * b, 1)
+            .cell(100.0 * c, 1)
+            .cell(b > 0 ? c / b : 0.0, 2)
+            .cell(cmp.speedup(), 2);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

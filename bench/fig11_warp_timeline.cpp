@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Paper Fig. 11: per-thread trace_ray execution timeline of one warp
+ * in the bath scene, baseline vs CoopRT. A '#' column means the lane
+ * has a non-empty traversal stack (or a node in flight). CoopRT fills
+ * idle lanes with stolen work and shortens the whole trace.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    const std::string label = "bath"; // the paper's Fig. 11 scene
+    const int columns = 100;
+    // Skip the coherent primary traces; record a divergent bounce.
+    const int skip = 60;
+
+    const auto &sim = core::simulationFor(label);
+    stats::Table t({"variant", "trace cycles", "lane util %"});
+
+    for (bool coop : {false, true}) {
+        benchutil::note(std::string("fig11 ") +
+                        (coop ? "coop" : "baseline"));
+        core::RunConfig cfg;
+        cfg.gpu.trace.coop = coop;
+        stats::TimelineRecorder rec(rtunit::kWarpSize);
+        sim.run(cfg, nullptr, &rec, skip);
+
+        if (!opt.csv) {
+            std::printf("\nFig. 11%s — %s, scene %s, one late "
+                        "trace_ray on SM 0:\n",
+                        coop ? "b" : "a",
+                        coop ? "CoopRT" : "baseline", label.c_str());
+            std::fputs(rec.render(columns).c_str(), stdout);
+        }
+        t.row()
+            .cell(coop ? "CoopRT" : "baseline")
+            .cell(rec.lastCycle() - rec.firstCycle())
+            .cell(100.0 * rec.averageUtilization(), 1);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

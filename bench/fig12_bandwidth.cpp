@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper Fig. 12: L2<->interconnect and DRAM bandwidth with CoopRT,
+ * normalized to the baseline (path tracing). The paper sees up to
+ * 5.7x / 5.5x — CoopRT turns idle threads into memory parallelism.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 12 — normalized L2 and DRAM bandwidth "
+                      "(CoopRT / baseline)", opt);
+
+    stats::Table t({"scene", "L2 bw", "DRAM bw", "DRAM util base",
+                    "DRAM util coop"});
+    std::vector<double> l2s, drams;
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig12 " + label);
+        core::Comparison cmp =
+            core::compareCoop(label, core::RunConfig{});
+        const double l2 = cmp.coop.gpu.l2BytesPerCycle() /
+                          cmp.base.gpu.l2BytesPerCycle();
+        const double dram = cmp.coop.gpu.dramBytesPerCycle() /
+                            cmp.base.gpu.dramBytesPerCycle();
+        l2s.push_back(l2);
+        drams.push_back(dram);
+        t.row()
+            .cell(label)
+            .cell(l2, 2)
+            .cell(dram, 2)
+            .cell(cmp.base.gpu.dram_utilization, 2)
+            .cell(cmp.coop.gpu.dram_utilization, 2);
+    }
+    if (!l2s.empty())
+        t.row().cell("gmean").cell(stats::geomean(l2s), 2).cell(
+            stats::geomean(drams), 2);
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Paper Fig. 13: speedup for RT warp-buffer sizes 8/16/32 without
+ * CoopRT and 4/8/16/32 with CoopRT, all normalized to the 4-entry
+ * baseline. The paper's headline: CoopRT with just 4 entries beats
+ * the 32-entry baseline buffer.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 13 — speedup vs warp-buffer size, with and "
+                      "without CoopRT (baseline: 4 entries, no coop)",
+                      opt);
+
+    const int sizes[] = {8, 16, 32};
+    const int coop_sizes[] = {4, 8, 16, 32};
+
+    stats::Table t({"scene", "8 w/o", "16 w/o", "32 w/o", "4 w/",
+                    "8 w/", "16 w/", "32 w/"});
+    std::vector<std::vector<double>> cols(7);
+
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig13 " + label);
+        const auto &sim = core::simulationFor(label);
+        core::RunConfig cfg;
+        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+        const auto base = sim.run(cfg);
+
+        auto row = &t.row().cell(label);
+        int col = 0;
+        for (int entries : sizes) {
+            cfg = core::RunConfig{};
+            cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+            cfg.gpu.trace.warp_buffer_entries = entries;
+            const auto r = sim.run(cfg);
+            const double s =
+                double(base.gpu.cycles) / double(r.gpu.cycles);
+            cols[std::size_t(col++)].push_back(s);
+            row->cell(s, 2);
+        }
+        for (int entries : coop_sizes) {
+            cfg = core::RunConfig{};
+            cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+            cfg.gpu.trace.coop = true;
+            cfg.gpu.trace.warp_buffer_entries = entries;
+            const auto r = sim.run(cfg);
+            const double s =
+                double(base.gpu.cycles) / double(r.gpu.cycles);
+            cols[std::size_t(col++)].push_back(s);
+            row->cell(s, 2);
+        }
+    }
+    if (!cols[0].empty()) {
+        auto row = &t.row().cell("gmean");
+        for (auto &c : cols)
+            row->cell(stats::geomean(c), 2);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Paper Fig. 14: latency of the slowest (longest-running) warp,
+ * normalized to the 4-entry baseline — CoopRT with 4 entries vs the
+ * 32-entry warp buffer without CoopRT. Lower is better; the slowest
+ * warp bounds the frame rate in real-time rendering. The paper:
+ * 0.46x (CoopRT) vs 0.62x (big buffer).
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 14 — slowest-warp latency normalized to "
+                      "baseline (lower is better)", opt);
+
+    stats::Table t({"scene", "4 w/ coop", "32 w/o coop"});
+    std::vector<double> coop_col, big_col;
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig14 " + label);
+        const auto &sim = core::simulationFor(label);
+
+        core::RunConfig cfg;
+        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+        const auto base = sim.run(cfg);
+        const double base_slowest = double(base.gpu.slowestWarpLatency());
+
+        cfg.gpu.trace.coop = true; // 4 entries with CoopRT
+        const auto coop = sim.run(cfg);
+
+        cfg = core::RunConfig{};
+        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+        cfg.gpu.trace.warp_buffer_entries = 32; // big buffer, no coop
+        const auto big = sim.run(cfg);
+
+        const double c =
+            double(coop.gpu.slowestWarpLatency()) / base_slowest;
+        const double b =
+            double(big.gpu.slowestWarpLatency()) / base_slowest;
+        coop_col.push_back(c);
+        big_col.push_back(b);
+        t.row().cell(label).cell(c, 2).cell(b, 2);
+    }
+    if (!coop_col.empty())
+        t.row()
+            .cell("gmean")
+            .cell(stats::geomean(coop_col), 2)
+            .cell(stats::geomean(big_col), 2);
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Paper Fig. 15: energy-delay-product improvement over the 4-entry
+ * baseline, for warp-buffer sizes 8/16/32 without CoopRT vs CoopRT
+ * with 4 entries. The paper: gmeans 1.54x/1.75x/1.75x vs 2.29x —
+ * CoopRT wins on EDP with far less area.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 15 — EDP improvement over 4-entry baseline",
+                      opt);
+
+    stats::Table t({"scene", "8 w/o", "16 w/o", "32 w/o", "4 w/coop"});
+    std::vector<std::vector<double>> cols(4);
+
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig15 " + label);
+        const auto &sim = core::simulationFor(label);
+        core::RunConfig cfg;
+        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+        const auto base = sim.run(cfg);
+        const double base_edp = base.power.edp();
+
+        auto row = &t.row().cell(label);
+        int col = 0;
+        for (int entries : {8, 16, 32}) {
+            cfg = core::RunConfig{};
+        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+            cfg.gpu.trace.warp_buffer_entries = entries;
+            const auto r = sim.run(cfg);
+            const double e = base_edp / r.power.edp();
+            cols[std::size_t(col++)].push_back(e);
+            row->cell(e, 2);
+        }
+        cfg = core::RunConfig{};
+        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+        cfg.gpu.trace.coop = true;
+        const auto coop = sim.run(cfg);
+        const double e = base_edp / coop.power.edp();
+        cols[3].push_back(e);
+        row->cell(e, 2);
+    }
+    if (!cols[0].empty()) {
+        auto row = &t.row().cell("gmean");
+        for (auto &c : cols)
+            row->cell(stats::geomean(c), 2);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Paper Fig. 16: L1 and L2 miss rates, baseline vs CoopRT. The paper
+ * observes higher L1 miss rates under CoopRT (more contention) but
+ * similar L2 miss rates (L1 reuse migrates to L2), and that MLP
+ * matters more than the miss count.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 16 — cache miss rates, baseline vs CoopRT",
+                      opt);
+
+    stats::Table t({"scene", "L1 base", "L1 coop", "L2 base",
+                    "L2 coop", "L2 accesses x"});
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig16 " + label);
+        core::Comparison cmp =
+            core::compareCoop(label, core::RunConfig{});
+        t.row()
+            .cell(label)
+            .cell(cmp.base.gpu.l1.missRate(), 3)
+            .cell(cmp.coop.gpu.l1.missRate(), 3)
+            .cell(cmp.base.gpu.l2.missRate(), 3)
+            .cell(cmp.coop.gpu.l2.missRate(), 3)
+            .cell(double(cmp.coop.gpu.l2.accesses) /
+                      double(cmp.base.gpu.l2.accesses),
+                  2);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Paper Fig. 17: CoopRT speedups for the ambient-occlusion and shadow
+ * shaders. These rays are short and coherent, so the gains are much
+ * smaller than path tracing (paper: 1.42x AO, 1.28x SH on average).
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 17 — CoopRT speedup for AO and shadow "
+                      "shaders", opt);
+
+    stats::Table t({"scene", "AO speedup", "SH speedup"});
+    std::vector<double> ao_col, sh_col;
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig17 " + label);
+        core::RunConfig cfg;
+        cfg.shader = core::ShaderKind::AmbientOcclusion;
+        core::Comparison ao = core::compareCoop(label, cfg);
+        cfg.shader = core::ShaderKind::Shadow;
+        core::Comparison sh = core::compareCoop(label, cfg);
+        ao_col.push_back(ao.speedup());
+        sh_col.push_back(sh.speedup());
+        t.row()
+            .cell(label)
+            .cell(ao.speedup(), 2)
+            .cell(sh.speedup(), 2);
+    }
+    if (!ao_col.empty())
+        t.row()
+            .cell("gmean")
+            .cell(stats::geomean(ao_col), 2)
+            .cell(stats::geomean(sh_col), 2);
+    benchutil::emit(t, opt);
+    return 0;
+}

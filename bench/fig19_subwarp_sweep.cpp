@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Paper Fig. 19 (Section 7.5): CoopRT speedup for subwarp sizes 4, 8,
+ * 16 and 32 — restricting which threads may help each other to save
+ * area. The paper: 1.72x/1.97x/2.09x/2.15x, biggest drop from 8 to 4.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Fig. 19 — CoopRT speedup vs subwarp size", opt);
+
+    const int subwarps[] = {4, 8, 16, 32};
+    stats::Table t({"scene", "sw 4", "sw 8", "sw 16", "sw 32"});
+    std::vector<std::vector<double>> cols(4);
+
+    for (const auto &label : opt.scenes) {
+        benchutil::note("fig19 " + label);
+        const auto &sim = core::simulationFor(label);
+        core::RunConfig cfg;
+        const auto base = sim.run(cfg);
+
+        auto row = &t.row().cell(label);
+        for (std::size_t k = 0; k < 4; ++k) {
+            cfg = core::RunConfig{};
+            cfg.gpu.trace.coop = true;
+            cfg.gpu.trace.subwarp_size = subwarps[k];
+            const auto r = sim.run(cfg);
+            const double s =
+                double(base.gpu.cycles) / double(r.gpu.cycles);
+            cols[k].push_back(s);
+            row->cell(s, 2);
+        }
+    }
+    if (!cols[0].empty()) {
+        auto row = &t.row().cell("gmean");
+        for (auto &c : cols)
+            row->cell(stats::geomean(c), 2);
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Google-benchmark micro-kernels for the substrate hot paths: the
+ * intersection math the RT unit's math units model, BVH construction
+ * and traversal, cache access, and one full RT-unit trace. These are
+ * host-performance benchmarks of the simulator itself (useful when
+ * optimizing it), not simulated-GPU results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bvh/traversal.hpp"
+#include "geom/rng.hpp"
+#include "mem/memory_system.hpp"
+#include "rtunit/rt_unit.hpp"
+#include "scene/generators.hpp"
+
+namespace {
+
+using namespace cooprt;
+
+scene::Mesh
+soup(int n)
+{
+    scene::Mesh m;
+    geom::Pcg32 rng(42);
+    for (int i = 0; i < n; ++i) {
+        geom::Vec3 p = rng.nextInBox(geom::Vec3(-10), geom::Vec3(10));
+        m.addTriangle({p, p + rng.nextUnitVector() * 0.5f,
+                       p + rng.nextUnitVector() * 0.5f});
+    }
+    return m;
+}
+
+void
+BM_RayBoxIntersect(benchmark::State &state)
+{
+    geom::Pcg32 rng(1);
+    geom::AABB box{{-1, -1, -1}, {1, 1, 1}};
+    geom::Ray ray({-3, 0.1f, 0.2f}, normalize(geom::Vec3(1, 0.05f, 0.1f)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(box.intersect(ray, geom::kNoHit));
+}
+BENCHMARK(BM_RayBoxIntersect);
+
+void
+BM_RayTriangleIntersect(benchmark::State &state)
+{
+    geom::Triangle tri{{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}};
+    geom::Ray ray({0.1f, 0.0f, 0}, {0, 0, 1});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tri.intersect(ray, geom::kNoHit));
+}
+BENCHMARK(BM_RayTriangleIntersect);
+
+void
+BM_QuantizedDecode(benchmark::State &state)
+{
+    geom::AABB parent{{-10, -10, -10}, {10, 10, 10}};
+    auto frame = geom::QuantFrame::forParent(parent);
+    auto q = geom::QuantizedAabb::encode({{-3, 1, -2}, {4, 5, 6}},
+                                         frame);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(q.decode(frame));
+}
+BENCHMARK(BM_QuantizedDecode);
+
+void
+BM_BvhBuild(benchmark::State &state)
+{
+    scene::Mesh m = soup(int(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bvh::buildWideBvh(m));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BvhBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void
+BM_CpuClosestHit(benchmark::State &state)
+{
+    scene::Mesh m = soup(20000);
+    bvh::FlatBvh flat(bvh::buildWideBvh(m));
+    geom::Pcg32 rng(3);
+    for (auto _ : state) {
+        geom::Ray r(rng.nextInBox(geom::Vec3(-15), geom::Vec3(15)),
+                    rng.nextUnitVector());
+        benchmark::DoNotOptimize(bvh::closestHit(flat, m, r));
+    }
+}
+BENCHMARK(BM_CpuClosestHit);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache({64 * 1024, 0, 128, 20});
+    geom::Pcg32 rng(4);
+    std::uint64_t now = 0;
+    auto below = [](std::uint64_t, std::uint64_t t) { return t + 300; };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextBelow(2048), now, below));
+        now += 3;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_RtUnitFullTrace(benchmark::State &state)
+{
+    const bool coop = state.range(0) != 0;
+    scene::Mesh m = soup(20000);
+    bvh::FlatBvh flat(bvh::buildWideBvh(m));
+    rtunit::TraceConfig cfg;
+    cfg.coop = coop;
+    geom::Pcg32 rng(5);
+
+    for (auto _ : state) {
+        rtunit::RtUnit unit(flat, m, cfg,
+                            [](std::uint64_t, std::uint32_t,
+                               std::uint64_t now) { return now + 300; });
+        rtunit::TraceJob job;
+        for (int t = 0; t < 8; ++t)
+            job.rays[std::size_t(t)] =
+                geom::Ray(rng.nextInBox(geom::Vec3(-15), geom::Vec3(15)),
+                          rng.nextUnitVector());
+        bool done = false;
+        unit.submit(job, 0,
+                    [&](int, const rtunit::TraceResult &) {
+                        done = true;
+                    });
+        std::uint64_t now = 0;
+        while (!done) {
+            const std::uint64_t e = unit.nextEventCycle(now);
+            if (e > now)
+                now = e;
+            unit.tick(now);
+            now++;
+        }
+        benchmark::DoNotOptimize(now);
+    }
+}
+BENCHMARK(BM_RtUnitFullTrace)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

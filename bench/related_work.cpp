@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Comparison against the related work the paper discusses (Sections
+ * 3 and 8): active-thread compaction (Wald, HPG'11), treelet-style
+ * child prefetching (Chou et al., MICRO'23) and the intersection
+ * predictor (Liu et al., MICRO'21) — alone and combined with CoopRT.
+ *
+ * Expected shapes, per the paper's arguments:
+ *  - compaction fixes inactive threads but not early finishers, so
+ *    it captures only part of CoopRT's gain;
+ *  - prefetching helps the latency-bound baseline, and composes with
+ *    CoopRT while bandwidth headroom remains;
+ *  - the predictor shines on localized AO rays, less on path tracing.
+ */
+
+#include "bench_util.hpp"
+#include "shaders/compaction.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    // Representative subset by default (override with --scenes).
+    if (opt.scenes.size() == scene::SceneRegistry::allLabels().size())
+        opt.scenes = {"wknd", "bath", "spnza", "crnvl", "fox", "robot"};
+
+    benchutil::banner("Related work — speedup over baseline "
+                      "(path tracing)", opt);
+
+    stats::Table t({"scene", "prefetch", "predictor", "compaction",
+                    "CoopRT", "CoopRT+prefetch"});
+    std::vector<std::vector<double>> cols(5);
+
+    for (const auto &label : opt.scenes) {
+        benchutil::note("related_work " + label);
+        const auto &sim = core::simulationFor(label);
+        const auto base = sim.run(core::RunConfig{});
+        const double base_cycles = double(base.gpu.cycles);
+
+        auto speedup_of = [&](auto mutate) {
+            core::RunConfig cfg;
+            mutate(cfg);
+            return base_cycles / double(sim.run(cfg).gpu.cycles);
+        };
+
+        const double s_pf = speedup_of([](core::RunConfig &c) {
+            c.gpu.trace.child_prefetch = true;
+        });
+        const double s_pred = speedup_of([](core::RunConfig &c) {
+            c.gpu.trace.intersection_predictor = true;
+        });
+
+        // Compaction re-packs alive paths into full warps per bounce.
+        const int res = scene::SceneRegistry::benchResolution(label);
+        const auto comp = shaders::runCompactedPathTrace(
+            sim.scene(), sim.bvh(), core::RunConfig{}.gpu, res);
+        const double s_comp = base_cycles / double(comp.cycles);
+
+        const double s_coop = speedup_of([](core::RunConfig &c) {
+            c.gpu.trace.coop = true;
+        });
+        const double s_both = speedup_of([](core::RunConfig &c) {
+            c.gpu.trace.coop = true;
+            c.gpu.trace.child_prefetch = true;
+        });
+
+        const double vals[] = {s_pf, s_pred, s_comp, s_coop, s_both};
+        auto row = &t.row().cell(label);
+        for (std::size_t k = 0; k < 5; ++k) {
+            cols[k].push_back(vals[k]);
+            row->cell(vals[k], 2);
+        }
+    }
+    if (!cols[0].empty()) {
+        auto row = &t.row().cell("gmean");
+        for (auto &c : cols)
+            row->cell(stats::geomean(c), 2);
+    }
+    benchutil::emit(t, opt);
+
+    // Second table: the predictor on ambient occlusion, where the
+    // paper expects it to be effective (localized rays).
+    benchutil::banner("Related work — intersection predictor on AO",
+                      opt);
+    stats::Table ao({"scene", "predictor AO", "CoopRT AO"});
+    for (const auto &label : opt.scenes) {
+        benchutil::note("related_work AO " + label);
+        const auto &sim = core::simulationFor(label);
+        core::RunConfig cfg;
+        cfg.shader = core::ShaderKind::AmbientOcclusion;
+        const auto base = sim.run(cfg);
+
+        cfg.gpu.trace.intersection_predictor = true;
+        const auto pred = sim.run(cfg);
+        cfg.gpu.trace.intersection_predictor = false;
+        cfg.gpu.trace.coop = true;
+        const auto coop = sim.run(cfg);
+        ao.row()
+            .cell(label)
+            .cell(double(base.gpu.cycles) / double(pred.gpu.cycles), 2)
+            .cell(double(base.gpu.cycles) / double(coop.gpu.cycles),
+                  2);
+    }
+    benchutil::emit(ao, opt);
+    return 0;
+}

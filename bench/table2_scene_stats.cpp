@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Paper Table 2: benchmark scene statistics — BVH size and depth per
+ * scene. Our procedural stand-ins are scaled down from LumiBench, but
+ * the relative ordering (wknd smallest ... car/robot largest) and
+ * the depth growth with size are preserved.
+ */
+
+#include "bench_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Table 2 — scene/BVH statistics", opt);
+
+    stats::Table t({"scene", "triangles", "internal nodes", "leaves",
+                    "tree size (MiB)", "depth", "bench res"});
+    for (const auto &label : opt.scenes) {
+        benchutil::note("table2 " + label);
+        const auto &sim = core::simulationFor(label);
+        const auto s = sim.treeStats();
+        t.row()
+            .cell(label)
+            .cell(std::uint64_t(s.triangles))
+            .cell(std::uint64_t(s.internal_nodes))
+            .cell(std::uint64_t(s.leaf_nodes))
+            .cell(s.sizeMiB(), 2)
+            .cell(std::uint64_t(s.max_depth))
+            .cell(std::uint64_t(
+                scene::SceneRegistry::benchResolution(label)));
+    }
+    benchutil::emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Paper Table 3 (Section 7.5): synthesized area of the CoopRT
+ * hardware for subwarp sizes 32/16/8/4, plus the warp-buffer
+ * overhead computation ("< 3.0 % of the warp buffer area").
+ * Model values are printed next to the paper's synthesis results.
+ */
+
+#include "bench_util.hpp"
+#include "power/area_model.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Table 3 — CoopRT area vs subwarp size "
+                      "(model vs paper synthesis)", opt);
+
+    struct PaperRow
+    {
+        int subwarp;
+        std::uint64_t cells;
+        double um2;
+    };
+    const PaperRow paper[] = {{32, 16122, 13347.0},
+                              {16, 15867, 13104.0},
+                              {8, 15511, 12661.0},
+                              {4, 15167, 12055.0}};
+
+    stats::Table t({"subwarp", "cells (model)", "cells (paper)",
+                    "area um2 (model)", "area um2 (paper)",
+                    "% change (model)"});
+    const double a32 = power::AreaModel::coopLogic(32).area_um2;
+    for (const auto &row : paper) {
+        const auto m = power::AreaModel::coopLogic(row.subwarp);
+        t.row()
+            .cell(std::to_string(row.subwarp))
+            .cell(m.cells)
+            .cell(row.cells)
+            .cell(m.area_um2, 0)
+            .cell(row.um2, 0)
+            .cell(100.0 * (a32 - m.area_um2) / a32, 1);
+    }
+    benchutil::emit(t, opt);
+
+    if (!opt.csv) {
+        const auto full = power::AreaModel::coopLogic(32);
+        std::printf("\nwarp buffer: %llu bits (4 entries x 32 threads "
+                    "x 768 bits)\n",
+                    (unsigned long long)power::AreaModel::warpBufferBits());
+        std::printf("CoopRT logic ~= %.0f flip-flop equivalents + "
+                    "%d extra bits/thread\n",
+                    full.ffEquivalent(),
+                    power::AreaModel::kExtraBitsPerThread);
+        std::printf("overhead: %.2f%% of the warp buffer area "
+                    "(paper: <3.0%%)\n",
+                    100.0 * power::AreaModel::overheadFraction());
+        std::printf("one extra warp-buffer entry alone would cost "
+                    "%llu bits\n",
+                    (unsigned long long)
+                        power::AreaModel::warpBufferEntryBits());
+    }
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bring-your-own-geometry: build a scene through the public API
+ * (procedural primitives, or an OBJ file), and evaluate how much
+ * CoopRT would help a GPU tracing it.
+ *
+ *   ./custom_scene                 (built-in demo geometry)
+ *   ./custom_scene model.obj       (your mesh on a ground plane)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "scene/obj_io.hpp"
+#include "scene/primitives.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+
+    // Assemble a scene from scratch with the public scene API.
+    scene::Scene sc;
+    sc.name = "custom";
+    const auto gray = sc.materials.add({{0.7f, 0.7f, 0.7f}, 0, 0.95f});
+    const auto ground =
+        sc.materials.add({{0.45f, 0.4f, 0.35f}, 0, 0.9f});
+    const auto light = sc.materials.add({{1, 1, 1}, 8.0f, 1.0f});
+
+    if (argc > 1) {
+        const std::size_t n =
+            scene::loadObjFile(argv[1], sc.mesh, gray);
+        std::printf("loaded %zu triangles from %s\n", n, argv[1]);
+    } else {
+        // Demo: a mirror-ish sphere grid over a checker of boxes.
+        for (int i = 0; i < 5; ++i)
+            for (int j = 0; j < 5; ++j) {
+                geom::Vec3 c{-4.0f + 2.0f * i, 1.0f, -4.0f + 2.0f * j};
+                if ((i + j) % 2)
+                    addSphere(sc.mesh, c, 0.7f, 16, gray);
+                else
+                    addBox(sc.mesh, c - geom::Vec3(0.6f, 1.0f, 0.6f),
+                           c + geom::Vec3(0.6f, 0.2f, 0.6f), gray);
+            }
+        std::printf("built demo geometry: %zu triangles\n",
+                    sc.mesh.size());
+    }
+
+    const auto b = sc.mesh.bounds();
+    const geom::Vec3 e = b.extent();
+    addQuad(sc.mesh, {b.lo.x - e.x, b.lo.y, b.lo.z - e.z},
+            {3 * e.x, 0, 0}, {0, 0, 3 * e.z}, ground);
+    addQuad(sc.mesh, {b.centroid().x, b.hi.y + e.y, b.centroid().z},
+            {0.2f * e.x, 0, 0}, {0, 0, 0.2f * e.z}, light);
+    sc.sky_emission = 1.0f;
+    sc.camera = scene::Camera(b.centroid() + e * 1.2f, b.centroid(),
+                              {0, 1, 0}, 45.0f);
+    sc.default_resolution = 48;
+
+    // Build the BVH and report what the hardware sees.
+    core::Simulation sim(sc);
+    const auto tree = sim.treeStats();
+    std::printf("BVH: %zu internal nodes, depth %d, %.2f MiB\n",
+                tree.internal_nodes, tree.max_depth, tree.sizeMiB());
+
+    // Evaluate the CoopRT benefit for this geometry.
+    core::RunConfig cfg;
+    const auto base = sim.run(cfg);
+    cfg.gpu.trace.coop = true;
+    const auto coop = sim.run(cfg);
+    std::printf("baseline %llu cycles -> CoopRT %llu cycles: "
+                "%.2fx speedup (utilization %.0f%% -> %.0f%%)\n",
+                static_cast<unsigned long long>(base.gpu.cycles),
+                static_cast<unsigned long long>(coop.gpu.cycles),
+                double(base.gpu.cycles) / double(coop.gpu.cycles),
+                100.0 * base.gpu.avg_thread_utilization,
+                100.0 * coop.gpu.avg_thread_utilization);
+
+    // Round-trip the generated geometry for external viewers.
+    scene::saveObjFile("custom_scene.obj", sc.mesh);
+    std::printf("wrote custom_scene.obj\n");
+    return 0;
+}

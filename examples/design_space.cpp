@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Architecture design-space exploration on one scene: sweep the RT
+ * warp-buffer size and the CoopRT subwarp scope (the paper's two
+ * hardware cost/performance knobs, Sections 7.1 and 7.5), and print
+ * performance together with the area model's cost estimates — the
+ * trade-off a hardware architect would actually study.
+ *
+ *   ./design_space [scene-label]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "power/area_model.hpp"
+#include "stats/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+
+    const std::string label = argc > 1 ? argv[1] : "crnvl";
+    if (!scene::SceneRegistry::has(label)) {
+        std::cerr << "unknown scene " << label << "\n";
+        return 1;
+    }
+    const core::Simulation &sim = core::simulationFor(label);
+
+    core::RunConfig cfg;
+    const core::RunOutcome base = sim.run(cfg);
+    std::cout << "scene " << label << ", baseline (4-entry warp "
+              << "buffer, no coop): " << base.gpu.cycles
+              << " cycles\n\n";
+
+    // Sweep 1: warp-buffer entries with and without CoopRT (Fig. 13's
+    // question: is cooperation cheaper than more buffering?).
+    stats::Table wb({"warp buffer", "speedup w/o coop",
+                     "speedup w/ coop", "extra storage (bits)"});
+    for (int entries : {4, 8, 16, 32}) {
+        cfg = core::RunConfig{};
+        cfg.gpu.trace.warp_buffer_entries = entries;
+        const auto plain = sim.run(cfg);
+        cfg.gpu.trace.coop = true;
+        const auto coop = sim.run(cfg);
+        const std::uint64_t extra_bits =
+            power::AreaModel::warpBufferBits(entries) -
+            power::AreaModel::warpBufferBits(4);
+        wb.row()
+            .cell(std::to_string(entries))
+            .cell(double(base.gpu.cycles) / double(plain.gpu.cycles), 2)
+            .cell(double(base.gpu.cycles) / double(coop.gpu.cycles), 2)
+            .cell(extra_bits);
+    }
+    wb.print(std::cout);
+
+    // Sweep 2: subwarp scope vs area (Fig. 19 + Table 3 combined).
+    std::cout << "\n";
+    stats::Table sw({"subwarp", "speedup", "coop cells",
+                     "coop area um^2", "% of warp buffer"});
+    for (int subwarp : {4, 8, 16, 32}) {
+        cfg = core::RunConfig{};
+        cfg.gpu.trace.coop = true;
+        cfg.gpu.trace.subwarp_size = subwarp;
+        const auto run = sim.run(cfg);
+        const auto area = power::AreaModel::coopLogic(subwarp);
+        sw.row()
+            .cell(std::to_string(subwarp))
+            .cell(double(base.gpu.cycles) / double(run.gpu.cycles), 2)
+            .cell(std::uint64_t(area.cells))
+            .cell(area.area_um2, 0)
+            .cell(100.0 * power::AreaModel::overheadFraction(subwarp),
+                  2);
+    }
+    sw.print(std::cout);
+
+    std::cout << "\nCoopRT at 4 warp-buffer entries vs a 32-entry "
+              << "baseline buffer:\n  speedup parity at ~"
+              << power::AreaModel::coopLogic(32).ffEquivalent()
+              << " flip-flop equivalents instead of "
+              << 28 * power::AreaModel::warpBufferEntryBits()
+              << " bits of extra buffer storage.\n";
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The command-line front end to the simulator: run any scene under
+ * any configuration and get human-readable or JSON output. This is
+ * the "driver binary" a downstream user scripts against.
+ *
+ *   ./simulate_cli --scene fox --coop --subwarp 8 --json
+ *   ./simulate_cli --scene spnza --shader ao --resolution 64
+ *   ./simulate_cli --list
+ *
+ * Flags:
+ *   --scene <label>       scene to simulate (default crnvl)
+ *   --shader pt|ao|sh     workload (default pt)
+ *   --resolution N        square frame size (default: scene's bench)
+ *   --coop                enable CoopRT
+ *   --subwarp N           CoopRT helper scope (4/8/16/32)
+ *   --warp-buffer N       RT warp-buffer entries
+ *   --prefetch            treelet-style child prefetch
+ *   --predictor           intersection predictor
+ *   --bfs                 BFS traversal order
+ *   --mobile              mobile GPU configuration
+ *   --bounces N           path-tracing bounce limit
+ *   --json                emit a JSON report instead of text
+ *   --list                list scene labels and exit
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+
+namespace {
+
+int
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::cerr << "error: " << msg << "\n";
+    std::cerr << "see the header of simulate_cli.cpp or run --help\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cooprt;
+
+    std::string scene_label = "crnvl";
+    core::RunConfig cfg;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--list") {
+            for (const auto &l : scene::SceneRegistry::allLabels())
+                std::cout << l << "\n";
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            std::cout <<
+                "usage: simulate_cli [--scene L] [--shader pt|ao|sh]\n"
+                "  [--resolution N] [--coop] [--subwarp N]\n"
+                "  [--warp-buffer N] [--prefetch] [--predictor]\n"
+                "  [--bfs] [--mobile] [--bounces N] [--json] [--list]\n";
+            return 0;
+        } else if (a == "--scene") {
+            scene_label = next("--scene");
+        } else if (a == "--shader") {
+            const std::string s = next("--shader");
+            if (s == "pt")
+                cfg.shader = core::ShaderKind::PathTracing;
+            else if (s == "ao")
+                cfg.shader = core::ShaderKind::AmbientOcclusion;
+            else if (s == "sh")
+                cfg.shader = core::ShaderKind::Shadow;
+            else
+                return usage("unknown shader (pt|ao|sh)");
+        } else if (a == "--resolution") {
+            cfg.resolution = std::atoi(next("--resolution"));
+        } else if (a == "--coop") {
+            cfg.gpu.trace.coop = true;
+        } else if (a == "--subwarp") {
+            cfg.gpu.trace.subwarp_size = std::atoi(next("--subwarp"));
+        } else if (a == "--warp-buffer") {
+            cfg.gpu.trace.warp_buffer_entries =
+                std::atoi(next("--warp-buffer"));
+        } else if (a == "--prefetch") {
+            cfg.gpu.trace.child_prefetch = true;
+        } else if (a == "--predictor") {
+            cfg.gpu.trace.intersection_predictor = true;
+        } else if (a == "--bfs") {
+            cfg.gpu.trace.order = rtunit::TraversalOrder::Bfs;
+        } else if (a == "--mobile") {
+            cfg.gpu = gpu::GpuConfig::mobileBench();
+        } else if (a == "--bounces") {
+            cfg.pt.max_bounces = std::atoi(next("--bounces"));
+        } else if (a == "--json") {
+            json = true;
+        } else {
+            return usage(("unknown flag " + a).c_str());
+        }
+    }
+
+    if (!scene::SceneRegistry::has(scene_label))
+        return usage(("unknown scene " + scene_label).c_str());
+    try {
+        cfg.gpu.trace.validate();
+    } catch (const std::exception &e) {
+        return usage(e.what());
+    }
+
+    const core::Simulation &sim = core::simulationFor(scene_label);
+    const core::RunOutcome out = sim.run(cfg);
+
+    if (json) {
+        core::writeJson(std::cout, out);
+        return 0;
+    }
+    std::cout << "scene " << out.scene << " @" << out.resolution << "x"
+              << out.resolution
+              << (cfg.gpu.trace.coop ? " [CoopRT]" : " [baseline]")
+              << "\n";
+    std::cout << "  cycles:           " << out.gpu.cycles << "\n";
+    std::cout << "  trace_rays:       " << out.gpu.rt.retired_warps
+              << "\n";
+    std::cout << "  node fetches:     "
+              << out.gpu.rt.node_fetches + out.gpu.rt.leaf_fetches
+              << " (steals " << out.gpu.rt.steals << ")\n";
+    std::cout << "  thread util:      "
+              << 100.0 * out.gpu.avg_thread_utilization << "%\n";
+    std::cout << "  L1/L2 miss:       " << out.gpu.l1.missRate() << " / "
+              << out.gpu.l2.missRate() << "\n";
+    std::cout << "  DRAM util:        " << out.gpu.dram_utilization
+              << "\n";
+    std::cout << "  avg power:        " << out.power.avgWatts()
+              << " W\n";
+    std::cout << "  energy:           " << out.power.totalJoules()
+              << " J (EDP " << out.power.edp() << ")\n";
+    return 0;
+}

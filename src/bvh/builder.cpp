@@ -1,0 +1,234 @@
+#include "bvh/builder.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cooprt::bvh {
+
+using geom::AABB;
+using geom::Vec3;
+
+namespace {
+
+/** Per-primitive build record: bounds and centroid, computed once. */
+struct PrimInfo
+{
+    AABB bounds;
+    Vec3 centroid;
+    std::uint32_t prim;
+};
+
+struct Bin
+{
+    AABB bounds;
+    std::uint32_t count = 0;
+};
+
+/** Recursive builder working over a [begin, end) slice of prims. */
+class Builder
+{
+  public:
+    Builder(std::vector<PrimInfo> &prims, const BuildConfig &cfg,
+            std::vector<BinaryNode> &nodes)
+        : prims_(prims), cfg_(cfg), nodes_(nodes)
+    {}
+
+    /** Build the subtree over [begin, end); returns its node index. */
+    std::int32_t
+    build(std::uint32_t begin, std::uint32_t end)
+    {
+        AABB bounds;
+        AABB centroid_bounds;
+        for (std::uint32_t i = begin; i < end; ++i) {
+            bounds.grow(prims_[i].bounds);
+            centroid_bounds.grow(prims_[i].centroid);
+        }
+
+        const std::int32_t node_idx =
+            static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back({});
+        nodes_[node_idx].bounds = bounds;
+
+        const std::uint32_t count = end - begin;
+        if (count <= std::uint32_t(cfg_.max_leaf_size)) {
+            makeLeaf(node_idx, begin, count);
+            return node_idx;
+        }
+
+        std::uint32_t mid =
+            cfg_.strategy == SplitStrategy::MedianSplit
+                ? medianSplit(begin, end, centroid_bounds)
+                : findSplit(begin, end, bounds, centroid_bounds);
+        if (mid == begin || mid == end) {
+            // SAH refused to split (or all centroids coincide):
+            // median split keeps the depth logarithmic.
+            mid = begin + count / 2;
+        }
+
+        const std::int32_t l = build(begin, mid);
+        const std::int32_t r = build(mid, end);
+        nodes_[node_idx].left = l;
+        nodes_[node_idx].right = r;
+        return node_idx;
+    }
+
+  private:
+    void
+    makeLeaf(std::int32_t node_idx, std::uint32_t begin,
+             std::uint32_t count)
+    {
+        nodes_[node_idx].first_prim = begin;
+        nodes_[node_idx].prim_count = count;
+    }
+
+    /** Object-median split on the widest centroid axis. */
+    std::uint32_t
+    medianSplit(std::uint32_t begin, std::uint32_t end,
+                const AABB &centroid_bounds)
+    {
+        const int axis = centroid_bounds.extent().maxAxis();
+        const std::uint32_t mid = begin + (end - begin) / 2;
+        std::nth_element(
+            prims_.begin() + begin, prims_.begin() + mid,
+            prims_.begin() + end,
+            [axis](const PrimInfo &a, const PrimInfo &b) {
+                return a.centroid[axis] < b.centroid[axis];
+            });
+        return mid;
+    }
+
+    /**
+     * Binned SAH split: returns the partition point in [begin, end],
+     * with begin/end meaning "no profitable split found".
+     */
+    std::uint32_t
+    findSplit(std::uint32_t begin, std::uint32_t end, const AABB &bounds,
+              const AABB &centroid_bounds)
+    {
+        const Vec3 cext = centroid_bounds.extent();
+        const int axis = cext.maxAxis();
+        if (cext[axis] <= 1e-12f)
+            return begin; // all centroids coincide
+
+        const int nbins = cfg_.bins;
+        std::vector<Bin> bins(nbins);
+        const float scale = float(nbins) / cext[axis];
+        auto binOf = [&](const PrimInfo &p) {
+            int b = int((p.centroid[axis] - centroid_bounds.lo[axis]) *
+                        scale);
+            return b < 0 ? 0 : (b >= nbins ? nbins - 1 : b);
+        };
+
+        for (std::uint32_t i = begin; i < end; ++i) {
+            Bin &b = bins[binOf(prims_[i])];
+            b.bounds.grow(prims_[i].bounds);
+            b.count++;
+        }
+
+        // Sweep: suffix areas right-to-left, then prefix left-to-right.
+        std::vector<float> right_area(nbins);
+        AABB acc;
+        std::uint32_t right_count = 0;
+        std::vector<std::uint32_t> right_counts(nbins);
+        for (int b = nbins - 1; b > 0; --b) {
+            acc.grow(bins[b].bounds);
+            right_count += bins[b].count;
+            right_area[b] = acc.surfaceArea();
+            right_counts[b] = right_count;
+        }
+
+        float best_cost = std::numeric_limits<float>::infinity();
+        int best_split = -1;
+        acc = AABB{};
+        std::uint32_t left_count = 0;
+        const float inv_root_area =
+            1.0f / (bounds.surfaceArea() + 1e-30f);
+        for (int b = 0; b < nbins - 1; ++b) {
+            acc.grow(bins[b].bounds);
+            left_count += bins[b].count;
+            if (left_count == 0 || right_counts[b + 1] == 0)
+                continue;
+            const float cost =
+                cfg_.traversal_cost +
+                cfg_.intersect_cost * inv_root_area *
+                    (acc.surfaceArea() * left_count +
+                     right_area[b + 1] * right_counts[b + 1]);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_split = b;
+            }
+        }
+
+        const float leaf_cost = cfg_.intersect_cost * float(end - begin);
+        if (best_split < 0 || best_cost >= leaf_cost) {
+            // Only refuse when a leaf is actually allowed here.
+            if (end - begin <= std::uint32_t(cfg_.max_leaf_size))
+                return begin;
+            if (best_split < 0)
+                return begin; // fall back to median in caller
+        }
+
+        auto it = std::partition(
+            prims_.begin() + begin, prims_.begin() + end,
+            [&](const PrimInfo &p) { return binOf(p) <= best_split; });
+        return std::uint32_t(it - prims_.begin());
+    }
+
+    std::vector<PrimInfo> &prims_;
+    const BuildConfig &cfg_;
+    std::vector<BinaryNode> &nodes_;
+};
+
+int
+depthOf(const std::vector<BinaryNode> &nodes, std::int32_t idx)
+{
+    const BinaryNode &n = nodes[idx];
+    if (n.isLeaf())
+        return 1;
+    const int l = depthOf(nodes, n.left);
+    const int r = depthOf(nodes, n.right);
+    return 1 + (l > r ? l : r);
+}
+
+} // namespace
+
+int
+BinaryBvh::maxDepth() const
+{
+    return nodes.empty() ? 0 : depthOf(nodes, 0);
+}
+
+std::size_t
+BinaryBvh::leafCount() const
+{
+    std::size_t c = 0;
+    for (const auto &n : nodes)
+        c += n.isLeaf();
+    return c;
+}
+
+BinaryBvh
+buildBinaryBvh(const scene::Mesh &mesh, const BuildConfig &config)
+{
+    BinaryBvh out;
+    if (mesh.empty())
+        return out;
+
+    std::vector<PrimInfo> prims(mesh.size());
+    for (std::uint32_t i = 0; i < mesh.size(); ++i) {
+        prims[i].bounds = mesh.tri(i).bounds();
+        prims[i].centroid = prims[i].bounds.centroid();
+        prims[i].prim = i;
+    }
+
+    out.nodes.reserve(2 * mesh.size());
+    Builder builder(prims, config, out.nodes);
+    builder.build(0, std::uint32_t(prims.size()));
+
+    out.prim_order.resize(prims.size());
+    for (std::size_t i = 0; i < prims.size(); ++i)
+        out.prim_order[i] = prims[i].prim;
+    return out;
+}
+
+} // namespace cooprt::bvh

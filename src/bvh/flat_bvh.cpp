@@ -1,0 +1,97 @@
+#include "bvh/flat_bvh.hpp"
+
+namespace cooprt::bvh {
+
+using geom::AABB;
+using geom::QuantFrame;
+using geom::QuantizedAabb;
+
+namespace {
+
+/** Map a wide node to a NodeRef given the internal-index remap. */
+NodeRef
+refFor(const WideBvh &wide, std::int32_t wide_idx,
+       const std::vector<std::int32_t> &internal_index)
+{
+    const WideNode &n = wide.nodes[wide_idx];
+    if (n.isLeaf())
+        return NodeRef::leaf(n.first_prim, n.prim_count);
+    return NodeRef::internal(
+        static_cast<std::uint32_t>(internal_index[wide_idx]));
+}
+
+} // namespace
+
+FlatBvh::FlatBvh(const WideBvh &wide)
+{
+    prim_order_ = wide.prim_order;
+    if (wide.empty())
+        return;
+
+    root_bounds_ = wide.root().bounds;
+    max_depth_ = wide.maxDepth();
+
+    // Internal nodes get compact indices in emission (pre)order.
+    std::vector<std::int32_t> internal_index(wide.nodes.size(), -1);
+    std::int32_t next = 0;
+    for (std::size_t i = 0; i < wide.nodes.size(); ++i)
+        if (!wide.nodes[i].isLeaf())
+            internal_index[i] = next++;
+
+    nodes_.resize(std::size_t(next));
+    for (std::size_t i = 0; i < wide.nodes.size(); ++i) {
+        const WideNode &w = wide.nodes[i];
+        if (w.isLeaf())
+            continue;
+        PackedNode &p = nodes_[std::size_t(internal_index[i])];
+        p.frame = QuantFrame::forParent(w.bounds);
+        p.child_count = w.child_count;
+        for (int c = 0; c < w.child_count; ++c) {
+            const WideNode &ch = wide.nodes[w.child[c]];
+            p.qbox[c] = QuantizedAabb::encode(ch.bounds, p.frame);
+            p.child_bits[c] =
+                refFor(wide, w.child[c], internal_index).raw();
+        }
+    }
+
+    root_ = refFor(wide, 0, internal_index);
+}
+
+ChildInfo
+FlatBvh::child(NodeRef ref, int i) const
+{
+    const PackedNode &p = nodes_[ref.nodeIndex()];
+    ChildInfo info;
+    info.box = p.qbox[i].decode(p.frame);
+    NodeRef r;
+    // Reconstruct the NodeRef from its raw bits.
+    if (p.child_bits[i] & 0x80000000u)
+        r = NodeRef::leaf(p.child_bits[i] & 0x00ffffffu,
+                          (p.child_bits[i] >> 24) & 0x7fu);
+    else
+        r = NodeRef::internal(p.child_bits[i]);
+    info.ref = r;
+    return info;
+}
+
+TreeStats
+FlatBvh::stats() const
+{
+    TreeStats s;
+    s.internal_nodes = nodes_.size();
+    s.triangles = prim_order_.size();
+    // Leaves are not materialized as records; count distinct leaf refs.
+    std::size_t leaves = 0;
+    for (const auto &n : nodes_)
+        for (int c = 0; c < n.child_count; ++c)
+            leaves += (n.child_bits[c] & 0x80000000u) != 0;
+    if (nodes_.empty() && !prim_order_.empty() && root_.isLeaf())
+        leaves = 1; // degenerate tree: the root itself is a leaf
+    s.leaf_nodes = leaves;
+    s.size_bytes = nodes_.size() * kNodeBytes +
+                   prim_order_.size() * kTriBytes;
+    s.max_depth = max_depth_;
+    return s;
+}
+
+} // namespace cooprt::bvh

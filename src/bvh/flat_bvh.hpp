@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Flat, byte-addressed BVH layout — the memory image that the RT-unit
+ * timing model fetches through the cache hierarchy.
+ *
+ * Layout summary (one compressed internal-node record per wide node):
+ *
+ *  - Internal node record: `kNodeBytes` (128) bytes at
+ *    `node_base + index * kNodeBytes`. It stores a quantization frame
+ *    plus up to 6 children, each with an 8-bit-quantized conservative
+ *    AABB (RTX-style compressed wide node).
+ *  - Leaf record: the primitives themselves, `kTriBytes` (64) bytes
+ *    per triangle at `tri_base + slot * kTriBytes`, where `slot` is
+ *    the position in the BVH's primitive order (leaf ranges are
+ *    contiguous, so one leaf is one contiguous fetch).
+ *
+ * Traversal-visible handles are `NodeRef`s: a packed (is_leaf, index,
+ * count) triple that the traversal stack stores, exactly like the
+ * "addresses of the nodes" in the paper's traversal stack.
+ */
+
+#ifndef COOPRT_BVH_FLAT_BVH_HPP
+#define COOPRT_BVH_FLAT_BVH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/wide_bvh.hpp"
+#include "geom/quantized_aabb.hpp"
+
+namespace cooprt::bvh {
+
+/** Serialized size of one internal node record (bytes). */
+constexpr std::uint32_t kNodeBytes = 128;
+/** Serialized size of one triangle leaf record (bytes). */
+constexpr std::uint32_t kTriBytes = 64;
+/** Base virtual address of the internal-node array. */
+constexpr std::uint64_t kNodeBase = 0x1000'0000ULL;
+/** Base virtual address of the triangle array. */
+constexpr std::uint64_t kTriBase = 0x4000'0000ULL;
+
+/**
+ * A packed reference to a BVH node (internal or leaf), as stored on
+ * the per-thread traversal stacks.
+ *
+ * Bit layout: [31] leaf flag; leaf: [30:24] prim count, [23:0] first
+ * slot in prim order; internal: [30:0] node index.
+ */
+class NodeRef
+{
+  public:
+    NodeRef() = default;
+
+    static NodeRef
+    internal(std::uint32_t index)
+    {
+        NodeRef r;
+        r.bits_ = index;
+        return r;
+    }
+
+    static NodeRef
+    leaf(std::uint32_t first_slot, std::uint32_t count)
+    {
+        NodeRef r;
+        r.bits_ = 0x80000000u | (count << 24) | first_slot;
+        return r;
+    }
+
+    bool isLeaf() const { return bits_ & 0x80000000u; }
+    /** Internal node index (internal refs only). */
+    std::uint32_t nodeIndex() const { return bits_ & 0x7fffffffu; }
+    /** First primitive slot (leaf refs only). */
+    std::uint32_t firstSlot() const { return bits_ & 0x00ffffffu; }
+    /** Primitive count (leaf refs only). */
+    std::uint32_t primCount() const { return (bits_ >> 24) & 0x7fu; }
+
+    std::uint32_t raw() const { return bits_; }
+    bool operator==(const NodeRef &o) const { return bits_ == o.bits_; }
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+/** One decoded child of a compressed internal node. */
+struct ChildInfo
+{
+    /** Conservative (quantization-inflated) child bounds. */
+    geom::AABB box;
+    NodeRef ref;
+};
+
+/** Aggregate statistics reported by Table 2. */
+struct TreeStats
+{
+    std::size_t internal_nodes = 0;
+    std::size_t leaf_nodes = 0;
+    std::size_t triangles = 0;
+    std::size_t size_bytes = 0;
+    int max_depth = 0;
+
+    double sizeMiB() const { return double(size_bytes) / (1 << 20); }
+};
+
+/**
+ * The flat BVH. Owns the compressed node array and the primitive
+ * order; provides address arithmetic for the timing model and decode
+ * accessors for intersection tests.
+ */
+class FlatBvh
+{
+  public:
+    FlatBvh() = default;
+
+    /** Serialize @p wide (prim order is copied). */
+    explicit FlatBvh(const WideBvh &wide);
+
+    bool empty() const { return nodes_.empty(); }
+
+    /** Root reference (the paper pushes this after the root box hit). */
+    NodeRef root() const { return root_; }
+
+    /** World bounds of the whole scene (the root AABB). */
+    const geom::AABB &rootBounds() const { return root_bounds_; }
+
+    /** Number of decoded children of internal node @p ref. */
+    int childCount(NodeRef ref) const
+    { return nodes_[ref.nodeIndex()].child_count; }
+
+    /** Decode child @p i of internal node @p ref. */
+    ChildInfo child(NodeRef ref, int i) const;
+
+    /**
+     * Primitive id (index into the original mesh) stored at leaf slot
+     * @p slot of the primitive order.
+     */
+    std::uint32_t primAt(std::uint32_t slot) const
+    { return prim_order_[slot]; }
+
+    /** Byte address of the record behind @p ref. */
+    std::uint64_t
+    addressOf(NodeRef ref) const
+    {
+        if (ref.isLeaf())
+            return kTriBase + std::uint64_t(ref.firstSlot()) * kTriBytes;
+        return kNodeBase + std::uint64_t(ref.nodeIndex()) * kNodeBytes;
+    }
+
+    /** Size in bytes of the fetch required to read @p ref's record. */
+    std::uint32_t
+    fetchBytes(NodeRef ref) const
+    {
+        return ref.isLeaf() ? ref.primCount() * kTriBytes : kNodeBytes;
+    }
+
+    /** Tree statistics (Table 2 columns). */
+    TreeStats stats() const;
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t primCount() const { return prim_order_.size(); }
+
+  private:
+    /** In-memory image of one 128-byte compressed node record. */
+    struct PackedNode
+    {
+        geom::QuantFrame frame;            // 24 B logical
+        geom::QuantizedAabb qbox[kWideArity]; // 36 B
+        std::uint32_t child_bits[kWideArity]; // 24 B (NodeRef raws)
+        std::uint8_t child_count = 0;
+        // Remaining bytes of the 128-byte record are padding in the
+        // serialized form; they are not stored here.
+    };
+
+    NodeRef root_;
+    geom::AABB root_bounds_;
+    int max_depth_ = 0;
+    std::vector<PackedNode> nodes_;
+    std::vector<std::uint32_t> prim_order_;
+};
+
+} // namespace cooprt::bvh
+
+#endif // COOPRT_BVH_FLAT_BVH_HPP

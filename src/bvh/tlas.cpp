@@ -1,0 +1,177 @@
+#include "bvh/tlas.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cooprt::bvh {
+
+using geom::AABB;
+using geom::kNoHit;
+using geom::Ray;
+
+std::uint32_t
+Tlas::addBlas(std::shared_ptr<Blas> blas)
+{
+    if (!blas)
+        throw std::invalid_argument("Tlas::addBlas: null blas");
+    blas_.push_back(std::move(blas));
+    return std::uint32_t(blas_.size() - 1);
+}
+
+std::uint32_t
+Tlas::addInstance(const Instance &instance)
+{
+    if (instance.blas >= blas_.size())
+        throw std::out_of_range("Tlas::addInstance: bad blas index");
+    instances_.push_back(instance);
+    built_ = false;
+    return std::uint32_t(instances_.size() - 1);
+}
+
+std::int32_t
+Tlas::buildNode(std::vector<std::uint32_t> &order, std::size_t begin,
+                std::size_t end)
+{
+    AABB bounds;
+    for (std::size_t i = begin; i < end; ++i)
+        bounds.grow(instance_bounds_[order[i]]);
+
+    const std::int32_t idx = std::int32_t(nodes_.size());
+    nodes_.push_back({});
+    nodes_[std::size_t(idx)].bounds = bounds;
+
+    if (end - begin == 1) {
+        nodes_[std::size_t(idx)].instance = order[begin];
+        return idx;
+    }
+
+    // Median split on the widest centroid axis.
+    AABB cb;
+    for (std::size_t i = begin; i < end; ++i)
+        cb.grow(instance_bounds_[order[i]].centroid());
+    const int axis = cb.extent().maxAxis();
+    const std::size_t mid = (begin + end) / 2;
+    std::nth_element(order.begin() + std::ptrdiff_t(begin),
+                     order.begin() + std::ptrdiff_t(mid),
+                     order.begin() + std::ptrdiff_t(end),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return instance_bounds_[a].centroid()[axis] <
+                                instance_bounds_[b].centroid()[axis];
+                     });
+    const std::int32_t l = buildNode(order, begin, mid);
+    const std::int32_t r = buildNode(order, mid, end);
+    nodes_[std::size_t(idx)].left = l;
+    nodes_[std::size_t(idx)].right = r;
+    return idx;
+}
+
+void
+Tlas::build()
+{
+    nodes_.clear();
+    instance_bounds_.clear();
+    world_bounds_ = AABB{};
+    if (instances_.empty()) {
+        built_ = true;
+        return;
+    }
+    instance_bounds_.reserve(instances_.size());
+    for (const Instance &inst : instances_) {
+        const AABB wb =
+            inst.to_world.box(blas_[inst.blas]->flat.rootBounds());
+        instance_bounds_.push_back(wb);
+        world_bounds_.grow(wb);
+    }
+    std::vector<std::uint32_t> order(instances_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = std::uint32_t(i);
+    buildNode(order, 0, order.size());
+    built_ = true;
+}
+
+std::size_t
+Tlas::instancedTriangles() const
+{
+    std::size_t total = 0;
+    for (const Instance &inst : instances_)
+        total += blas_[inst.blas]->mesh.size();
+    return total;
+}
+
+std::size_t
+Tlas::storedTriangles() const
+{
+    std::size_t total = 0;
+    for (const auto &b : blas_)
+        total += b->mesh.size();
+    return total;
+}
+
+InstancedHit
+Tlas::closestHit(const Ray &ray) const
+{
+    if (!built_)
+        throw std::logic_error("Tlas::closestHit before build()");
+    InstancedHit best;
+    if (nodes_.empty())
+        return best;
+
+    std::vector<std::int32_t> stack{0};
+    while (!stack.empty()) {
+        const TlasNode &n = nodes_[std::size_t(stack.back())];
+        stack.pop_back();
+        if (n.bounds.intersect(ray, best.hit.thit) == kNoHit)
+            continue;
+        if (!n.isLeaf()) {
+            stack.push_back(n.left);
+            stack.push_back(n.right);
+            continue;
+        }
+        // Leaf: transform the ray into the instance's object space
+        // (the RT unit's Coordinate Transform step) and traverse its
+        // BLAS. Rigid transforms keep t world-valid, so the running
+        // closest distance can cross instance boundaries directly.
+        const Instance &inst = instances_[n.instance];
+        const Blas &b = *blas_[inst.blas];
+        Ray obj = inst.to_world.inverse().ray(ray);
+        obj.tmax = best.hit.thit < ray.tmax ? best.hit.thit : ray.tmax;
+        const geom::HitRecord rec = bvh::closestHit(b.flat, b.mesh, obj);
+        if (rec.hit() && rec.thit < best.hit.thit) {
+            best.hit = rec;
+            // Normal back to world space (rotation only).
+            best.hit.normal = inst.to_world.direction(rec.normal);
+            best.instance = n.instance;
+        }
+    }
+    return best;
+}
+
+bool
+Tlas::anyHit(const Ray &ray) const
+{
+    if (!built_)
+        throw std::logic_error("Tlas::anyHit before build()");
+    if (nodes_.empty())
+        return false;
+
+    std::vector<std::int32_t> stack{0};
+    while (!stack.empty()) {
+        const TlasNode &n = nodes_[std::size_t(stack.back())];
+        stack.pop_back();
+        if (n.bounds.intersect(ray, ray.tmax) == kNoHit)
+            continue;
+        if (!n.isLeaf()) {
+            stack.push_back(n.left);
+            stack.push_back(n.right);
+            continue;
+        }
+        const Instance &inst = instances_[n.instance];
+        const Blas &b = *blas_[inst.blas];
+        const Ray obj = inst.to_world.inverse().ray(ray);
+        if (bvh::anyHit(b.flat, b.mesh, obj))
+            return true;
+    }
+    return false;
+}
+
+} // namespace cooprt::bvh

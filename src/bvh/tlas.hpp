@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Two-level acceleration structure: a top-level BVH (TLAS) over
+ * rigid-transformed instances of bottom-level BVHs (BLAS) — the
+ * Vulkan acceleration-structure model (paper Section 2.3; the
+ * "Coordinate Transform" block of Figs. 3 and 7 exists precisely to
+ * move rays into BLAS object space during traversal).
+ *
+ * The TLAS here is functional-level: it provides instanced closest-
+ * hit/any-hit queries and instance-aware statistics. The timing
+ * simulator operates on single-level (flattened) BVHs; see DESIGN.md.
+ */
+
+#ifndef COOPRT_BVH_TLAS_HPP
+#define COOPRT_BVH_TLAS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "bvh/traversal.hpp"
+#include "geom/transform.hpp"
+
+namespace cooprt::bvh {
+
+/** One placed instance of a bottom-level structure. */
+struct Instance
+{
+    /** Index into the TLAS's BLAS array. */
+    std::uint32_t blas = 0;
+    /** Object-to-world rigid transform. */
+    geom::RigidTransform to_world;
+};
+
+/** Closest hit through a TLAS: the hit plus which instance was hit. */
+struct InstancedHit
+{
+    geom::HitRecord hit;          ///< world-space record
+    std::uint32_t instance = 0xffffffffu;
+
+    bool valid() const { return hit.hit(); }
+};
+
+/**
+ * A bottom-level structure: a mesh with its flat BVH, shared by any
+ * number of instances.
+ */
+class Blas
+{
+  public:
+    explicit Blas(scene::Mesh mesh_in)
+        : mesh(std::move(mesh_in)), flat(buildWideBvh(mesh))
+    {}
+
+    scene::Mesh mesh;
+    FlatBvh flat;
+};
+
+/**
+ * The top-level structure: instances with transforms, plus a binary
+ * BVH over the instances' world bounds for logarithmic instance
+ * culling.
+ */
+class Tlas
+{
+  public:
+    /** Add a BLAS; returns its index for use in instances. */
+    std::uint32_t addBlas(std::shared_ptr<Blas> blas);
+
+    /** Place an instance; returns its index. */
+    std::uint32_t addInstance(const Instance &instance);
+
+    /** Build the top-level BVH. Call after all instances are added. */
+    void build();
+
+    std::size_t blasCount() const { return blas_.size(); }
+    std::size_t instanceCount() const { return instances_.size(); }
+    const Instance &instance(std::uint32_t i) const
+    { return instances_[i]; }
+    const Blas &blasOf(const Instance &inst) const
+    { return *blas_[inst.blas]; }
+
+    /** World bounds over all instances (empty before build()). */
+    const geom::AABB &worldBounds() const { return world_bounds_; }
+
+    /** Total triangles summed over instances (with reuse counted). */
+    std::size_t instancedTriangles() const;
+    /** Unique triangles stored (each BLAS once) — the memory saving. */
+    std::size_t storedTriangles() const;
+
+    /**
+     * Closest hit through the two-level structure: traverse the TLAS,
+     * transform the ray into each intersected instance's object space
+     * and traverse its BLAS; hit distances are world-valid (rigid
+     * transforms).
+     */
+    InstancedHit closestHit(const geom::Ray &ray) const;
+
+    /** Any-hit query through the two-level structure. */
+    bool anyHit(const geom::Ray &ray) const;
+
+  private:
+    struct TlasNode
+    {
+        geom::AABB bounds;
+        std::int32_t left = -1;  ///< child index, or -1 when leaf
+        std::int32_t right = -1;
+        std::uint32_t instance = 0; ///< leaf payload
+
+        bool isLeaf() const { return left < 0; }
+    };
+
+    std::int32_t buildNode(std::vector<std::uint32_t> &order,
+                           std::size_t begin, std::size_t end);
+
+    std::vector<std::shared_ptr<Blas>> blas_;
+    std::vector<Instance> instances_;
+    std::vector<geom::AABB> instance_bounds_; ///< world-space
+    std::vector<TlasNode> nodes_;
+    geom::AABB world_bounds_;
+    bool built_ = false;
+};
+
+} // namespace cooprt::bvh
+
+#endif // COOPRT_BVH_TLAS_HPP

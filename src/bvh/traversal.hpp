@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reference (CPU, functional-only) BVH traversal — the oracle against
+ * which the RT-unit timing model's results are property-tested, and a
+ * direct implementation of the paper's Algorithm 1.
+ */
+
+#ifndef COOPRT_BVH_TRAVERSAL_HPP
+#define COOPRT_BVH_TRAVERSAL_HPP
+
+#include "bvh/flat_bvh.hpp"
+#include "geom/ray.hpp"
+#include "scene/mesh.hpp"
+
+namespace cooprt::bvh {
+
+/** Counters gathered by the instrumented traversal. */
+struct TraversalStats
+{
+    std::uint64_t nodes_visited = 0;  ///< internal records fetched
+    std::uint64_t leaves_visited = 0; ///< leaf records fetched
+    std::uint64_t box_tests = 0;
+    std::uint64_t tri_tests = 0;
+    std::uint64_t max_stack_depth = 0;
+};
+
+/**
+ * Closest-hit DFS traversal (Algorithm 1): stack of NodeRefs, child
+ * boxes culled against the running min_thit.
+ *
+ * @param stats Optional counter sink.
+ */
+geom::HitRecord closestHit(const FlatBvh &bvh, const scene::Mesh &mesh,
+                           const geom::Ray &ray,
+                           TraversalStats *stats = nullptr);
+
+/**
+ * Any-hit traversal: returns as soon as any intersection within the
+ * ray interval is found (shadow/occlusion queries).
+ */
+bool anyHit(const FlatBvh &bvh, const scene::Mesh &mesh,
+            const geom::Ray &ray, TraversalStats *stats = nullptr);
+
+/**
+ * O(n) reference: test every triangle. Used only by tests to validate
+ * the BVH traversals.
+ */
+geom::HitRecord bruteForceClosest(const scene::Mesh &mesh,
+                                  const geom::Ray &ray);
+
+} // namespace cooprt::bvh
+
+#endif // COOPRT_BVH_TRAVERSAL_HPP

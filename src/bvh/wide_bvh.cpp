@@ -1,0 +1,131 @@
+#include "bvh/wide_bvh.hpp"
+
+#include <algorithm>
+
+namespace cooprt::bvh {
+
+namespace {
+
+/**
+ * Select up to kWideArity binary-subtree roots to become the children
+ * of one wide node: start from the two binary children and repeatedly
+ * expand the candidate with the largest surface area.
+ */
+void
+gatherWideChildren(const BinaryBvh &bin, std::int32_t root,
+                   std::vector<std::int32_t> &out)
+{
+    out.clear();
+    const BinaryNode &r = bin.nodes[root];
+    out.push_back(r.left);
+    out.push_back(r.right);
+    while (out.size() < std::size_t(kWideArity)) {
+        // Pick the internal candidate with the largest surface area.
+        int best = -1;
+        float best_area = -1.0f;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            const BinaryNode &n = bin.nodes[out[i]];
+            if (n.isLeaf())
+                continue;
+            const float a = n.bounds.surfaceArea();
+            if (a > best_area) {
+                best_area = a;
+                best = int(i);
+            }
+        }
+        if (best < 0)
+            break; // only leaves left
+        const BinaryNode &n = bin.nodes[out[best]];
+        out[best] = n.left;
+        out.push_back(n.right);
+    }
+}
+
+struct CollapseCtx
+{
+    const BinaryBvh &bin;
+    WideBvh &wide;
+
+    /** Emit a wide node for the binary subtree @p root. */
+    std::int32_t
+    emit(std::int32_t root)
+    {
+        const BinaryNode &bn = bin.nodes[root];
+        const std::int32_t idx =
+            static_cast<std::int32_t>(wide.nodes.size());
+        wide.nodes.push_back({});
+        wide.nodes[idx].bounds = bn.bounds;
+
+        if (bn.isLeaf()) {
+            wide.nodes[idx].first_prim = bn.first_prim;
+            wide.nodes[idx].prim_count = bn.prim_count;
+            return idx;
+        }
+
+        std::vector<std::int32_t> kids;
+        gatherWideChildren(bin, root, kids);
+        wide.nodes[idx].child_count =
+            static_cast<std::uint8_t>(kids.size());
+        for (std::size_t c = 0; c < kids.size(); ++c) {
+            const std::int32_t w = emit(kids[c]);
+            wide.nodes[idx].child[c] = w;
+        }
+        return idx;
+    }
+};
+
+int
+wideDepthOf(const std::vector<WideNode> &nodes, std::int32_t idx)
+{
+    const WideNode &n = nodes[idx];
+    if (n.isLeaf())
+        return 1;
+    int best = 0;
+    for (int c = 0; c < n.child_count; ++c)
+        best = std::max(best, wideDepthOf(nodes, n.child[c]));
+    return 1 + best;
+}
+
+} // namespace
+
+int
+WideBvh::maxDepth() const
+{
+    return nodes.empty() ? 0 : wideDepthOf(nodes, 0);
+}
+
+std::size_t
+WideBvh::leafCount() const
+{
+    std::size_t c = 0;
+    for (const auto &n : nodes)
+        c += n.isLeaf();
+    return c;
+}
+
+std::size_t
+WideBvh::internalCount() const
+{
+    return nodes.size() - leafCount();
+}
+
+WideBvh
+collapseToWide(const BinaryBvh &binary)
+{
+    WideBvh out;
+    out.prim_order = binary.prim_order;
+    if (binary.empty())
+        return out;
+    out.nodes.reserve(binary.nodes.size());
+    CollapseCtx ctx{binary, out};
+    ctx.emit(0);
+    return out;
+}
+
+WideBvh
+buildWideBvh(const scene::Mesh &mesh, const BuildConfig &config)
+{
+    return collapseToWide(buildBinaryBvh(mesh, config));
+}
+
+} // namespace cooprt::bvh

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * 6-ary (wide) BVH, following the MESA/Vulkan-sim convention assumed
+ * by the paper's Algorithm 1 ("for i = 0 to 5 // 6-ary tree").
+ */
+
+#ifndef COOPRT_BVH_WIDE_BVH_HPP
+#define COOPRT_BVH_WIDE_BVH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/builder.hpp"
+
+namespace cooprt::bvh {
+
+/** Maximum children of a wide node (paper: 6-ary tree). */
+constexpr int kWideArity = 6;
+
+/**
+ * A node of the wide BVH. Internal nodes have 1..6 children; leaves
+ * reference a contiguous primitive range of `WideBvh::prim_order`.
+ */
+struct WideNode
+{
+    geom::AABB bounds;
+    std::int32_t child[kWideArity] = {-1, -1, -1, -1, -1, -1};
+    std::uint8_t child_count = 0;
+    /** Leaf payload. */
+    std::uint32_t first_prim = 0;
+    std::uint32_t prim_count = 0;
+
+    bool isLeaf() const { return child_count == 0; }
+};
+
+/**
+ * The 6-wide BVH obtained by collapsing a binary BVH: each internal
+ * node repeatedly inlines the child subtree with the largest surface
+ * area until it has `kWideArity` children (or only leaves remain).
+ */
+struct WideBvh
+{
+    std::vector<WideNode> nodes;            ///< nodes[0] is the root
+    std::vector<std::uint32_t> prim_order;  ///< leaf ranges index this
+
+    bool empty() const { return nodes.empty(); }
+    const WideNode &root() const { return nodes[0]; }
+
+    /** Maximum leaf depth (root = 1); 0 for empty trees. */
+    int maxDepth() const;
+    std::size_t leafCount() const;
+    std::size_t internalCount() const;
+};
+
+/** Collapse @p binary into a 6-wide BVH. */
+WideBvh collapseToWide(const BinaryBvh &binary);
+
+/** Convenience: build binary and collapse in one call. */
+WideBvh buildWideBvh(const scene::Mesh &mesh,
+                     const BuildConfig &config = {});
+
+} // namespace cooprt::bvh
+
+#endif // COOPRT_BVH_WIDE_BVH_HPP

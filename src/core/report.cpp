@@ -1,0 +1,127 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace cooprt::core {
+
+namespace {
+
+/** Minimal JSON emitter: tracks comma placement per nesting level. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void
+    open(const char *key = nullptr)
+    {
+        comma();
+        if (key)
+            os_ << '"' << key << "\":";
+        os_ << '{';
+        first_ = true;
+    }
+
+    void
+    close()
+    {
+        os_ << '}';
+        first_ = false;
+    }
+
+    template <typename T>
+    void
+    field(const char *key, const T &value)
+    {
+        comma();
+        os_ << '"' << key << "\":" << value;
+        first_ = false;
+    }
+
+    void
+    field(const char *key, const std::string &value)
+    {
+        comma();
+        os_ << '"' << key << "\":\"" << value << '"';
+        first_ = false;
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (!first_)
+            os_ << ',';
+        first_ = true;
+    }
+
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const RunOutcome &o)
+{
+    JsonWriter w(os);
+    w.open();
+    w.field("scene", o.scene);
+    w.field("resolution", o.resolution);
+    w.field("cycles", o.gpu.cycles);
+
+    w.open("rt_unit");
+    w.field("node_fetches", o.gpu.rt.node_fetches);
+    w.field("leaf_fetches", o.gpu.rt.leaf_fetches);
+    w.field("box_tests", o.gpu.rt.box_tests);
+    w.field("tri_tests", o.gpu.rt.tri_tests);
+    w.field("steals", o.gpu.rt.steals);
+    w.field("stale_pops", o.gpu.rt.stale_pops);
+    w.field("stack_overflows", o.gpu.rt.stack_overflows);
+    w.field("retired_warps", o.gpu.rt.retired_warps);
+    w.field("max_trace_latency", o.gpu.rt.max_trace_latency);
+    w.field("prefetches", o.gpu.rt.prefetches);
+    w.field("predictor_hits", o.gpu.rt.predictor_hits);
+    w.close();
+
+    w.open("memory");
+    w.field("l1_accesses", o.gpu.l1.accesses);
+    w.field("l1_miss_rate", o.gpu.l1.missRate());
+    w.field("l2_accesses", o.gpu.l2.accesses);
+    w.field("l2_miss_rate", o.gpu.l2.missRate());
+    w.field("dram_requests", o.gpu.dram.requests);
+    w.field("dram_bytes", o.gpu.dram.bytes);
+    w.field("dram_utilization", o.gpu.dram_utilization);
+    w.close();
+
+    w.open("stalls");
+    w.field("rt", o.gpu.stalls.rt);
+    w.field("mem", o.gpu.stalls.mem);
+    w.field("alu", o.gpu.stalls.alu);
+    w.field("sfu", o.gpu.stalls.sfu);
+    w.close();
+
+    w.open("power");
+    w.field("seconds", o.power.seconds);
+    w.field("dynamic_j", o.power.dynamic_j);
+    w.field("static_j", o.power.static_j);
+    w.field("avg_watts", o.power.avgWatts());
+    w.field("edp", o.power.edp());
+    w.close();
+
+    w.field("avg_thread_utilization", o.gpu.avg_thread_utilization);
+    w.field("slowest_warp_latency", o.gpu.slowestWarpLatency());
+    w.close();
+    os << '\n';
+}
+
+std::string
+toJson(const RunOutcome &outcome)
+{
+    std::ostringstream ss;
+    writeJson(ss, outcome);
+    return ss.str();
+}
+
+} // namespace cooprt::core

@@ -1,0 +1,84 @@
+#include "core/simulation.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace cooprt::core {
+
+Simulation::Simulation(const scene::Scene &scene)
+    : scene_(scene), flat_(bvh::buildWideBvh(scene.mesh))
+{
+}
+
+RunOutcome
+Simulation::run(const RunConfig &config, shaders::Film *film,
+                stats::TimelineRecorder *timeline,
+                int timeline_skip) const
+{
+    const int res = config.resolution > 0
+                        ? config.resolution
+                        : scene_.default_resolution;
+
+    std::vector<std::unique_ptr<gpu::WarpProgram>> programs;
+    // Kept alive for the whole run (Shadow programs reference it).
+    std::unique_ptr<shaders::LightSampler> lights;
+    switch (config.shader) {
+      case ShaderKind::PathTracing:
+        programs = shaders::makePathTracerFrame(scene_, film, res, res,
+                                                config.pt);
+        break;
+      case ShaderKind::AmbientOcclusion:
+        programs = shaders::makeAmbientOcclusionFrame(scene_, film, res,
+                                                      res, config.ao);
+        break;
+      case ShaderKind::Shadow:
+        lights = std::make_unique<shaders::LightSampler>(scene_);
+        programs = shaders::makeShadowFrame(scene_, *lights, film, res,
+                                            res, config.sh);
+        break;
+    }
+
+    std::vector<gpu::WarpProgram *> ptrs;
+    ptrs.reserve(programs.size());
+    for (auto &p : programs)
+        ptrs.push_back(p.get());
+
+    gpu::Gpu g(flat_, scene_.mesh, config.gpu);
+    RunOutcome out;
+    out.scene = scene_.name;
+    out.resolution = res;
+    out.gpu = g.run(ptrs, timeline, timeline_skip);
+
+    power::EnergyModel energy(config.energy);
+    out.power = energy.evaluate(out.gpu, config.gpu.num_sms);
+    return out;
+}
+
+const Simulation &
+simulationFor(const std::string &label)
+{
+    static std::map<std::string, std::unique_ptr<Simulation>> cache;
+    static std::mutex mtx;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = cache.find(label);
+    if (it == cache.end()) {
+        const scene::Scene &sc = scene::SceneRegistry::get(label);
+        it = cache.emplace(label, std::make_unique<Simulation>(sc))
+                 .first;
+    }
+    return *it->second;
+}
+
+Comparison
+compareCoop(const std::string &label, RunConfig config)
+{
+    const Simulation &sim = simulationFor(label);
+    Comparison cmp;
+    config.gpu.trace.coop = false;
+    cmp.base = sim.run(config);
+    config.gpu.trace.coop = true;
+    cmp.coop = sim.run(config);
+    return cmp;
+}
+
+} // namespace cooprt::core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The top-level CoopRT library API: configure a GPU, pick a scene and
+ * a shader workload, run the cycle-level simulation, get cycles /
+ * power / bandwidth / utilization back.
+ *
+ * This is the layer every example and bench binary uses:
+ *
+ *     const auto &scene = scene::SceneRegistry::get("crnvl");
+ *     core::Simulation sim(scene);
+ *     core::RunConfig cfg;               // baseline RT unit
+ *     auto base = sim.run(cfg);
+ *     cfg.gpu.trace.coop = true;         // CoopRT
+ *     auto coop = sim.run(cfg);
+ *     double speedup = double(base.gpu.cycles) / coop.gpu.cycles;
+ */
+
+#ifndef COOPRT_CORE_SIMULATION_HPP
+#define COOPRT_CORE_SIMULATION_HPP
+
+#include <memory>
+#include <string>
+
+#include "bvh/flat_bvh.hpp"
+#include "gpu/gpu.hpp"
+#include "power/energy_model.hpp"
+#include "scene/registry.hpp"
+#include "shaders/ao.hpp"
+#include "shaders/path_tracer.hpp"
+#include "shaders/shadow.hpp"
+
+namespace cooprt::core {
+
+/** Which raygen workload to run (paper Sections 6.2 / 7.3). */
+enum class ShaderKind { PathTracing, AmbientOcclusion, Shadow };
+
+/** Everything configurable about one simulation run. */
+struct RunConfig
+{
+    gpu::GpuConfig gpu = gpu::GpuConfig::rtx2060Bench();
+    ShaderKind shader = ShaderKind::PathTracing;
+    /** Frame resolution (square); 0 = the scene's bench default. */
+    int resolution = 0;
+    shaders::PtParams pt;
+    shaders::AoParams ao;
+    shaders::ShadowParams sh;
+    power::EnergyCoefficients energy;
+};
+
+/** The result of one run: timing, power and all collected stats. */
+struct RunOutcome
+{
+    std::string scene;
+    int resolution = 0;
+    gpu::GpuRunResult gpu;
+    power::PowerReport power;
+};
+
+/**
+ * A scene prepared for simulation: BVH built once, reusable across
+ * many runs/configurations.
+ */
+class Simulation
+{
+  public:
+    /** Build the 6-wide quantized BVH for @p scene. */
+    explicit Simulation(const scene::Scene &scene);
+
+    const scene::Scene &scene() const { return scene_; }
+    const bvh::FlatBvh &bvh() const { return flat_; }
+    /** Table 2 columns for this scene. */
+    bvh::TreeStats treeStats() const { return flat_.stats(); }
+
+    /**
+     * Run one configuration.
+     *
+     * @param film          Optional output image.
+     * @param timeline      Optional Fig.-11 per-thread timeline
+     *                      recorder (records one trace on SM 0).
+     * @param timeline_skip Trace_rays to skip before recording —
+     *                      lets callers capture a late, divergent
+     *                      trace as the paper's Fig. 11 does.
+     */
+    RunOutcome run(const RunConfig &config,
+                   shaders::Film *film = nullptr,
+                   stats::TimelineRecorder *timeline = nullptr,
+                   int timeline_skip = 0) const;
+
+  private:
+    const scene::Scene &scene_;
+    bvh::FlatBvh flat_;
+};
+
+/**
+ * Process-wide cache: one prepared Simulation per registry label, so
+ * bench binaries that sweep many configurations build each BVH once.
+ */
+const Simulation &simulationFor(const std::string &label);
+
+/** Baseline-vs-CoopRT comparison for one scene (Fig. 9 row). */
+struct Comparison
+{
+    RunOutcome base;
+    RunOutcome coop;
+
+    double speedup() const
+    { return double(base.gpu.cycles) / double(coop.gpu.cycles); }
+    double powerRatio() const
+    { return coop.power.avgWatts() / base.power.avgWatts(); }
+    double energyRatio() const
+    { return coop.power.totalJoules() / base.power.totalJoules(); }
+    /** EDP improvement factor (paper Fig. 15; > 1 is better). */
+    double edpImprovement() const
+    { return base.power.edp() / coop.power.edp(); }
+};
+
+/**
+ * Run @p config twice on @p label — coop off then on — holding
+ * everything else fixed.
+ */
+Comparison compareCoop(const std::string &label, RunConfig config);
+
+} // namespace cooprt::core
+
+#endif // COOPRT_CORE_SIMULATION_HPP

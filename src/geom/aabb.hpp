@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Axis-aligned bounding box and the ray/box slab test, the fundamental
+ * operation of BVH traversal (paper Section 2.1).
+ */
+
+#ifndef COOPRT_GEOM_AABB_HPP
+#define COOPRT_GEOM_AABB_HPP
+
+#include <limits>
+
+#include "geom/ray.hpp"
+#include "geom/vec3.hpp"
+
+namespace cooprt::geom {
+
+/**
+ * An axis-aligned bounding box.
+ *
+ * Default-constructed boxes are *empty* (lo = +inf, hi = -inf), so that
+ * growing an empty box by a point yields the degenerate box at that
+ * point and growing by another box yields that box.
+ */
+struct AABB
+{
+    Vec3 lo{std::numeric_limits<float>::infinity(),
+            std::numeric_limits<float>::infinity(),
+            std::numeric_limits<float>::infinity()};
+    Vec3 hi{-std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity()};
+
+    AABB() = default;
+    AABB(const Vec3 &l, const Vec3 &h) : lo(l), hi(h) {}
+
+    /** True when the box contains no points (never grown). */
+    bool empty() const { return lo.x > hi.x; }
+
+    /** Expand to include point @p p. */
+    void grow(const Vec3 &p) { lo = min(lo, p); hi = max(hi, p); }
+
+    /** Expand to include box @p b. */
+    void grow(const AABB &b) { lo = min(lo, b.lo); hi = max(hi, b.hi); }
+
+    /** Box diagonal (hi - lo); zero vector for degenerate boxes. */
+    Vec3 extent() const { return hi - lo; }
+
+    /** Center point of the box. */
+    Vec3 centroid() const { return (lo + hi) * 0.5f; }
+
+    /**
+     * Surface area of the box, the quantity minimized by the SAH
+     * builder. Returns 0 for empty boxes.
+     */
+    float
+    surfaceArea() const
+    {
+        if (empty())
+            return 0.0f;
+        const Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /** True when @p p lies inside or on the boundary of the box. */
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** True when @p b is entirely inside this box (inclusive). */
+    bool
+    contains(const AABB &b) const
+    {
+        return contains(b.lo) && contains(b.hi);
+    }
+
+    /**
+     * Slab test: intersect @p ray against this box.
+     *
+     * @param ray     Ray with precomputed reciprocal direction.
+     * @param t_limit Current search limit (typically min(min_thit,
+     *                ray.tmax)); entry distances beyond it are misses.
+     * @return The entry distance (clamped below by ray.tmin; a ray
+     *         starting inside the box returns ray.tmin), or kNoHit.
+     */
+    float
+    intersect(const Ray &ray, float t_limit) const
+    {
+        float t0 = (lo.x - ray.orig.x) * ray.inv_dir.x;
+        float t1 = (hi.x - ray.orig.x) * ray.inv_dir.x;
+        float tn = t0 < t1 ? t0 : t1;
+        float tf = t0 < t1 ? t1 : t0;
+
+        t0 = (lo.y - ray.orig.y) * ray.inv_dir.y;
+        t1 = (hi.y - ray.orig.y) * ray.inv_dir.y;
+        tn = t0 < t1 ? (t0 > tn ? t0 : tn) : (t1 > tn ? t1 : tn);
+        tf = t0 < t1 ? (t1 < tf ? t1 : tf) : (t0 < tf ? t0 : tf);
+
+        t0 = (lo.z - ray.orig.z) * ray.inv_dir.z;
+        t1 = (hi.z - ray.orig.z) * ray.inv_dir.z;
+        tn = t0 < t1 ? (t0 > tn ? t0 : tn) : (t1 > tn ? t1 : tn);
+        tf = t0 < t1 ? (t1 < tf ? t1 : tf) : (t0 < tf ? t0 : tf);
+
+        const float entry = tn > ray.tmin ? tn : ray.tmin;
+        if (entry > tf || entry > t_limit)
+            return kNoHit;
+        return entry;
+    }
+};
+
+} // namespace cooprt::geom
+
+#endif // COOPRT_GEOM_AABB_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Quantized child bounding boxes for compressed wide BVH nodes.
+ *
+ * Real RT-unit BVH layouts (NVIDIA, AMD, and the MESA layout used by
+ * Vulkan-sim) compress the child AABBs of a wide node onto a small
+ * fixed-point grid anchored at the parent box, so that a 6-wide node
+ * fits in one or two cache lines. Quantization must be *conservative*:
+ * the decoded box always contains the original box, so traversal can
+ * only visit extra nodes, never miss a hit. That invariant is what the
+ * property tests in tests/geom check.
+ */
+
+#ifndef COOPRT_GEOM_QUANTIZED_AABB_HPP
+#define COOPRT_GEOM_QUANTIZED_AABB_HPP
+
+#include <cmath>
+#include <cstdint>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace cooprt::geom {
+
+/**
+ * Per-node quantization frame: an origin and a power-of-two scale per
+ * axis. Child boxes are stored as 8-bit grid coordinates relative to
+ * this frame.
+ */
+struct QuantFrame
+{
+    /** Grid origin (the parent box lower corner). */
+    Vec3 origin;
+    /** Per-axis grid cell size (power of two, exactly representable). */
+    Vec3 scale{1.0f, 1.0f, 1.0f};
+
+    /**
+     * Build a frame that can represent any sub-box of @p parent with
+     * 8-bit coordinates (grid of 256 cells per axis).
+     */
+    static QuantFrame
+    forParent(const AABB &parent)
+    {
+        QuantFrame f;
+        f.origin = parent.lo;
+        const Vec3 e = parent.extent();
+        for (int a = 0; a < 3; ++a) {
+            // Smallest power of two >= extent/255 so that coordinate
+            // 255 reaches past the parent's upper corner.
+            float cell = e[a] > 0.0f ? e[a] / 255.0f : 1e-6f;
+            int exp = 0;
+            float mant = std::frexp(cell, &exp);
+            // frexp: cell = mant * 2^exp, mant in [0.5, 1). The
+            // smallest power of two >= cell is 2^exp, except when cell
+            // is itself a power of two (mant == 0.5): then 2^(exp-1).
+            f.scale.at(a) = std::ldexp(1.0f, mant == 0.5f ? exp - 1 : exp);
+        }
+        return f;
+    }
+
+    /** Grid coordinate -> world position along axis @p a. */
+    float decode(int a, std::uint8_t q) const
+    { return origin[a] + scale[a] * float(q); }
+};
+
+/** A child AABB quantized to 8 bits per bound per axis (6 bytes). */
+struct QuantizedAabb
+{
+    std::uint8_t qlo[3] = {0, 0, 0};
+    std::uint8_t qhi[3] = {0, 0, 0};
+
+    /**
+     * Conservatively quantize @p box within frame @p f: lower bounds
+     * are floored, upper bounds are ceiled, so decode() contains box.
+     */
+    static QuantizedAabb
+    encode(const AABB &box, const QuantFrame &f)
+    {
+        QuantizedAabb q;
+        for (int a = 0; a < 3; ++a) {
+            float lo_g = (box.lo[a] - f.origin[a]) / f.scale[a];
+            float hi_g = (box.hi[a] - f.origin[a]) / f.scale[a];
+            float lo_q = std::floor(lo_g);
+            float hi_q = std::ceil(hi_g);
+            if (lo_q < 0.0f)
+                lo_q = 0.0f;
+            if (hi_q > 255.0f)
+                hi_q = 255.0f;
+            q.qlo[a] = static_cast<std::uint8_t>(lo_q);
+            q.qhi[a] = static_cast<std::uint8_t>(hi_q);
+        }
+        return q;
+    }
+
+    /** Decode back to a (conservative) world-space box. */
+    AABB
+    decode(const QuantFrame &f) const
+    {
+        AABB b;
+        for (int a = 0; a < 3; ++a) {
+            b.lo.at(a) = f.decode(a, qlo[a]);
+            b.hi.at(a) = f.decode(a, qhi[a]);
+        }
+        return b;
+    }
+};
+
+} // namespace cooprt::geom
+
+#endif // COOPRT_GEOM_QUANTIZED_AABB_HPP

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic random number generation (PCG32) and sampling helpers.
+ *
+ * Everything in the repository that needs randomness (scene
+ * generation, path-tracing scatter directions, property tests) uses
+ * this generator so that runs are bit-reproducible across machines.
+ */
+
+#ifndef COOPRT_GEOM_RNG_HPP
+#define COOPRT_GEOM_RNG_HPP
+
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+
+namespace cooprt::geom {
+
+/**
+ * PCG32 pseudo-random generator (O'Neill, pcg-random.org).
+ *
+ * Small state, excellent statistical quality, and a stream parameter
+ * so per-pixel generators are decorrelated.
+ */
+class Pcg32
+{
+  public:
+    /** Construct with a seed and an optional stream selector. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1u;
+        nextU32();
+        state_ += seed;
+        nextU32();
+    }
+
+    /** Next uniformly distributed 32-bit value. */
+    std::uint32_t
+    nextU32()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint32_t
+    nextBelow(std::uint32_t n)
+    {
+        // Lemire's multiply-shift; slight modulo bias is irrelevant
+        // for simulation workloads but the multiply keeps it tiny.
+        return static_cast<std::uint32_t>(
+            (std::uint64_t(nextU32()) * n) >> 32);
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return float(nextU32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** Uniform point inside an axis-aligned box [lo, hi). */
+    Vec3
+    nextInBox(const Vec3 &lo, const Vec3 &hi)
+    {
+        return {nextRange(lo.x, hi.x), nextRange(lo.y, hi.y),
+                nextRange(lo.z, hi.z)};
+    }
+
+    /** Uniform direction on the unit sphere. */
+    Vec3
+    nextUnitVector()
+    {
+        // Marsaglia rejection-free: z uniform, azimuth uniform.
+        const float z = nextRange(-1.0f, 1.0f);
+        const float phi = nextRange(0.0f, 6.28318530718f);
+        const float r = std::sqrt(1.0f - z * z > 0.0f ? 1.0f - z * z
+                                                      : 0.0f);
+        return {r * std::cos(phi), r * std::sin(phi), z};
+    }
+
+    /**
+     * Cosine-weighted direction on the hemisphere around unit normal
+     * @p n — the Lambertian scatter distribution used by the path
+     * tracer's bounce loop.
+     */
+    Vec3
+    nextCosineHemisphere(const Vec3 &n)
+    {
+        Vec3 d = n + nextUnitVector();
+        // Degenerate when the sphere sample is ~antipodal to n.
+        if (d.lengthSq() < 1e-12f)
+            return n;
+        return normalize(d);
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+/**
+ * Stateless 64-bit mix (splitmix64 finalizer); used to derive
+ * decorrelated seeds, e.g. one RNG stream per pixel.
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace cooprt::geom
+
+#endif // COOPRT_GEOM_RNG_HPP

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Rigid transforms (rotation + translation) for instanced geometry.
+ *
+ * Vulkan acceleration structures are two-level: a top-level structure
+ * over *instances*, each referencing a bottom-level structure through
+ * a transform (the "Coordinate Transform" block in the paper's RT
+ * unit, Figs. 3 and 7). Rigid transforms preserve distances, so hit
+ * t values measured in object space are valid in world space — which
+ * is what lets instancing compose with min_thit-based traversal
+ * without rescaling.
+ */
+
+#ifndef COOPRT_GEOM_TRANSFORM_HPP
+#define COOPRT_GEOM_TRANSFORM_HPP
+
+#include <cmath>
+
+#include "geom/aabb.hpp"
+#include "geom/ray.hpp"
+#include "geom/vec3.hpp"
+
+namespace cooprt::geom {
+
+/**
+ * A rigid transform: an orthonormal rotation followed by a
+ * translation. Stored as three row vectors plus the translation.
+ */
+class RigidTransform
+{
+  public:
+    /** Identity transform. */
+    RigidTransform()
+        : rx_{1, 0, 0}, ry_{0, 1, 0}, rz_{0, 0, 1}, t_{0, 0, 0}
+    {}
+
+    /** Rotation about the Y axis by @p radians, then translation. */
+    static RigidTransform
+    rotateYTranslate(float radians, const Vec3 &translation)
+    {
+        RigidTransform m;
+        const float c = std::cos(radians), s = std::sin(radians);
+        m.rx_ = {c, 0, s};
+        m.ry_ = {0, 1, 0};
+        m.rz_ = {-s, 0, c};
+        m.t_ = translation;
+        return m;
+    }
+
+    /** Pure translation. */
+    static RigidTransform
+    translate(const Vec3 &translation)
+    {
+        RigidTransform m;
+        m.t_ = translation;
+        return m;
+    }
+
+    /** Transform a point (rotation + translation). */
+    Vec3
+    point(const Vec3 &p) const
+    {
+        return Vec3{dot(rx_, p), dot(ry_, p), dot(rz_, p)} + t_;
+    }
+
+    /** Transform a direction (rotation only). */
+    Vec3
+    direction(const Vec3 &d) const
+    {
+        return {dot(rx_, d), dot(ry_, d), dot(rz_, d)};
+    }
+
+    /** The inverse rigid transform (transpose + back-translation). */
+    RigidTransform
+    inverse() const
+    {
+        RigidTransform inv;
+        // Transpose of an orthonormal matrix is its inverse.
+        inv.rx_ = {rx_.x, ry_.x, rz_.x};
+        inv.ry_ = {rx_.y, ry_.y, rz_.y};
+        inv.rz_ = {rx_.z, ry_.z, rz_.z};
+        inv.t_ = -inv.direction(t_);
+        return inv;
+    }
+
+    /**
+     * Transform a ray. Rigid transforms preserve parameter t: a hit
+     * at distance t on the transformed ray is at distance t on the
+     * original.
+     */
+    Ray
+    ray(const Ray &r) const
+    {
+        return Ray(point(r.orig), direction(r.dir), r.tmin, r.tmax);
+    }
+
+    /** Conservative transformed box: box of the 8 moved corners. */
+    AABB
+    box(const AABB &b) const
+    {
+        AABB out;
+        for (int i = 0; i < 8; ++i) {
+            const Vec3 corner{i & 1 ? b.hi.x : b.lo.x,
+                              i & 2 ? b.hi.y : b.lo.y,
+                              i & 4 ? b.hi.z : b.lo.z};
+            out.grow(point(corner));
+        }
+        return out;
+    }
+
+  private:
+    Vec3 rx_, ry_, rz_; ///< rotation rows
+    Vec3 t_;            ///< translation
+};
+
+} // namespace cooprt::geom
+
+#endif // COOPRT_GEOM_TRANSFORM_HPP

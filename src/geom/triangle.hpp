@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Triangle primitive and the Möller–Trumbore ray/triangle intersection
+ * test performed by the RT unit's math units (paper Fig. 7,
+ * "Ray-Tri Intersection").
+ */
+
+#ifndef COOPRT_GEOM_TRIANGLE_HPP
+#define COOPRT_GEOM_TRIANGLE_HPP
+
+#include "geom/ray.hpp"
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace cooprt::geom {
+
+/**
+ * A triangle primitive, stored as three vertex positions.
+ *
+ * This mirrors the paper's leaf-node contents: "Leaf nodes are
+ * primitives such as triangles or quads, and they contain the vertex
+ * coordinates of the primitive."
+ */
+struct Triangle
+{
+    Vec3 v0, v1, v2;
+
+    Triangle() = default;
+    Triangle(const Vec3 &a, const Vec3 &b, const Vec3 &c)
+        : v0(a), v1(b), v2(c)
+    {}
+
+    /** Bounding box of the triangle. */
+    AABB
+    bounds() const
+    {
+        AABB b;
+        b.grow(v0);
+        b.grow(v1);
+        b.grow(v2);
+        return b;
+    }
+
+    /** Centroid (average of the three vertices). */
+    Vec3 centroid() const { return (v0 + v1 + v2) / 3.0f; }
+
+    /** Geometric (unnormalized) normal via the cross product. */
+    Vec3 geometricNormal() const { return cross(v1 - v0, v2 - v0); }
+
+    /** Twice the triangle area (length of the geometric normal). */
+    float area2() const { return geometricNormal().length(); }
+
+    /**
+     * Möller–Trumbore intersection test.
+     *
+     * Double-sided: hits are reported regardless of winding, as RT
+     * units do by default (culling is an optional pipeline flag).
+     *
+     * @param ray     The ray to test.
+     * @param t_limit Current closest-hit distance; farther hits are
+     *                rejected (paper Algorithm 1, line 8 analogue).
+     * @return Hit distance within (ray.tmin, min(t_limit, ray.tmax)),
+     *         or kNoHit.
+     */
+    float
+    intersect(const Ray &ray, float t_limit) const
+    {
+        const Vec3 e1 = v1 - v0;
+        const Vec3 e2 = v2 - v0;
+        const Vec3 p = cross(ray.dir, e2);
+        const float det = dot(e1, p);
+        // Near-zero determinant: ray parallel to the triangle plane.
+        if (det > -1e-12f && det < 1e-12f)
+            return kNoHit;
+        const float inv_det = 1.0f / det;
+        const Vec3 t = ray.orig - v0;
+        const float u = dot(t, p) * inv_det;
+        if (u < 0.0f || u > 1.0f)
+            return kNoHit;
+        const Vec3 q = cross(t, e1);
+        const float v = dot(ray.dir, q) * inv_det;
+        if (v < 0.0f || u + v > 1.0f)
+            return kNoHit;
+        const float thit = dot(e2, q) * inv_det;
+        const float limit = t_limit < ray.tmax ? t_limit : ray.tmax;
+        if (thit <= ray.tmin || thit >= limit)
+            return kNoHit;
+        return thit;
+    }
+
+    /**
+     * Unit, front-facing normal for shading: flipped to oppose the
+     * incoming direction @p incoming.
+     */
+    Vec3
+    shadingNormal(const Vec3 &incoming) const
+    {
+        Vec3 n = normalize(geometricNormal());
+        if (dot(n, incoming) > 0.0f)
+            n = -n;
+        return n;
+    }
+};
+
+} // namespace cooprt::geom
+
+#endif // COOPRT_GEOM_TRIANGLE_HPP

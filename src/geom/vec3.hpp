@@ -1,0 +1,150 @@
+/**
+ * @file
+ * 3-component float vector used throughout the geometry substrate.
+ *
+ * The simulator models rays, bounding boxes and triangles in single
+ * precision, matching the precision used by GPU RT units and by
+ * Vulkan-sim's functional model.
+ */
+
+#ifndef COOPRT_GEOM_VEC3_HPP
+#define COOPRT_GEOM_VEC3_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace cooprt::geom {
+
+/**
+ * A 3-component single-precision vector.
+ *
+ * Plain aggregate with value semantics; all operations are constexpr
+ * where the underlying math allows it.
+ */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xv, float yv, float zv) : x(xv), y(yv), z(zv) {}
+    /** Broadcast constructor: all three components set to @p s. */
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(const Vec3 &o) const
+    { return {x * o.x, y * o.y, z * o.z}; }
+    constexpr Vec3 operator/(const Vec3 &o) const
+    { return {x / o.x, y / o.y, z / o.z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    constexpr Vec3 &operator+=(const Vec3 &o)
+    { x += o.x; y += o.y; z += o.z; return *this; }
+    constexpr Vec3 &operator-=(const Vec3 &o)
+    { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    constexpr Vec3 &operator*=(float s)
+    { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr bool operator==(const Vec3 &o) const
+    { return x == o.x && y == o.y && z == o.z; }
+
+    /** Component access by index (0=x, 1=y, 2=z). */
+    constexpr float operator[](int i) const
+    { return i == 0 ? x : (i == 1 ? y : z); }
+
+    /** Mutable component access by index (0=x, 1=y, 2=z). */
+    constexpr float &at(int i) { return i == 0 ? x : (i == 1 ? y : z); }
+
+    /** Squared Euclidean length. */
+    constexpr float lengthSq() const { return x * x + y * y + z * z; }
+    /** Euclidean length. */
+    float length() const { return std::sqrt(lengthSq()); }
+
+    /** Largest component value. */
+    constexpr float maxComponent() const
+    { return x > y ? (x > z ? x : z) : (y > z ? y : z); }
+    /** Smallest component value. */
+    constexpr float minComponent() const
+    { return x < y ? (x < z ? x : z) : (y < z ? y : z); }
+    /** Index of the largest component (0=x, 1=y, 2=z). */
+    constexpr int maxAxis() const
+    { return x > y ? (x > z ? 0 : 2) : (y > z ? 1 : 2); }
+};
+
+constexpr Vec3
+operator*(float s, const Vec3 &v)
+{
+    return v * s;
+}
+
+/** Dot product. */
+constexpr float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** Cross product. */
+constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+/** Component-wise minimum. */
+constexpr Vec3
+min(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x < b.x ? a.x : b.x,
+            a.y < b.y ? a.y : b.y,
+            a.z < b.z ? a.z : b.z};
+}
+
+/** Component-wise maximum. */
+constexpr Vec3
+max(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x > b.x ? a.x : b.x,
+            a.y > b.y ? a.y : b.y,
+            a.z > b.z ? a.z : b.z};
+}
+
+/** Unit-length copy of @p v.  @p v must not be the zero vector. */
+inline Vec3
+normalize(const Vec3 &v)
+{
+    return v / v.length();
+}
+
+/** Linear interpolation between @p a and @p b with parameter @p t. */
+constexpr Vec3
+lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a * (1.0f - t) + b * t;
+}
+
+/** Reflect direction @p d about unit normal @p n. */
+constexpr Vec3
+reflect(const Vec3 &d, const Vec3 &n)
+{
+    return d - n * (2.0f * dot(d, n));
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+} // namespace cooprt::geom
+
+#endif // COOPRT_GEOM_VEC3_HPP

@@ -1,0 +1,156 @@
+#include "gpu/gpu.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cooprt::gpu {
+
+std::uint64_t
+GpuRunResult::slowestWarpLatency() const
+{
+    std::uint64_t worst = 0;
+    for (const auto &c : completions)
+        if (c.latency() > worst)
+            worst = c.latency();
+    return worst;
+}
+
+Gpu::Gpu(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
+         const GpuConfig &config)
+    : bvh_(bvh), mesh_(mesh), cfg_(config), memsys_(config.mem),
+      sampler_(config.sample_interval)
+{
+    if (cfg_.num_sms != cfg_.mem.num_sms)
+        throw std::invalid_argument(
+            "GpuConfig.num_sms must match mem.num_sms");
+}
+
+void
+Gpu::sampleActivity(std::uint64_t cycle)
+{
+    rtunit::ThreadStatusCounts total;
+    for (const auto &sm : sms_) {
+        const auto c = sm->rtUnit().threadStatus();
+        total.inactive += c.inactive;
+        total.busy += c.busy;
+        total.waiting += c.waiting;
+    }
+    if (total.total() == 0) {
+        sampler_.skip(cycle); // nothing resident; no empty samples
+        return;
+    }
+    sampler_.sample(cycle, total.busy, total.total());
+    status_accum_.inactive += total.inactive;
+    status_accum_.busy += total.busy;
+    status_accum_.waiting += total.waiting;
+}
+
+GpuRunResult
+Gpu::run(const std::vector<WarpProgram *> &programs,
+         stats::TimelineRecorder *timeline, int timeline_skip,
+         bool warm_memory)
+{
+    // Fresh machine state per run (optionally keeping cache contents
+    // warm; timing/statistics always restart with the clock).
+    if (warm_memory)
+        memsys_.resetTiming();
+    else
+        memsys_.reset();
+    sampler_.reset();
+    status_accum_ = {};
+    sms_.clear();
+    for (int i = 0; i < cfg_.num_sms; ++i) {
+        sms_.push_back(std::make_unique<StreamingMultiprocessor>(
+            i, cfg_, bvh_, mesh_,
+            [this, i](std::uint64_t addr, std::uint32_t bytes,
+                      std::uint64_t now) {
+                return memsys_.fetch(i, addr, bytes, now);
+            }));
+    }
+    if (timeline != nullptr)
+        sms_[0]->rtUnit().armTimeline(timeline, timeline_skip);
+    // One GPU-wide intersection-predictor table (see RtUnit docs).
+    for (std::size_t i = 1; i < sms_.size(); ++i)
+        sms_[i]->rtUnit().sharePredictor(sms_[0]->rtUnit());
+
+    // Gigathread engine: thread blocks round-robin over SMs.
+    for (std::size_t w = 0; w < programs.size(); ++w)
+        sms_[w % sms_.size()]->assign(int(w), programs[w]);
+
+    // Event-driven main loop with cached per-SM next-event times.
+    // An SM's state only changes when it ticks (memory completion
+    // times are computed at issue), so a non-ticked SM's cached next
+    // event stays valid.
+    std::uint64_t now = 0;
+    std::vector<std::uint64_t> next_event(sms_.size());
+    for (std::size_t i = 0; i < sms_.size(); ++i)
+        next_event[i] = sms_[i]->nextEventCycle(0);
+
+    while (true) {
+        std::uint64_t next = rtunit::kNever;
+        for (const std::uint64_t e : next_event)
+            if (e < next)
+                next = e;
+        if (next == rtunit::kNever)
+            break; // all SMs drained
+
+        // Emit one activity sample per boundary crossed before the
+        // next event; RT-unit state is constant between ticks, so
+        // sampling the current state at each boundary is exact.
+        while (sampler_.nextDue() <= next)
+            sampleActivity(sampler_.nextDue());
+        now = next;
+
+        for (std::size_t i = 0; i < sms_.size(); ++i) {
+            if (next_event[i] > now)
+                continue;
+            sms_[i]->tick(now);
+            next_event[i] = sms_[i]->nextEventCycle(now + 1);
+        }
+        now += 1;
+    }
+
+    GpuRunResult res;
+    res.cycles = now;
+    for (const auto &sm : sms_) {
+        const auto &rs = sm->rtUnit().stats();
+        res.rt.node_fetches += rs.node_fetches;
+        res.rt.leaf_fetches += rs.leaf_fetches;
+        res.rt.box_tests += rs.box_tests;
+        res.rt.tri_tests += rs.tri_tests;
+        res.rt.steals += rs.steals;
+        res.rt.coalesced_threads += rs.coalesced_threads;
+        res.rt.stale_pops += rs.stale_pops;
+        res.rt.stack_overflows += rs.stack_overflows;
+        res.rt.retired_warps += rs.retired_warps;
+        res.rt.retired_trace_latency += rs.retired_trace_latency;
+        res.rt.issue_cycles += rs.issue_cycles;
+        res.rt.prefetches += rs.prefetches;
+        res.rt.predictor_hits += rs.predictor_hits;
+        res.rt.predictor_misses += rs.predictor_misses;
+        res.rt.hit_stores += rs.hit_stores;
+        if (rs.max_trace_latency > res.rt.max_trace_latency)
+            res.rt.max_trace_latency = rs.max_trace_latency;
+
+        res.stalls.rt += sm->stalls().rt;
+        res.stalls.mem += sm->stalls().mem;
+        res.stalls.alu += sm->stalls().alu;
+        res.stalls.sfu += sm->stalls().sfu;
+
+        for (const auto &c : sm->completions())
+            res.completions.push_back(c);
+    }
+
+    res.l1 = memsys_.l1StatsTotal();
+    res.l2 = memsys_.l2Stats();
+    res.dram = memsys_.dramStats();
+    res.mem_sys = memsys_.stats();
+    res.avg_thread_utilization = sampler_.averageRatio();
+    res.utilization_series = sampler_.series();
+    res.thread_status = status_accum_;
+    res.dram_utilization =
+        res.dram.utilization(res.cycles, memsys_.dramChannels());
+    return res;
+}
+
+} // namespace cooprt::gpu

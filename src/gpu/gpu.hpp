@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The whole-GPU timing simulator: an array of SMs over a shared
+ * memory hierarchy, with the global idle-skipping event loop and the
+ * activity sampling the paper's figures are built from.
+ */
+
+#ifndef COOPRT_GPU_GPU_HPP
+#define COOPRT_GPU_GPU_HPP
+
+#include <memory>
+#include <vector>
+
+#include "gpu/sm.hpp"
+#include "mem/memory_system.hpp"
+#include "stats/sampler.hpp"
+
+namespace cooprt::gpu {
+
+/** Everything a simulation run reports. */
+struct GpuRunResult
+{
+    std::uint64_t cycles = 0;
+
+    rtunit::RtUnitStats rt;        ///< aggregated over all RT units
+    mem::CacheStats l1;            ///< aggregated over all L1s
+    mem::CacheStats l2;
+    mem::DramStats dram;
+    mem::MemSystemStats mem_sys;
+    StallBreakdown stalls;
+
+    /** Average busy-thread ratio in the RT units (Fig. 10). */
+    double avg_thread_utilization = 0.0;
+    /** Busy-thread ratio time series, one per sample (Fig. 2). */
+    std::vector<double> utilization_series;
+    /** Thread status totals accumulated over samples (Fig. 4). */
+    rtunit::ThreadStatusCounts thread_status;
+
+    /** Per-warp completion records; max latency drives Fig. 14. */
+    std::vector<WarpCompletion> completions;
+
+    std::uint64_t slowestWarpLatency() const;
+    /** DRAM bandwidth utilization in [0,1] (Section 7.4). */
+    double dram_utilization = 0.0;
+    /** L2<->interconnect bytes per cycle (Fig. 12). */
+    double l2BytesPerCycle() const
+    { return cycles ? double(mem_sys.l2_bytes) / double(cycles) : 0.0; }
+    /** DRAM bytes per cycle (Fig. 12). */
+    double dramBytesPerCycle() const
+    { return cycles ? double(dram.bytes) / double(cycles) : 0.0; }
+};
+
+/**
+ * The GPU. Construct once per (scene BVH, config); `run()` executes
+ * one frame's warps to completion and reports the statistics.
+ */
+class Gpu
+{
+  public:
+    Gpu(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
+        const GpuConfig &config);
+
+    const GpuConfig &config() const { return cfg_; }
+
+    /**
+     * Run @p programs (one per warp / thread block) to completion.
+     * Thread blocks are assigned to SMs round-robin, as the
+     * Gigathread engine does. The Gpu instance can be reused; state
+     * is reset at the start of each run.
+     *
+     * @param timeline Optional Fig.-11 recorder armed on SM 0's RT
+     *                 unit (records the first warp it sees).
+     */
+    /**
+     * @param warm_memory Keep cache/DRAM state from the previous
+     *        run() (used by multi-pass schedulers like per-bounce
+     *        compaction, where the machine is not actually reset
+     *        between passes). Statistics still restart.
+     */
+    GpuRunResult run(const std::vector<WarpProgram *> &programs,
+                     stats::TimelineRecorder *timeline = nullptr,
+                     int timeline_skip = 0, bool warm_memory = false);
+
+  private:
+    void sampleActivity(std::uint64_t cycle);
+
+    const bvh::FlatBvh &bvh_;
+    const scene::Mesh &mesh_;
+    GpuConfig cfg_;
+    mem::MemorySystem memsys_;
+    std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
+    stats::ActivitySampler sampler_;
+    rtunit::ThreadStatusCounts status_accum_;
+};
+
+} // namespace cooprt::gpu
+
+#endif // COOPRT_GPU_GPU_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The interface between shader workloads and the GPU timing model.
+ *
+ * A WarpProgram is the timing-level view of one warp executing a
+ * raygen shader (paper Listing 1): an alternation of shading phases
+ * (ALU/SFU/MEM instructions) and trace_ray instructions, ending when
+ * every thread has exited the bounce loop.
+ */
+
+#ifndef COOPRT_GPU_WARP_PROGRAM_HPP
+#define COOPRT_GPU_WARP_PROGRAM_HPP
+
+#include "rtunit/rt_unit.hpp"
+
+namespace cooprt::gpu {
+
+/**
+ * Instruction-class counts of one shading phase, used for the Fig. 1
+ * stall attribution: ALU (arithmetic), SFU (special function: trig,
+ * reciprocals in scatter sampling), MEM (loads/stores from CUDA
+ * cores: hit attributes, frame buffer).
+ */
+struct ShadingCost
+{
+    int alu = 0;
+    int sfu = 0;
+    int mem = 0;
+};
+
+/** What a warp does next after a shading phase completes. */
+struct WarpAction
+{
+    enum class Kind { Trace, Finish };
+
+    Kind kind = Kind::Finish;
+    /** The trace_ray instruction to issue (when kind == Trace). */
+    rtunit::TraceJob trace;
+    /** Shading work executed *before* this action. */
+    ShadingCost cost;
+};
+
+/**
+ * One warp's shader program, driven by the SM: `start()` yields the
+ * first action (primary-ray setup + first trace_ray), and each
+ * `resume(result)` consumes a retired trace_ray and yields the next.
+ */
+class WarpProgram
+{
+  public:
+    virtual ~WarpProgram() = default;
+
+    /** First action of the warp (ray-generation phase). */
+    virtual WarpAction start() = 0;
+
+    /**
+     * Continue after a trace_ray retires with @p result. Returns the
+     * next action (bounce processing + next trace, or Finish).
+     */
+    virtual WarpAction resume(const rtunit::TraceResult &result) = 0;
+};
+
+} // namespace cooprt::gpu
+
+#endif // COOPRT_GPU_WARP_PROGRAM_HPP

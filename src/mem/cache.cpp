@@ -1,0 +1,96 @@
+#include "mem/cache.hpp"
+
+namespace cooprt::mem {
+
+Cache::Cache(const CacheConfig &config) : cfg_(config)
+{
+    const std::uint64_t lines = cfg_.size_bytes / cfg_.line_bytes;
+    if (cfg_.assoc == 0) {
+        num_sets_ = 1;
+        ways_ = std::uint32_t(lines);
+    } else {
+        ways_ = cfg_.assoc;
+        num_sets_ = std::uint32_t(lines / cfg_.assoc);
+        if (num_sets_ == 0)
+            num_sets_ = 1;
+    }
+    sets_.resize(num_sets_);
+}
+
+std::uint32_t
+Cache::setOf(std::uint64_t line) const
+{
+    return std::uint32_t(line % num_sets_);
+}
+
+std::uint32_t
+Cache::lookupAndTouch(std::uint64_t line, std::uint32_t add_sectors)
+{
+    Set &s = sets_[setOf(line)];
+    auto it = s.where.find(line);
+    if (it == s.where.end())
+        return 0;
+    s.lru.splice(s.lru.begin(), s.lru, it->second.pos); // touch to MRU
+    it->second.sectors |= add_sectors;
+    return it->second.sectors;
+}
+
+bool
+Cache::contains(std::uint64_t line) const
+{
+    const Set &s = sets_[setOf(line)];
+    return s.where.find(line) != s.where.end();
+}
+
+void
+Cache::insert(std::uint64_t line, std::uint32_t sectors)
+{
+    Set &s = sets_[setOf(line)];
+    auto it = s.where.find(line);
+    if (it != s.where.end()) {
+        it->second.sectors |= sectors;
+        return;
+    }
+    if (s.lru.size() >= ways_) {
+        s.where.erase(s.lru.back());
+        s.lru.pop_back();
+    }
+    s.lru.push_front(line);
+    s.where[line] = Way{s.lru.begin(), sectors};
+}
+
+void
+Cache::maybeCompactOutstanding(std::uint64_t now)
+{
+    // Drop completed fills occasionally so the MSHR map stays small.
+    if (outstanding_.size() < 4096 || now - last_compact_ < 10000)
+        return;
+    last_compact_ = now;
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+        if (it->second.ready <= now)
+            it = outstanding_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Cache::resetTiming()
+{
+    outstanding_.clear();
+    last_compact_ = 0;
+    stats_ = CacheStats{};
+}
+
+void
+Cache::reset()
+{
+    for (auto &s : sets_) {
+        s.lru.clear();
+        s.where.clear();
+    }
+    outstanding_.clear();
+    stats_ = CacheStats{};
+}
+
+} // namespace cooprt::mem

@@ -1,0 +1,130 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace cooprt::mem {
+
+MemorySystem::MemorySystem(const MemConfig &config)
+    : cfg_(config), l2_(config.l2), dram_(config.dram),
+      bank_free_(config.l2_banks, 0)
+{
+    if (cfg_.num_sms <= 0)
+        throw std::invalid_argument("MemConfig.num_sms must be > 0");
+    if (cfg_.l1.line_bytes != cfg_.l2.line_bytes)
+        throw std::invalid_argument(
+            "L1 and L2 line sizes must match (shared line index)");
+    if (cfg_.l1_sector_bytes != 0)
+        cfg_.l1.sector_bytes = cfg_.l1_sector_bytes;
+    if (cfg_.l1.sector_bytes != 0 &&
+        (cfg_.l1.line_bytes % cfg_.l1.sector_bytes != 0 ||
+         cfg_.l1.line_bytes / cfg_.l1.sector_bytes > 32))
+        throw std::invalid_argument(
+            "L1 sector size must divide the line into <= 32 sectors");
+    l1_.reserve(std::size_t(cfg_.num_sms));
+    for (int i = 0; i < cfg_.num_sms; ++i)
+        l1_.push_back(std::make_unique<Cache>(cfg_.l1));
+}
+
+std::uint64_t
+MemorySystem::l2Access(std::uint64_t line, std::uint32_t bytes,
+                       std::uint64_t now)
+{
+    // Bank queueing: the line's bank must be free to serve it. Only
+    // the requested bytes (the missing sectors) cross the
+    // interconnect.
+    const std::uint32_t bank = std::uint32_t(line % cfg_.l2_banks);
+    const std::uint64_t service = std::uint64_t(
+        double(bytes) / cfg_.l2_bytes_per_cycle + 0.999999);
+    const std::uint64_t start =
+        bank_free_[bank] > now ? bank_free_[bank] : now;
+    bank_free_[bank] = start + service;
+    stats_.l2_busy_cycles += service;
+    stats_.l2_bytes += bytes;
+
+    return l2_.access(line, start,
+                      [this](std::uint64_t l, std::uint64_t t) {
+                          return dram_.access(
+                              l * cfg_.l2.line_bytes,
+                              cfg_.l2.line_bytes, t);
+                      });
+}
+
+std::uint64_t
+MemorySystem::fetch(int sm, std::uint64_t addr, std::uint32_t bytes,
+                    std::uint64_t now)
+{
+    if (sm < 0 || sm >= cfg_.num_sms)
+        throw std::out_of_range("MemorySystem::fetch bad sm index");
+    if (bytes == 0)
+        return now;
+
+    Cache &l1 = *l1_[sm];
+    const std::uint32_t line_bytes = cfg_.l1.line_bytes;
+    const std::uint64_t first = addr / line_bytes;
+    const std::uint64_t last = (addr + bytes - 1) / line_bytes;
+    const std::uint32_t sector =
+        cfg_.l1.sector_bytes ? cfg_.l1.sector_bytes : line_bytes;
+
+    std::uint64_t ready = now;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        // Byte range of the request inside this line.
+        const std::uint64_t lo =
+            std::max<std::uint64_t>(addr, line * line_bytes);
+        const std::uint64_t hi = std::min<std::uint64_t>(
+            addr + bytes, (line + 1) * line_bytes);
+        const std::uint32_t mask =
+            l1.sectorMaskOf(lo, std::uint32_t(hi - lo));
+        const std::uint64_t r = l1.access(
+            line, mask, now,
+            [this, sector](std::uint64_t l, std::uint32_t missing,
+                           std::uint64_t t) {
+                const std::uint32_t fill_bytes =
+                    std::uint32_t(std::popcount(missing)) * sector;
+                return l2Access(l, fill_bytes, t);
+            });
+        if (r > ready)
+            ready = r;
+    }
+    return ready;
+}
+
+CacheStats
+MemorySystem::l1StatsTotal() const
+{
+    CacheStats total;
+    for (const auto &c : l1_) {
+        total.accesses += c->stats().accesses;
+        total.hits += c->stats().hits;
+        total.misses += c->stats().misses;
+        total.mshr_merges += c->stats().mshr_merges;
+    }
+    return total;
+}
+
+void
+MemorySystem::resetTiming()
+{
+    for (auto &c : l1_)
+        c->resetTiming();
+    l2_.resetTiming();
+    dram_.resetTiming();
+    for (auto &b : bank_free_)
+        b = 0;
+    stats_ = MemSystemStats{};
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &c : l1_)
+        c->reset();
+    l2_.reset();
+    dram_.reset();
+    for (auto &b : bank_free_)
+        b = 0;
+    stats_ = MemSystemStats{};
+}
+
+} // namespace cooprt::mem

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The full memory hierarchy of Fig. 3: per-SM L1 data caches, a
+ * crossbar to a banked shared L2, and multi-channel DRAM.
+ */
+
+#ifndef COOPRT_MEM_MEMORY_SYSTEM_HPP
+#define COOPRT_MEM_MEMORY_SYSTEM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+
+namespace cooprt::mem {
+
+/** Configuration of the whole hierarchy (Table 1 defaults). */
+struct MemConfig
+{
+    int num_sms = 30;
+    CacheConfig l1{64 * 1024, 0, 128, 20};       // fully assoc, 20 cyc
+    CacheConfig l2{3 * 1024 * 1024, 16, 128, 160}; // 16-way, 160 cyc
+    /**
+     * L1 sector size in bytes (0 = unsectored). When sectored, a
+     * demand fetch fills only the touched 32 B sectors of a line,
+     * GPGPU-Sim style; the L2 below stays line-based.
+     */
+    std::uint32_t l1_sector_bytes = 0;
+    /** Number of L2 banks (one per memory sub-partition). */
+    std::uint32_t l2_banks = 12;
+    /** L2 bank service bandwidth, bytes per core cycle. */
+    double l2_bytes_per_cycle = 32.0;
+    DramConfig dram;
+};
+
+/** Aggregate traffic counters for bandwidth figures. */
+struct MemSystemStats
+{
+    /** Bytes crossing L2 <-> interconnect (paper Fig. 12 left). */
+    std::uint64_t l2_bytes = 0;
+    /** Busy cycles summed over L2 banks. */
+    std::uint64_t l2_busy_cycles = 0;
+};
+
+/**
+ * The memory system. One instance is shared by all SMs of a GPU; the
+ * per-SM L1s live inside. All methods are event-driven: they return
+ * data-ready cycles and never block.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemConfig &config);
+
+    const MemConfig &config() const { return cfg_; }
+
+    /**
+     * Fetch @p bytes at @p addr on behalf of SM @p sm at cycle
+     * @p now. The request is split into cache lines; the returned
+     * cycle is when the last line has arrived at the SM.
+     */
+    std::uint64_t fetch(int sm, std::uint64_t addr, std::uint32_t bytes,
+                        std::uint64_t now);
+
+    const CacheStats &l1Stats(int sm) const { return l1_[sm]->stats(); }
+    /** L1 stats aggregated over all SMs. */
+    CacheStats l1StatsTotal() const;
+    const CacheStats &l2Stats() const { return l2_.stats(); }
+    const DramStats &dramStats() const { return dram_.stats(); }
+    const MemSystemStats &stats() const { return stats_; }
+    std::uint32_t dramChannels() const
+    { return dram_.config().channels; }
+
+    void reset();
+
+    /**
+     * Restart clocks and statistics while keeping cache contents
+     * warm (multi-pass schedulers).
+     */
+    void resetTiming();
+
+  private:
+    /** @p bytes of one line through the banked L2 (and DRAM below). */
+    std::uint64_t l2Access(std::uint64_t line, std::uint32_t bytes,
+                           std::uint64_t now);
+
+    MemConfig cfg_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    Cache l2_;
+    Dram dram_;
+    std::vector<std::uint64_t> bank_free_;
+    MemSystemStats stats_;
+};
+
+} // namespace cooprt::mem
+
+#endif // COOPRT_MEM_MEMORY_SYSTEM_HPP

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Gate-level area model of the CoopRT hardware additions (paper
+ * Section 7.5 / Table 3), calibrated to the paper's FreePDK45 +
+ * Synopsys Design Compiler synthesis results.
+ *
+ * Structure of the added logic (Figs. 7-8):
+ *  - per-thread structures that do NOT scale with the subwarp size
+ *    (TOS registers, stack write muxes, min_thit compare-and-update):
+ *    the large fixed term;
+ *  - pairing logic that scales with the helper scope: two priority
+ *    encoders per subwarp plus the main-TOS select mux and the
+ *    min_thit OR-reduction — with 32/N subwarps of N threads this
+ *    totals Theta(32 * log2 N) cells, the term that shrinks when the
+ *    subwarp is restricted;
+ *  - extra warp-buffer fields: a 5-bit main_tid and a stack-empty
+ *    flag per thread.
+ */
+
+#ifndef COOPRT_POWER_AREA_MODEL_HPP
+#define COOPRT_POWER_AREA_MODEL_HPP
+
+#include <cstdint>
+
+namespace cooprt::power {
+
+/** Synthesized-area estimate for one CoopRT configuration. */
+struct AreaReport
+{
+    std::uint64_t cells = 0;   ///< combinational cell count
+    double area_um2 = 0.0;     ///< cell area, square microns
+
+    /** Equivalent D-flip-flop count (paper: 6 um^2 per FF). */
+    double ffEquivalent() const { return area_um2 / 6.0; }
+};
+
+/**
+ * Area model of the CoopRT additions.
+ */
+class AreaModel
+{
+  public:
+    /** Warp size (fixed by the architecture). */
+    static constexpr int kWarpSize = 32;
+    /** FreePDK45 D-flip-flop area (paper: 6 um^2). */
+    static constexpr double kFlipFlopUm2 = 6.0;
+    /** Bits per thread in the baseline warp buffer (paper: 768). */
+    static constexpr int kWarpBufferBitsPerThread = 768;
+    /** Extra CoopRT warp-buffer bits per thread: 5-bit main_tid +
+     *  1-bit stack-empty flag. */
+    static constexpr int kExtraBitsPerThread = 6;
+
+    /**
+     * Combinational area of the CoopRT logic for a given subwarp
+     * size (4, 8, 16 or 32). Calibrated to Table 3: the fixed
+     * per-thread term plus ~318 cells (~431 um^2) per doubling of
+     * the subwarp scope.
+     */
+    static AreaReport
+    coopLogic(int subwarp_size)
+    {
+        const double lg = log2i(subwarp_size);
+        AreaReport r;
+        r.cells =
+            std::uint64_t(kFixedCells + kCellsPerLog2 * lg + 0.5);
+        r.area_um2 = kFixedUm2 + kUm2PerLog2 * lg;
+        return r;
+    }
+
+    /**
+     * Baseline warp-buffer storage in bits: RayProperties +
+     * TraversalStack + min_thit at 768 bits per thread (paper
+     * assumes a 16-entry traversal stack).
+     */
+    static std::uint64_t
+    warpBufferBits(int entries = 4)
+    {
+        return std::uint64_t(entries) * kWarpSize *
+               kWarpBufferBitsPerThread;
+    }
+
+    /** Storage of one additional warp-buffer entry, in bits. */
+    static std::uint64_t
+    warpBufferEntryBits()
+    {
+        return std::uint64_t(kWarpSize) * kWarpBufferBitsPerThread;
+    }
+
+    /**
+     * CoopRT area as a fraction of the warp-buffer area, computed the
+     * paper's way: (combinational FF-equivalents + extra per-thread
+     * bits) / warp-buffer bits. Paper: < 3.0 % for subwarp 32 with 4
+     * warp-buffer entries.
+     */
+    static double
+    overheadFraction(int subwarp_size = 32, int entries = 4)
+    {
+        const AreaReport r = coopLogic(subwarp_size);
+        const double extra_bits = double(entries) * kWarpSize *
+                                  kExtraBitsPerThread;
+        return (r.ffEquivalent() + extra_bits) /
+               double(warpBufferBits(entries));
+    }
+
+  private:
+    static double
+    log2i(int n)
+    {
+        double lg = 0.0;
+        while (n > 1) {
+            n >>= 1;
+            lg += 1.0;
+        }
+        return lg;
+    }
+
+    // Calibration constants (fit to Table 3 within ~0.5 %).
+    static constexpr double kFixedCells = 14532.0;
+    static constexpr double kCellsPerLog2 = 318.0;
+    static constexpr double kFixedUm2 = 11193.5;
+    static constexpr double kUm2PerLog2 = 430.7;
+};
+
+} // namespace cooprt::power
+
+#endif // COOPRT_POWER_AREA_MODEL_HPP

@@ -1,0 +1,628 @@
+#include "rtunit/rt_unit.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "geom/rng.hpp"
+
+namespace cooprt::rtunit {
+
+using bvh::NodeRef;
+using geom::kNoHit;
+using geom::Ray;
+
+RtUnit::RtUnit(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
+               const TraceConfig &config, FetchFn fetch)
+    : bvh_(bvh), mesh_(mesh), cfg_(config), fetch_(std::move(fetch))
+{
+    cfg_.validate();
+    warps_.resize(std::size_t(cfg_.warp_buffer_entries));
+    if (cfg_.intersection_predictor)
+        predictor_ = std::make_shared<std::vector<std::uint32_t>>(
+            std::size_t(cfg_.predictor_entries), 0xffffffffu);
+}
+
+std::size_t
+RtUnit::predictorIndex(const Ray &ray) const
+{
+    // Quantize origin to a coarse grid over the scene bounds and the
+    // direction to a 4x4x4 lattice; mix into a table index.
+    const geom::AABB &b = bvh_.rootBounds();
+    const geom::Vec3 e = b.extent();
+    auto q = [](float v, float lo, float ext, int cells) {
+        if (ext <= 0.0f)
+            return 0;
+        int c = int((v - lo) / ext * float(cells));
+        return c < 0 ? 0 : (c >= cells ? cells - 1 : c);
+    };
+    // Short (occlusion-length) rays hit nearby geometry almost
+    // independently of their direction: key them by a fine origin
+    // grid with no direction bits (a wrong prediction is filtered by
+    // the confirmation test anyway). Long rays use a coarse origin
+    // grid plus direction.
+    const bool short_ray = ray.tmax < 0.25f * e.length();
+    const int cells = short_ray ? 256 : 16;
+    std::uint64_t key = short_ray ? 1 : 2;
+    key = key * 1031 + std::uint64_t(q(ray.orig.x, b.lo.x, e.x, cells));
+    key = key * 1031 + std::uint64_t(q(ray.orig.y, b.lo.y, e.y, cells));
+    key = key * 1031 + std::uint64_t(q(ray.orig.z, b.lo.z, e.z, cells));
+    if (!short_ray) {
+        key = key * 31 + std::uint64_t(q(ray.dir.x, -1.0f, 2.0f, 4));
+        key = key * 31 + std::uint64_t(q(ray.dir.y, -1.0f, 2.0f, 4));
+        key = key * 31 + std::uint64_t(q(ray.dir.z, -1.0f, 2.0f, 4));
+    }
+    return std::size_t(geom::mix64(key) %
+                       std::uint64_t(cfg_.predictor_entries));
+}
+
+void
+RtUnit::predictorSeed(WarpEntry &w, int tid)
+{
+    ThreadState &th = w.th[std::size_t(tid)];
+    const std::uint32_t prim = (*predictor_)[predictorIndex(th.ray)];
+    if (prim == 0xffffffffu || prim >= mesh_.size()) {
+        stats_.predictor_misses++;
+        return;
+    }
+    const float thit = mesh_.tri(prim).intersect(th.ray, th.ray.tmax);
+    if (thit == kNoHit) {
+        stats_.predictor_misses++;
+        return;
+    }
+    // A confirmed prediction is a real intersection: it can seed
+    // min_thit safely — traversal will still find anything closer.
+    stats_.predictor_hits++;
+    w.min_thit[std::size_t(tid)] = thit;
+    geom::HitRecord &rec = w.hit[std::size_t(tid)];
+    rec.thit = thit;
+    rec.prim_id = prim;
+    rec.normal = mesh_.tri(prim).shadingNormal(th.ray.dir);
+    if (w.any_hit)
+        w.min_thit[std::size_t(tid)] = 0.0f; // done immediately
+}
+
+void
+RtUnit::predictorLearn(const WarpEntry &w)
+{
+    for (int t = 0; t < kWarpSize; ++t) {
+        const ThreadState &th = w.th[std::size_t(t)];
+        if (!th.active || !w.hit[std::size_t(t)].hit())
+            continue;
+        (*predictor_)[predictorIndex(th.ray)] =
+            w.hit[std::size_t(t)].prim_id;
+    }
+}
+
+int
+RtUnit::freeSlots() const
+{
+    return int(warps_.size()) - resident_;
+}
+
+int
+RtUnit::submit(const TraceJob &job, std::uint64_t now, RetireFn on_retire)
+{
+    int slot = -1;
+    for (std::size_t i = 0; i < warps_.size(); ++i) {
+        if (!warps_[i].valid) {
+            slot = int(i);
+            break;
+        }
+    }
+    if (slot < 0)
+        throw std::runtime_error("RtUnit::submit: warp buffer full");
+
+    WarpEntry &w = warps_[std::size_t(slot)];
+    w = WarpEntry{};
+    w.valid = true;
+    w.any_hit = job.any_hit;
+    w.issue_cycle = now;
+    w.on_retire = std::move(on_retire);
+
+    for (int t = 0; t < kWarpSize; ++t) {
+        ThreadState &th = w.th[std::size_t(t)];
+        th.main_tid = t; // paper: main_tid initialized to tid
+        w.min_thit[std::size_t(t)] = kNoHit;
+        if (!job.rays[std::size_t(t)])
+            continue;
+        th.active = true;
+        th.ray = *job.rays[std::size_t(t)];
+        // Algorithm 1 lines 1-2: test the root AABB, push on hit.
+        const float t_root = bvh_.rootBounds().intersect(
+            th.ray, th.ray.tmax);
+        if (t_root != kNoHit && bvh_.primCount() > 0)
+            th.stack.push_back(
+                {bvh_.root(), t_root, std::int8_t(t)});
+        if (cfg_.intersection_predictor)
+            predictorSeed(w, t);
+    }
+    resident_++;
+
+    if (timeline_armed_ && timeline_slot_ < 0) {
+        if (timeline_skip_ > 0) {
+            timeline_skip_--;
+        } else {
+            timeline_slot_ = slot;
+            w.record_timeline = true;
+            for (int t = 0; t < kWarpSize; ++t)
+                timeline_->setBusy(t, now,
+                                   threadBusy(w.th[std::size_t(t)]));
+        }
+    }
+
+    // A warp whose rays all missed the scene box retires immediately.
+    maybeRetire(slot, now);
+    return slot;
+}
+
+float
+RtUnit::searchLimit(const WarpEntry &w, int main) const
+{
+    const ThreadState &owner = w.th[std::size_t(main)];
+    const float mt = w.min_thit[std::size_t(main)];
+    return mt < owner.ray.tmax ? mt : owner.ray.tmax;
+}
+
+RtUnit::StackEntry
+RtUnit::popWork(ThreadState &t) const
+{
+    StackEntry e;
+    if (cfg_.order == TraversalOrder::Dfs) {
+        e = t.stack.back();
+        t.stack.pop_back();
+    } else {
+        e = t.stack.front();
+        t.stack.pop_front();
+    }
+    return e;
+}
+
+const RtUnit::StackEntry &
+RtUnit::peekWork(const ThreadState &t) const
+{
+    return cfg_.order == TraversalOrder::Dfs ? t.stack.back()
+                                             : t.stack.front();
+}
+
+RtUnit::StackEntry
+RtUnit::popSteal(ThreadState &t) const
+{
+    StackEntry e;
+    if (cfg_.order == TraversalOrder::Bfs || !cfg_.steal_from_bottom) {
+        // Paper: helper pops the main's TOS (or queue front for BFS).
+        return const_cast<RtUnit *>(this)->popWork(t);
+    }
+    // Ablation: steal the oldest (bottom) entry — largest subtree.
+    e = t.stack.front();
+    t.stack.pop_front();
+    return e;
+}
+
+void
+RtUnit::pushWork(ThreadState &t, const StackEntry &e)
+{
+    t.stack.push_back(e);
+    if (int(t.stack.size()) > cfg_.stack_capacity)
+        stats_.stack_overflows++;
+}
+
+void
+RtUnit::dropStaleWork(WarpEntry &w, int tid)
+{
+    ThreadState &t = w.th[std::size_t(tid)];
+    while (!t.stack.empty()) {
+        const StackEntry &top = peekWork(t);
+        if (top.entry_t < searchLimit(w, top.main))
+            break;
+        popWork(t);
+        stats_.stale_pops++;
+    }
+}
+
+bool
+RtUnit::tryIssue(std::uint64_t now)
+{
+    const int n = int(warps_.size());
+    // Warp selection order per the configured scheduler policy.
+    std::array<int, 64> order;
+    switch (cfg_.sched) {
+      case WarpSchedPolicy::RoundRobin:
+        for (int k = 0; k < n; ++k)
+            order[std::size_t(k)] = (rr_next_ + k) % n;
+        break;
+      case WarpSchedPolicy::GreedyThenOldest:
+      case WarpSchedPolicy::OldestFirst: {
+        // Oldest = smallest issue_cycle among valid entries. Greedy
+        // starts from the last-served slot instead.
+        for (int k = 0; k < n; ++k)
+            order[std::size_t(k)] = k;
+        std::sort(order.begin(), order.begin() + n, [&](int a, int b) {
+            const WarpEntry &wa = warps_[std::size_t(a)];
+            const WarpEntry &wb = warps_[std::size_t(b)];
+            if (wa.valid != wb.valid)
+                return wa.valid;
+            return wa.issue_cycle < wb.issue_cycle;
+        });
+        if (cfg_.sched == WarpSchedPolicy::GreedyThenOldest &&
+            warps_[std::size_t(rr_next_ % n)].valid) {
+            // Move the last-served slot to the front.
+            const int greedy = rr_next_ % n;
+            auto it = std::find(order.begin(), order.begin() + n,
+                                greedy);
+            std::rotate(order.begin(), it, it + 1);
+        }
+        break;
+      }
+    }
+
+    for (int k = 0; k < n; ++k) {
+        const int slot = order[std::size_t(k)];
+        WarpEntry &w = warps_[std::size_t(slot)];
+        if (!w.valid)
+            continue;
+
+        // Single pass: pop-time elimination (paper Section 6.1) for
+        // threads with work, and find the first ready thread.
+        int first_ready = -1;
+        for (int t = 0; t < kWarpSize; ++t) {
+            ThreadState &th = w.th[std::size_t(t)];
+            if (th.stack.empty())
+                continue;
+            dropStaleWork(w, t);
+            if (first_ready < 0 && !th.pending && !th.stack.empty())
+                first_ready = t;
+        }
+        if (first_ready < 0) {
+            // Dropping stale entries may have finished this warp.
+            maybeRetire(slot, now);
+            continue;
+        }
+
+        // Coalesce: all ready threads whose next node matches the
+        // selected unique address pop together and share the fetch.
+        const NodeRef ref =
+            peekWork(w.th[std::size_t(first_ready)]).ref;
+        std::uint32_t consumers = 0;
+        std::array<std::int8_t, kWarpSize> mains{};
+        for (int t = first_ready; t < kWarpSize; ++t) {
+            ThreadState &th = w.th[std::size_t(t)];
+            if (th.pending || th.stack.empty())
+                continue;
+            if (!(peekWork(th).ref == ref))
+                continue;
+            const StackEntry e = popWork(th);
+            th.pending = true;
+            th.pending_ref = ref;
+            th.pending_main = e.main;
+            mains[std::size_t(t)] = e.main;
+            consumers |= (1u << t);
+        }
+
+        const std::uint64_t data_ready =
+            fetch_(bvh_.addressOf(ref), bvh_.fetchBytes(ref), now);
+        responses_.push(Response{data_ready + cfg_.math_latency, slot,
+                                 consumers, ref, mains});
+        w.outstanding++;
+
+        stats_.issue_cycles++;
+        stats_.coalesced_threads +=
+            std::uint64_t(std::popcount(consumers));
+        if (ref.isLeaf())
+            stats_.leaf_fetches++;
+        else
+            stats_.node_fetches++;
+
+        if (w.record_timeline)
+            for (int t = 0; t < kWarpSize; ++t)
+                recordBusyEdge(slot, t, now);
+
+        // Round-robin rotates away; greedy keeps serving this warp.
+        rr_next_ = cfg_.sched == WarpSchedPolicy::GreedyThenOldest
+                       ? slot
+                       : (slot + 1) % n;
+        return true;
+    }
+    return false;
+}
+
+void
+RtUnit::runLbu(std::uint64_t now)
+{
+    if (!cfg_.coop)
+        return;
+
+    // The LBU serves one warp per cycle: the first (round-robin) warp
+    // that contains at least one helper/main pair. Within that warp,
+    // every subwarp may move up to lbu_moves_per_cycle nodes (the
+    // paper's "all subwarps processed together" variant).
+    const int n = int(warps_.size());
+    for (int k = 0; k < n; ++k) {
+        const int slot = (rr_next_ + k) % n;
+        WarpEntry &w = warps_[std::size_t(slot)];
+        if (!w.valid)
+            continue;
+
+        bool any_move = false;
+        const int groups = kWarpSize / cfg_.subwarp_size;
+        for (int g = 0; g < groups; ++g) {
+            const int lo = g * cfg_.subwarp_size;
+            const int hi = lo + cfg_.subwarp_size;
+            for (int move = 0; move < cfg_.lbu_moves_per_cycle;
+                 ++move) {
+                // Priority encoders (Fig. 8): lowest-index helper
+                // (empty stack; in the default Vulkan-sim-like model
+                // an in-flight final fetch does not disqualify it)
+                // and lowest-index main with a stealable node beyond
+                // its own next pop.
+                int helper = -1, main = -1;
+                for (int t = lo; t < hi; ++t) {
+                    const ThreadState &th = w.th[std::size_t(t)];
+                    if (helper < 0 && th.stack.empty() &&
+                        (!cfg_.helper_requires_idle || !th.pending))
+                        helper = t;
+                    if (main < 0 &&
+                        (th.stack.size() >= 2 ||
+                         (th.pending && !th.stack.empty())))
+                        main = t;
+                }
+                if (helper < 0 || main < 0 || helper == main)
+                    break;
+
+                ThreadState &ms = w.th[std::size_t(main)];
+                ThreadState &hs = w.th[std::size_t(helper)];
+                const StackEntry stolen = popSteal(ms);
+                pushWork(hs, stolen);
+                // The stolen entry carries its ray owner; the helper
+                // records it as its current target (status/debug).
+                hs.main_tid = stolen.main;
+                stats_.steals++;
+                any_move = true;
+
+                if (w.record_timeline) {
+                    recordBusyEdge(slot, helper, now);
+                    recordBusyEdge(slot, main, now);
+                }
+            }
+        }
+        if (any_move)
+            return; // one warp served per cycle
+    }
+}
+
+void
+RtUnit::processNode(WarpEntry &w, int tid, NodeRef ref, int main,
+                    std::uint64_t now)
+{
+    ThreadState &t = w.th[std::size_t(tid)];
+    const Ray &ray = w.th[std::size_t(main)].ray;
+
+    if (ref.isLeaf()) {
+        for (std::uint32_t k = 0; k < ref.primCount(); ++k) {
+            const std::uint32_t prim = bvh_.primAt(ref.firstSlot() + k);
+            stats_.tri_tests++;
+            const float limit = searchLimit(w, main);
+            const float thit = mesh_.tri(prim).intersect(ray, limit);
+            if (thit != kNoHit) {
+                // Paper Section 5.3: helpers update the *main*
+                // thread's min_thit register.
+                w.min_thit[std::size_t(main)] = thit;
+                geom::HitRecord &rec = w.hit[std::size_t(main)];
+                rec.thit = thit;
+                rec.prim_id = prim;
+                rec.normal = mesh_.tri(prim).shadingNormal(ray.dir);
+                if (w.any_hit) {
+                    // Any-hit: this ray is done. Collapsing the
+                    // search limit to zero makes every remaining
+                    // stack entry of this ray stale, so the drops
+                    // happen for free at pop time.
+                    w.min_thit[std::size_t(main)] = 0.0f;
+                    break;
+                }
+            }
+        }
+        return;
+    }
+
+    const int n = bvh_.childCount(ref);
+    for (int i = 0; i < n; ++i) {
+        const bvh::ChildInfo c = bvh_.child(ref, i);
+        stats_.box_tests++;
+        const float limit = searchLimit(w, main);
+        const float thit = c.box.intersect(ray, limit);
+        if (thit != kNoHit) {
+            pushWork(t, {c.ref, thit, std::int8_t(main)});
+            if (cfg_.child_prefetch) {
+                // Treelet-style prefetch: warm the hierarchy with
+                // the child's record so the demand fetch hits L1 or
+                // merges with this fill. The ready time is ignored;
+                // the bandwidth cost is real.
+                fetch_(bvh_.addressOf(c.ref), bvh_.fetchBytes(c.ref),
+                       now);
+                stats_.prefetches++;
+            }
+        }
+    }
+}
+
+bool
+RtUnit::processOneResponse(std::uint64_t now)
+{
+    if (responses_.empty() || responses_.top().ready > now)
+        return false;
+
+    const Response r = responses_.top();
+    responses_.pop();
+
+    WarpEntry &w = warps_[std::size_t(r.slot)];
+    assert(w.valid);
+    for (int t = 0; t < kWarpSize; ++t) {
+        if (!(r.consumers & (1u << t)))
+            continue;
+        ThreadState &th = w.th[std::size_t(t)];
+        assert(th.pending_main == r.mains[std::size_t(t)]);
+        if (th.pending && th.pending_ref == r.ref)
+            th.pending = false;
+        processNode(w, t, r.ref, r.mains[std::size_t(t)], now);
+    }
+    w.outstanding--;
+
+    if (w.record_timeline)
+        for (int t = 0; t < kWarpSize; ++t)
+            recordBusyEdge(r.slot, t, now);
+
+    maybeRetire(r.slot, now);
+    return true;
+}
+
+void
+RtUnit::maybeRetire(int slot, std::uint64_t now)
+{
+    WarpEntry &w = warps_[std::size_t(slot)];
+    if (!w.valid || w.outstanding > 0)
+        return;
+    for (int t = 0; t < kWarpSize; ++t)
+        if (threadBusy(w.th[std::size_t(t)]))
+            return;
+
+    TraceResult result;
+    result.hits = w.hit;
+    result.issue_cycle = w.issue_cycle;
+    result.retire_cycle = now;
+
+    if (cfg_.intersection_predictor)
+        predictorLearn(w);
+
+    if (cfg_.model_hit_stores) {
+        // Store-queue writes of the hit records (Section 5.1); the
+        // closest-hit shader reads them back. Buffered: they consume
+        // bandwidth but do not delay the retire.
+        for (int t = 0; t < kWarpSize; ++t) {
+            if (!w.th[std::size_t(t)].active ||
+                !w.hit[std::size_t(t)].hit())
+                continue;
+            const std::uint64_t addr =
+                kHitBufferBase +
+                std::uint64_t(slot * kWarpSize + t) *
+                    cfg_.hit_record_bytes;
+            fetch_(addr, cfg_.hit_record_bytes, now);
+            stats_.hit_stores++;
+        }
+    }
+
+    stats_.retired_warps++;
+    const std::uint64_t lat = result.latency();
+    stats_.retired_trace_latency += lat;
+    if (lat > stats_.max_trace_latency)
+        stats_.max_trace_latency = lat;
+
+    if (w.record_timeline) {
+        for (int t = 0; t < kWarpSize; ++t)
+            timeline_->setBusy(t, now, false);
+        timeline_slot_ = -1;
+        timeline_armed_ = false; // record one warp per arm
+    }
+
+    RetireFn cb = std::move(w.on_retire);
+    w = WarpEntry{};
+    resident_--;
+    if (cb)
+        cb(slot, result);
+}
+
+void
+RtUnit::recordBusyEdge(int slot, int tid, std::uint64_t now)
+{
+    if (timeline_ == nullptr || slot != timeline_slot_)
+        return;
+    const WarpEntry &w = warps_[std::size_t(slot)];
+    timeline_->setBusy(tid, now, threadBusy(w.th[std::size_t(tid)]));
+}
+
+void
+RtUnit::tick(std::uint64_t now)
+{
+    assert(now >= last_tick_);
+    last_tick_ = now;
+
+    tryIssue(now);
+    runLbu(now);
+    processOneResponse(now);
+}
+
+std::uint64_t
+RtUnit::nextEventCycle(std::uint64_t now) const
+{
+    if (resident_ == 0)
+        return kNever;
+
+    for (const WarpEntry &w : warps_) {
+        if (!w.valid)
+            continue;
+        bool has_helper = false, has_main = false;
+        for (int t = 0; t < kWarpSize; ++t) {
+            const ThreadState &th = w.th[std::size_t(t)];
+            if (!th.pending && !th.stack.empty())
+                return now; // issueable (or stale-droppable) work
+            if (cfg_.coop) {
+                if (th.stack.empty() &&
+                    (!cfg_.helper_requires_idle || !th.pending))
+                    has_helper = true;
+                if (th.stack.size() >= 2 ||
+                    (th.pending && !th.stack.empty()))
+                    has_main = true;
+            }
+        }
+        if (cfg_.coop && has_helper && has_main)
+            return now; // LBU can move a node
+    }
+
+    if (!responses_.empty()) {
+        const std::uint64_t r = responses_.top().ready;
+        return r > now ? r : now;
+    }
+
+    // Resident warps with no work and no responses should have been
+    // retired already; let the next tick clean them up.
+    return now;
+}
+
+ThreadStatusCounts
+RtUnit::threadStatus() const
+{
+    ThreadStatusCounts c;
+    for (const WarpEntry &w : warps_) {
+        if (!w.valid)
+            continue;
+        for (int t = 0; t < kWarpSize; ++t) {
+            const ThreadState &th = w.th[std::size_t(t)];
+            if (threadBusy(th))
+                c.busy++;
+            else if (th.active)
+                c.waiting++;
+            else
+                c.inactive++;
+        }
+    }
+    return c;
+}
+
+void
+RtUnit::sharePredictor(const RtUnit &other)
+{
+    if (cfg_.intersection_predictor && other.predictor_)
+        predictor_ = other.predictor_;
+}
+
+void
+RtUnit::armTimeline(stats::TimelineRecorder *recorder,
+                    int skip_submissions)
+{
+    timeline_ = recorder;
+    timeline_armed_ = true;
+    timeline_slot_ = -1;
+    timeline_skip_ = skip_submissions;
+}
+
+} // namespace cooprt::rtunit

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * The RT unit timing model (paper Figs. 3 and 7).
+ *
+ * One RT unit per SM. It holds a warp buffer whose entries each carry
+ * one in-flight trace_ray instruction: per-thread ray properties,
+ * traversal stack, status, `main_tid` and the per-thread `min_thit`
+ * registers. Every cycle the RT unit:
+ *
+ *   1. selects a warp (round-robin) and issues ONE coalesced unique
+ *      node address from the TOSes of its ready threads to the memory
+ *      hierarchy (threads sharing that address pop together);
+ *   2. (CoopRT only) lets the Load Balancing Unit move one TOS per
+ *      subwarp from a busy ("main") thread's stack to an idle
+ *      ("helper") thread's stack, the helper inheriting `main_tid`;
+ *   3. pops at most one memory response from the response FIFO, runs
+ *      the per-thread math units (box/triangle tests), pushes hit
+ *      children and updates the main thread's `min_thit` on closer
+ *      primitive hits;
+ *   4. retires warps whose threads have all emptied their stacks.
+ *
+ * Timing comes from the `FetchFn` callback (the SM's port into the
+ * L1/L2/DRAM hierarchy), which returns data-ready cycles.
+ */
+
+#ifndef COOPRT_RTUNIT_RT_UNIT_HPP
+#define COOPRT_RTUNIT_RT_UNIT_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "bvh/flat_bvh.hpp"
+#include "bvh/traversal.hpp"
+#include "geom/ray.hpp"
+#include "rtunit/trace_config.hpp"
+#include "stats/timeline.hpp"
+
+namespace cooprt::rtunit {
+
+/** Sentinel for "no cycle" / "never". */
+constexpr std::uint64_t kNever =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Base address of the per-SM hit-record buffer (store queue). */
+constexpr std::uint64_t kHitBufferBase = 0x8000'0000ULL;
+
+/** A trace_ray instruction: up to 32 rays, one per active thread. */
+struct TraceJob
+{
+    std::array<std::optional<geom::Ray>, kWarpSize> rays;
+
+    /**
+     * Any-hit semantics: the traversal of a ray terminates at the
+     * first intersection inside its interval instead of searching
+     * for the closest one (paper Section 2.1: "Traversal continues
+     * until the stack is empty, or any-hit is found"). Used by the
+     * shadow and ambient-occlusion shaders.
+     */
+    bool any_hit = false;
+
+    int
+    activeCount() const
+    {
+        int n = 0;
+        for (const auto &r : rays)
+            n += r.has_value();
+        return n;
+    }
+};
+
+/** Result of a retired trace_ray: per-thread closest hits. */
+struct TraceResult
+{
+    std::array<geom::HitRecord, kWarpSize> hits;
+    std::uint64_t issue_cycle = 0;
+    std::uint64_t retire_cycle = 0;
+
+    std::uint64_t latency() const { return retire_cycle - issue_cycle; }
+};
+
+/** Aggregate counters for one RT unit. */
+struct RtUnitStats
+{
+    std::uint64_t node_fetches = 0;   ///< internal node records read
+    std::uint64_t leaf_fetches = 0;   ///< leaf records read
+    std::uint64_t box_tests = 0;
+    std::uint64_t tri_tests = 0;
+    std::uint64_t steals = 0;         ///< LBU node moves
+    std::uint64_t coalesced_threads = 0; ///< threads sharing a fetch
+    std::uint64_t stale_pops = 0;     ///< pop-time min_thit discards
+    std::uint64_t stack_overflows = 0;
+    std::uint64_t retired_warps = 0;
+    std::uint64_t retired_trace_latency = 0; ///< sum of warp latencies
+    std::uint64_t max_trace_latency = 0;
+    std::uint64_t issue_cycles = 0;   ///< cycles that issued a fetch
+    std::uint64_t prefetches = 0;     ///< child records prefetched
+    std::uint64_t predictor_hits = 0; ///< predicted prim confirmed
+    std::uint64_t predictor_misses = 0;
+    std::uint64_t hit_stores = 0;     ///< hit records written back
+};
+
+/**
+ * Per-interval thread-status sample for the paper's Fig. 4: threads
+ * inside resident warps are inactive (no ray), busy (non-empty stack
+ * or node in flight), or waiting (finished early / not yet started).
+ */
+struct ThreadStatusCounts
+{
+    std::uint64_t inactive = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t waiting = 0;
+
+    std::uint64_t total() const { return inactive + busy + waiting; }
+};
+
+/**
+ * The RT unit. Owns warp-buffer entries and drives the cooperative
+ * traversal. All scheduling state is deterministic.
+ */
+class RtUnit
+{
+  public:
+    /** Memory port: (address, bytes, now) -> data-ready cycle. */
+    using FetchFn = std::function<std::uint64_t(
+        std::uint64_t addr, std::uint32_t bytes, std::uint64_t now)>;
+    /** Invoked when a warp's trace_ray retires. */
+    using RetireFn = std::function<void(int slot, const TraceResult &)>;
+
+    RtUnit(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
+           const TraceConfig &config, FetchFn fetch);
+
+    const TraceConfig &config() const { return cfg_; }
+    const RtUnitStats &stats() const { return stats_; }
+
+    /** Number of free warp-buffer entries. */
+    int freeSlots() const;
+    /** True when no warp is resident. */
+    bool idle() const { return resident_ == 0; }
+
+    /**
+     * Insert a trace_ray instruction into a free warp-buffer slot.
+     * @return The slot index used.
+     * @throws std::runtime_error when the warp buffer is full.
+     */
+    int submit(const TraceJob &job, std::uint64_t now, RetireFn on_retire);
+
+    /**
+     * Advance the RT unit by one cycle at time @p now. Must be called
+     * with non-decreasing @p now values.
+     */
+    void tick(std::uint64_t now);
+
+    /**
+     * The earliest cycle >= @p now at which calling tick() can make
+     * progress, or kNever when the unit is empty. Used by the GPU's
+     * idle-skipping main loop; skipping to this cycle cannot change
+     * simulated behaviour.
+     */
+    std::uint64_t nextEventCycle(std::uint64_t now) const;
+
+    /** Busy threads (non-empty stack or node in flight) right now. */
+    ThreadStatusCounts threadStatus() const;
+
+    /**
+     * Attach a Fig.-11 style timeline recorder to warp-buffer slot
+     * activity: after skipping @p skip_submissions trace_rays, the
+     * next submitted warp is recorded until it retires. Skipping lets
+     * callers capture a late (divergent) trace instead of the
+     * coherent primary one, as the paper's Fig. 11 does.
+     */
+    void armTimeline(stats::TimelineRecorder *recorder,
+                     int skip_submissions = 0);
+
+    /**
+     * Share another RT unit's intersection-predictor table (a
+     * GPU-wide predictor, so spatial locality between warps on
+     * different SMs is not fragmented). No-op when the predictor is
+     * disabled.
+     */
+    void sharePredictor(const RtUnit &other);
+
+  private:
+    /**
+     * One stack entry: a node reference, its AABB entry distance, and
+     * the owning ray's thread id (the per-entry main tag that lets a
+     * helper accept new work while an old fetch is still in flight).
+     */
+    struct StackEntry
+    {
+        bvh::NodeRef ref;
+        float entry_t;
+        std::int8_t main;
+    };
+
+    /** Per-thread traversal state within a warp entry. */
+    struct ThreadState
+    {
+        geom::Ray ray;          ///< this thread's own ray
+        bool active = false;    ///< thread had a ray at submit
+        int main_tid = 0;       ///< current ray target (status/debug)
+        std::deque<StackEntry> stack;
+        bool pending = false;   ///< node fetch in flight
+        bvh::NodeRef pending_ref;
+        std::int8_t pending_main = 0;
+    };
+
+    /** One warp-buffer entry. */
+    struct WarpEntry
+    {
+        bool valid = false;
+        bool any_hit = false;
+        std::array<ThreadState, kWarpSize> th;
+        std::array<float, kWarpSize> min_thit;
+        std::array<geom::HitRecord, kWarpSize> hit;
+        int outstanding = 0;    ///< in-flight responses
+        std::uint64_t issue_cycle = 0;
+        RetireFn on_retire;
+        bool record_timeline = false;
+    };
+
+    /** An element of the response FIFO. */
+    struct Response
+    {
+        std::uint64_t ready = 0; ///< cycle data+math are available
+        int slot = 0;
+        std::uint32_t consumers = 0; ///< thread mask
+        bvh::NodeRef ref;
+        /** Ray owner per consumer thread (issue-time snapshot). */
+        std::array<std::int8_t, kWarpSize> mains{};
+
+        bool operator>(const Response &o) const { return ready > o.ready; }
+    };
+
+    bool threadBusy(const ThreadState &t) const
+    { return t.pending || !t.stack.empty(); }
+
+    /** Pop-side of the node-tracking discipline (DFS back/BFS front). */
+    StackEntry popWork(ThreadState &t) const;
+    const StackEntry &peekWork(const ThreadState &t) const;
+    /** Steal-side pop (honours steal_from_bottom). */
+    StackEntry popSteal(ThreadState &t) const;
+    void pushWork(ThreadState &t, const StackEntry &e);
+
+    /** Drop stale TOS entries (entry_t >= current search limit). */
+    void dropStaleWork(WarpEntry &w, int tid);
+
+    /** Current search limit for ray owner @p main. */
+    float searchLimit(const WarpEntry &w, int main) const;
+
+    bool tryIssue(std::uint64_t now);
+    void runLbu(std::uint64_t now);
+    bool processOneResponse(std::uint64_t now);
+    void processNode(WarpEntry &w, int tid, bvh::NodeRef ref, int main,
+                     std::uint64_t now);
+
+    /** Quantized-ray key for the intersection predictor. */
+    std::size_t predictorIndex(const geom::Ray &ray) const;
+    void predictorSeed(WarpEntry &w, int tid);
+    void predictorLearn(const WarpEntry &w);
+    void maybeRetire(int slot, std::uint64_t now);
+    void recordBusyEdge(int slot, int tid, std::uint64_t now);
+
+    const bvh::FlatBvh &bvh_;
+    const scene::Mesh &mesh_;
+    TraceConfig cfg_;
+    FetchFn fetch_;
+    RtUnitStats stats_;
+
+    std::vector<WarpEntry> warps_;
+    int resident_ = 0;
+    int rr_next_ = 0; ///< round-robin warp pointer
+
+    std::priority_queue<Response, std::vector<Response>,
+                        std::greater<Response>> responses_;
+
+    stats::TimelineRecorder *timeline_ = nullptr;
+    int timeline_slot_ = -1;
+    bool timeline_armed_ = false;
+    int timeline_skip_ = 0;
+
+    /**
+     * Intersection-predictor table: prim id or UINT32_MAX. May be
+     * shared across RT units (see sharePredictor()).
+     */
+    std::shared_ptr<std::vector<std::uint32_t>> predictor_;
+    std::uint64_t last_tick_ = 0;
+};
+
+} // namespace cooprt::rtunit
+
+#endif // COOPRT_RTUNIT_RT_UNIT_HPP

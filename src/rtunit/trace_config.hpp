@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Configuration of the RT unit's traversal behaviour: baseline
+ * (paper Algorithm 1) vs CoopRT (Algorithm 2) and its variants.
+ */
+
+#ifndef COOPRT_RTUNIT_TRACE_CONFIG_HPP
+#define COOPRT_RTUNIT_TRACE_CONFIG_HPP
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace cooprt::rtunit {
+
+/** Number of threads per warp (paper: 32, lock-step SIMT). */
+constexpr int kWarpSize = 32;
+
+/**
+ * Node-tracking discipline. The paper's traversal is DFS (stack); its
+ * Section 4.2 notes cooperative traversal extends directly to BFS
+ * with a queue, helpers stealing from the front — implemented here as
+ * an extension.
+ */
+enum class TraversalOrder { Dfs, Bfs };
+
+/**
+ * RT warp-scheduler policy: which warp-buffer entry gets the cycle's
+ * memory request ("At each cycle, a warp from the warp buffer is
+ * selected", paper Section 2.3).
+ */
+enum class WarpSchedPolicy
+{
+    /** Rotate over entries (the default; fair inter-warp overlap). */
+    RoundRobin,
+    /** Keep serving the same warp until it stalls, then the oldest
+     *  (greedy-then-oldest, the GTO policy of GPGPU-Sim). */
+    GreedyThenOldest,
+    /** Always serve the oldest unstalled trace first. */
+    OldestFirst,
+};
+
+/** RT-unit configuration knobs evaluated in the paper. */
+struct TraceConfig
+{
+    /** Enable CoopRT cooperative traversal (the paper's proposal). */
+    bool coop = false;
+
+    /**
+     * Helper/main pairing scope (Section 7.5 / Fig. 19): threads may
+     * only help within their subwarp. 32 = whole warp (default
+     * CoopRT); 4/8/16 are the cheaper restricted variants. One pair
+     * is moved per subwarp per cycle (the paper's first subwarp
+     * approach: all subwarps processed together each cycle).
+     */
+    int subwarp_size = kWarpSize;
+
+    /** Warp-buffer entries in the RT unit (Table 1: 4; Fig. 13 sweep). */
+    int warp_buffer_entries = 4;
+
+    /**
+     * Nodes the LBU can move per subwarp per cycle (paper: 1; >1 is
+     * an ablation of the LBU bandwidth).
+     */
+    int lbu_moves_per_cycle = 1;
+
+    /**
+     * Ablation: steal from the bottom of the main thread's stack
+     * (stealing the largest pending subtree) instead of the TOS.
+     * The paper argues the choice does not affect parallelization
+     * degree; this knob lets the claim be measured.
+     */
+    bool steal_from_bottom = false;
+
+    /** DFS (paper) or BFS (Section 4.2 generalization). */
+    TraversalOrder order = TraversalOrder::Dfs;
+
+    /** RT warp-scheduler policy (ablation; default round-robin). */
+    WarpSchedPolicy sched = WarpSchedPolicy::RoundRobin;
+
+    /**
+     * When true (default), a thread may only become a helper once its
+     * last node fetch has returned — the minimal per-thread main_tid
+     * register set of the paper's Fig. 7, and also the faster policy:
+     * eagerly re-targeting a still-pending thread parks the stolen
+     * node on a thread that cannot issue it, while a ready helper
+     * could have taken it (measured in `ablation_design_choices`).
+     * When false, an empty-stack thread is re-targetable while its
+     * final fetch is in flight, as in Vulkan-sim's list-replay model;
+     * work items carry a per-entry ray-owner tag so in-flight
+     * responses still update the right ray's min_thit.
+     */
+    bool helper_requires_idle = true;
+
+    /** Latency of the intersection math pipeline, cycles. */
+    std::uint32_t math_latency = 4;
+
+    /**
+     * Hardware traversal stack capacity per thread (the paper's area
+     * analysis assumes a 16-entry stack). Deeper pushes are counted
+     * in `RtUnitStats::stack_overflows` but still modelled
+     * functionally, as Vulkan-sim's functional simulator does.
+     */
+    int stack_capacity = 16;
+
+    /**
+     * Model the hit-record store queue (paper Section 5.1: "a store
+     * request for the primitive data is inserted to the store queue
+     * which can then be read by the closest-hit or any-hit
+     * shaders"). Each thread that found a hit writes one hit record
+     * through the memory hierarchy at retire time; the traffic is
+     * counted but does not delay the retire (stores are buffered).
+     */
+    bool model_hit_stores = true;
+    /** Bytes of one stored hit record (t, prim id, barycentrics...). */
+    std::uint32_t hit_record_bytes = 32;
+
+    /**
+     * Treelet-prefetcher-style child prefetch (Chou et al., MICRO'23,
+     * discussed in the paper's Section 8.2): when a node's children
+     * test as hit, their records are prefetched into the cache
+     * hierarchy immediately, so the later demand fetch usually hits
+     * L1 or merges with the in-flight fill. Costs real bandwidth in
+     * the model, as in the paper's discussion of combining CoopRT
+     * with prefetching.
+     */
+    bool child_prefetch = false;
+
+    /**
+     * Intersection predictor (Liu et al., MICRO'21, the paper's
+     * Section 8.2): a small per-RT-unit table maps a quantized
+     * (origin, direction) key to the primitive a similar past ray
+     * hit. On trace start the predicted primitive is tested first;
+     * a confirmed hit seeds min_thit and prunes most of the
+     * traversal. Effective for the localized AO/SH rays, per the
+     * paper's characterization.
+     */
+    bool intersection_predictor = false;
+    /** Predictor table entries (direct-mapped). */
+    int predictor_entries = 1024;
+
+    /** Validate knob values; throws std::invalid_argument. */
+    void
+    validate() const
+    {
+        if (subwarp_size != 4 && subwarp_size != 8 &&
+            subwarp_size != 16 && subwarp_size != 32)
+            throw std::invalid_argument("subwarp_size must be 4/8/16/32");
+        if (warp_buffer_entries < 1 || warp_buffer_entries > 64)
+            throw std::invalid_argument("warp_buffer_entries in [1,64]");
+        if (lbu_moves_per_cycle < 1)
+            throw std::invalid_argument("lbu_moves_per_cycle >= 1");
+        if (stack_capacity < 1)
+            throw std::invalid_argument("stack_capacity >= 1");
+        if (predictor_entries < 1)
+            throw std::invalid_argument("predictor_entries >= 1");
+    }
+};
+
+} // namespace cooprt::rtunit
+
+#endif // COOPRT_RTUNIT_TRACE_CONFIG_HPP

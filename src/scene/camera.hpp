@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pinhole camera generating primary rays for the raygen shader.
+ */
+
+#ifndef COOPRT_SCENE_CAMERA_HPP
+#define COOPRT_SCENE_CAMERA_HPP
+
+#include <cmath>
+
+#include "geom/ray.hpp"
+#include "geom/vec3.hpp"
+
+namespace cooprt::scene {
+
+/**
+ * A pinhole camera.
+ *
+ * Primary rays are generated exactly as a raygen shader would: one ray
+ * per pixel (1 sample per pixel in the paper's configuration), with an
+ * optional sub-pixel jitter.
+ */
+class Camera
+{
+  public:
+    Camera() = default;
+
+    /**
+     * @param eye      Camera position.
+     * @param lookat   Point the camera looks at.
+     * @param up       Approximate up direction.
+     * @param vfov_deg Vertical field of view in degrees.
+     */
+    Camera(const geom::Vec3 &eye, const geom::Vec3 &lookat,
+           const geom::Vec3 &up, float vfov_deg)
+        : eye_(eye)
+    {
+        const geom::Vec3 w = normalize(eye - lookat); // backward
+        u_ = normalize(cross(up, w));                  // right
+        v_ = cross(w, u_);                             // true up
+        fwd_ = -w;
+        half_tan_ = std::tan(vfov_deg * 3.14159265358979f / 360.0f);
+    }
+
+    /**
+     * Primary ray through pixel (@p px, @p py) of a @p width x
+     * @p height image; (@p jx, @p jy) in [0,1) is the sub-pixel
+     * position (0.5, 0.5 = pixel center).
+     */
+    geom::Ray
+    primaryRay(int px, int py, int width, int height, float jx = 0.5f,
+               float jy = 0.5f) const
+    {
+        const float aspect = float(width) / float(height);
+        const float sx = (2.0f * ((px + jx) / float(width)) - 1.0f) *
+                         half_tan_ * aspect;
+        // Image rows grow downward; flip so +v is up in the image.
+        const float sy = (1.0f - 2.0f * ((py + jy) / float(height))) *
+                         half_tan_;
+        return geom::Ray(eye_, normalize(fwd_ + u_ * sx + v_ * sy));
+    }
+
+    const geom::Vec3 &eye() const { return eye_; }
+    const geom::Vec3 &forward() const { return fwd_; }
+
+  private:
+    geom::Vec3 eye_;
+    geom::Vec3 u_, v_, fwd_;
+    float half_tan_ = 1.0f;
+};
+
+} // namespace cooprt::scene
+
+#endif // COOPRT_SCENE_CAMERA_HPP

@@ -1,0 +1,441 @@
+#include "scene/generators.hpp"
+
+#include <cmath>
+
+#include "geom/rng.hpp"
+#include "scene/primitives.hpp"
+
+namespace cooprt::scene {
+
+using geom::Pcg32;
+using geom::Triangle;
+using geom::Vec3;
+
+namespace {
+
+/** Standard palette used by all generators. */
+struct Palette
+{
+    MaterialId gray;
+    MaterialId ground;
+    MaterialId dark;
+    MaterialId leaf;
+    MaterialId light;
+
+    explicit Palette(MaterialTable &mats)
+    {
+        gray = mats.add({{0.70f, 0.70f, 0.70f}, 0.0f, 0.95f});
+        ground = mats.add({{0.45f, 0.40f, 0.35f}, 0.0f, 0.90f});
+        dark = mats.add({{0.30f, 0.30f, 0.35f}, 0.0f, 0.85f});
+        leaf = mats.add({{0.30f, 0.55f, 0.25f}, 0.0f, 0.80f});
+        light = mats.add({{1.0f, 1.0f, 1.0f}, 8.0f, 1.0f});
+    }
+};
+
+/** Scatter random small triangles in a spherical cluster. */
+void
+addCluster(Mesh &mesh, Pcg32 &rng, const Vec3 &center, float radius,
+           int tris, float tri_size, MaterialId mat)
+{
+    for (int i = 0; i < tris; ++i) {
+        Vec3 p = center + rng.nextUnitVector() *
+                          (radius * std::cbrt(rng.nextFloat()));
+        Vec3 e1 = rng.nextUnitVector() * tri_size;
+        Vec3 e2 = rng.nextUnitVector() * tri_size;
+        mesh.addTriangle({p, p + e1, p + e2}, mat);
+    }
+}
+
+/**
+ * Scatter long, thin triangles (branches, scaffold bars, rigging
+ * wires) in a spherical cluster. Their bounding boxes are huge
+ * relative to their area, so BVH child boxes overlap heavily and
+ * rays passing through visit many nodes while rarely hitting — the
+ * long-traversal behaviour of the paper's most CoopRT-friendly
+ * scenes (crnvl, fox, party).
+ */
+void
+addWireCluster(Mesh &mesh, Pcg32 &rng, const Vec3 &center,
+               float radius, int tris, float length, float thickness,
+               MaterialId mat)
+{
+    for (int i = 0; i < tris; ++i) {
+        Vec3 p = center + rng.nextUnitVector() *
+                          (radius * std::cbrt(rng.nextFloat()));
+        Vec3 e1 = rng.nextUnitVector() * length;
+        Vec3 e2 = rng.nextUnitVector() * thickness;
+        mesh.addTriangle({p - e1 * 0.5f, p + e1 * 0.5f, p + e2}, mat);
+    }
+}
+
+/**
+ * A displaced-sphere blob: concentric shells of jittered triangles,
+ * approximating a scanned object (bunny/car/robot stand-in).
+ */
+void
+addBlob(Mesh &mesh, Pcg32 &rng, const Vec3 &center, float radius,
+        int segments, float roughness, MaterialId mat)
+{
+    const float pi = 3.14159265358979f;
+    const int nu = segments, nv = segments / 2;
+    auto point = [&](int i, int j) {
+        const float theta = pi * float(j) / float(nv);
+        const float phi = 2.0f * pi * float(i % nu) / float(nu);
+        // Deterministic displacement from the grid indices, so shared
+        // vertices displace identically and the surface stays closed.
+        std::uint64_t h =
+            geom::mix64((std::uint64_t(i % nu) << 32) | std::uint64_t(j));
+        float disp =
+            1.0f + roughness * (float(h & 0xffff) / 65535.0f - 0.5f);
+        return center +
+               radius * disp * Vec3{std::sin(theta) * std::cos(phi),
+                                    std::cos(theta),
+                                    std::sin(theta) * std::sin(phi)};
+    };
+    for (int i = 0; i < nu; ++i) {
+        for (int j = 0; j < nv; ++j) {
+            Vec3 a = point(i, j), b = point(i + 1, j);
+            Vec3 c = point(i + 1, j + 1), d = point(i, j + 1);
+            if (j > 0)
+                mesh.addTriangle({a, b, c}, mat);
+            if (j + 1 < nv)
+                mesh.addTriangle({a, c, d}, mat);
+        }
+    }
+    (void)rng;
+}
+
+/**
+ * A simple tree: trunk cylinder plus a canopy mixing thin branches
+ * (wires) with leaf triangles.
+ */
+void
+addTree(Mesh &mesh, Pcg32 &rng, const Vec3 &base, float height,
+        int leaf_tris, MaterialId trunk_mat, MaterialId leaf_mat)
+{
+    addCylinder(mesh, base, height * 0.06f, height * 0.55f, 6,
+                trunk_mat);
+    const Vec3 canopy = base + Vec3{0, height * 0.72f, 0};
+    // Branches: long and thin, dominating the node-visit counts. The
+    // wire density inside the crown sets the AABB overlap depth and
+    // with it the traversal length of rays that enter.
+    addWireCluster(mesh, rng, canopy, height * 0.42f,
+                   (2 * leaf_tris) / 3, height * 0.40f,
+                   height * 0.012f, trunk_mat);
+    addCluster(mesh, rng, canopy, height * 0.42f, leaf_tris / 3,
+               height * 0.05f, leaf_mat);
+}
+
+/** Smooth value-noise height function for terrains. */
+float
+terrainHeight(float x, float z, float amp, std::uint64_t seed)
+{
+    auto cell = [seed](int i, int j) {
+        std::uint64_t h = geom::mix64(
+            seed ^ (std::uint64_t(std::uint32_t(i)) << 32 |
+                    std::uint32_t(j)));
+        return float(h & 0xffff) / 65535.0f;
+    };
+    float total = 0.0f, a = amp, fx = x, fz = z;
+    for (int oct = 0; oct < 3; ++oct) {
+        int i = int(std::floor(fx)), j = int(std::floor(fz));
+        float tx = fx - float(i), tz = fz - float(j);
+        float sx = tx * tx * (3 - 2 * tx), sz = tz * tz * (3 - 2 * tz);
+        float v00 = cell(i, j), v10 = cell(i + 1, j);
+        float v01 = cell(i, j + 1), v11 = cell(i + 1, j + 1);
+        total += a * ((v00 * (1 - sx) + v10 * sx) * (1 - sz) +
+                      (v01 * (1 - sx) + v11 * sx) * sz);
+        a *= 0.5f;
+        fx *= 2.03f;
+        fz *= 2.03f;
+    }
+    return total;
+}
+
+} // namespace
+
+Scene
+makeObjectScene(const std::string &name, std::uint64_t seed, int detail,
+                float object_scale)
+{
+    Scene s;
+    s.name = name;
+    Palette pal(s.materials);
+    Pcg32 rng(seed);
+
+    const float r = 1.0f * object_scale;
+    addBlob(s.mesh, rng, {0, r * 1.05f, 0}, r, detail, 0.18f, pal.gray);
+    // Ground patch under an open sky.
+    addQuad(s.mesh, {-8, 0, -8}, {16, 0, 0}, {0, 0, 16}, pal.ground);
+    // A small area light overhead, off to the side.
+    addQuad(s.mesh, {3, 6, -1}, {2, 0, 0}, {0, 0, 2}, pal.light);
+
+    s.sky_emission = 1.0f;
+    s.camera = Camera({3.2f, 2.4f, 3.2f}, {0, r, 0}, {0, 1, 0}, 40.0f);
+    return s;
+}
+
+Scene
+makeShipScene(const std::string &name, std::uint64_t seed, int detail)
+{
+    Scene s;
+    s.name = name;
+    Palette pal(s.materials);
+    Pcg32 rng(seed);
+
+    // Hull: a stack of elongated boxes.
+    for (int i = 0; i < 5; ++i) {
+        float w = 1.2f - 0.15f * i, y = 0.3f * i;
+        addBox(s.mesh, {-4.0f + 0.2f * i, y, -w},
+               {4.0f - 0.2f * i, y + 0.3f, w}, pal.dark);
+    }
+    // Masts and rigging detail.
+    for (int m = 0; m < 3; ++m) {
+        float x = -2.5f + 2.5f * m;
+        addCylinder(s.mesh, {x, 1.5f, 0}, 0.08f, 3.5f, 6, pal.gray);
+        for (int k = 0; k < detail; ++k) {
+            Vec3 p{x + rng.nextRange(-0.8f, 0.8f),
+                   2.0f + rng.nextRange(0.0f, 2.6f),
+                   rng.nextRange(-0.6f, 0.6f)};
+            Vec3 e1 = rng.nextUnitVector() * 0.25f;
+            Vec3 e2 = rng.nextUnitVector() * 0.25f;
+            s.mesh.addTriangle({p, p + e1, p + e2}, pal.gray);
+        }
+    }
+    // Water plane.
+    addQuad(s.mesh, {-20, 0, -20}, {40, 0, 0}, {0, 0, 40}, pal.ground);
+
+    s.sky_emission = 1.0f;
+    s.camera = Camera({7, 4, 9}, {0, 1.5f, 0}, {0, 1, 0}, 42.0f);
+    return s;
+}
+
+Scene
+makeClosedRoomScene(const std::string &name, std::uint64_t seed,
+                    int detail, float openness, int clutter_objects)
+{
+    Scene s;
+    s.name = name;
+    Palette pal(s.materials);
+    Pcg32 rng(seed);
+
+    const Vec3 lo{-6, 0, -4}, hi{6, 4.5f, 4};
+    const Vec3 e = hi - lo;
+
+    // Floor.
+    addQuad(s.mesh, lo, {e.x, 0, 0}, {0, 0, e.z}, pal.ground);
+    // Ceiling: split into strips; `openness` fraction is skipped
+    // (skylight), the rest alternates solid panels and the light.
+    const int strips = 8;
+    for (int i = 0; i < strips; ++i) {
+        if (float(i) / strips < openness)
+            continue; // open to the sky
+        Vec3 o{lo.x + e.x * float(i) / strips, hi.y, lo.z};
+        MaterialId m = (i == strips / 2) ? pal.light : pal.gray;
+        addQuad(s.mesh, o, {e.x / strips, 0, 0}, {0, 0, e.z}, m);
+    }
+    // Walls.
+    addQuad(s.mesh, lo, {e.x, 0, 0}, {0, e.y, 0}, pal.gray);
+    addQuad(s.mesh, {lo.x, lo.y, hi.z}, {e.x, 0, 0}, {0, e.y, 0},
+            pal.gray);
+    addQuad(s.mesh, lo, {0, 0, e.z}, {0, e.y, 0}, pal.gray);
+    addQuad(s.mesh, {hi.x, lo.y, lo.z}, {0, 0, e.z}, {0, e.y, 0},
+            pal.gray);
+
+    // Colonnade: two rows of columns (sponza's signature geometry).
+    for (int i = 0; i < 6; ++i) {
+        float x = lo.x + 1.0f + i * (e.x - 2.0f) / 5.0f;
+        addCylinder(s.mesh, {x, 0, -2.0f}, 0.25f, 3.6f, 10, pal.gray);
+        addCylinder(s.mesh, {x, 0, 2.0f}, 0.25f, 3.6f, 10, pal.gray);
+        addBox(s.mesh, {x - 0.35f, 3.6f, -2.35f},
+               {x + 0.35f, 3.9f, -1.65f}, pal.dark);
+        addBox(s.mesh, {x - 0.35f, 3.6f, 1.65f},
+               {x + 0.35f, 3.9f, 2.35f}, pal.dark);
+    }
+
+    // Clutter: detailed objects scattered on the floor.
+    for (int c = 0; c < clutter_objects; ++c) {
+        Vec3 p{rng.nextRange(lo.x + 1, hi.x - 1), 0.0f,
+               rng.nextRange(lo.z + 1, hi.z - 1)};
+        int kind = rng.nextBelow(3);
+        if (kind == 0) {
+            addSphere(s.mesh, p + Vec3{0, 0.4f, 0}, 0.4f, detail,
+                      pal.dark);
+        } else if (kind == 1) {
+            addBox(s.mesh, p - Vec3{0.3f, 0, 0.3f},
+                   p + Vec3{0.3f, 0.9f, 0.3f}, pal.gray);
+        } else {
+            addCluster(s.mesh, rng, p + Vec3{0, 0.5f, 0}, 0.5f,
+                       detail * 6, 0.12f, pal.leaf);
+        }
+    }
+
+    s.sky_emission = openness > 0.0f ? 1.0f : 0.0f;
+    s.camera = Camera({-4.5f, 1.8f, 0}, {4, 1.6f, 0}, {0, 1, 0}, 55.0f);
+    return s;
+}
+
+Scene
+makeTreeScene(const std::string &name, std::uint64_t seed, int detail)
+{
+    Scene s;
+    s.name = name;
+    Palette pal(s.materials);
+    Pcg32 rng(seed);
+
+    const int n = 24;
+    addHeightfield(s.mesh, {-12, 0, -12}, 24, 24, n, [&](int i, int j) {
+        return terrainHeight(i * 0.3f, j * 0.3f, 0.8f, seed);
+    }, pal.ground);
+
+    addTree(s.mesh, rng, {0, 0.4f, 0}, 7.0f, detail * 40, pal.dark,
+            pal.leaf);
+    // A few saplings around it.
+    for (int t = 0; t < 5; ++t) {
+        Vec3 base{rng.nextRange(-9, 9), 0.3f, rng.nextRange(-9, 9)};
+        if (base.lengthSq() < 9.0f)
+            continue;
+        addTree(s.mesh, rng, base, rng.nextRange(2.0f, 3.5f),
+                detail * 6, pal.dark, pal.leaf);
+    }
+
+    s.sky_emission = 1.0f;
+    s.camera = Camera({14, 5.5f, 14}, {0, 4.0f, 0}, {0, 1, 0}, 42.0f);
+    return s;
+}
+
+Scene
+makeCarnivalScene(const std::string &name, std::uint64_t seed,
+                  int detail, int structures)
+{
+    Scene s;
+    s.name = name;
+    Palette pal(s.materials);
+    Pcg32 rng(seed);
+
+    // Large open ground.
+    addQuad(s.mesh, {-30, 0, -30}, {60, 0, 0}, {0, 0, 60}, pal.ground);
+
+    // Sparse tall structures with dense internal lattices: rays that
+    // enter wander long; rays that miss escape instantly. This is the
+    // paper's "low SIMT efficiency + long traversals" profile.
+    for (int k = 0; k < structures; ++k) {
+        Vec3 base{rng.nextRange(-24, 24), 0, rng.nextRange(-24, 24)};
+        int kind = rng.nextBelow(3);
+        if (kind == 0) {
+            // Ferris-wheel-like ring of cabins.
+            float r = rng.nextRange(3.0f, 5.0f);
+            Vec3 hub = base + Vec3{0, r + 1.0f, 0};
+            addCylinder(s.mesh, base, 0.2f, r + 1.0f, 6, pal.dark);
+            for (int c = 0; c < 10; ++c) {
+                float a = 2 * 3.14159265f * c / 10.0f;
+                Vec3 cab = hub + Vec3{r * std::cos(a), r * std::sin(a),
+                                      0};
+                addBox(s.mesh, cab - Vec3(0.4f), cab + Vec3(0.4f),
+                       pal.gray);
+            }
+        } else if (kind == 1) {
+            // Tent poles and guy-wires: a dense thicket of long thin
+            // bars -> very long traversals for the rays that enter.
+            addCone(s.mesh, base + Vec3{0, 3.2f, 0},
+                    rng.nextRange(2.0f, 3.5f), 1.6f, 10, pal.gray);
+            addWireCluster(s.mesh, rng, base + Vec3{0, 1.8f, 0}, 2.2f,
+                           detail * 6, 2.6f, 0.02f, pal.dark);
+        } else {
+            // Scaffold lattice tower made of thin bars.
+            float h = rng.nextRange(4.0f, 8.0f);
+            addWireCluster(s.mesh, rng, base + Vec3{0, h * 0.5f, 0},
+                           h * 0.55f, detail * 4, 1.8f, 0.02f,
+                           pal.dark);
+        }
+        // String lights: small emissive quads.
+        if (k % 3 == 0) {
+            Vec3 p = base + Vec3{0, 4.5f, 0};
+            addQuad(s.mesh, p, {0.4f, 0, 0}, {0, 0, 0.4f}, pal.light);
+        }
+    }
+
+    // Overhead cable/bunting layer spanning the fairground: thin
+    // wires above head height. Bounce rays leaving the ground cross
+    // it, so even late-bounce traversals stay long — the profile
+    // that gives crnvl/party the paper's largest CoopRT gains.
+    const int cable_clusters = structures * 2;
+    for (int c = 0; c < cable_clusters; ++c) {
+        Vec3 p{rng.nextRange(-24, 24), rng.nextRange(3.5f, 7.0f),
+               rng.nextRange(-24, 24)};
+        addWireCluster(s.mesh, rng, p, 3.0f, detail * 2, 2.2f, 0.015f,
+                       pal.dark);
+    }
+
+    s.sky_emission = 1.0f;
+    s.camera = Camera({0, 2.0f, 26}, {0, 3.0f, 0}, {0, 1, 0}, 55.0f);
+    return s;
+}
+
+Scene
+makeForestScene(const std::string &name, std::uint64_t seed, int detail,
+                int trees, float density)
+{
+    Scene s;
+    s.name = name;
+    Palette pal(s.materials);
+    Pcg32 rng(seed);
+
+    const int n = 28;
+    const float half = 20.0f;
+    addHeightfield(s.mesh, {-half, 0, -half}, 2 * half, 2 * half, n,
+                   [&](int i, int j) {
+                       return terrainHeight(i * 0.25f, j * 0.25f, 1.2f,
+                                            seed);
+                   }, pal.ground);
+
+    for (int t = 0; t < trees; ++t) {
+        Vec3 base{rng.nextRange(-half * density, half * density), 0.5f,
+                  rng.nextRange(-half * density, half * density)};
+        addTree(s.mesh, rng, base, rng.nextRange(3.0f, 6.5f), detail,
+                pal.dark, pal.leaf);
+    }
+    // Undergrowth: grass blades (thin wires near the ground).
+    for (int c = 0; c < trees / 2; ++c) {
+        Vec3 p{rng.nextRange(-half, half), 0.6f,
+               rng.nextRange(-half, half)};
+        addWireCluster(s.mesh, rng, p, 1.0f, detail / 2, 0.9f, 0.015f,
+                       pal.leaf);
+    }
+
+    s.sky_emission = 1.0f;
+    // Camera outside the stand at crown height: rays either slip
+    // between the crowns (fast miss) or cross several dense crowns
+    // (very long traversal) — the bimodal profile behind the
+    // paper's biggest speedups.
+    s.camera = Camera({19, 5.0f, 19}, {0, 3.5f, 0}, {0, 1, 0}, 50.0f);
+    return s;
+}
+
+Scene
+makeTerrainScene(const std::string &name, std::uint64_t seed, int detail)
+{
+    Scene s;
+    s.name = name;
+    Palette pal(s.materials);
+    Pcg32 rng(seed);
+
+    const int n = detail;
+    addHeightfield(s.mesh, {-25, 0, -25}, 50, 50, n, [&](int i, int j) {
+        return terrainHeight(i * 0.18f, j * 0.18f, 4.0f, seed);
+    }, pal.ground);
+
+    // Scattered rocks.
+    for (int r = 0; r < detail * 2; ++r) {
+        Vec3 p{rng.nextRange(-22, 22), 0.0f, rng.nextRange(-22, 22)};
+        p.y = terrainHeight((p.x + 25) / 50 * n * 0.18f,
+                            (p.z + 25) / 50 * n * 0.18f, 4.0f, seed);
+        addSphere(s.mesh, p, rng.nextRange(0.2f, 0.7f), 6, pal.dark);
+    }
+
+    s.sky_emission = 1.0f;
+    s.camera = Camera({18, 7, 18}, {0, 2, 0}, {0, 1, 0}, 48.0f);
+    return s;
+}
+
+} // namespace cooprt::scene

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Procedural scene generators.
+ *
+ * These produce the 15 stand-in scenes for the LumiBench suite used in
+ * the paper (Table 2). Each generator is parameterized along the two
+ * axes that drive CoopRT's behaviour:
+ *
+ *  - *openness* — how quickly rays escape to the sky or die at lights,
+ *    which controls the growth of inactive threads per bounce (paper
+ *    Fig. 2 / Fig. 4);
+ *  - *geometric clustering / depth* — which controls the distribution
+ *    of traversal lengths and hence early-finishing threads.
+ *
+ * All generators are deterministic for a given seed.
+ */
+
+#ifndef COOPRT_SCENE_GENERATORS_HPP
+#define COOPRT_SCENE_GENERATORS_HPP
+
+#include <cstdint>
+
+#include "scene/scene.hpp"
+
+namespace cooprt::scene {
+
+/**
+ * A single detailed object (displaced sphere blob) on a ground plane
+ * under an open sky. Small-object scenes: wknd, bunny, car, robot —
+ * `detail` scales triangle count.
+ */
+Scene makeObjectScene(const std::string &name, std::uint64_t seed,
+                      int detail, float object_scale = 1.0f);
+
+/**
+ * An elongated hull of boxes and cylinders on a water plane (ship).
+ */
+Scene makeShipScene(const std::string &name, std::uint64_t seed,
+                    int detail);
+
+/**
+ * A closed interior: floor, walls, ceiling with an area light,
+ * colonnade and clutter. `openness` in [0,1] removes that fraction of
+ * the wall/ceiling area (0 = fully enclosed like sponza's atrium
+ * core). Scenes: spnza, bath, ref.
+ */
+Scene makeClosedRoomScene(const std::string &name, std::uint64_t seed,
+                          int detail, float openness,
+                          int clutter_objects);
+
+/**
+ * A large solitary tree with a dense leaf canopy on terrain under an
+ * open sky (chsnt).
+ */
+Scene makeTreeScene(const std::string &name, std::uint64_t seed,
+                    int detail);
+
+/**
+ * Sparse tall structures (rides, tents, stalls) scattered over a
+ * large open ground: extremely divergent, rays either escape
+ * immediately or wander through dense lattices (crnvl, party).
+ */
+Scene makeCarnivalScene(const std::string &name, std::uint64_t seed,
+                        int detail, int structures);
+
+/**
+ * A forest: many trees with dense canopies on rolling terrain, open
+ * sky (fox, frst, sprng).
+ */
+Scene makeForestScene(const std::string &name, std::uint64_t seed,
+                      int detail, int trees, float density);
+
+/**
+ * Rolling terrain heightfield with scattered rocks, open sky (lands).
+ */
+Scene makeTerrainScene(const std::string &name, std::uint64_t seed,
+                       int detail);
+
+} // namespace cooprt::scene
+
+#endif // COOPRT_SCENE_GENERATORS_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal material model for the path-tracing workload.
+ *
+ * The paper's raygen shader (Listing 1) only needs three behaviours
+ * from a material: scatter the ray (Lambertian bounce), terminate at a
+ * light source (emissive), or terminate by absorption ("!scattered").
+ */
+
+#ifndef COOPRT_SCENE_MATERIAL_HPP
+#define COOPRT_SCENE_MATERIAL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace cooprt::scene {
+
+/** Index into a scene's material table. */
+using MaterialId = std::uint16_t;
+
+/**
+ * A surface material.
+ *
+ * emission > 0 marks a light source: a path terminates there and the
+ * pixel accumulates the emitted radiance. Otherwise the surface is a
+ * Lambertian reflector with the given albedo; `scatter_prob` is the
+ * survival probability of the bounce (absorption terminates the path,
+ * the `!scattered` branch of Listing 1).
+ */
+struct Material
+{
+    geom::Vec3 albedo{0.7f, 0.7f, 0.7f};
+    /** Emitted radiance (grayscale); > 0 means light source. */
+    float emission = 0.0f;
+    /** Probability that a hit scatters rather than absorbs. */
+    float scatter_prob = 1.0f;
+
+    bool isLight() const { return emission > 0.0f; }
+};
+
+/** A small material table shared by all meshes of a scene. */
+class MaterialTable
+{
+  public:
+    MaterialTable()
+    {
+        // Id 0 is a default gray diffuse material.
+        materials_.push_back(Material{});
+    }
+
+    /** Add a material and return its id. */
+    MaterialId
+    add(const Material &m)
+    {
+        materials_.push_back(m);
+        return static_cast<MaterialId>(materials_.size() - 1);
+    }
+
+    const Material &operator[](MaterialId id) const
+    { return materials_[id]; }
+
+    std::size_t size() const { return materials_.size(); }
+
+  private:
+    std::vector<Material> materials_;
+};
+
+} // namespace cooprt::scene
+
+#endif // COOPRT_SCENE_MATERIAL_HPP

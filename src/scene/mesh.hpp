@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Triangle mesh container: the geometry input to the BVH builder.
+ */
+
+#ifndef COOPRT_SCENE_MESH_HPP
+#define COOPRT_SCENE_MESH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/triangle.hpp"
+#include "scene/material.hpp"
+
+namespace cooprt::scene {
+
+/**
+ * A triangle soup with per-triangle material ids.
+ *
+ * All generators append into a Mesh; the BVH builder consumes the
+ * triangle array and refers back to primitives by index.
+ */
+class Mesh
+{
+  public:
+    /** Append one triangle with material @p mat. */
+    void
+    addTriangle(const geom::Triangle &t, MaterialId mat = 0)
+    {
+        tris_.push_back(t);
+        mats_.push_back(mat);
+        bounds_.grow(t.bounds());
+    }
+
+    /** Append all triangles of @p other (material ids preserved). */
+    void
+    append(const Mesh &other)
+    {
+        tris_.insert(tris_.end(), other.tris_.begin(), other.tris_.end());
+        mats_.insert(mats_.end(), other.mats_.begin(), other.mats_.end());
+        bounds_.grow(other.bounds_);
+    }
+
+    std::size_t size() const { return tris_.size(); }
+    bool empty() const { return tris_.empty(); }
+
+    const geom::Triangle &tri(std::uint32_t i) const { return tris_[i]; }
+    MaterialId materialOf(std::uint32_t i) const { return mats_[i]; }
+
+    const std::vector<geom::Triangle> &triangles() const { return tris_; }
+
+    /** Bounding box of the whole mesh (the BVH root box). */
+    const geom::AABB &bounds() const { return bounds_; }
+
+  private:
+    std::vector<geom::Triangle> tris_;
+    std::vector<MaterialId> mats_;
+    geom::AABB bounds_;
+};
+
+} // namespace cooprt::scene
+
+#endif // COOPRT_SCENE_MESH_HPP

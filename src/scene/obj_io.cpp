@@ -1,0 +1,111 @@
+#include "scene/obj_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cooprt::scene {
+
+using geom::Triangle;
+using geom::Vec3;
+
+namespace {
+
+/** Resolve an OBJ index (1-based, or negative-relative) to 0-based. */
+std::size_t
+resolveIndex(long idx, std::size_t count, const std::string &line)
+{
+    long resolved = idx > 0 ? idx - 1 : long(count) + idx;
+    if (resolved < 0 || std::size_t(resolved) >= count)
+        throw std::runtime_error("obj: index out of range in: " + line);
+    return std::size_t(resolved);
+}
+
+/** Parse the vertex-index prefix of an `f` token ("12/3/4" -> 12). */
+long
+parseFaceToken(const std::string &tok, const std::string &line)
+{
+    try {
+        return std::stol(tok); // stops at the first '/'
+    } catch (const std::exception &) {
+        throw std::runtime_error("obj: bad face token in: " + line);
+    }
+}
+
+} // namespace
+
+std::size_t
+loadObj(std::istream &in, Mesh &mesh, MaterialId mat)
+{
+    std::vector<Vec3> verts;
+    std::size_t added = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string kind;
+        if (!(ls >> kind) || kind.empty() || kind[0] == '#')
+            continue;
+        if (kind == "v") {
+            Vec3 v;
+            if (!(ls >> v.x >> v.y >> v.z))
+                throw std::runtime_error("obj: bad vertex: " + line);
+            verts.push_back(v);
+        } else if (kind == "f") {
+            std::vector<std::size_t> idx;
+            std::string tok;
+            while (ls >> tok)
+                idx.push_back(resolveIndex(parseFaceToken(tok, line),
+                                           verts.size(), line));
+            if (idx.size() < 3)
+                throw std::runtime_error("obj: face needs >=3 verts: " +
+                                         line);
+            for (std::size_t k = 2; k < idx.size(); ++k) {
+                mesh.addTriangle(Triangle{verts[idx[0]],
+                                          verts[idx[k - 1]],
+                                          verts[idx[k]]}, mat);
+                ++added;
+            }
+        }
+        // vt/vn/o/g/usemtl/s etc. are silently ignored.
+    }
+    return added;
+}
+
+std::size_t
+loadObjFile(const std::string &path, Mesh &mesh, MaterialId mat)
+{
+    std::ifstream f(path);
+    if (!f)
+        throw std::runtime_error("obj: cannot open " + path);
+    return loadObj(f, mesh, mat);
+}
+
+void
+saveObj(std::ostream &out, const Mesh &mesh)
+{
+    // 9 significant digits round-trip float32 exactly through text.
+    out.precision(9);
+    out << "# cooprt mesh, " << mesh.size() << " triangles\n";
+    for (std::uint32_t i = 0; i < mesh.size(); ++i) {
+        const Triangle &t = mesh.tri(i);
+        out << "v " << t.v0.x << ' ' << t.v0.y << ' ' << t.v0.z << '\n'
+            << "v " << t.v1.x << ' ' << t.v1.y << ' ' << t.v1.z << '\n'
+            << "v " << t.v2.x << ' ' << t.v2.y << ' ' << t.v2.z << '\n';
+    }
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+        const std::size_t b = 3 * i + 1;
+        out << "f " << b << ' ' << b + 1 << ' ' << b + 2 << '\n';
+    }
+}
+
+void
+saveObjFile(const std::string &path, const Mesh &mesh)
+{
+    std::ofstream f(path);
+    if (!f)
+        throw std::runtime_error("obj: cannot open " + path);
+    saveObj(f, mesh);
+}
+
+} // namespace cooprt::scene

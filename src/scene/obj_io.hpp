@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal Wavefront OBJ import/export for triangle meshes.
+ *
+ * Lets users bring their own geometry into the simulator (the paper
+ * uses LumiBench assets; downstream users will have OBJ files) and
+ * lets the examples dump generated scenes for inspection in external
+ * viewers.
+ */
+
+#ifndef COOPRT_SCENE_OBJ_IO_HPP
+#define COOPRT_SCENE_OBJ_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "scene/mesh.hpp"
+
+namespace cooprt::scene {
+
+/**
+ * Parse an OBJ stream into @p mesh (appending). Supports `v` and `f`
+ * records; faces with more than 3 vertices are fan-triangulated;
+ * texture/normal indices (`f a/b/c`) are accepted and ignored.
+ * Negative (relative) indices are supported.
+ *
+ * @return Number of triangles appended.
+ * @throws std::runtime_error on malformed records or out-of-range
+ *         indices.
+ */
+std::size_t loadObj(std::istream &in, Mesh &mesh, MaterialId mat = 0);
+
+/** Convenience overload reading from a file path. */
+std::size_t loadObjFile(const std::string &path, Mesh &mesh,
+                        MaterialId mat = 0);
+
+/** Write @p mesh as an OBJ stream (v/f records, one object). */
+void saveObj(std::ostream &out, const Mesh &mesh);
+
+/** Convenience overload writing to a file path. */
+void saveObjFile(const std::string &path, const Mesh &mesh);
+
+} // namespace cooprt::scene
+
+#endif // COOPRT_SCENE_OBJ_IO_HPP

@@ -1,0 +1,104 @@
+#include "scene/primitives.hpp"
+
+#include <cmath>
+
+namespace cooprt::scene {
+
+using geom::Triangle;
+using geom::Vec3;
+
+void
+addQuad(Mesh &mesh, const Vec3 &origin, const Vec3 &eu, const Vec3 &ev,
+        MaterialId mat)
+{
+    const Vec3 a = origin;
+    const Vec3 b = origin + eu;
+    const Vec3 c = origin + eu + ev;
+    const Vec3 d = origin + ev;
+    mesh.addTriangle({a, b, c}, mat);
+    mesh.addTriangle({a, c, d}, mat);
+}
+
+void
+addBox(Mesh &mesh, const Vec3 &lo, const Vec3 &hi, MaterialId mat)
+{
+    const Vec3 e = hi - lo;
+    const Vec3 ex{e.x, 0, 0}, ey{0, e.y, 0}, ez{0, 0, e.z};
+    addQuad(mesh, lo, ex, ey, mat);                   // front  (z = lo)
+    addQuad(mesh, lo + ez, ey, ex, mat);              // back   (z = hi)
+    addQuad(mesh, lo, ey, ez, mat);                   // left   (x = lo)
+    addQuad(mesh, lo + ex, ez, ey, mat);              // right  (x = hi)
+    addQuad(mesh, lo, ez, ex, mat);                   // bottom (y = lo)
+    addQuad(mesh, lo + ey, ex, ez, mat);              // top    (y = hi)
+}
+
+void
+addSphere(Mesh &mesh, const Vec3 &center, float radius, int segments,
+          MaterialId mat)
+{
+    const int nu = segments < 3 ? 3 : segments;
+    const int nv = nu / 2 < 2 ? 2 : nu / 2;
+    const float pi = 3.14159265358979f;
+
+    auto point = [&](int i, int j) {
+        const float theta = pi * float(j) / float(nv);   // polar
+        const float phi = 2.0f * pi * float(i) / float(nu);
+        return center + radius * Vec3{std::sin(theta) * std::cos(phi),
+                                      std::cos(theta),
+                                      std::sin(theta) * std::sin(phi)};
+    };
+
+    for (int i = 0; i < nu; ++i) {
+        for (int j = 0; j < nv; ++j) {
+            Vec3 a = point(i, j), b = point(i + 1, j);
+            Vec3 c = point(i + 1, j + 1), d = point(i, j + 1);
+            // Skip the degenerate triangles at the two poles.
+            if (j > 0)
+                mesh.addTriangle({a, b, c}, mat);
+            if (j + 1 < nv)
+                mesh.addTriangle({a, c, d}, mat);
+        }
+    }
+}
+
+void
+addCone(Mesh &mesh, const Vec3 &base, float radius, float height,
+        int segments, MaterialId mat)
+{
+    const int n = segments < 3 ? 3 : segments;
+    const float pi = 3.14159265358979f;
+    const Vec3 apex = base + Vec3{0, height, 0};
+
+    auto rim = [&](int i) {
+        const float phi = 2.0f * pi * float(i) / float(n);
+        return base + radius * Vec3{std::cos(phi), 0, std::sin(phi)};
+    };
+
+    for (int i = 0; i < n; ++i) {
+        Vec3 a = rim(i), b = rim(i + 1);
+        mesh.addTriangle({a, b, apex}, mat);  // side
+        mesh.addTriangle({a, base, b}, mat);  // base disk
+    }
+}
+
+void
+addCylinder(Mesh &mesh, const Vec3 &base, float radius, float height,
+            int segments, MaterialId mat)
+{
+    const int n = segments < 3 ? 3 : segments;
+    const float pi = 3.14159265358979f;
+    const Vec3 up{0, height, 0};
+
+    auto rim = [&](int i) {
+        const float phi = 2.0f * pi * float(i) / float(n);
+        return base + radius * Vec3{std::cos(phi), 0, std::sin(phi)};
+    };
+
+    for (int i = 0; i < n; ++i) {
+        Vec3 a = rim(i), b = rim(i + 1);
+        mesh.addTriangle({a, b, b + up}, mat);
+        mesh.addTriangle({a, b + up, a + up}, mat);
+    }
+}
+
+} // namespace cooprt::scene

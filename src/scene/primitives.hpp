@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tessellated primitive shapes used by the procedural scene
+ * generators: quads, boxes, spheres, cones, disks and heightfields.
+ */
+
+#ifndef COOPRT_SCENE_PRIMITIVES_HPP
+#define COOPRT_SCENE_PRIMITIVES_HPP
+
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+#include "scene/mesh.hpp"
+
+namespace cooprt::scene {
+
+/**
+ * Append a quad (two triangles) spanned by corner @p origin and edge
+ * vectors @p eu, @p ev.
+ */
+void addQuad(Mesh &mesh, const geom::Vec3 &origin, const geom::Vec3 &eu,
+             const geom::Vec3 &ev, MaterialId mat = 0);
+
+/** Append an axis-aligned box (12 triangles). */
+void addBox(Mesh &mesh, const geom::Vec3 &lo, const geom::Vec3 &hi,
+            MaterialId mat = 0);
+
+/**
+ * Append a UV-tessellated sphere.
+ *
+ * @param segments Number of longitudinal segments (>= 3). The sphere
+ *                 produces roughly 2 * segments * (segments / 2)
+ *                 triangles.
+ */
+void addSphere(Mesh &mesh, const geom::Vec3 &center, float radius,
+               int segments, MaterialId mat = 0);
+
+/** Append a cone with its base disk at @p base, apex above it. */
+void addCone(Mesh &mesh, const geom::Vec3 &base, float radius,
+             float height, int segments, MaterialId mat = 0);
+
+/** Append a vertical cylinder (side wall only). */
+void addCylinder(Mesh &mesh, const geom::Vec3 &base, float radius,
+                 float height, int segments, MaterialId mat = 0);
+
+/**
+ * Append a heightfield grid over the XZ rectangle [lo, lo+size],
+ * with heights supplied by @p height(x, z) in grid coordinates
+ * [0, n] x [0, n]. Produces 2 * n * n triangles.
+ */
+template <typename HeightFn>
+void
+addHeightfield(Mesh &mesh, const geom::Vec3 &lo, float size_x,
+               float size_z, int n, HeightFn height, MaterialId mat = 0)
+{
+    auto p = [&](int i, int j) {
+        float x = lo.x + size_x * float(i) / float(n);
+        float z = lo.z + size_z * float(j) / float(n);
+        return geom::Vec3{x, lo.y + height(i, j), z};
+    };
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            geom::Vec3 a = p(i, j), b = p(i + 1, j);
+            geom::Vec3 c = p(i + 1, j + 1), d = p(i, j + 1);
+            mesh.addTriangle({a, b, c}, mat);
+            mesh.addTriangle({a, c, d}, mat);
+        }
+    }
+}
+
+} // namespace cooprt::scene
+
+#endif // COOPRT_SCENE_PRIMITIVES_HPP

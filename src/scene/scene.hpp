@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A complete renderable scene: geometry, materials, camera and sky.
+ */
+
+#ifndef COOPRT_SCENE_SCENE_HPP
+#define COOPRT_SCENE_SCENE_HPP
+
+#include <string>
+
+#include "scene/camera.hpp"
+#include "scene/material.hpp"
+#include "scene/mesh.hpp"
+
+namespace cooprt::scene {
+
+/**
+ * Everything the shader workloads need to trace a frame.
+ *
+ * `sky_emission` is the radiance returned by the miss shader; scenes
+ * with an exposed sky terminate escaped rays there (the `missed`
+ * branch of Listing 1), which is the paper's primary source of
+ * inactive threads.
+ */
+struct Scene
+{
+    std::string name;
+    Mesh mesh;
+    MaterialTable materials;
+    Camera camera;
+    /** Miss-shader radiance; 0 for fully enclosed scenes. */
+    float sky_emission = 1.0f;
+    /** Default render resolution for benches (paper: 256, ours: 64). */
+    int default_resolution = 64;
+
+    const Material &materialOf(std::uint32_t prim) const
+    { return materials[mesh.materialOf(prim)]; }
+};
+
+} // namespace cooprt::scene
+
+#endif // COOPRT_SCENE_SCENE_HPP

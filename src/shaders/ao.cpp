@@ -1,0 +1,142 @@
+#include "shaders/ao.hpp"
+
+namespace cooprt::shaders {
+
+using geom::Pcg32;
+using geom::Ray;
+using geom::Vec3;
+using rtunit::kWarpSize;
+
+AmbientOcclusionProgram::AmbientOcclusionProgram(
+    const scene::Scene &scene, Film *film, int first_pixel, int width,
+    int height, const AoParams &params)
+    : scene_(scene), film_(film), params_(params)
+{
+    ao_radius_ = scene.mesh.bounds().extent().length() *
+                 params.radius_fraction;
+    const int total = width * height;
+    for (int t = 0; t < kWarpSize; ++t) {
+        const int pixel = first_pixel + t;
+        if (pixel >= total)
+            continue;
+        PixelState &p = pixels_[std::size_t(t)];
+        p.valid = true;
+        p.px = pixel % width;
+        p.py = pixel / width;
+        p.rng = Pcg32(geom::mix64(std::uint64_t(pixel) * 40503u ^
+                                  params.frame_seed),
+                      std::uint64_t(pixel));
+    }
+    width_ = width;
+    height_ = height;
+}
+
+void
+AmbientOcclusionProgram::finish(PixelState &p)
+{
+    if (film_ != nullptr) {
+        const float ao = params_.samples > 0
+                             ? float(p.unoccluded) /
+                                   float(params_.samples)
+                             : 1.0f;
+        film_->add(p.px, p.py, Vec3(ao));
+    }
+    p.shading = false;
+    p.valid = false;
+}
+
+gpu::WarpAction
+AmbientOcclusionProgram::makeRound()
+{
+    gpu::WarpAction a;
+    // Occlusion queries terminate at the first hit (any-hit).
+    a.trace.any_hit = true;
+    a.cost = params_.shade_cost;
+    a.kind = gpu::WarpAction::Kind::Finish;
+    for (int t = 0; t < kWarpSize; ++t) {
+        PixelState &p = pixels_[std::size_t(t)];
+        if (!p.valid || !p.shading)
+            continue;
+        // Short occlusion ray in the hemisphere around the normal.
+        const Vec3 dir = p.rng.nextCosineHemisphere(p.normal);
+        a.trace.rays[std::size_t(t)] =
+            Ray(p.hit_point, dir, 1e-3f, ao_radius_);
+        a.kind = gpu::WarpAction::Kind::Trace;
+    }
+    return a;
+}
+
+gpu::WarpAction
+AmbientOcclusionProgram::start()
+{
+    gpu::WarpAction a;
+    a.cost = params_.shade_cost;
+    a.kind = gpu::WarpAction::Kind::Finish;
+    for (int t = 0; t < kWarpSize; ++t) {
+        PixelState &p = pixels_[std::size_t(t)];
+        if (!p.valid)
+            continue;
+        a.trace.rays[std::size_t(t)] = scene_.camera.primaryRay(
+            p.px, p.py, width_, height_, 0.5f, 0.5f);
+        a.kind = gpu::WarpAction::Kind::Trace;
+    }
+    round_ = 0;
+    return a;
+}
+
+gpu::WarpAction
+AmbientOcclusionProgram::resume(const rtunit::TraceResult &result)
+{
+    if (round_ == 0) {
+        // Primary hits: set up shading points.
+        for (int t = 0; t < kWarpSize; ++t) {
+            PixelState &p = pixels_[std::size_t(t)];
+            if (!p.valid)
+                continue;
+            const auto &hit = result.hits[std::size_t(t)];
+            if (!hit.hit()) {
+                // Sky pixel: fully unoccluded.
+                p.unoccluded = params_.samples;
+                finish(p);
+                continue;
+            }
+            const Ray primary = scene_.camera.primaryRay(
+                p.px, p.py, width_, height_, 0.5f, 0.5f);
+            p.hit_point = primary.at(hit.thit);
+            p.normal = hit.normal;
+            p.shading = true;
+        }
+    } else {
+        for (int t = 0; t < kWarpSize; ++t) {
+            PixelState &p = pixels_[std::size_t(t)];
+            if (!p.valid || !p.shading)
+                continue;
+            if (!result.hits[std::size_t(t)].hit())
+                p.unoccluded++;
+            if (round_ >= params_.samples)
+                finish(p);
+        }
+    }
+    round_++;
+    if (round_ > params_.samples) {
+        gpu::WarpAction done;
+        done.cost = params_.shade_cost;
+        done.kind = gpu::WarpAction::Kind::Finish;
+        return done;
+    }
+    return makeRound();
+}
+
+std::vector<std::unique_ptr<gpu::WarpProgram>>
+makeAmbientOcclusionFrame(const scene::Scene &scene, Film *film,
+                          int width, int height, const AoParams &params)
+{
+    std::vector<std::unique_ptr<gpu::WarpProgram>> out;
+    const int total = width * height;
+    for (int first = 0; first < total; first += kWarpSize)
+        out.push_back(std::make_unique<AmbientOcclusionProgram>(
+            scene, film, first, width, height, params));
+    return out;
+}
+
+} // namespace cooprt::shaders

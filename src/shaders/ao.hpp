@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ambient-occlusion shader workload (paper Section 7.3): a primary
+ * closest-hit ray per pixel, then a small number of short, localized
+ * occlusion rays from the hit point. Much more coherent than path
+ * tracing, hence less headroom for CoopRT.
+ */
+
+#ifndef COOPRT_SHADERS_AO_HPP
+#define COOPRT_SHADERS_AO_HPP
+
+#include <memory>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "gpu/warp_program.hpp"
+#include "scene/scene.hpp"
+#include "shaders/film.hpp"
+
+namespace cooprt::shaders {
+
+/** AO parameters. */
+struct AoParams
+{
+    /** Occlusion rays per pixel after the primary hit. */
+    int samples = 4;
+    /** Occlusion radius as a fraction of the scene diagonal. */
+    float radius_fraction = 0.05f;
+    std::uint64_t frame_seed = 2;
+    gpu::ShadingCost shade_cost{12, 3, 4};
+};
+
+/**
+ * Per-warp AO program: primary trace, then `samples` rounds of
+ * hemisphere occlusion rays; the pixel value is the unoccluded
+ * fraction.
+ */
+class AmbientOcclusionProgram : public gpu::WarpProgram
+{
+  public:
+    AmbientOcclusionProgram(const scene::Scene &scene, Film *film,
+                            int first_pixel, int width, int height,
+                            const AoParams &params);
+
+    gpu::WarpAction start() override;
+    gpu::WarpAction resume(const rtunit::TraceResult &result) override;
+
+  private:
+    struct PixelState
+    {
+        bool valid = false;   ///< pixel exists
+        bool shading = false; ///< primary hit found, AO in progress
+        int px = 0, py = 0;
+        geom::Vec3 hit_point;
+        geom::Vec3 normal;
+        int unoccluded = 0;
+        geom::Pcg32 rng;
+    };
+
+    gpu::WarpAction makeRound();
+    void finish(PixelState &p);
+
+    const scene::Scene &scene_;
+    Film *film_;
+    AoParams params_;
+    float ao_radius_;
+    int width_ = 0, height_ = 0;
+    std::array<PixelState, rtunit::kWarpSize> pixels_;
+    int round_ = 0; ///< 0 = primary, 1..samples = AO rays
+};
+
+/** One AO program per warp over the frame. */
+std::vector<std::unique_ptr<gpu::WarpProgram>>
+makeAmbientOcclusionFrame(const scene::Scene &scene, Film *film,
+                          int width, int height,
+                          const AoParams &params = {});
+
+} // namespace cooprt::shaders
+
+#endif // COOPRT_SHADERS_AO_HPP

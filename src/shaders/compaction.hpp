@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Active-thread compaction baseline (Wald, HPG'11; paper Sections 3
+ * and 8.1): at every bounce, the still-alive paths from the whole
+ * frame are compacted into as few full warps as possible before the
+ * next trace_ray.
+ *
+ * The paper argues this addresses *inactive* threads but not *early
+ * finishing* ones, and costs a global reorganization point per
+ * bounce — this implementation makes both effects measurable: warps
+ * are re-packed between bounces (so trace_ray sees full warps), but
+ * each bounce is a machine-wide barrier.
+ */
+
+#ifndef COOPRT_SHADERS_COMPACTION_HPP
+#define COOPRT_SHADERS_COMPACTION_HPP
+
+#include "bvh/flat_bvh.hpp"
+#include "gpu/gpu.hpp"
+#include "scene/scene.hpp"
+#include "shaders/film.hpp"
+#include "shaders/path_tracer.hpp"
+
+namespace cooprt::shaders {
+
+/** Result of a compacted path-traced frame. */
+struct CompactionResult
+{
+    /** Total cycles summed over the per-bounce passes. */
+    std::uint64_t cycles = 0;
+    /** Cycles of each bounce pass. */
+    std::vector<std::uint64_t> bounce_cycles;
+    /** Warps traced per bounce (shrinks as paths die). */
+    std::vector<std::size_t> bounce_warps;
+    /** trace_ray count over the frame. */
+    std::uint64_t traces = 0;
+};
+
+/**
+ * Path-trace a frame with per-bounce active-thread compaction.
+ *
+ * @param sc     Scene (materials, camera, sky).
+ * @param flat   Its BVH.
+ * @param config GPU configuration (CoopRT may be enabled on top).
+ * @param res    Square frame resolution.
+ * @param params Bounce limit, seed, per-bounce shading cost.
+ * @param film   Optional output image; pixel results are identical
+ *               to the uncompacted path tracer's.
+ */
+CompactionResult runCompactedPathTrace(const scene::Scene &sc,
+                                       const bvh::FlatBvh &flat,
+                                       const gpu::GpuConfig &config,
+                                       int res,
+                                       const PtParams &params = {},
+                                       Film *film = nullptr);
+
+} // namespace cooprt::shaders
+
+#endif // COOPRT_SHADERS_COMPACTION_HPP

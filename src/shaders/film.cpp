@@ -1,0 +1,67 @@
+#include "shaders/film.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace cooprt::shaders {
+
+double
+Film::averageLuminance() const
+{
+    if (pixels_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &p : pixels_)
+        sum += 0.2126 * p.x + 0.7152 * p.y + 0.0722 * p.z;
+    return sum / double(pixels_.size());
+}
+
+double
+Film::mse(const Film &other) const
+{
+    if (other.width_ != width_ || other.height_ != height_)
+        throw std::invalid_argument("Film::mse: dimension mismatch");
+    if (pixels_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < pixels_.size(); ++i) {
+        const auto d = pixels_[i] - other.pixels_[i];
+        sum += double(d.x) * d.x + double(d.y) * d.y +
+               double(d.z) * d.z;
+    }
+    return sum / (3.0 * double(pixels_.size()));
+}
+
+double
+Film::psnr(const Film &other) const
+{
+    const double e = mse(other);
+    if (e <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(1.0 / e);
+}
+
+void
+Film::writePpm(const std::string &path, float exposure) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("Film: cannot open " + path);
+    f << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+    auto encode = [exposure](float v) {
+        const float e = std::pow(std::max(0.0f, v * exposure),
+                                 1.0f / 2.2f);
+        return static_cast<unsigned char>(
+            std::clamp(e, 0.0f, 1.0f) * 255.0f + 0.5f);
+    };
+    for (const auto &p : pixels_) {
+        const unsigned char rgb[3] = {encode(p.x), encode(p.y),
+                                      encode(p.z)};
+        f.write(reinterpret_cast<const char *>(rgb), 3);
+    }
+}
+
+} // namespace cooprt::shaders

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The output image: per-pixel radiance accumulation and PPM export.
+ */
+
+#ifndef COOPRT_SHADERS_FILM_HPP
+#define COOPRT_SHADERS_FILM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace cooprt::shaders {
+
+/**
+ * A linear-radiance frame buffer. Pixels accumulate sample radiance;
+ * `writePpm` tone-maps (simple gamma) to 8-bit PPM.
+ */
+class Film
+{
+  public:
+    Film(int width, int height)
+        : width_(width), height_(height),
+          pixels_(std::size_t(width) * std::size_t(height))
+    {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Add @p radiance to pixel (@p x, @p y). */
+    void
+    add(int x, int y, const geom::Vec3 &radiance)
+    {
+        pixels_[index(x, y)] += radiance;
+        samples_added_++;
+    }
+
+    const geom::Vec3 &pixel(int x, int y) const
+    { return pixels_[index(x, y)]; }
+
+    std::uint64_t samplesAdded() const { return samples_added_; }
+
+    /** Average luminance over the frame (for tests). */
+    double averageLuminance() const;
+
+    /**
+     * Mean squared error against @p other (same dimensions required;
+     * throws std::invalid_argument otherwise).
+     */
+    double mse(const Film &other) const;
+
+    /**
+     * Peak signal-to-noise ratio in dB against @p other, with peak
+     * radiance 1.0; returns +inf for identical images.
+     */
+    double psnr(const Film &other) const;
+
+    /** Write as a binary P6 PPM with 1/2.2 gamma. */
+    void writePpm(const std::string &path, float exposure = 1.0f) const;
+
+  private:
+    std::size_t
+    index(int x, int y) const
+    {
+        return std::size_t(y) * std::size_t(width_) + std::size_t(x);
+    }
+
+    int width_;
+    int height_;
+    std::vector<geom::Vec3> pixels_;
+    std::uint64_t samples_added_ = 0;
+};
+
+} // namespace cooprt::shaders
+
+#endif // COOPRT_SHADERS_FILM_HPP

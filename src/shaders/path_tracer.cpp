@@ -1,0 +1,161 @@
+#include "shaders/path_tracer.hpp"
+
+#include "bvh/traversal.hpp"
+
+namespace cooprt::shaders {
+
+using geom::HitRecord;
+using geom::Pcg32;
+using geom::Ray;
+using geom::Vec3;
+using rtunit::kWarpSize;
+
+PathTracerProgram::PathTracerProgram(const scene::Scene &scene,
+                                     Film *film, int first_pixel,
+                                     int width, int height,
+                                     const PtParams &params)
+    : scene_(scene), film_(film), params_(params)
+{
+    const int total = width * height;
+    for (int t = 0; t < kWarpSize; ++t) {
+        const int pixel = first_pixel + t;
+        if (pixel >= total)
+            continue;
+        PathState &p = paths_[std::size_t(t)];
+        p.alive = true;
+        p.px = pixel % width;
+        p.py = pixel / width;
+        p.rng = Pcg32(geom::mix64(std::uint64_t(pixel) * 2654435761u ^
+                                  params.frame_seed),
+                      std::uint64_t(pixel));
+        p.ray = scene.camera.primaryRay(p.px, p.py, width, height,
+                                        p.rng.nextFloat(),
+                                        p.rng.nextFloat());
+    }
+}
+
+void
+PathTracerProgram::terminate(PathState &p, const Vec3 &radiance)
+{
+    if (film_ != nullptr)
+        film_->add(p.px, p.py, radiance);
+    p.alive = false;
+}
+
+gpu::WarpAction
+PathTracerProgram::makeTraceAction()
+{
+    gpu::WarpAction a;
+    a.cost = params_.bounce_cost;
+    a.kind = gpu::WarpAction::Kind::Finish;
+    for (int t = 0; t < kWarpSize; ++t) {
+        if (!paths_[std::size_t(t)].alive)
+            continue;
+        a.kind = gpu::WarpAction::Kind::Trace;
+        a.trace.rays[std::size_t(t)] = paths_[std::size_t(t)].ray;
+    }
+    if (a.kind == gpu::WarpAction::Kind::Trace)
+        bounce_++;
+    return a;
+}
+
+gpu::WarpAction
+PathTracerProgram::start()
+{
+    return makeTraceAction();
+}
+
+gpu::WarpAction
+PathTracerProgram::resume(const rtunit::TraceResult &result)
+{
+    for (int t = 0; t < kWarpSize; ++t) {
+        PathState &p = paths_[std::size_t(t)];
+        if (!p.alive)
+            continue;
+        const HitRecord &hit = result.hits[std::size_t(t)];
+
+        if (!hit.hit()) { // missed the scene -> miss shader
+            terminate(p, p.throughput * scene_.sky_emission);
+            continue;
+        }
+        const scene::Material &mat = scene_.materialOf(hit.prim_id);
+        if (mat.isLight()) { // closest-hit on an emitter
+            terminate(p, p.throughput * mat.emission);
+            continue;
+        }
+        if (p.rng.nextFloat() >= mat.scatter_prob) { // !scattered
+            terminate(p, Vec3{0, 0, 0});
+            continue;
+        }
+        // Lambertian bounce.
+        p.throughput = p.throughput * mat.albedo;
+        const Vec3 origin = p.ray.at(hit.thit);
+        const Vec3 dir = p.rng.nextCosineHemisphere(hit.normal);
+        p.ray = Ray(origin, dir);
+    }
+
+    if (bounce_ >= params_.max_bounces) {
+        // Loop bound reached: surviving paths contribute nothing.
+        for (auto &p : paths_)
+            if (p.alive)
+                terminate(p, Vec3{0, 0, 0});
+    }
+    return makeTraceAction();
+}
+
+std::vector<std::unique_ptr<gpu::WarpProgram>>
+makePathTracerFrame(const scene::Scene &scene, Film *film, int width,
+                    int height, const PtParams &params)
+{
+    std::vector<std::unique_ptr<gpu::WarpProgram>> out;
+    const int total = width * height;
+    for (int first = 0; first < total; first += kWarpSize)
+        out.push_back(std::make_unique<PathTracerProgram>(
+            scene, film, first, width, height, params));
+    return out;
+}
+
+void
+renderReference(const scene::Scene &scene, const bvh::FlatBvh &bvh,
+                Film &film, int spp, const PtParams &params)
+{
+    for (int py = 0; py < film.height(); ++py) {
+        for (int px = 0; px < film.width(); ++px) {
+            const int pixel = py * film.width() + px;
+            Pcg32 rng(geom::mix64(std::uint64_t(pixel) * 2654435761u ^
+                                  params.frame_seed),
+                      std::uint64_t(pixel));
+            Vec3 total{0, 0, 0};
+            for (int s = 0; s < spp; ++s) {
+                Ray ray = scene.camera.primaryRay(
+                    px, py, film.width(), film.height(),
+                    rng.nextFloat(), rng.nextFloat());
+                Vec3 throughput{1, 1, 1};
+                Vec3 radiance{0, 0, 0};
+                for (int b = 0; b < params.max_bounces; ++b) {
+                    HitRecord hit =
+                        bvh::closestHit(bvh, scene.mesh, ray);
+                    if (!hit.hit()) {
+                        radiance = throughput * scene.sky_emission;
+                        break;
+                    }
+                    const scene::Material &mat =
+                        scene.materialOf(hit.prim_id);
+                    if (mat.isLight()) {
+                        radiance = throughput * mat.emission;
+                        break;
+                    }
+                    if (rng.nextFloat() >= mat.scatter_prob)
+                        break;
+                    throughput = throughput * mat.albedo;
+                    ray = Ray(ray.at(hit.thit),
+                              rng.nextCosineHemisphere(hit.normal));
+                }
+                total += radiance;
+            }
+            film.add(px, py, total / float(spp));
+        }
+    }
+}
+
+} // namespace cooprt::shaders

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The path-tracing workload (paper Listing 1): a raygen shader whose
+ * loop traces up to NUM_BOUNCES rays per pixel, breaking on miss, on
+ * hitting a light, or when the surface absorbs ("!scattered").
+ *
+ * Two forms are provided:
+ *  - `PathTracerProgram`: the timing-level WarpProgram the GPU
+ *    simulator executes (one per warp of 32 pixels);
+ *  - `renderReference()`: the functional CPU path tracer used by the
+ *    image examples and as the correctness oracle in tests.
+ */
+
+#ifndef COOPRT_SHADERS_PATH_TRACER_HPP
+#define COOPRT_SHADERS_PATH_TRACER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "bvh/flat_bvh.hpp"
+#include "geom/rng.hpp"
+#include "gpu/warp_program.hpp"
+#include "scene/scene.hpp"
+#include "shaders/film.hpp"
+
+namespace cooprt::shaders {
+
+/** Path-tracing parameters (paper: 16 bounces, 1 sample per pixel). */
+struct PtParams
+{
+    int max_bounces = 16;
+    std::uint64_t frame_seed = 1;
+    /**
+     * Per-bounce shading costs for the Fig. 1 stall attribution:
+     * ray setup / hit processing (ALU), scatter sampling (SFU),
+     * hit-attribute and frame-buffer traffic (MEM).
+     */
+    gpu::ShadingCost bounce_cost{28, 6, 8};
+};
+
+/**
+ * Per-warp path tracer: 32 consecutive pixels of the frame. Threads
+ * whose path terminated are inactive in subsequent trace_ray
+ * instructions — exactly the divergence the paper exploits.
+ */
+class PathTracerProgram : public gpu::WarpProgram
+{
+  public:
+    /**
+     * @param scene       Scene (materials, camera, sky).
+     * @param film        Output image (may be nullptr to discard).
+     * @param first_pixel Linear index of this warp's first pixel.
+     * @param width,height Frame dimensions.
+     * @param params      Bounce limit and costs.
+     */
+    PathTracerProgram(const scene::Scene &scene, Film *film,
+                      int first_pixel, int width, int height,
+                      const PtParams &params);
+
+    gpu::WarpAction start() override;
+    gpu::WarpAction resume(const rtunit::TraceResult &result) override;
+
+    /** Bounces actually issued so far (for tests). */
+    int bouncesIssued() const { return bounce_; }
+
+  private:
+    struct PathState
+    {
+        bool alive = false;
+        int px = 0, py = 0;
+        geom::Ray ray;
+        geom::Vec3 throughput{1, 1, 1};
+        geom::Pcg32 rng;
+    };
+
+    gpu::WarpAction makeTraceAction();
+    void terminate(PathState &p, const geom::Vec3 &radiance);
+
+    const scene::Scene &scene_;
+    Film *film_;
+    PtParams params_;
+    std::array<PathState, rtunit::kWarpSize> paths_;
+    int bounce_ = 0;
+};
+
+/**
+ * Build one PathTracerProgram per warp covering a width x height
+ * frame (32 consecutive pixels per warp, the Vulkan-sim default of
+ * one warp per thread block).
+ */
+std::vector<std::unique_ptr<gpu::WarpProgram>>
+makePathTracerFrame(const scene::Scene &scene, Film *film, int width,
+                    int height, const PtParams &params = {});
+
+/**
+ * Functional CPU path tracer (no timing): renders @p spp samples per
+ * pixel into @p film using the reference traversal. Deterministic for
+ * a given seed.
+ */
+void renderReference(const scene::Scene &scene, const bvh::FlatBvh &bvh,
+                     Film &film, int spp = 1, const PtParams &params = {});
+
+} // namespace cooprt::shaders
+
+#endif // COOPRT_SHADERS_PATH_TRACER_HPP

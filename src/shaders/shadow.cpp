@@ -1,0 +1,174 @@
+#include "shaders/shadow.hpp"
+
+#include <cmath>
+
+namespace cooprt::shaders {
+
+using geom::Pcg32;
+using geom::Ray;
+using geom::Vec3;
+using rtunit::kWarpSize;
+
+LightSampler::LightSampler(const scene::Scene &scene) : scene_(scene)
+{
+    for (std::uint32_t i = 0; i < scene.mesh.size(); ++i)
+        if (scene.materialOf(i).isLight())
+            light_prims_.push_back(i);
+}
+
+Vec3
+LightSampler::samplePoint(Pcg32 &rng) const
+{
+    if (light_prims_.empty())
+        return scene_.mesh.bounds().centroid();
+    const std::uint32_t prim = light_prims_[rng.nextBelow(
+        std::uint32_t(light_prims_.size()))];
+    const geom::Triangle &t = scene_.mesh.tri(prim);
+    // Uniform barycentric sample.
+    float u = rng.nextFloat(), v = rng.nextFloat();
+    if (u + v > 1.0f) {
+        u = 1.0f - u;
+        v = 1.0f - v;
+    }
+    return t.v0 * (1.0f - u - v) + t.v1 * u + t.v2 * v;
+}
+
+ShadowProgram::ShadowProgram(const scene::Scene &scene,
+                             const LightSampler &lights, Film *film,
+                             int first_pixel, int width, int height,
+                             const ShadowParams &params)
+    : scene_(scene), lights_(lights), film_(film), params_(params),
+      width_(width), height_(height)
+{
+    const int total = width * height;
+    for (int t = 0; t < kWarpSize; ++t) {
+        const int pixel = first_pixel + t;
+        if (pixel >= total)
+            continue;
+        PixelState &p = pixels_[std::size_t(t)];
+        p.valid = true;
+        p.px = pixel % width;
+        p.py = pixel / width;
+        p.rng = Pcg32(geom::mix64(std::uint64_t(pixel) * 69069u ^
+                                  params.frame_seed),
+                      std::uint64_t(pixel));
+    }
+}
+
+void
+ShadowProgram::finish(PixelState &p)
+{
+    if (film_ != nullptr) {
+        const float lit = params_.samples > 0
+                              ? float(p.lit) / float(params_.samples)
+                              : 1.0f;
+        film_->add(p.px, p.py, Vec3(0.15f + 0.85f * lit));
+    }
+    p.shading = false;
+    p.valid = false;
+}
+
+gpu::WarpAction
+ShadowProgram::makeRound()
+{
+    gpu::WarpAction a;
+    // Occlusion queries terminate at the first hit (any-hit).
+    a.trace.any_hit = true;
+    a.cost = params_.shade_cost;
+    a.kind = gpu::WarpAction::Kind::Finish;
+    for (int t = 0; t < kWarpSize; ++t) {
+        PixelState &p = pixels_[std::size_t(t)];
+        if (!p.valid || !p.shading)
+            continue;
+        const Vec3 light = lights_.samplePoint(p.rng);
+        const Vec3 d = light - p.hit_point;
+        const float dist = d.length();
+        if (dist < 1e-3f) {
+            // Shading point effectively on the light: lit for free.
+            p.lit++;
+            p.issued = false;
+            continue;
+        }
+        a.trace.rays[std::size_t(t)] =
+            Ray(p.hit_point, d / dist, 1e-3f, dist - 1e-3f);
+        p.issued = true;
+        a.kind = gpu::WarpAction::Kind::Trace;
+    }
+    return a;
+}
+
+gpu::WarpAction
+ShadowProgram::start()
+{
+    gpu::WarpAction a;
+    a.cost = params_.shade_cost;
+    a.kind = gpu::WarpAction::Kind::Finish;
+    for (int t = 0; t < kWarpSize; ++t) {
+        PixelState &p = pixels_[std::size_t(t)];
+        if (!p.valid)
+            continue;
+        a.trace.rays[std::size_t(t)] = scene_.camera.primaryRay(
+            p.px, p.py, width_, height_, 0.5f, 0.5f);
+        a.kind = gpu::WarpAction::Kind::Trace;
+    }
+    round_ = 0;
+    return a;
+}
+
+gpu::WarpAction
+ShadowProgram::resume(const rtunit::TraceResult &result)
+{
+    if (round_ == 0) {
+        for (int t = 0; t < kWarpSize; ++t) {
+            PixelState &p = pixels_[std::size_t(t)];
+            if (!p.valid)
+                continue;
+            const auto &hit = result.hits[std::size_t(t)];
+            if (!hit.hit()) {
+                p.lit = params_.samples; // sky: fully lit
+                finish(p);
+                continue;
+            }
+            const Ray primary = scene_.camera.primaryRay(
+                p.px, p.py, width_, height_, 0.5f, 0.5f);
+            // Offset slightly along the normal against self-shadowing.
+            p.hit_point = primary.at(hit.thit) + hit.normal * 1e-3f;
+            p.shading = true;
+        }
+    } else {
+        for (int t = 0; t < kWarpSize; ++t) {
+            PixelState &p = pixels_[std::size_t(t)];
+            if (!p.valid || !p.shading)
+                continue;
+            // Shadow ray that reaches the light unobstructed = lit.
+            if (p.issued && !result.hits[std::size_t(t)].hit())
+                p.lit++;
+            p.issued = false;
+            if (round_ >= params_.samples)
+                finish(p);
+        }
+    }
+    round_++;
+    if (round_ > params_.samples) {
+        gpu::WarpAction done;
+        done.cost = params_.shade_cost;
+        done.kind = gpu::WarpAction::Kind::Finish;
+        return done;
+    }
+    return makeRound();
+}
+
+std::vector<std::unique_ptr<gpu::WarpProgram>>
+makeShadowFrame(const scene::Scene &scene, const LightSampler &lights,
+                Film *film, int width, int height,
+                const ShadowParams &params)
+{
+    std::vector<std::unique_ptr<gpu::WarpProgram>> out;
+    const int total = width * height;
+    for (int first = 0; first < total; first += kWarpSize)
+        out.push_back(std::make_unique<ShadowProgram>(
+            scene, lights, film, first, width, height, params));
+    return out;
+}
+
+} // namespace cooprt::shaders

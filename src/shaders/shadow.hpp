@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shadow shader workload (paper Section 7.3): a primary closest-hit
+ * ray per pixel, then one shadow ray per light sample toward a point
+ * on an emissive surface. The most coherent of the three workloads.
+ */
+
+#ifndef COOPRT_SHADERS_SHADOW_HPP
+#define COOPRT_SHADERS_SHADOW_HPP
+
+#include <memory>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "gpu/warp_program.hpp"
+#include "scene/scene.hpp"
+#include "shaders/film.hpp"
+
+namespace cooprt::shaders {
+
+/** Shadow-shader parameters. */
+struct ShadowParams
+{
+    /** Shadow rays (light samples) per pixel. */
+    int samples = 2;
+    std::uint64_t frame_seed = 3;
+    gpu::ShadingCost shade_cost{10, 2, 4};
+};
+
+/**
+ * The set of emissive triangles of a scene, with uniform sampling of
+ * points on them (used by the shadow shader to aim shadow rays).
+ */
+class LightSampler
+{
+  public:
+    explicit LightSampler(const scene::Scene &scene);
+
+    bool hasLights() const { return !light_prims_.empty(); }
+
+    /** A random point on a random emissive triangle. */
+    geom::Vec3 samplePoint(geom::Pcg32 &rng) const;
+
+  private:
+    const scene::Scene &scene_;
+    std::vector<std::uint32_t> light_prims_;
+};
+
+/**
+ * Per-warp shadow program: primary trace, then `samples` shadow rays
+ * toward light points. Pixel value = lit fraction.
+ */
+class ShadowProgram : public gpu::WarpProgram
+{
+  public:
+    ShadowProgram(const scene::Scene &scene,
+                  const LightSampler &lights, Film *film,
+                  int first_pixel, int width, int height,
+                  const ShadowParams &params);
+
+    gpu::WarpAction start() override;
+    gpu::WarpAction resume(const rtunit::TraceResult &result) override;
+
+  private:
+    struct PixelState
+    {
+        bool valid = false;
+        bool shading = false;
+        bool issued = false; ///< a shadow ray is in flight this round
+        int px = 0, py = 0;
+        geom::Vec3 hit_point;
+        int lit = 0;
+        geom::Pcg32 rng;
+    };
+
+    gpu::WarpAction makeRound();
+    void finish(PixelState &p);
+
+    const scene::Scene &scene_;
+    const LightSampler &lights_;
+    Film *film_;
+    ShadowParams params_;
+    int width_ = 0, height_ = 0;
+    std::array<PixelState, rtunit::kWarpSize> pixels_;
+    int round_ = 0;
+};
+
+/** One shadow program per warp over the frame. */
+std::vector<std::unique_ptr<gpu::WarpProgram>>
+makeShadowFrame(const scene::Scene &scene, const LightSampler &lights,
+                Film *film, int width, int height,
+                const ShadowParams &params = {});
+
+} // namespace cooprt::shaders
+
+#endif // COOPRT_SHADERS_SHADOW_HPP

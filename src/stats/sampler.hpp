@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Interval activity sampling, mirroring the AerialVision-style stats
+ * the paper uses: "At every 500 GPU cycles, we collect the number of
+ * busy threads in RT unit ... and divide them by the number of total
+ * threads" (Section 7.1). Drives Figs. 2, 10 and 11.
+ */
+
+#ifndef COOPRT_STATS_SAMPLER_HPP
+#define COOPRT_STATS_SAMPLER_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace cooprt::stats {
+
+/**
+ * Fixed-interval ratio sampler.
+ *
+ * Call `sample(cycle, busy, total)` whenever the simulator crosses a
+ * sampling boundary; the sampler stores busy/total per interval and
+ * reports the time series and its average.
+ */
+class ActivitySampler
+{
+  public:
+    explicit ActivitySampler(std::uint64_t interval = 500)
+        : interval_(interval)
+    {}
+
+    std::uint64_t interval() const { return interval_; }
+
+    /** True when @p cycle has crossed into a new sampling interval. */
+    bool
+    due(std::uint64_t cycle) const
+    {
+        return cycle >= next_;
+    }
+
+    /** The next sampling boundary cycle. */
+    std::uint64_t nextDue() const { return next_; }
+
+    /**
+     * Advance past @p cycle without recording (used when nothing is
+     * resident and the interval should not be back-filled).
+     */
+    void
+    skip(std::uint64_t cycle)
+    {
+        while (next_ <= cycle)
+            next_ += interval_;
+    }
+
+    /** Record one sample and advance the next sampling boundary. */
+    void
+    sample(std::uint64_t cycle, std::uint64_t busy, std::uint64_t total)
+    {
+        busy_.push_back(busy);
+        total_.push_back(total);
+        // Skip ahead past idle gaps instead of back-filling them.
+        while (next_ <= cycle)
+            next_ += interval_;
+    }
+
+    std::size_t sampleCount() const { return busy_.size(); }
+
+    /** Ratio of sample @p i, in [0, 1]. */
+    double
+    ratioAt(std::size_t i) const
+    {
+        return total_[i] == 0 ? 0.0
+                              : double(busy_[i]) / double(total_[i]);
+    }
+
+    /** Average of the per-sample ratios (the paper's utilization). */
+    double
+    averageRatio() const
+    {
+        if (busy_.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (std::size_t i = 0; i < busy_.size(); ++i)
+            sum += ratioAt(i);
+        return sum / double(busy_.size());
+    }
+
+    /** Full time series of ratios. */
+    std::vector<double>
+    series() const
+    {
+        std::vector<double> out(busy_.size());
+        for (std::size_t i = 0; i < busy_.size(); ++i)
+            out[i] = ratioAt(i);
+        return out;
+    }
+
+    void
+    reset()
+    {
+        busy_.clear();
+        total_.clear();
+        next_ = 0;
+    }
+
+  private:
+    std::uint64_t interval_;
+    std::uint64_t next_ = 0;
+    std::vector<std::uint64_t> busy_;
+    std::vector<std::uint64_t> total_;
+};
+
+} // namespace cooprt::stats
+
+#endif // COOPRT_STATS_SAMPLER_HPP

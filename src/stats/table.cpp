@@ -1,0 +1,127 @@
+#include "stats/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cooprt::stats {
+
+const std::string Table::empty_;
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    if (rows_.empty())
+        throw std::logic_error("Table::cell before Table::row");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    return cell(ss.str());
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+const std::string &
+Table::at(std::size_t r, std::size_t c) const
+{
+    if (r >= rows_.size())
+        throw std::out_of_range("Table::at row");
+    if (c >= rows_[r].size())
+        return empty_;
+    return rows_[r][c];
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    // First column (labels) left-justified, the rest right-justified.
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : empty_;
+            if (c)
+                os << "  " << std::right;
+            else
+                os << std::left;
+            os << std::setw(int(widths[c])) << v;
+        }
+        os << '\n';
+    };
+
+    emitRow(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "  " : "") << std::string(widths[c], '-');
+    os << '\n';
+    for (const auto &r : rows_)
+        emitRow(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << headers_[c];
+    os << '\n';
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            os << (c ? "," : "") << (c < r.size() ? r[c] : empty_);
+        os << '\n';
+    }
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            throw std::domain_error("geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+} // namespace cooprt::stats

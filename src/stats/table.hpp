@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-width table printer used by the bench harness to emit the
+ * paper's tables and figure series in a readable and a CSV form.
+ */
+
+#ifndef COOPRT_STATS_TABLE_HPP
+#define COOPRT_STATS_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cooprt::stats {
+
+/**
+ * A simple column-oriented table. Cells are strings; numeric helpers
+ * format with a fixed precision. Print as aligned text or CSV.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+    /** Append a numeric cell with @p precision decimals. */
+    Table &cell(double value, int precision = 2);
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t value);
+
+    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t columnCount() const { return headers_.size(); }
+
+    /** The cell at (@p r, @p c); empty string when short row. */
+    const std::string &at(std::size_t r, std::size_t c) const;
+
+    /** Print with aligned columns. */
+    void print(std::ostream &os) const;
+    /** Print as CSV (no escaping of commas; labels are simple). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    static const std::string empty_;
+};
+
+/** Geometric mean of @p values (which must all be positive). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+} // namespace cooprt::stats
+
+#endif // COOPRT_STATS_TABLE_HPP

@@ -1,0 +1,69 @@
+#include "stats/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cooprt::stats {
+
+std::uint64_t
+TimelineRecorder::firstCycle() const
+{
+    std::uint64_t first = ~0ULL;
+    for (const auto &lane : intervals_)
+        if (!lane.empty())
+            first = std::min(first, lane.front().begin);
+    return first == ~0ULL ? 0 : first;
+}
+
+std::uint64_t
+TimelineRecorder::lastCycle() const
+{
+    std::uint64_t last = 0;
+    for (const auto &lane : intervals_)
+        if (!lane.empty())
+            last = std::max(last, lane.back().end);
+    return last;
+}
+
+double
+TimelineRecorder::averageUtilization() const
+{
+    const std::uint64_t span = lastCycle() - firstCycle();
+    if (span == 0)
+        return 0.0;
+    std::uint64_t busy = 0;
+    for (int l = 0; l < lanes(); ++l)
+        busy += busyCycles(l);
+    return double(busy) / double(span * lanes());
+}
+
+std::string
+TimelineRecorder::render(int columns) const
+{
+    const std::uint64_t first = firstCycle();
+    const std::uint64_t last = lastCycle();
+    std::string out;
+    if (last <= first)
+        return out;
+    const double per_col = double(last - first) / double(columns);
+
+    for (int l = 0; l < lanes(); ++l) {
+        std::string row(std::size_t(columns), '.');
+        for (const auto &iv : intervals_[l]) {
+            int c0 = int(double(iv.begin - first) / per_col);
+            int c1 = int(double(iv.end - first) / per_col);
+            c0 = std::clamp(c0, 0, columns - 1);
+            c1 = std::clamp(c1, c0, columns - 1);
+            for (int c = c0; c <= c1; ++c)
+                row[std::size_t(c)] = '#';
+        }
+        char label[8];
+        std::snprintf(label, sizeof(label), "t%02d ", l);
+        out += label;
+        out += row;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace cooprt::stats

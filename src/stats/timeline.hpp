@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-thread busy-interval recorder for the paper's Fig. 11 warp
+ * timelines ("a continuous bar indicates a non-empty traversal
+ * stack"). Renders as ASCII art for the bench/example binaries.
+ */
+
+#ifndef COOPRT_STATS_TIMELINE_HPP
+#define COOPRT_STATS_TIMELINE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cooprt::stats {
+
+/** One contiguous busy interval [begin, end) in cycles. */
+struct BusyInterval
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+};
+
+/**
+ * Records, for a fixed set of lanes (threads), when each lane is busy.
+ * Call `setBusy(lane, cycle, busy)` on transitions; the recorder turns
+ * edge events into intervals.
+ */
+class TimelineRecorder
+{
+  public:
+    explicit TimelineRecorder(int lanes = 32)
+        : open_(lanes, kClosed), intervals_(lanes)
+    {}
+
+    int lanes() const { return int(intervals_.size()); }
+
+    /** Report lane state at @p cycle; repeated states are idempotent. */
+    void
+    setBusy(int lane, std::uint64_t cycle, bool busy)
+    {
+        if (busy) {
+            if (open_[lane] == kClosed)
+                open_[lane] = cycle;
+        } else if (open_[lane] != kClosed) {
+            if (cycle > open_[lane])
+                intervals_[lane].push_back({open_[lane], cycle});
+            open_[lane] = kClosed;
+        }
+    }
+
+    /** Close any still-open intervals at @p cycle. */
+    void
+    finish(std::uint64_t cycle)
+    {
+        for (int l = 0; l < lanes(); ++l)
+            setBusy(l, cycle, false);
+    }
+
+    const std::vector<BusyInterval> &intervalsOf(int lane) const
+    { return intervals_[lane]; }
+
+    /** Total busy cycles of @p lane. */
+    std::uint64_t
+    busyCycles(int lane) const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &iv : intervals_[lane])
+            sum += iv.end - iv.begin;
+        return sum;
+    }
+
+    /** First busy cycle over all lanes (0 when never busy). */
+    std::uint64_t firstCycle() const;
+    /** Last busy cycle over all lanes. */
+    std::uint64_t lastCycle() const;
+
+    /** Average lane utilization over [firstCycle, lastCycle). */
+    double averageUtilization() const;
+
+    /**
+     * Render the timeline as ASCII: one row per lane, @p columns wide,
+     * '#' where the lane is busy for the majority of the column and
+     * '.' elsewhere (the Fig. 11 bars).
+     */
+    std::string render(int columns = 80) const;
+
+  private:
+    static constexpr std::uint64_t kClosed = ~0ULL;
+    std::vector<std::uint64_t> open_;
+    std::vector<std::vector<BusyInterval>> intervals_;
+};
+
+} // namespace cooprt::stats
+
+#endif // COOPRT_STATS_TIMELINE_HPP

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the binned SAH binary BVH builder.
+ */
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.hpp"
+#include "geom/rng.hpp"
+#include "scene/primitives.hpp"
+
+namespace {
+
+using namespace cooprt;
+using bvh::BinaryBvh;
+using bvh::BinaryNode;
+using bvh::buildBinaryBvh;
+using geom::Pcg32;
+using geom::Vec3;
+using scene::Mesh;
+
+Mesh
+randomSoup(std::uint64_t seed, int n, float extent = 10.0f)
+{
+    Mesh m;
+    Pcg32 rng(seed);
+    for (int i = 0; i < n; ++i) {
+        Vec3 p = rng.nextInBox(Vec3(-extent), Vec3(extent));
+        Vec3 e1 = rng.nextUnitVector() * 0.3f;
+        Vec3 e2 = rng.nextUnitVector() * 0.3f;
+        m.addTriangle({p, p + e1, p + e2});
+    }
+    return m;
+}
+
+TEST(Builder, EmptyMeshGivesEmptyBvh)
+{
+    Mesh m;
+    EXPECT_TRUE(buildBinaryBvh(m).empty());
+}
+
+TEST(Builder, SingleTriangleIsLeafRoot)
+{
+    Mesh m;
+    m.addTriangle({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+    BinaryBvh b = buildBinaryBvh(m);
+    ASSERT_EQ(b.nodes.size(), 1u);
+    EXPECT_TRUE(b.root().isLeaf());
+    EXPECT_EQ(b.root().prim_count, 1u);
+}
+
+TEST(Builder, RootBoundsEqualMeshBounds)
+{
+    Mesh m = randomSoup(1, 500);
+    BinaryBvh b = buildBinaryBvh(m);
+    EXPECT_EQ(b.root().bounds.lo, m.bounds().lo);
+    EXPECT_EQ(b.root().bounds.hi, m.bounds().hi);
+}
+
+TEST(Builder, PrimOrderIsPermutation)
+{
+    Mesh m = randomSoup(2, 777);
+    BinaryBvh b = buildBinaryBvh(m);
+    std::set<std::uint32_t> seen(b.prim_order.begin(),
+                                 b.prim_order.end());
+    EXPECT_EQ(seen.size(), m.size());
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), std::uint32_t(m.size() - 1));
+}
+
+TEST(Builder, LeafRangesPartitionPrimOrder)
+{
+    Mesh m = randomSoup(3, 600);
+    BinaryBvh b = buildBinaryBvh(m);
+    std::vector<int> covered(m.size(), 0);
+    for (const BinaryNode &n : b.nodes) {
+        if (!n.isLeaf())
+            continue;
+        for (std::uint32_t k = 0; k < n.prim_count; ++k)
+            covered[n.first_prim + k]++;
+    }
+    for (std::size_t i = 0; i < covered.size(); ++i)
+        EXPECT_EQ(covered[i], 1) << "slot " << i;
+}
+
+TEST(Builder, ParentContainsChildren)
+{
+    Mesh m = randomSoup(4, 800);
+    BinaryBvh b = buildBinaryBvh(m);
+    const float eps = 1e-4f;
+    for (const BinaryNode &n : b.nodes) {
+        if (n.isLeaf())
+            continue;
+        cooprt::geom::AABB inflated{n.bounds.lo - Vec3(eps),
+                                    n.bounds.hi + Vec3(eps)};
+        EXPECT_TRUE(inflated.contains(b.nodes[n.left].bounds));
+        EXPECT_TRUE(inflated.contains(b.nodes[n.right].bounds));
+    }
+}
+
+TEST(Builder, LeafBoundsContainTheirPrimitives)
+{
+    Mesh m = randomSoup(5, 400);
+    BinaryBvh b = buildBinaryBvh(m);
+    const float eps = 1e-4f;
+    for (const BinaryNode &n : b.nodes) {
+        if (!n.isLeaf())
+            continue;
+        cooprt::geom::AABB inflated{n.bounds.lo - Vec3(eps),
+                                    n.bounds.hi + Vec3(eps)};
+        for (std::uint32_t k = 0; k < n.prim_count; ++k) {
+            std::uint32_t prim = b.prim_order[n.first_prim + k];
+            EXPECT_TRUE(inflated.contains(m.tri(prim).bounds()));
+        }
+    }
+}
+
+TEST(Builder, RespectsMaxLeafSize)
+{
+    Mesh m = randomSoup(6, 1000);
+    bvh::BuildConfig cfg;
+    cfg.max_leaf_size = 2;
+    BinaryBvh b = buildBinaryBvh(m, cfg);
+    for (const BinaryNode &n : b.nodes)
+        if (n.isLeaf())
+            EXPECT_LE(n.prim_count, 2u);
+}
+
+TEST(Builder, DepthIsLogarithmicForUniformSoup)
+{
+    Mesh m = randomSoup(7, 4096);
+    BinaryBvh b = buildBinaryBvh(m);
+    // 4096 prims / 4-per-leaf = 1024 leaves; a quality SAH tree
+    // should stay well under 3x the balanced depth (~10).
+    EXPECT_LE(b.maxDepth(), 32);
+    EXPECT_GE(b.maxDepth(), 10);
+}
+
+TEST(Builder, IdenticalCentroidsDoNotRecurseForever)
+{
+    // 100 triangles stacked at the same location: SAH cannot split by
+    // centroid, so the median fallback must terminate the build.
+    Mesh m;
+    for (int i = 0; i < 100; ++i)
+        m.addTriangle({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+    BinaryBvh b = buildBinaryBvh(m);
+    EXPECT_FALSE(b.empty());
+    EXPECT_LE(b.maxDepth(), 10); // ceil(log2(100/4)) + margin
+}
+
+TEST(Builder, DeterministicAcrossRuns)
+{
+    Mesh m = randomSoup(8, 500);
+    BinaryBvh a = buildBinaryBvh(m);
+    BinaryBvh b = buildBinaryBvh(m);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    EXPECT_EQ(a.prim_order, b.prim_order);
+}
+
+TEST(Builder, NodeCountLinearInPrims)
+{
+    Mesh m = randomSoup(9, 2000);
+    BinaryBvh b = buildBinaryBvh(m);
+    // A binary tree with L leaves has 2L-1 nodes; leaves hold >= 1
+    // prim each, so nodes <= 2 * prims.
+    EXPECT_LE(b.nodes.size(), 2 * m.size());
+}
+
+TEST(Builder, SahBeatsMedianOnClusteredInput)
+{
+    // Two distant clusters: SAH should isolate them near the root,
+    // which shows as the root's children having much smaller area
+    // than the root.
+    Mesh m;
+    Pcg32 rng(10);
+    for (int i = 0; i < 200; ++i) {
+        Vec3 p = rng.nextInBox(Vec3(-1), Vec3(1));
+        m.addTriangle({p, p + Vec3(0.1f, 0, 0), p + Vec3(0, 0.1f, 0)});
+    }
+    for (int i = 0; i < 200; ++i) {
+        Vec3 p = rng.nextInBox(Vec3(99), Vec3(101));
+        m.addTriangle({p, p + Vec3(0.1f, 0, 0), p + Vec3(0, 0.1f, 0)});
+    }
+    BinaryBvh b = buildBinaryBvh(m);
+    const BinaryNode &root = b.root();
+    ASSERT_FALSE(root.isLeaf());
+    float child_area = b.nodes[root.left].bounds.surfaceArea() +
+                       b.nodes[root.right].bounds.surfaceArea();
+    EXPECT_LT(child_area, 0.2f * root.bounds.surfaceArea());
+}
+
+TEST(Builder, MedianSplitBuildsValidTree)
+{
+    Mesh m = randomSoup(20, 1500);
+    bvh::BuildConfig cfg;
+    cfg.strategy = bvh::SplitStrategy::MedianSplit;
+    BinaryBvh b = buildBinaryBvh(m, cfg);
+    ASSERT_FALSE(b.empty());
+    // Same structural invariants as SAH.
+    std::size_t leaf_prims = 0;
+    for (const BinaryNode &n : b.nodes)
+        if (n.isLeaf())
+            leaf_prims += n.prim_count;
+    EXPECT_EQ(leaf_prims, m.size());
+    // Median split is perfectly balanced: depth == ceil(lg(n/leaf))+1.
+    EXPECT_LE(b.maxDepth(), 11);
+}
+
+TEST(Builder, SahProducesTighterTreesThanMedian)
+{
+    // The quality metric: total surface area of internal nodes —
+    // proportional to expected node visits for random rays.
+    Mesh m;
+    Pcg32 rng(21);
+    for (int c = 0; c < 10; ++c) {
+        Vec3 ctr = rng.nextInBox(Vec3(-40), Vec3(40));
+        for (int i = 0; i < 200; ++i) {
+            Vec3 p = ctr + rng.nextUnitVector() * 2.0f;
+            m.addTriangle({p, p + rng.nextUnitVector() * 0.3f,
+                           p + rng.nextUnitVector() * 0.3f});
+        }
+    }
+    auto area_of = [&](bvh::SplitStrategy s) {
+        bvh::BuildConfig cfg;
+        cfg.strategy = s;
+        BinaryBvh b = buildBinaryBvh(m, cfg);
+        double area = 0;
+        for (const BinaryNode &n : b.nodes)
+            if (!n.isLeaf())
+                area += n.bounds.surfaceArea();
+        return area;
+    };
+    EXPECT_LT(area_of(bvh::SplitStrategy::BinnedSah),
+              0.8 * area_of(bvh::SplitStrategy::MedianSplit));
+}
+
+/** Parameterized sweep: structural invariants hold at many sizes. */
+class BuilderSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BuilderSweep, InvariantsHold)
+{
+    Mesh m = randomSoup(11 + GetParam(), GetParam());
+    BinaryBvh b = buildBinaryBvh(m);
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(b.prim_order.size(), m.size());
+
+    std::size_t leaf_prims = 0;
+    for (const BinaryNode &n : b.nodes) {
+        if (n.isLeaf()) {
+            EXPECT_GE(n.prim_count, 1u);
+            leaf_prims += n.prim_count;
+        } else {
+            EXPECT_GE(n.left, 0);
+            EXPECT_GE(n.right, 0);
+            EXPECT_LT(std::size_t(n.left), b.nodes.size());
+            EXPECT_LT(std::size_t(n.right), b.nodes.size());
+        }
+    }
+    EXPECT_EQ(leaf_prims, m.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BuilderSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 16, 33,
+                                           100, 257, 1000, 3000));
+
+} // namespace

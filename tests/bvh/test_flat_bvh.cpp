@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the flat byte-addressed quantized BVH layout.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bvh/flat_bvh.hpp"
+#include "geom/rng.hpp"
+
+namespace {
+
+using namespace cooprt;
+using bvh::buildWideBvh;
+using bvh::ChildInfo;
+using bvh::FlatBvh;
+using bvh::kNodeBase;
+using bvh::kNodeBytes;
+using bvh::kTriBase;
+using bvh::kTriBytes;
+using bvh::NodeRef;
+using geom::Pcg32;
+using geom::Vec3;
+using scene::Mesh;
+
+Mesh
+randomSoup(std::uint64_t seed, int n)
+{
+    Mesh m;
+    Pcg32 rng(seed);
+    for (int i = 0; i < n; ++i) {
+        Vec3 p = rng.nextInBox(Vec3(-10), Vec3(10));
+        Vec3 e1 = rng.nextUnitVector() * 0.3f;
+        Vec3 e2 = rng.nextUnitVector() * 0.3f;
+        m.addTriangle({p, p + e1, p + e2});
+    }
+    return m;
+}
+
+TEST(NodeRefPacking, InternalRoundTrip)
+{
+    NodeRef r = NodeRef::internal(123456);
+    EXPECT_FALSE(r.isLeaf());
+    EXPECT_EQ(r.nodeIndex(), 123456u);
+}
+
+TEST(NodeRefPacking, LeafRoundTrip)
+{
+    NodeRef r = NodeRef::leaf(0x00abcdefu, 5);
+    EXPECT_TRUE(r.isLeaf());
+    EXPECT_EQ(r.firstSlot(), 0x00abcdefu);
+    EXPECT_EQ(r.primCount(), 5u);
+}
+
+TEST(NodeRefPacking, DefaultIsInternalZero)
+{
+    NodeRef r;
+    EXPECT_FALSE(r.isLeaf());
+    EXPECT_EQ(r.nodeIndex(), 0u);
+}
+
+TEST(FlatBvh, AddressArithmetic)
+{
+    FlatBvh flat(buildWideBvh(randomSoup(1, 500)));
+    NodeRef internal = NodeRef::internal(3);
+    EXPECT_EQ(flat.addressOf(internal), kNodeBase + 3 * kNodeBytes);
+    EXPECT_EQ(flat.fetchBytes(internal), kNodeBytes);
+
+    NodeRef leaf = NodeRef::leaf(10, 4);
+    EXPECT_EQ(flat.addressOf(leaf), kTriBase + 10 * kTriBytes);
+    EXPECT_EQ(flat.fetchBytes(leaf), 4 * kTriBytes);
+}
+
+TEST(FlatBvh, NodeAndTriRegionsDisjoint)
+{
+    FlatBvh flat(buildWideBvh(randomSoup(2, 5000)));
+    const std::uint64_t node_end =
+        kNodeBase + flat.nodeCount() * kNodeBytes;
+    EXPECT_LT(node_end, kTriBase);
+}
+
+TEST(FlatBvh, RootBoundsMatchMesh)
+{
+    Mesh m = randomSoup(3, 700);
+    FlatBvh flat(buildWideBvh(m));
+    EXPECT_EQ(flat.rootBounds().lo, m.bounds().lo);
+    EXPECT_EQ(flat.rootBounds().hi, m.bounds().hi);
+}
+
+TEST(FlatBvh, DecodedChildBoxesContainSubtreeBoxes)
+{
+    auto wide = buildWideBvh(randomSoup(4, 1000));
+    FlatBvh flat(wide);
+
+    // Walk the flat tree; every decoded child box must contain all
+    // primitives reachable below it. Check leaves directly.
+    Mesh m = randomSoup(4, 1000);
+    std::vector<NodeRef> stack{flat.root()};
+    while (!stack.empty()) {
+        NodeRef n = stack.back();
+        stack.pop_back();
+        if (n.isLeaf())
+            continue;
+        for (int c = 0; c < flat.childCount(n); ++c) {
+            ChildInfo info = flat.child(n, c);
+            if (info.ref.isLeaf()) {
+                for (std::uint32_t k = 0; k < info.ref.primCount();
+                     ++k) {
+                    std::uint32_t prim =
+                        flat.primAt(info.ref.firstSlot() + k);
+                    geom::AABB inflated{info.box.lo - Vec3(1e-3f),
+                                        info.box.hi + Vec3(1e-3f)};
+                    EXPECT_TRUE(
+                        inflated.contains(m.tri(prim).bounds()))
+                        << "prim " << prim;
+                }
+            } else {
+                stack.push_back(info.ref);
+            }
+        }
+    }
+}
+
+TEST(FlatBvh, AllLeafSlotsReachable)
+{
+    Mesh m = randomSoup(5, 800);
+    FlatBvh flat(buildWideBvh(m));
+    std::vector<int> covered(m.size(), 0);
+    std::vector<NodeRef> stack{flat.root()};
+    while (!stack.empty()) {
+        NodeRef n = stack.back();
+        stack.pop_back();
+        if (n.isLeaf()) {
+            for (std::uint32_t k = 0; k < n.primCount(); ++k)
+                covered[n.firstSlot() + k]++;
+            continue;
+        }
+        for (int c = 0; c < flat.childCount(n); ++c)
+            stack.push_back(flat.child(n, c).ref);
+    }
+    for (std::size_t i = 0; i < covered.size(); ++i)
+        ASSERT_EQ(covered[i], 1) << "slot " << i;
+}
+
+TEST(FlatBvh, StatsConsistent)
+{
+    Mesh m = randomSoup(6, 2000);
+    auto wide = buildWideBvh(m);
+    FlatBvh flat(wide);
+    auto s = flat.stats();
+    EXPECT_EQ(s.triangles, m.size());
+    EXPECT_EQ(s.internal_nodes, wide.internalCount());
+    EXPECT_EQ(s.leaf_nodes, wide.leafCount());
+    EXPECT_EQ(s.max_depth, wide.maxDepth());
+    EXPECT_EQ(s.size_bytes, s.internal_nodes * kNodeBytes +
+                                s.triangles * kTriBytes);
+    EXPECT_GT(s.sizeMiB(), 0.0);
+}
+
+TEST(FlatBvh, SingleLeafTree)
+{
+    Mesh m;
+    m.addTriangle({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+    FlatBvh flat(buildWideBvh(m));
+    EXPECT_TRUE(flat.root().isLeaf());
+    auto s = flat.stats();
+    EXPECT_EQ(s.leaf_nodes, 1u);
+    EXPECT_EQ(s.internal_nodes, 0u);
+}
+
+TEST(FlatBvh, EmptyTree)
+{
+    FlatBvh flat;
+    EXPECT_TRUE(flat.empty());
+    EXPECT_EQ(flat.primCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the two-level (TLAS/BLAS) acceleration structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bvh/tlas.hpp"
+#include "geom/rng.hpp"
+#include "scene/primitives.hpp"
+
+namespace {
+
+using namespace cooprt;
+using bvh::Blas;
+using bvh::Instance;
+using bvh::InstancedHit;
+using bvh::Tlas;
+using geom::Pcg32;
+using geom::Ray;
+using geom::RigidTransform;
+using geom::Vec3;
+
+std::shared_ptr<Blas>
+boxBlas(const Vec3 &lo, const Vec3 &hi)
+{
+    scene::Mesh m;
+    addBox(m, lo, hi);
+    return std::make_shared<Blas>(std::move(m));
+}
+
+std::shared_ptr<Blas>
+soupBlas(std::uint64_t seed, int n)
+{
+    scene::Mesh m;
+    Pcg32 rng(seed);
+    for (int i = 0; i < n; ++i) {
+        Vec3 p = rng.nextInBox(Vec3(-1), Vec3(1));
+        m.addTriangle({p, p + rng.nextUnitVector() * 0.2f,
+                       p + rng.nextUnitVector() * 0.2f});
+    }
+    return std::make_shared<Blas>(std::move(m));
+}
+
+TEST(Tlas, EmptyMisses)
+{
+    Tlas t;
+    t.build();
+    EXPECT_FALSE(t.closestHit(Ray({0, 0, 0}, {0, 0, 1})).valid());
+    EXPECT_FALSE(t.anyHit(Ray({0, 0, 0}, {0, 0, 1})));
+}
+
+TEST(Tlas, SingleIdentityInstanceMatchesBlas)
+{
+    Tlas t;
+    auto blas = soupBlas(1, 300);
+    const std::uint32_t b = t.addBlas(blas);
+    t.addInstance({b, RigidTransform{}});
+    t.build();
+
+    Pcg32 rng(2);
+    for (int i = 0; i < 200; ++i) {
+        Ray r(rng.nextInBox(Vec3(-4), Vec3(4)), rng.nextUnitVector());
+        auto direct = bvh::closestHit(blas->flat, blas->mesh, r);
+        auto inst = t.closestHit(r);
+        ASSERT_EQ(direct.hit(), inst.valid()) << i;
+        if (direct.hit()) {
+            EXPECT_FLOAT_EQ(direct.thit, inst.hit.thit) << i;
+            EXPECT_EQ(inst.instance, 0u);
+        }
+    }
+}
+
+TEST(Tlas, TranslatedInstanceHitAtWorldPosition)
+{
+    Tlas t;
+    const std::uint32_t b =
+        t.addBlas(boxBlas({-1, -1, -1}, {1, 1, 1}));
+    t.addInstance({b, RigidTransform::translate({10, 0, 0})});
+    t.build();
+
+    // World ray toward the translated box.
+    Ray r({10, 0, -5}, {0, 0, 1});
+    auto hit = t.closestHit(r);
+    ASSERT_TRUE(hit.valid());
+    EXPECT_NEAR(hit.hit.thit, 4.0f, 1e-4f);
+    // The original object-space location is empty.
+    EXPECT_FALSE(t.anyHit(Ray({0, 0, -5}, {0, 0, 1}, 1e-4f, 20.0f)));
+}
+
+TEST(Tlas, ClosestAcrossInstancesWins)
+{
+    Tlas t;
+    const std::uint32_t b =
+        t.addBlas(boxBlas({-1, -1, -1}, {1, 1, 1}));
+    t.addInstance({b, RigidTransform::translate({0, 0, 5})});
+    t.addInstance({b, RigidTransform::translate({0, 0, 10})});
+    t.build();
+
+    Ray r({0, 0, 0}, {0, 0, 1});
+    auto hit = t.closestHit(r);
+    ASSERT_TRUE(hit.valid());
+    EXPECT_NEAR(hit.hit.thit, 4.0f, 1e-4f); // front face of nearest
+    EXPECT_EQ(hit.instance, 0u);
+}
+
+TEST(Tlas, RotatedInstanceGeometryMoves)
+{
+    // A box offset to +x in object space, instanced with a 180-degree
+    // Y rotation: it must appear at -x in world space.
+    Tlas t;
+    const std::uint32_t b = t.addBlas(boxBlas({3, -1, -1}, {5, 1, 1}));
+    t.addInstance(
+        {b, RigidTransform::rotateYTranslate(3.14159265f, {0, 0, 0})});
+    t.build();
+
+    EXPECT_TRUE(t.anyHit(Ray({-4, 0, -5}, {0, 0, 1}, 1e-4f, 20.0f)));
+    EXPECT_FALSE(t.anyHit(Ray({4, 0, -5}, {0, 0, 1}, 1e-4f, 20.0f)));
+}
+
+TEST(Tlas, ManyInstancesMatchBruteForce)
+{
+    Tlas t;
+    auto blas = soupBlas(3, 200);
+    const std::uint32_t b = t.addBlas(blas);
+    Pcg32 rng(4);
+    std::vector<Instance> placed;
+    for (int i = 0; i < 24; ++i) {
+        Instance inst{b, RigidTransform::rotateYTranslate(
+                             rng.nextRange(-3.0f, 3.0f),
+                             rng.nextInBox(Vec3(-15), Vec3(15)))};
+        placed.push_back(inst);
+        t.addInstance(inst);
+    }
+    t.build();
+    EXPECT_EQ(t.instanceCount(), 24u);
+
+    // Brute-force oracle: traverse each instance independently.
+    auto brute = [&](const Ray &r) {
+        InstancedHit best;
+        for (std::uint32_t i = 0; i < placed.size(); ++i) {
+            Ray obj = placed[i].to_world.inverse().ray(r);
+            obj.tmax = std::min(best.hit.thit, r.tmax);
+            auto rec = bvh::closestHit(blas->flat, blas->mesh, obj);
+            if (rec.hit() && rec.thit < best.hit.thit) {
+                best.hit = rec;
+                best.instance = i;
+            }
+        }
+        return best;
+    };
+
+    for (int i = 0; i < 300; ++i) {
+        Ray r(rng.nextInBox(Vec3(-20), Vec3(20)), rng.nextUnitVector());
+        auto expect = brute(r);
+        auto got = t.closestHit(r);
+        ASSERT_EQ(expect.valid(), got.valid()) << i;
+        if (expect.valid()) {
+            EXPECT_FLOAT_EQ(expect.hit.thit, got.hit.thit) << i;
+            EXPECT_EQ(expect.instance, got.instance) << i;
+        }
+        EXPECT_EQ(t.anyHit(r), expect.valid()) << i;
+    }
+}
+
+TEST(Tlas, InstancingSharesStorage)
+{
+    Tlas t;
+    const std::uint32_t b = t.addBlas(soupBlas(5, 500));
+    for (int i = 0; i < 10; ++i)
+        t.addInstance({b, RigidTransform::translate(
+                              {float(i) * 5.0f, 0, 0})});
+    t.build();
+    EXPECT_EQ(t.instancedTriangles(), 5000u);
+    EXPECT_EQ(t.storedTriangles(), 500u); // 10x reuse
+}
+
+TEST(Tlas, BadBlasIndexThrows)
+{
+    Tlas t;
+    EXPECT_THROW(t.addInstance({0, RigidTransform{}}),
+                 std::out_of_range);
+    EXPECT_THROW(t.addBlas(nullptr), std::invalid_argument);
+}
+
+TEST(Tlas, QueryBeforeBuildThrows)
+{
+    Tlas t;
+    t.addBlas(boxBlas({-1, -1, -1}, {1, 1, 1}));
+    t.addInstance({0, RigidTransform{}});
+    EXPECT_THROW(t.closestHit(Ray({0, 0, -5}, {0, 0, 1})),
+                 std::logic_error);
+}
+
+TEST(Tlas, WorldBoundsCoverInstances)
+{
+    Tlas t;
+    const std::uint32_t b =
+        t.addBlas(boxBlas({-1, -1, -1}, {1, 1, 1}));
+    t.addInstance({b, RigidTransform::translate({10, 0, 0})});
+    t.addInstance({b, RigidTransform::translate({-10, 0, 0})});
+    t.build();
+    EXPECT_LE(t.worldBounds().lo.x, -11.0f + 1e-4f);
+    EXPECT_GE(t.worldBounds().hi.x, 11.0f - 1e-4f);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the reference BVH traversal, including the key property
+ * test: BVH closest-hit == brute force over every triangle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bvh/traversal.hpp"
+#include "geom/rng.hpp"
+#include "scene/generators.hpp"
+#include "scene/primitives.hpp"
+
+namespace {
+
+using namespace cooprt;
+using bvh::anyHit;
+using bvh::bruteForceClosest;
+using bvh::buildWideBvh;
+using bvh::closestHit;
+using bvh::FlatBvh;
+using bvh::TraversalStats;
+using geom::HitRecord;
+using geom::kNoHit;
+using geom::Pcg32;
+using geom::Ray;
+using geom::Vec3;
+using scene::Mesh;
+
+Mesh
+randomSoup(std::uint64_t seed, int n)
+{
+    Mesh m;
+    Pcg32 rng(seed);
+    for (int i = 0; i < n; ++i) {
+        Vec3 p = rng.nextInBox(Vec3(-10), Vec3(10));
+        Vec3 e1 = rng.nextUnitVector() * 0.5f;
+        Vec3 e2 = rng.nextUnitVector() * 0.5f;
+        m.addTriangle({p, p + e1, p + e2});
+    }
+    return m;
+}
+
+TEST(Traversal, EmptySceneMisses)
+{
+    Mesh m;
+    FlatBvh flat(buildWideBvh(m));
+    Ray r({0, 0, 0}, {0, 0, 1});
+    EXPECT_FALSE(closestHit(flat, m, r).hit());
+    EXPECT_FALSE(anyHit(flat, m, r));
+}
+
+TEST(Traversal, SingleTriangleHit)
+{
+    Mesh m;
+    m.addTriangle({{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}});
+    FlatBvh flat(buildWideBvh(m));
+    Ray r({0, 0, 0}, {0, 0, 1});
+    HitRecord rec = closestHit(flat, m, r);
+    ASSERT_TRUE(rec.hit());
+    EXPECT_FLOAT_EQ(rec.thit, 5.0f);
+    EXPECT_EQ(rec.prim_id, 0u);
+    EXPECT_TRUE(anyHit(flat, m, r));
+}
+
+TEST(Traversal, PicksClosestOfStackedTriangles)
+{
+    Mesh m;
+    for (int i = 1; i <= 8; ++i)
+        m.addTriangle({{-1, -1, float(i)}, {1, -1, float(i)},
+                       {0, 1, float(i)}});
+    FlatBvh flat(buildWideBvh(m));
+    Ray r({0, 0, 0}, {0, 0, 1});
+    HitRecord rec = closestHit(flat, m, r);
+    ASSERT_TRUE(rec.hit());
+    EXPECT_FLOAT_EQ(rec.thit, 1.0f);
+    EXPECT_EQ(rec.prim_id, 0u);
+}
+
+TEST(Traversal, RespectsRayTmax)
+{
+    Mesh m;
+    m.addTriangle({{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}});
+    FlatBvh flat(buildWideBvh(m));
+    Ray shortRay({0, 0, 0}, {0, 0, 1}, 1e-4f, 2.0f);
+    EXPECT_FALSE(closestHit(flat, m, shortRay).hit());
+    EXPECT_FALSE(anyHit(flat, m, shortRay));
+}
+
+TEST(Traversal, NormalFacesRayOrigin)
+{
+    Mesh m;
+    m.addTriangle({{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}});
+    FlatBvh flat(buildWideBvh(m));
+    HitRecord rec = closestHit(flat, m, Ray({0, 0, 0}, {0, 0, 1}));
+    ASSERT_TRUE(rec.hit());
+    EXPECT_LT(rec.normal.z, 0.0f); // opposes +z ray
+}
+
+TEST(Traversal, StatsAreCollected)
+{
+    Mesh m = randomSoup(1, 2000);
+    FlatBvh flat(buildWideBvh(m));
+    TraversalStats st;
+    Ray r({0, 0, -30}, {0, 0, 1});
+    closestHit(flat, m, r, &st);
+    EXPECT_GT(st.nodes_visited, 0u);
+    EXPECT_GT(st.box_tests, 0u);
+    EXPECT_GT(st.max_stack_depth, 0u);
+}
+
+TEST(Traversal, MissingRayVisitsNothing)
+{
+    Mesh m = randomSoup(2, 500);
+    FlatBvh flat(buildWideBvh(m));
+    TraversalStats st;
+    Ray r({0, 100, 0}, {0, 1, 0}); // up and away
+    EXPECT_FALSE(closestHit(flat, m, r, &st).hit());
+    EXPECT_EQ(st.nodes_visited, 0u); // root box rejected
+}
+
+TEST(Traversal, AnyHitCheaperThanClosestHit)
+{
+    Mesh m = randomSoup(3, 5000);
+    FlatBvh flat(buildWideBvh(m));
+    Pcg32 rng(3);
+    std::uint64_t any_work = 0, closest_work = 0;
+    for (int i = 0; i < 200; ++i) {
+        Ray r(rng.nextInBox(Vec3(-12), Vec3(12)), rng.nextUnitVector());
+        TraversalStats sa, sc;
+        bool a = anyHit(flat, m, r, &sa);
+        HitRecord c = closestHit(flat, m, r, &sc);
+        EXPECT_EQ(a, c.hit()) << "iter " << i;
+        any_work += sa.tri_tests + sa.box_tests;
+        closest_work += sc.tri_tests + sc.box_tests;
+    }
+    EXPECT_LT(any_work, closest_work);
+}
+
+/**
+ * THE key correctness property: BVH traversal through the quantized
+ * 6-wide flat layout finds exactly the same closest hit as brute
+ * force over all triangles.
+ */
+class OracleTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(OracleTest, MatchesBruteForceOnRandomSoup)
+{
+    Mesh m = randomSoup(GetParam(), 1500);
+    FlatBvh flat(buildWideBvh(m));
+    Pcg32 rng(GetParam() * 31 + 7);
+    for (int i = 0; i < 300; ++i) {
+        Vec3 o = rng.nextInBox(Vec3(-15), Vec3(15));
+        Vec3 target = rng.nextInBox(Vec3(-8), Vec3(8));
+        if ((target - o).lengthSq() < 1e-6f)
+            continue;
+        Ray r(o, normalize(target - o));
+        HitRecord ref = bruteForceClosest(m, r);
+        HitRecord got = closestHit(flat, m, r);
+        ASSERT_EQ(ref.hit(), got.hit()) << "iter " << i;
+        if (ref.hit()) {
+            EXPECT_EQ(ref.prim_id, got.prim_id) << "iter " << i;
+            EXPECT_FLOAT_EQ(ref.thit, got.thit) << "iter " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(OracleSceneTest, MatchesBruteForceOnGeneratedScene)
+{
+    scene::Scene s = scene::makeClosedRoomScene("t", 5, 8, 0.1f, 6);
+    FlatBvh flat(buildWideBvh(s.mesh));
+    Pcg32 rng(99);
+    const auto &b = s.mesh.bounds();
+    for (int i = 0; i < 150; ++i) {
+        Vec3 o = rng.nextInBox(b.lo, b.hi);
+        Ray r(o, rng.nextUnitVector());
+        HitRecord ref = bruteForceClosest(s.mesh, r);
+        HitRecord got = closestHit(flat, s.mesh, r);
+        ASSERT_EQ(ref.hit(), got.hit()) << "iter " << i;
+        if (ref.hit())
+            EXPECT_FLOAT_EQ(ref.thit, got.thit) << "iter " << i;
+    }
+}
+
+TEST(OracleSceneTest, AnyHitAgreesWithBruteForce)
+{
+    Mesh m = randomSoup(77, 1000);
+    FlatBvh flat(buildWideBvh(m));
+    Pcg32 rng(78);
+    for (int i = 0; i < 200; ++i) {
+        Ray r(rng.nextInBox(Vec3(-12), Vec3(12)), rng.nextUnitVector(),
+              1e-4f, rng.nextRange(1.0f, 30.0f));
+        EXPECT_EQ(anyHit(flat, m, r), bruteForceClosest(m, r).hit())
+            << "iter " << i;
+    }
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-to-end frame-level properties across registry scenes: the
+ * timing simulator's image must equal the functional reference
+ * renderer's, with and without CoopRT — at every scene tested.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+using namespace cooprt;
+
+class FrameEquivalence
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(FrameEquivalence, TimingImageEqualsReference)
+{
+    const int res = 12;
+    const core::Simulation &sim = core::simulationFor(GetParam());
+    shaders::PtParams params;
+    params.max_bounces = 5;
+
+    shaders::Film reference(res, res);
+    renderReference(sim.scene(), sim.bvh(), reference, 1, params);
+
+    for (bool coop : {false, true}) {
+        core::RunConfig cfg;
+        cfg.resolution = res;
+        cfg.pt = params;
+        cfg.gpu.trace.coop = coop;
+        shaders::Film film(res, res);
+        sim.run(cfg, &film);
+        EXPECT_EQ(film.samplesAdded(), std::uint64_t(res) * res)
+            << GetParam() << " coop=" << coop;
+        EXPECT_LT(film.mse(reference), 1e-10)
+            << GetParam() << " coop=" << coop;
+    }
+}
+
+TEST_P(FrameEquivalence, RelatedWorkKnobsPreserveImage)
+{
+    const int res = 10;
+    const core::Simulation &sim = core::simulationFor(GetParam());
+    shaders::PtParams params;
+    params.max_bounces = 4;
+
+    shaders::Film reference(res, res);
+    renderReference(sim.scene(), sim.bvh(), reference, 1, params);
+
+    core::RunConfig cfg;
+    cfg.resolution = res;
+    cfg.pt = params;
+    cfg.gpu.trace.coop = true;
+    cfg.gpu.trace.child_prefetch = true;
+    cfg.gpu.trace.intersection_predictor = true;
+    cfg.gpu.trace.sched = rtunit::WarpSchedPolicy::GreedyThenOldest;
+    shaders::Film film(res, res);
+    sim.run(cfg, &film);
+    EXPECT_LT(film.mse(reference), 1e-10) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, FrameEquivalence,
+                         ::testing::Values("wknd", "spnza", "crnvl",
+                                           "bath"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace

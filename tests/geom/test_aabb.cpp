@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit and property tests for the AABB slab test, the core operation
+ * of BVH traversal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/aabb.hpp"
+#include "geom/rng.hpp"
+
+namespace {
+
+using cooprt::geom::AABB;
+using cooprt::geom::kNoHit;
+using cooprt::geom::Pcg32;
+using cooprt::geom::Ray;
+using cooprt::geom::Vec3;
+
+const AABB unit_box{{0, 0, 0}, {1, 1, 1}};
+
+TEST(Aabb, DefaultIsEmpty)
+{
+    AABB b;
+    EXPECT_TRUE(b.empty());
+    EXPECT_FLOAT_EQ(b.surfaceArea(), 0.0f);
+}
+
+TEST(Aabb, GrowPoint)
+{
+    AABB b;
+    b.grow(Vec3(1, 2, 3));
+    EXPECT_FALSE(b.empty());
+    EXPECT_EQ(b.lo, Vec3(1, 2, 3));
+    EXPECT_EQ(b.hi, Vec3(1, 2, 3));
+    b.grow(Vec3(-1, 5, 0));
+    EXPECT_EQ(b.lo, Vec3(-1, 2, 0));
+    EXPECT_EQ(b.hi, Vec3(1, 5, 3));
+}
+
+TEST(Aabb, GrowBox)
+{
+    AABB b;
+    b.grow(AABB{{0, 0, 0}, {1, 1, 1}});
+    b.grow(AABB{{-1, 0.5f, 0}, {0.5f, 2, 3}});
+    EXPECT_EQ(b.lo, Vec3(-1, 0, 0));
+    EXPECT_EQ(b.hi, Vec3(1, 2, 3));
+}
+
+TEST(Aabb, SurfaceAreaUnitCube)
+{
+    EXPECT_FLOAT_EQ(unit_box.surfaceArea(), 6.0f);
+}
+
+TEST(Aabb, SurfaceAreaFlatBox)
+{
+    AABB flat{{0, 0, 0}, {2, 3, 0}};
+    EXPECT_FLOAT_EQ(flat.surfaceArea(), 2.0f * (2 * 3));
+}
+
+TEST(Aabb, CentroidAndExtent)
+{
+    AABB b{{0, 2, 4}, {2, 6, 10}};
+    EXPECT_EQ(b.centroid(), Vec3(1, 4, 7));
+    EXPECT_EQ(b.extent(), Vec3(2, 4, 6));
+}
+
+TEST(Aabb, ContainsPoint)
+{
+    EXPECT_TRUE(unit_box.contains(Vec3(0.5f, 0.5f, 0.5f)));
+    EXPECT_TRUE(unit_box.contains(Vec3(0, 0, 0)));      // boundary
+    EXPECT_TRUE(unit_box.contains(Vec3(1, 1, 1)));      // boundary
+    EXPECT_FALSE(unit_box.contains(Vec3(1.01f, 0.5f, 0.5f)));
+    EXPECT_FALSE(unit_box.contains(Vec3(0.5f, -0.01f, 0.5f)));
+}
+
+TEST(Aabb, ContainsBox)
+{
+    EXPECT_TRUE(unit_box.contains(AABB{{0.2f, 0.2f, 0.2f},
+                                       {0.8f, 0.8f, 0.8f}}));
+    EXPECT_FALSE(unit_box.contains(AABB{{0.2f, 0.2f, 0.2f},
+                                        {1.2f, 0.8f, 0.8f}}));
+}
+
+TEST(AabbIntersect, HeadOnHitReturnsEntryDistance)
+{
+    Ray r({-2, 0.5f, 0.5f}, {1, 0, 0});
+    float t = unit_box.intersect(r, kNoHit);
+    EXPECT_FLOAT_EQ(t, 2.0f);
+}
+
+TEST(AabbIntersect, MissAbove)
+{
+    Ray r({-2, 1.5f, 0.5f}, {1, 0, 0});
+    EXPECT_EQ(unit_box.intersect(r, kNoHit), kNoHit);
+}
+
+TEST(AabbIntersect, PointingAwayMisses)
+{
+    Ray r({-2, 0.5f, 0.5f}, {-1, 0, 0});
+    EXPECT_EQ(unit_box.intersect(r, kNoHit), kNoHit);
+}
+
+TEST(AabbIntersect, OriginInsideReturnsTmin)
+{
+    Ray r({0.5f, 0.5f, 0.5f}, {0, 1, 0});
+    float t = unit_box.intersect(r, kNoHit);
+    EXPECT_FLOAT_EQ(t, r.tmin);
+}
+
+TEST(AabbIntersect, DiagonalHit)
+{
+    Ray r({-1, -1, -1}, normalize(Vec3(1, 1, 1)));
+    float t = unit_box.intersect(r, kNoHit);
+    EXPECT_NEAR(t, std::sqrt(3.0f), 1e-5f);
+}
+
+TEST(AabbIntersect, RespectsTLimit)
+{
+    Ray r({-2, 0.5f, 0.5f}, {1, 0, 0});
+    // Entry at t=2, so a limit of 1.5 must reject the box: a closer
+    // primitive hit eliminates this subtree (Algorithm 1, line 8).
+    EXPECT_EQ(unit_box.intersect(r, 1.5f), kNoHit);
+    EXPECT_FLOAT_EQ(unit_box.intersect(r, 2.5f), 2.0f);
+}
+
+TEST(AabbIntersect, AxisParallelRayWithZeroComponents)
+{
+    // Direction with two exactly-zero components: the sanitized
+    // reciprocal must not produce NaN.
+    Ray r({0.5f, 0.5f, -3.0f}, {0, 0, 1});
+    float t = unit_box.intersect(r, kNoHit);
+    EXPECT_FLOAT_EQ(t, 3.0f);
+
+    Ray miss({1.5f, 0.5f, -3.0f}, {0, 0, 1});
+    EXPECT_EQ(unit_box.intersect(miss, kNoHit), kNoHit);
+}
+
+TEST(AabbIntersect, NegativeDirectionHit)
+{
+    Ray r({3, 0.5f, 0.5f}, {-1, 0, 0});
+    EXPECT_FLOAT_EQ(unit_box.intersect(r, kNoHit), 2.0f);
+}
+
+TEST(AabbIntersect, GrazingCornerDoesNotCrash)
+{
+    Ray r({-1, -1, 0.5f}, normalize(Vec3(1, 1, 0)));
+    float t = unit_box.intersect(r, kNoHit);
+    // Grazing exactly through the (0,0) edge: hit or miss are both
+    // acceptable, but the result must be a real number.
+    EXPECT_FALSE(std::isnan(t));
+}
+
+/**
+ * Property: a sampled-point oracle. If the ray passes through a point
+ * strictly inside the box, intersect() must report a hit at a distance
+ * no greater than the distance to that interior point.
+ */
+TEST(AabbIntersectProperty, RayThroughInteriorPointAlwaysHits)
+{
+    Pcg32 rng(42);
+    for (int iter = 0; iter < 2000; ++iter) {
+        AABB box;
+        box.grow(rng.nextInBox(Vec3(-10), Vec3(10)));
+        box.grow(rng.nextInBox(Vec3(-10), Vec3(10)));
+        // Interior point (strictly inside by construction).
+        Vec3 p = lerp(box.lo, box.hi, 0.25f + 0.5f * rng.nextFloat());
+        Vec3 o = rng.nextInBox(Vec3(-30), Vec3(30));
+        if (box.contains(o))
+            continue; // want an exterior origin
+        Vec3 d = p - o;
+        float dist = d.length();
+        if (dist < 1e-3f)
+            continue;
+        Ray r(o, d / dist);
+        float t = box.intersect(r, kNoHit);
+        ASSERT_NE(t, kNoHit) << "iter " << iter;
+        EXPECT_LE(t, dist + 1e-3f) << "iter " << iter;
+    }
+}
+
+/**
+ * Property: if intersect() reports entry distance t, the ray point at
+ * t lies on (or numerically near) the box boundary, inside the box.
+ */
+TEST(AabbIntersectProperty, ReportedEntryPointIsOnBox)
+{
+    Pcg32 rng(7);
+    int hits = 0;
+    for (int iter = 0; iter < 2000; ++iter) {
+        AABB box;
+        box.grow(rng.nextInBox(Vec3(-5), Vec3(5)));
+        box.grow(rng.nextInBox(Vec3(-5), Vec3(5)));
+        Vec3 o = rng.nextInBox(Vec3(-20), Vec3(20));
+        // Aim at a jittered point near the box so enough samples hit.
+        Vec3 target = box.centroid() + rng.nextUnitVector() *
+                      (box.extent().maxComponent() * rng.nextFloat());
+        Vec3 d = target - o;
+        if (d.lengthSq() < 1e-6f)
+            continue;
+        Ray r(o, normalize(d));
+        float t = box.intersect(r, kNoHit);
+        if (t == kNoHit || box.contains(o))
+            continue;
+        ++hits;
+        Vec3 q = r.at(t);
+        const float eps = 1e-2f;
+        AABB inflated{box.lo - Vec3(eps), box.hi + Vec3(eps)};
+        EXPECT_TRUE(inflated.contains(q))
+            << "iter " << iter << " point " << q;
+    }
+    // Sanity: the sampler actually produced hits to check.
+    EXPECT_GT(hits, 100);
+}
+
+/**
+ * Property: growing a box never shrinks the reported entry distance
+ * from miss to hit... i.e. if a ray hits a box, it hits any enclosing
+ * box at an entry distance <= the inner box's entry distance.
+ */
+TEST(AabbIntersectProperty, EnclosingBoxHitsEarlier)
+{
+    Pcg32 rng(99);
+    for (int iter = 0; iter < 1000; ++iter) {
+        AABB inner;
+        inner.grow(rng.nextInBox(Vec3(-5), Vec3(5)));
+        inner.grow(rng.nextInBox(Vec3(-5), Vec3(5)));
+        AABB outer = inner;
+        outer.grow(rng.nextInBox(Vec3(-8), Vec3(8)));
+
+        Vec3 o = rng.nextInBox(Vec3(-20), Vec3(20));
+        if (outer.contains(o))
+            continue;
+        Ray r(o, rng.nextUnitVector());
+        float ti = inner.intersect(r, kNoHit);
+        if (ti == kNoHit)
+            continue;
+        float to = outer.intersect(r, kNoHit);
+        ASSERT_NE(to, kNoHit) << "iter " << iter;
+        EXPECT_LE(to, ti + 1e-3f) << "iter " << iter;
+    }
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for conservative child-box quantization used by the compressed
+ * 6-wide BVH node layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/quantized_aabb.hpp"
+#include "geom/rng.hpp"
+
+namespace {
+
+using cooprt::geom::AABB;
+using cooprt::geom::Pcg32;
+using cooprt::geom::QuantFrame;
+using cooprt::geom::QuantizedAabb;
+using cooprt::geom::Vec3;
+
+TEST(QuantFrame, OriginIsParentLow)
+{
+    AABB parent{{-1, 2, 3}, {5, 8, 4}};
+    auto f = QuantFrame::forParent(parent);
+    EXPECT_EQ(f.origin, parent.lo);
+}
+
+TEST(QuantFrame, GridCoversParent)
+{
+    AABB parent{{-1, 2, 3}, {5, 8, 4}};
+    auto f = QuantFrame::forParent(parent);
+    for (int a = 0; a < 3; ++a) {
+        EXPECT_GE(f.decode(a, 255), parent.hi[a]);
+        EXPECT_FLOAT_EQ(f.decode(a, 0), parent.lo[a]);
+    }
+}
+
+TEST(QuantFrame, ScaleIsPowerOfTwo)
+{
+    AABB parent{{0, 0, 0}, {3.7f, 100.0f, 0.001f}};
+    auto f = QuantFrame::forParent(parent);
+    for (int a = 0; a < 3; ++a) {
+        float s = f.scale[a];
+        int exp = 0;
+        float m = std::frexp(s, &exp);
+        EXPECT_FLOAT_EQ(m, 0.5f) << "axis " << a;
+    }
+}
+
+TEST(QuantizedAabb, RoundTripContainsOriginal)
+{
+    AABB parent{{0, 0, 0}, {10, 10, 10}};
+    auto f = QuantFrame::forParent(parent);
+    AABB child{{1.234f, 5.678f, 0.001f}, {2.5f, 9.999f, 3.3f}};
+    auto q = QuantizedAabb::encode(child, f);
+    AABB d = q.decode(f);
+    EXPECT_TRUE(d.contains(child));
+}
+
+TEST(QuantizedAabb, DegenerateParentHandled)
+{
+    AABB parent{{1, 1, 1}, {1, 1, 1}}; // zero extent
+    auto f = QuantFrame::forParent(parent);
+    auto q = QuantizedAabb::encode(parent, f);
+    AABB d = q.decode(f);
+    EXPECT_TRUE(d.contains(parent));
+}
+
+TEST(QuantizedAabb, ExactCornersQuantizeTight)
+{
+    AABB parent{{0, 0, 0}, {255, 255, 255}};
+    auto f = QuantFrame::forParent(parent);
+    // scale will be 1.0 exactly, so integer-coordinate boxes are exact.
+    AABB child{{3, 7, 11}, {200, 100, 50}};
+    auto q = QuantizedAabb::encode(child, f);
+    AABB d = q.decode(f);
+    EXPECT_EQ(d.lo, child.lo);
+    EXPECT_EQ(d.hi, child.hi);
+}
+
+/**
+ * Property (the correctness-critical one): for random parents and
+ * random children inside the parent, the decoded box always contains
+ * the original, and its slack is bounded by two grid cells per side.
+ */
+class QuantPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(QuantPropertyTest, ConservativeAndTight)
+{
+    Pcg32 rng(GetParam());
+    for (int iter = 0; iter < 500; ++iter) {
+        AABB parent;
+        parent.grow(rng.nextInBox(Vec3(-100), Vec3(100)));
+        parent.grow(rng.nextInBox(Vec3(-100), Vec3(100)));
+        auto f = QuantFrame::forParent(parent);
+
+        AABB child;
+        child.grow(rng.nextInBox(parent.lo, parent.hi));
+        child.grow(rng.nextInBox(parent.lo, parent.hi));
+
+        auto q = QuantizedAabb::encode(child, f);
+        AABB d = q.decode(f);
+
+        ASSERT_TRUE(d.contains(child))
+            << "iter " << iter << " child " << child.lo << child.hi
+            << " decoded " << d.lo << d.hi;
+        for (int a = 0; a < 3; ++a) {
+            EXPECT_LE(child.lo[a] - d.lo[a], 2.0f * f.scale[a]);
+            EXPECT_LE(d.hi[a] - child.hi[a], 2.0f * f.scale[a]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the deterministic PCG32 generator and sampling helpers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+
+namespace {
+
+using cooprt::geom::mix64;
+using cooprt::geom::Pcg32;
+using cooprt::geom::Vec3;
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.nextU32() == b.nextU32());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.nextU32() == b.nextU32());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, FloatInUnitInterval)
+{
+    Pcg32 rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Pcg32, FloatMeanIsHalf)
+{
+    Pcg32 rng(10);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextFloat();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, NextBelowInRange)
+{
+    Pcg32 rng(11);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(7), 7u);
+}
+
+TEST(Pcg32, NextBelowCoversAllValues)
+{
+    Pcg32 rng(12);
+    int seen[7] = {};
+    for (int i = 0; i < 7000; ++i)
+        seen[rng.nextBelow(7)]++;
+    for (int v = 0; v < 7; ++v)
+        EXPECT_GT(seen[v], 500) << "value " << v;
+}
+
+TEST(Pcg32, RangeRespected)
+{
+    Pcg32 rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        float f = rng.nextRange(-3.0f, 5.0f);
+        EXPECT_GE(f, -3.0f);
+        EXPECT_LT(f, 5.0f);
+    }
+}
+
+TEST(Pcg32, BoxSamplesInsideBox)
+{
+    Pcg32 rng(14);
+    Vec3 lo(-1, 2, -3), hi(1, 4, 0);
+    for (int i = 0; i < 1000; ++i) {
+        Vec3 p = rng.nextInBox(lo, hi);
+        EXPECT_GE(p.x, lo.x);
+        EXPECT_LT(p.x, hi.x);
+        EXPECT_GE(p.y, lo.y);
+        EXPECT_LT(p.y, hi.y);
+        EXPECT_GE(p.z, lo.z);
+        EXPECT_LT(p.z, hi.z);
+    }
+}
+
+TEST(Pcg32, UnitVectorsAreUnit)
+{
+    Pcg32 rng(15);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_NEAR(rng.nextUnitVector().length(), 1.0f, 1e-4f);
+}
+
+TEST(Pcg32, UnitVectorsCoverAllOctants)
+{
+    Pcg32 rng(16);
+    int octant[8] = {};
+    for (int i = 0; i < 8000; ++i) {
+        Vec3 v = rng.nextUnitVector();
+        octant[(v.x > 0) | ((v.y > 0) << 1) | ((v.z > 0) << 2)]++;
+    }
+    for (int o = 0; o < 8; ++o)
+        EXPECT_GT(octant[o], 400) << "octant " << o;
+}
+
+TEST(Pcg32, CosineHemisphereAboveSurface)
+{
+    Pcg32 rng(17);
+    Vec3 n(0, 1, 0);
+    for (int i = 0; i < 2000; ++i) {
+        Vec3 d = rng.nextCosineHemisphere(n);
+        EXPECT_NEAR(d.length(), 1.0f, 1e-4f);
+        EXPECT_GE(dot(d, n), -1e-4f);
+    }
+}
+
+TEST(Pcg32, CosineHemisphereMeanMatchesLambert)
+{
+    // E[cos(theta)] for a cosine-weighted hemisphere is 2/3.
+    Pcg32 rng(18);
+    Vec3 n(0, 0, 1);
+    double sum = 0;
+    const int count = 50000;
+    for (int i = 0; i < count; ++i)
+        sum += dot(rng.nextCosineHemisphere(n), n);
+    EXPECT_NEAR(sum / count, 2.0 / 3.0, 0.01);
+}
+
+TEST(Mix64, InjectiveOnSmallRange)
+{
+    // Distinct inputs must not collide on a small sample.
+    std::uint64_t prev = mix64(0);
+    for (std::uint64_t i = 1; i < 1000; ++i) {
+        std::uint64_t h = mix64(i);
+        EXPECT_NE(h, prev);
+        prev = h;
+    }
+}
+
+TEST(Mix64, AvalancheChangesManyBits)
+{
+    int total = 0;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        total += __builtin_popcountll(mix64(i) ^ mix64(i + 1));
+    // ~32 bits should flip on average.
+    EXPECT_GT(total / 100, 20);
+    EXPECT_LT(total / 100, 44);
+}
+
+} // namespace

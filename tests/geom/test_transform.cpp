@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for rigid transforms (the instancing Coordinate Transform).
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "geom/transform.hpp"
+
+namespace {
+
+using cooprt::geom::AABB;
+using cooprt::geom::Pcg32;
+using cooprt::geom::Ray;
+using cooprt::geom::RigidTransform;
+using cooprt::geom::Vec3;
+
+TEST(RigidTransform, IdentityIsNoop)
+{
+    RigidTransform id;
+    Vec3 p(1, 2, 3);
+    EXPECT_EQ(id.point(p), p);
+    EXPECT_EQ(id.direction(p), p);
+}
+
+TEST(RigidTransform, TranslationMovesPointsNotDirections)
+{
+    auto m = RigidTransform::translate({10, 0, -5});
+    EXPECT_EQ(m.point({1, 2, 3}), Vec3(11, 2, -2));
+    EXPECT_EQ(m.direction({1, 2, 3}), Vec3(1, 2, 3));
+}
+
+TEST(RigidTransform, RotateY90)
+{
+    auto m = RigidTransform::rotateYTranslate(
+        3.14159265358979f / 2.0f, {0, 0, 0});
+    Vec3 r = m.point({1, 0, 0});
+    EXPECT_NEAR(r.x, 0.0f, 1e-6f);
+    EXPECT_NEAR(r.z, -1.0f, 1e-6f);
+    EXPECT_NEAR(r.y, 0.0f, 1e-6f);
+}
+
+TEST(RigidTransform, InverseRoundTripsPoints)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 200; ++i) {
+        auto m = RigidTransform::rotateYTranslate(
+            rng.nextRange(-3.0f, 3.0f),
+            rng.nextInBox(Vec3(-10), Vec3(10)));
+        auto inv = m.inverse();
+        Vec3 p = rng.nextInBox(Vec3(-5), Vec3(5));
+        Vec3 back = inv.point(m.point(p));
+        EXPECT_NEAR(back.x, p.x, 1e-4f);
+        EXPECT_NEAR(back.y, p.y, 1e-4f);
+        EXPECT_NEAR(back.z, p.z, 1e-4f);
+    }
+}
+
+TEST(RigidTransform, PreservesDistances)
+{
+    Pcg32 rng(6);
+    for (int i = 0; i < 200; ++i) {
+        auto m = RigidTransform::rotateYTranslate(
+            rng.nextRange(-3.0f, 3.0f),
+            rng.nextInBox(Vec3(-10), Vec3(10)));
+        Vec3 a = rng.nextInBox(Vec3(-5), Vec3(5));
+        Vec3 b = rng.nextInBox(Vec3(-5), Vec3(5));
+        EXPECT_NEAR((m.point(a) - m.point(b)).length(),
+                    (a - b).length(), 1e-4f);
+    }
+}
+
+TEST(RigidTransform, RayParameterPreserved)
+{
+    // The property that makes instancing compose with min_thit: the
+    // point at parameter t on the transformed ray is the transform of
+    // the point at t on the original ray.
+    Pcg32 rng(7);
+    for (int i = 0; i < 100; ++i) {
+        auto m = RigidTransform::rotateYTranslate(
+            rng.nextRange(-3.0f, 3.0f),
+            rng.nextInBox(Vec3(-10), Vec3(10)));
+        Ray r(rng.nextInBox(Vec3(-5), Vec3(5)), rng.nextUnitVector());
+        Ray tr = m.ray(r);
+        const float t = rng.nextRange(0.1f, 20.0f);
+        Vec3 expect = m.point(r.at(t));
+        Vec3 got = tr.at(t);
+        EXPECT_NEAR(got.x, expect.x, 1e-3f);
+        EXPECT_NEAR(got.y, expect.y, 1e-3f);
+        EXPECT_NEAR(got.z, expect.z, 1e-3f);
+    }
+}
+
+TEST(RigidTransform, BoxIsConservative)
+{
+    Pcg32 rng(8);
+    for (int i = 0; i < 200; ++i) {
+        auto m = RigidTransform::rotateYTranslate(
+            rng.nextRange(-3.0f, 3.0f),
+            rng.nextInBox(Vec3(-5), Vec3(5)));
+        AABB b;
+        b.grow(rng.nextInBox(Vec3(-4), Vec3(4)));
+        b.grow(rng.nextInBox(Vec3(-4), Vec3(4)));
+        AABB moved = m.box(b);
+        // Any point of the original box maps inside the moved box.
+        for (int k = 0; k < 10; ++k) {
+            Vec3 p = rng.nextInBox(b.lo, b.hi);
+            EXPECT_TRUE(moved.contains(m.point(p)));
+        }
+    }
+}
+
+} // namespace

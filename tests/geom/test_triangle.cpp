@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit and property tests for the Möller–Trumbore triangle test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "geom/triangle.hpp"
+
+namespace {
+
+using cooprt::geom::kNoHit;
+using cooprt::geom::Pcg32;
+using cooprt::geom::Ray;
+using cooprt::geom::Triangle;
+using cooprt::geom::Vec3;
+
+// Unit right triangle in the z=0 plane.
+const Triangle tri{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+
+TEST(Triangle, CenterHit)
+{
+    Ray r({0.25f, 0.25f, 1.0f}, {0, 0, -1});
+    EXPECT_FLOAT_EQ(tri.intersect(r, kNoHit), 1.0f);
+}
+
+TEST(Triangle, DoubleSidedHitFromBehind)
+{
+    Ray r({0.25f, 0.25f, -1.0f}, {0, 0, 1});
+    EXPECT_FLOAT_EQ(tri.intersect(r, kNoHit), 1.0f);
+}
+
+TEST(Triangle, MissOutsideEdge)
+{
+    Ray r({0.75f, 0.75f, 1.0f}, {0, 0, -1}); // beyond hypotenuse
+    EXPECT_EQ(tri.intersect(r, kNoHit), kNoHit);
+}
+
+TEST(Triangle, MissNegativeBarycentric)
+{
+    Ray r({-0.1f, 0.5f, 1.0f}, {0, 0, -1});
+    EXPECT_EQ(tri.intersect(r, kNoHit), kNoHit);
+}
+
+TEST(Triangle, ParallelRayMisses)
+{
+    Ray r({0.25f, 0.25f, 1.0f}, {1, 0, 0}); // parallel to plane
+    EXPECT_EQ(tri.intersect(r, kNoHit), kNoHit);
+}
+
+TEST(Triangle, BehindOriginMisses)
+{
+    Ray r({0.25f, 0.25f, -1.0f}, {0, 0, -1}); // triangle behind ray
+    EXPECT_EQ(tri.intersect(r, kNoHit), kNoHit);
+}
+
+TEST(Triangle, RespectsTLimit)
+{
+    Ray r({0.25f, 0.25f, 2.0f}, {0, 0, -1});
+    EXPECT_EQ(tri.intersect(r, 1.5f), kNoHit);   // hit at 2.0 > limit
+    EXPECT_FLOAT_EQ(tri.intersect(r, 2.5f), 2.0f);
+}
+
+TEST(Triangle, RespectsRayTmax)
+{
+    Ray r({0.25f, 0.25f, 2.0f}, {0, 0, -1}, 1e-4f, 1.0f);
+    EXPECT_EQ(tri.intersect(r, kNoHit), kNoHit);
+}
+
+TEST(Triangle, RespectsRayTmin)
+{
+    // Origin exactly on the triangle: hit distance 0 < tmin rejected,
+    // which is the standard self-intersection guard.
+    Ray r({0.25f, 0.25f, 0.0f}, {0, 0, -1});
+    EXPECT_EQ(tri.intersect(r, kNoHit), kNoHit);
+}
+
+TEST(Triangle, BoundsContainVertices)
+{
+    Triangle t{{-1, 2, 3}, {4, -5, 6}, {0, 0, -2}};
+    auto b = t.bounds();
+    EXPECT_TRUE(b.contains(t.v0));
+    EXPECT_TRUE(b.contains(t.v1));
+    EXPECT_TRUE(b.contains(t.v2));
+    EXPECT_EQ(b.lo, Vec3(-1, -5, -2));
+    EXPECT_EQ(b.hi, Vec3(4, 2, 6));
+}
+
+TEST(Triangle, CentroidIsVertexAverage)
+{
+    Triangle t{{0, 0, 0}, {3, 0, 0}, {0, 3, 0}};
+    EXPECT_EQ(t.centroid(), Vec3(1, 1, 0));
+}
+
+TEST(Triangle, GeometricNormalDirection)
+{
+    Vec3 n = tri.geometricNormal();
+    EXPECT_EQ(n, Vec3(0, 0, 1));
+}
+
+TEST(Triangle, Area2)
+{
+    EXPECT_FLOAT_EQ(tri.area2(), 1.0f); // 2 * area(0.5)
+}
+
+TEST(Triangle, ShadingNormalFacesIncoming)
+{
+    Vec3 n_above = tri.shadingNormal(Vec3(0, 0, -1));
+    EXPECT_GT(n_above.z, 0.0f);
+    Vec3 n_below = tri.shadingNormal(Vec3(0, 0, 1));
+    EXPECT_LT(n_below.z, 0.0f);
+}
+
+TEST(Triangle, DegenerateTriangleNeverHits)
+{
+    Triangle degen{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}}; // collinear
+    Pcg32 rng(5);
+    for (int i = 0; i < 100; ++i) {
+        Ray r(rng.nextInBox(Vec3(-5), Vec3(5)), rng.nextUnitVector());
+        EXPECT_EQ(degen.intersect(r, kNoHit), kNoHit);
+    }
+}
+
+/**
+ * Property: construct the hit point from barycentric coordinates; a
+ * ray aimed at it must hit at the expected distance.
+ */
+TEST(TriangleProperty, RayAtBarycentricPointHits)
+{
+    Pcg32 rng(123);
+    for (int iter = 0; iter < 3000; ++iter) {
+        Triangle t{rng.nextInBox(Vec3(-5), Vec3(5)),
+                   rng.nextInBox(Vec3(-5), Vec3(5)),
+                   rng.nextInBox(Vec3(-5), Vec3(5))};
+        if (t.area2() < 1e-3f)
+            continue; // skip near-degenerate samples
+        // Strictly interior barycentric coordinates.
+        float u = 0.1f + 0.6f * rng.nextFloat();
+        float v = 0.1f + (0.8f - u) * rng.nextFloat();
+        Vec3 p = t.v0 * (1 - u - v) + t.v1 * u + t.v2 * v;
+        Vec3 o = p + rng.nextUnitVector() * (1.0f + 5.0f * rng.nextFloat());
+        Vec3 d = p - o;
+        float dist = d.length();
+        Ray r(o, d / dist);
+        // Reject grazing configurations where the ray is nearly in the
+        // triangle plane (numerically fragile for any intersector).
+        Vec3 n = normalize(t.geometricNormal());
+        if (std::abs(dot(n, r.dir)) < 0.05f)
+            continue;
+        float thit = t.intersect(r, kNoHit);
+        ASSERT_NE(thit, kNoHit) << "iter " << iter;
+        EXPECT_NEAR(thit, dist, 1e-2f * dist + 1e-3f) << "iter " << iter;
+    }
+}
+
+/**
+ * Property: the triangle's bounding box is conservative — whenever the
+ * triangle is hit, the box is hit too, at an entry distance <= thit.
+ */
+TEST(TriangleProperty, BoundsAreConservative)
+{
+    Pcg32 rng(321);
+    int checked = 0;
+    for (int iter = 0; iter < 3000; ++iter) {
+        Triangle t{rng.nextInBox(Vec3(-5), Vec3(5)),
+                   rng.nextInBox(Vec3(-5), Vec3(5)),
+                   rng.nextInBox(Vec3(-5), Vec3(5))};
+        // Aim at a jittered point near the triangle so enough samples
+        // hit the primitive.
+        Vec3 o = rng.nextInBox(Vec3(-15), Vec3(15));
+        Vec3 target = t.centroid() +
+                      rng.nextUnitVector() * (3.0f * rng.nextFloat());
+        if ((target - o).lengthSq() < 1e-6f)
+            continue;
+        Ray r(o, normalize(target - o));
+        float thit = t.intersect(r, kNoHit);
+        if (thit == kNoHit)
+            continue;
+        ++checked;
+        float tbox = t.bounds().intersect(r, kNoHit);
+        ASSERT_NE(tbox, kNoHit) << "iter " << iter;
+        EXPECT_LE(tbox, thit + 1e-3f) << "iter " << iter;
+    }
+    EXPECT_GT(checked, 50);
+}
+
+/**
+ * Property: intersection distance is invariant under vertex rotation
+ * (v0,v1,v2) -> (v1,v2,v0), which permutes barycentrics but not
+ * geometry.
+ */
+TEST(TriangleProperty, VertexRotationInvariance)
+{
+    Pcg32 rng(777);
+    for (int iter = 0; iter < 1000; ++iter) {
+        Triangle a{rng.nextInBox(Vec3(-3), Vec3(3)),
+                   rng.nextInBox(Vec3(-3), Vec3(3)),
+                   rng.nextInBox(Vec3(-3), Vec3(3))};
+        Triangle b{a.v1, a.v2, a.v0};
+        Ray r(rng.nextInBox(Vec3(-10), Vec3(10)), rng.nextUnitVector());
+        float ta = a.intersect(r, kNoHit);
+        float tb = b.intersect(r, kNoHit);
+        if (ta == kNoHit || tb == kNoHit) {
+            // Edge-grazing rays may flip near the boundary; require
+            // agreement only when both report hits.
+            continue;
+        }
+        EXPECT_NEAR(ta, tb, 1e-3f * (1.0f + ta)) << "iter " << iter;
+    }
+}
+
+} // namespace

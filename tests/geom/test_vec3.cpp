@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the Vec3 vector type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/vec3.hpp"
+
+namespace {
+
+using cooprt::geom::Vec3;
+
+TEST(Vec3, DefaultIsZero)
+{
+    Vec3 v;
+    EXPECT_EQ(v.x, 0.0f);
+    EXPECT_EQ(v.y, 0.0f);
+    EXPECT_EQ(v.z, 0.0f);
+}
+
+TEST(Vec3, BroadcastConstructor)
+{
+    Vec3 v(2.5f);
+    EXPECT_EQ(v, Vec3(2.5f, 2.5f, 2.5f));
+}
+
+TEST(Vec3, Addition)
+{
+    EXPECT_EQ(Vec3(1, 2, 3) + Vec3(4, 5, 6), Vec3(5, 7, 9));
+}
+
+TEST(Vec3, Subtraction)
+{
+    EXPECT_EQ(Vec3(4, 5, 6) - Vec3(1, 2, 3), Vec3(3, 3, 3));
+}
+
+TEST(Vec3, ComponentwiseMultiply)
+{
+    EXPECT_EQ(Vec3(1, 2, 3) * Vec3(2, 3, 4), Vec3(2, 6, 12));
+}
+
+TEST(Vec3, ScalarMultiplyCommutes)
+{
+    EXPECT_EQ(Vec3(1, 2, 3) * 2.0f, 2.0f * Vec3(1, 2, 3));
+}
+
+TEST(Vec3, ScalarDivide)
+{
+    EXPECT_EQ(Vec3(2, 4, 6) / 2.0f, Vec3(1, 2, 3));
+}
+
+TEST(Vec3, Negation)
+{
+    EXPECT_EQ(-Vec3(1, -2, 3), Vec3(-1, 2, -3));
+}
+
+TEST(Vec3, CompoundAssignment)
+{
+    Vec3 v(1, 1, 1);
+    v += Vec3(1, 2, 3);
+    EXPECT_EQ(v, Vec3(2, 3, 4));
+    v -= Vec3(1, 1, 1);
+    EXPECT_EQ(v, Vec3(1, 2, 3));
+    v *= 3.0f;
+    EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3, IndexOperator)
+{
+    Vec3 v(7, 8, 9);
+    EXPECT_EQ(v[0], 7.0f);
+    EXPECT_EQ(v[1], 8.0f);
+    EXPECT_EQ(v[2], 9.0f);
+}
+
+TEST(Vec3, MutableAtWritesComponents)
+{
+    Vec3 v;
+    v.at(0) = 1.0f;
+    v.at(1) = 2.0f;
+    v.at(2) = 3.0f;
+    EXPECT_EQ(v, Vec3(1, 2, 3));
+}
+
+TEST(Vec3, DotProduct)
+{
+    EXPECT_FLOAT_EQ(dot(Vec3(1, 2, 3), Vec3(4, -5, 6)), 12.0f);
+}
+
+TEST(Vec3, DotOrthogonalIsZero)
+{
+    EXPECT_FLOAT_EQ(dot(Vec3(1, 0, 0), Vec3(0, 1, 0)), 0.0f);
+}
+
+TEST(Vec3, CrossProductBasis)
+{
+    EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+    EXPECT_EQ(cross(Vec3(0, 1, 0), Vec3(0, 0, 1)), Vec3(1, 0, 0));
+    EXPECT_EQ(cross(Vec3(0, 0, 1), Vec3(1, 0, 0)), Vec3(0, 1, 0));
+}
+
+TEST(Vec3, CrossAntisymmetric)
+{
+    Vec3 a(1.5f, -2.0f, 0.25f), b(0.5f, 3.0f, -1.0f);
+    EXPECT_EQ(cross(a, b), -cross(b, a));
+}
+
+TEST(Vec3, CrossOrthogonalToOperands)
+{
+    Vec3 a(1.5f, -2.0f, 0.25f), b(0.5f, 3.0f, -1.0f);
+    Vec3 c = cross(a, b);
+    EXPECT_NEAR(dot(c, a), 0.0f, 1e-5f);
+    EXPECT_NEAR(dot(c, b), 0.0f, 1e-5f);
+}
+
+TEST(Vec3, MinMax)
+{
+    Vec3 a(1, 5, 3), b(2, 4, 3);
+    EXPECT_EQ(min(a, b), Vec3(1, 4, 3));
+    EXPECT_EQ(max(a, b), Vec3(2, 5, 3));
+}
+
+TEST(Vec3, Length)
+{
+    EXPECT_FLOAT_EQ(Vec3(3, 4, 0).length(), 5.0f);
+    EXPECT_FLOAT_EQ(Vec3(1, 2, 2).lengthSq(), 9.0f);
+}
+
+TEST(Vec3, NormalizeYieldsUnitLength)
+{
+    Vec3 n = normalize(Vec3(3, -4, 12));
+    EXPECT_NEAR(n.length(), 1.0f, 1e-6f);
+}
+
+TEST(Vec3, LerpEndpointsAndMidpoint)
+{
+    Vec3 a(0, 0, 0), b(2, 4, 6);
+    EXPECT_EQ(lerp(a, b, 0.0f), a);
+    EXPECT_EQ(lerp(a, b, 1.0f), b);
+    EXPECT_EQ(lerp(a, b, 0.5f), Vec3(1, 2, 3));
+}
+
+TEST(Vec3, ReflectAboutNormal)
+{
+    // 45-degree incidence on the y=0 plane.
+    Vec3 d = normalize(Vec3(1, -1, 0));
+    Vec3 r = reflect(d, Vec3(0, 1, 0));
+    EXPECT_NEAR(r.x, d.x, 1e-6f);
+    EXPECT_NEAR(r.y, -d.y, 1e-6f);
+    EXPECT_NEAR(r.z, d.z, 1e-6f);
+}
+
+TEST(Vec3, ReflectPreservesLength)
+{
+    Vec3 d(0.3f, -0.9f, 0.2f);
+    Vec3 r = reflect(d, normalize(Vec3(1, 2, -1)));
+    EXPECT_NEAR(r.length(), d.length(), 1e-5f);
+}
+
+TEST(Vec3, MaxMinComponentAndAxis)
+{
+    Vec3 v(3, 9, 5);
+    EXPECT_FLOAT_EQ(v.maxComponent(), 9.0f);
+    EXPECT_FLOAT_EQ(v.minComponent(), 3.0f);
+    EXPECT_EQ(v.maxAxis(), 1);
+    EXPECT_EQ(Vec3(7, 1, 2).maxAxis(), 0);
+    EXPECT_EQ(Vec3(1, 2, 7).maxAxis(), 2);
+}
+
+} // namespace

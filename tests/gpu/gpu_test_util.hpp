@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for GPU-level tests: a scripted warp program that
+ * replays a fixed list of trace jobs.
+ */
+
+#ifndef COOPRT_TESTS_GPU_TEST_UTIL_HPP
+#define COOPRT_TESTS_GPU_TEST_UTIL_HPP
+
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "gpu/gpu.hpp"
+
+namespace cooprt::testutil {
+
+/**
+ * Replays a fixed sequence of trace jobs with a constant shading
+ * cost between them, recording every TraceResult it receives.
+ */
+class ScriptedProgram : public gpu::WarpProgram
+{
+  public:
+    explicit ScriptedProgram(std::vector<rtunit::TraceJob> jobs,
+                             gpu::ShadingCost cost = {10, 2, 3})
+        : jobs_(std::move(jobs)), cost_(cost)
+    {}
+
+    gpu::WarpAction
+    start() override
+    {
+        return nextAction();
+    }
+
+    gpu::WarpAction
+    resume(const rtunit::TraceResult &result) override
+    {
+        results.push_back(result);
+        return nextAction();
+    }
+
+    std::vector<rtunit::TraceResult> results;
+
+  private:
+    gpu::WarpAction
+    nextAction()
+    {
+        gpu::WarpAction a;
+        a.cost = cost_;
+        if (next_ >= jobs_.size()) {
+            a.kind = gpu::WarpAction::Kind::Finish;
+            return a;
+        }
+        a.kind = gpu::WarpAction::Kind::Trace;
+        a.trace = jobs_[next_++];
+        return a;
+    }
+
+    std::vector<rtunit::TraceJob> jobs_;
+    gpu::ShadingCost cost_;
+    std::size_t next_ = 0;
+};
+
+/** A divergent random warp job over a soup of extent ~10. */
+inline rtunit::TraceJob
+divergentJob(geom::Pcg32 &rng, int rays = rtunit::kWarpSize)
+{
+    rtunit::TraceJob job;
+    for (int t = 0; t < rays; ++t) {
+        geom::Vec3 o = rng.nextInBox(geom::Vec3(-20), geom::Vec3(20));
+        geom::Vec3 target =
+            rng.nextInBox(geom::Vec3(-8), geom::Vec3(8));
+        if ((target - o).lengthSq() < 1e-6f)
+            continue;
+        job.rays[std::size_t(t)] = geom::Ray(o, normalize(target - o));
+    }
+    return job;
+}
+
+/** A tiny GPU config for tests: 2 SMs, small caches, fast to run. */
+inline gpu::GpuConfig
+tinyGpu(bool coop = false)
+{
+    gpu::GpuConfig c;
+    c.num_sms = 2;
+    c.max_warps_per_sm = 8;
+    c.mem.num_sms = 2;
+    c.mem.l1 = {8 * 1024, 0, 128, 20};
+    c.mem.l2 = {64 * 1024, 8, 128, 80};
+    c.mem.l2_banks = 2;
+    c.mem.dram.channels = 2;
+    c.mem.dram.latency = 150;
+    c.mem.dram.bytes_per_cycle = 16.0;
+    c.trace.coop = coop;
+    return c;
+}
+
+} // namespace cooprt::testutil
+
+#endif // COOPRT_TESTS_GPU_TEST_UTIL_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the DRAM channel/bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hpp"
+
+namespace {
+
+using cooprt::mem::Dram;
+using cooprt::mem::DramConfig;
+
+DramConfig
+cfg(std::uint32_t channels = 2, double bpc = 32.0,
+    std::uint32_t latency = 100)
+{
+    DramConfig c;
+    c.channels = channels;
+    c.bytes_per_cycle = bpc;
+    c.latency = latency;
+    c.interleave_bytes = 256;
+    return c;
+}
+
+TEST(Dram, SingleAccessLatency)
+{
+    Dram d(cfg());
+    // 128 bytes at 32 B/cyc = 4 transfer cycles + 100 latency.
+    EXPECT_EQ(d.access(0, 128, 10), 10u + 100 + 4);
+}
+
+TEST(Dram, ChannelInterleaving)
+{
+    Dram d(cfg(2));
+    EXPECT_EQ(d.channelOf(0), 0u);
+    EXPECT_EQ(d.channelOf(256), 1u);
+    EXPECT_EQ(d.channelOf(512), 0u);
+    EXPECT_EQ(d.channelOf(300), 1u);
+}
+
+TEST(Dram, SameChannelQueues)
+{
+    Dram d(cfg(2, 32.0, 100));
+    std::uint64_t r1 = d.access(0, 128, 0);   // ch 0: busy [0,4)
+    std::uint64_t r2 = d.access(512, 128, 0); // ch 0: starts at 4
+    EXPECT_EQ(r1, 104u);
+    EXPECT_EQ(r2, 108u);
+}
+
+TEST(Dram, DifferentChannelsParallel)
+{
+    Dram d(cfg(2, 32.0, 100));
+    std::uint64_t r1 = d.access(0, 128, 0);
+    std::uint64_t r2 = d.access(256, 128, 0); // other channel
+    EXPECT_EQ(r1, r2);
+}
+
+TEST(Dram, LateArrivalDoesNotQueueBehindIdle)
+{
+    Dram d(cfg(1, 32.0, 100));
+    d.access(0, 128, 0); // busy [0,4)
+    std::uint64_t r = d.access(0, 128, 1000);
+    EXPECT_EQ(r, 1104u); // channel long idle again
+}
+
+TEST(Dram, StatsAccumulate)
+{
+    Dram d(cfg(2, 32.0, 100));
+    d.access(0, 128, 0);
+    d.access(256, 256, 0);
+    EXPECT_EQ(d.stats().requests, 2u);
+    EXPECT_EQ(d.stats().bytes, 384u);
+    EXPECT_EQ(d.stats().busy_cycles, 4u + 8u);
+}
+
+TEST(Dram, UtilizationComputation)
+{
+    Dram d(cfg(2, 32.0, 100));
+    d.access(0, 128, 0);   // 4 busy cycles on ch 0
+    d.access(256, 128, 0); // 4 busy cycles on ch 1
+    // Over 8 elapsed cycles and 2 channels: 8 / 16 = 50 %.
+    EXPECT_DOUBLE_EQ(d.stats().utilization(8, 2), 0.5);
+    EXPECT_DOUBLE_EQ(d.stats().utilization(0, 2), 0.0);
+}
+
+TEST(Dram, FractionalTransferRoundsUp)
+{
+    Dram d(cfg(1, 100.0, 10));
+    // 128 B at 100 B/cyc -> ceil(1.28) = 2 cycles.
+    EXPECT_EQ(d.access(0, 128, 0), 0u + 10 + 2);
+}
+
+TEST(Dram, ResetClears)
+{
+    Dram d(cfg(1, 32.0, 100));
+    d.access(0, 128, 0);
+    d.reset();
+    EXPECT_EQ(d.stats().requests, 0u);
+    EXPECT_EQ(d.access(0, 128, 0), 104u); // channel free again
+}
+
+} // namespace

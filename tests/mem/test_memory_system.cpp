@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the composed L1/L2/DRAM hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hpp"
+
+namespace {
+
+using cooprt::mem::MemConfig;
+using cooprt::mem::MemorySystem;
+
+MemConfig
+tinyCfg()
+{
+    MemConfig c;
+    c.num_sms = 2;
+    c.l1 = {4 * 128, 0, 128, 10};     // 4 lines, 10 cyc
+    c.l2 = {16 * 128, 4, 128, 50};    // 16 lines, 4-way, 50 cyc
+    c.l2_banks = 2;
+    c.l2_bytes_per_cycle = 64.0;      // 2 cycles per line
+    c.dram.channels = 2;
+    c.dram.latency = 200;
+    c.dram.bytes_per_cycle = 32.0;    // 4 cycles per line
+    return c;
+}
+
+TEST(MemorySystem, ColdFetchGoesToDram)
+{
+    MemorySystem ms(tinyCfg());
+    std::uint64_t r = ms.fetch(0, 0x1000, 64, 0);
+    // L1 miss (10) -> L2 bank (2) + L2 miss (50) -> DRAM (200 + 4).
+    EXPECT_EQ(ms.l1Stats(0).misses, 1u);
+    EXPECT_EQ(ms.l2Stats().misses, 1u);
+    EXPECT_EQ(ms.dramStats().requests, 1u);
+    EXPECT_GT(r, 200u);
+}
+
+TEST(MemorySystem, L1HitIsFast)
+{
+    MemorySystem ms(tinyCfg());
+    std::uint64_t r1 = ms.fetch(0, 0x1000, 64, 0);
+    std::uint64_t r2 = ms.fetch(0, 0x1000, 64, r1 + 1);
+    EXPECT_EQ(r2 - (r1 + 1), 10u); // L1 hit latency only
+    EXPECT_EQ(ms.dramStats().requests, 1u);
+}
+
+TEST(MemorySystem, CrossSmSharingHitsInL2)
+{
+    MemorySystem ms(tinyCfg());
+    std::uint64_t r1 = ms.fetch(0, 0x1000, 64, 0);
+    // Same line from the other SM after the fill: misses its own L1
+    // but hits the shared L2 -> no extra DRAM traffic.
+    ms.fetch(1, 0x1000, 64, r1 + 10);
+    EXPECT_EQ(ms.l1Stats(1).misses, 1u);
+    EXPECT_EQ(ms.l2Stats().hits, 1u);
+    EXPECT_EQ(ms.dramStats().requests, 1u);
+}
+
+TEST(MemorySystem, MultiLineFetchSplits)
+{
+    MemorySystem ms(tinyCfg());
+    // 256 bytes starting at a line boundary = 2 lines.
+    ms.fetch(0, 0x2000, 256, 0);
+    EXPECT_EQ(ms.l1Stats(0).accesses, 2u);
+    EXPECT_EQ(ms.dramStats().requests, 2u);
+}
+
+TEST(MemorySystem, UnalignedFetchTouchesExtraLine)
+{
+    MemorySystem ms(tinyCfg());
+    // 64 bytes straddling a 128 B boundary = 2 lines.
+    ms.fetch(0, 0x20C0, 128, 0);
+    EXPECT_EQ(ms.l1Stats(0).accesses, 2u);
+}
+
+TEST(MemorySystem, ZeroByteFetchIsFree)
+{
+    MemorySystem ms(tinyCfg());
+    EXPECT_EQ(ms.fetch(0, 0x1000, 0, 42), 42u);
+    EXPECT_EQ(ms.l1Stats(0).accesses, 0u);
+}
+
+TEST(MemorySystem, BadSmThrows)
+{
+    MemorySystem ms(tinyCfg());
+    EXPECT_THROW(ms.fetch(-1, 0, 64, 0), std::out_of_range);
+    EXPECT_THROW(ms.fetch(2, 0, 64, 0), std::out_of_range);
+}
+
+TEST(MemorySystem, MismatchedLineSizesRejected)
+{
+    MemConfig c = tinyCfg();
+    c.l1.line_bytes = 64;
+    EXPECT_THROW(MemorySystem{c}, std::invalid_argument);
+}
+
+TEST(MemorySystem, L2BytesCountInterconnectTraffic)
+{
+    MemorySystem ms(tinyCfg());
+    ms.fetch(0, 0x1000, 128, 0);
+    ms.fetch(1, 0x1000, 128, 1000); // L2 hit still crosses interconnect
+    EXPECT_EQ(ms.stats().l2_bytes, 256u);
+}
+
+TEST(MemorySystem, L2BankContentionSerializes)
+{
+    MemConfig c = tinyCfg();
+    c.l2_banks = 1;
+    MemorySystem ms(c);
+    // Warm L2 with two lines (through SM 0).
+    std::uint64_t w = ms.fetch(0, 0x0, 256, 0);
+    // Now two L2 hits from SM 1 at the same cycle: single bank
+    // serializes the second by the 2-cycle service time.
+    std::uint64_t r1 = ms.fetch(1, 0x0, 128, w);
+    ms.reset();
+    // Re-warm, then issue both lines at once and compare.
+    w = ms.fetch(0, 0x0, 256, 0);
+    std::uint64_t r2 = ms.fetch(1, 0x0, 256, w);
+    EXPECT_GT(r2, r1 - w + w); // the 2-line fetch finishes later
+}
+
+TEST(MemorySystem, AggregatedL1Stats)
+{
+    MemorySystem ms(tinyCfg());
+    ms.fetch(0, 0x1000, 128, 0);
+    ms.fetch(1, 0x9000, 128, 0);
+    auto total = ms.l1StatsTotal();
+    EXPECT_EQ(total.accesses, 2u);
+    EXPECT_EQ(total.misses, 2u);
+}
+
+TEST(MemorySystem, ResetRestoresColdState)
+{
+    MemorySystem ms(tinyCfg());
+    ms.fetch(0, 0x1000, 128, 0);
+    ms.reset();
+    EXPECT_EQ(ms.l1Stats(0).accesses, 0u);
+    EXPECT_EQ(ms.l2Stats().accesses, 0u);
+    EXPECT_EQ(ms.dramStats().requests, 0u);
+    ms.fetch(0, 0x1000, 128, 0);
+    EXPECT_EQ(ms.l1Stats(0).misses, 1u); // cold again
+}
+
+/**
+ * Conservation properties under random traffic: every L1 primary
+ * miss becomes exactly one L2 access, every L2 primary miss becomes
+ * exactly one DRAM line transfer (no write-backs are modeled for the
+ * read-only BVH stream).
+ */
+TEST(MemorySystemProperty, TrafficConservationUnderRandomLoad)
+{
+    MemorySystem ms(tinyCfg());
+    std::uint64_t state = 12345;
+    std::uint64_t now = 0;
+    for (int i = 0; i < 5000; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const int sm = int(state % 2);
+        const std::uint64_t addr = (state >> 8) % (64 * 1024);
+        const std::uint32_t bytes = 32u + std::uint32_t(state % 192);
+        now += state % 7;
+        ms.fetch(sm, addr, bytes, now);
+    }
+    const auto l1 = ms.l1StatsTotal();
+    EXPECT_EQ(ms.l2Stats().accesses, l1.misses);
+    EXPECT_EQ(ms.dramStats().requests, ms.l2Stats().misses);
+    EXPECT_EQ(ms.dramStats().bytes, ms.l2Stats().misses * 128);
+    EXPECT_EQ(ms.stats().l2_bytes, ms.l2Stats().accesses * 128);
+    EXPECT_EQ(l1.hits + l1.misses + l1.mshr_merges, l1.accesses);
+}
+
+/** Completion cycles never precede request cycles. */
+TEST(MemorySystemProperty, CausalityUnderRandomLoad)
+{
+    MemorySystem ms(tinyCfg());
+    std::uint64_t state = 777;
+    std::uint64_t now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        state = state * 6364136223846793005ULL + 99991;
+        now += state % 11;
+        const std::uint64_t done =
+            ms.fetch(int(state % 2), (state >> 5) % 32768, 128, now);
+        ASSERT_GE(done, now);
+    }
+}
+
+TEST(MemorySystem, ResetTimingKeepsCacheContentsWarm)
+{
+    MemorySystem ms(tinyCfg());
+    // Warm a line, then restart the clock with warm contents.
+    std::uint64_t t1 = ms.fetch(0, 0x1000, 128, 0);
+    EXPECT_GT(t1, 100u); // cold: went to DRAM
+    ms.resetTiming();
+    EXPECT_EQ(ms.l1Stats(0).accesses, 0u); // stats restarted
+    // Same line at cycle 0 of the new pass: L1 hit.
+    std::uint64_t t2 = ms.fetch(0, 0x1000, 128, 0);
+    EXPECT_EQ(t2, 10u); // L1 hit latency only
+    EXPECT_EQ(ms.l1Stats(0).hits, 1u);
+}
+
+TEST(MemorySystem, ResetTimingClearsAbsoluteClocks)
+{
+    MemorySystem ms(tinyCfg());
+    // Push the DRAM channel clocks far into the future.
+    for (int i = 0; i < 50; ++i)
+        ms.fetch(0, 0x100000 + std::uint64_t(i) * 128, 128, 0);
+    ms.resetTiming();
+    // A cold fetch at cycle 0 must not queue behind phantom traffic:
+    // latency == L1 + L2 bank + L2 + DRAM latency + transfer.
+    const std::uint64_t t = ms.fetch(0, 0x900000, 128, 0);
+    EXPECT_LE(t, 10u + 2 + 50 + 200 + 4);
+}
+
+TEST(MemorySystem, ThrashingWorkingSetMissesInL1)
+{
+    MemorySystem ms(tinyCfg()); // L1 holds 4 lines
+    std::uint64_t now = 0;
+    for (int rep = 0; rep < 3; ++rep)
+        for (std::uint64_t line = 0; line < 8; ++line)
+            now = ms.fetch(0, line * 128, 128, now);
+    // Working set (8 lines) exceeds L1 (4): every access misses L1...
+    EXPECT_EQ(ms.l1Stats(0).hits, 0u);
+    // ...but fits in L2 (16 lines): only cold misses go to DRAM.
+    EXPECT_EQ(ms.dramStats().requests, 8u);
+    EXPECT_EQ(ms.l2Stats().hits, 16u);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for GPGPU-Sim-style sectored caches: per-sector residency,
+ * sector misses on resident lines, and reduced fill traffic through
+ * the memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/memory_system.hpp"
+
+namespace {
+
+using cooprt::mem::Cache;
+using cooprt::mem::CacheConfig;
+using cooprt::mem::MemConfig;
+using cooprt::mem::MemorySystem;
+
+CacheConfig
+sectoredCfg()
+{
+    CacheConfig c;
+    c.size_bytes = 4 * 128;
+    c.assoc = 0;
+    c.line_bytes = 128;
+    c.latency = 10;
+    c.sector_bytes = 32; // 4 sectors per line
+    return c;
+}
+
+struct Backing
+{
+    std::uint64_t fetched_sectors = 0;
+    std::uint64_t fetches = 0;
+
+    std::uint64_t
+    operator()(std::uint64_t, std::uint32_t missing, std::uint64_t now)
+    {
+        fetches++;
+        fetched_sectors += std::uint64_t(std::popcount(missing));
+        return now + 100;
+    }
+};
+
+TEST(SectoredCache, MaskHelpers)
+{
+    Cache c(sectoredCfg());
+    EXPECT_EQ(c.fullSectorMask(), 0xfu);
+    EXPECT_EQ(c.sectorMaskOf(0, 32), 0x1u);
+    EXPECT_EQ(c.sectorMaskOf(0, 33), 0x3u);
+    EXPECT_EQ(c.sectorMaskOf(32, 32), 0x2u);
+    EXPECT_EQ(c.sectorMaskOf(96, 32), 0x8u);
+    EXPECT_EQ(c.sectorMaskOf(0, 128), 0xfu);
+    // Offsets are taken modulo the line.
+    EXPECT_EQ(c.sectorMaskOf(128 + 64, 32), 0x4u);
+}
+
+TEST(SectoredCache, UnsectoredMaskIsUnit)
+{
+    CacheConfig cfg = sectoredCfg();
+    cfg.sector_bytes = 0;
+    Cache c(cfg);
+    EXPECT_EQ(c.fullSectorMask(), 1u);
+    EXPECT_EQ(c.sectorMaskOf(96, 32), 1u);
+}
+
+TEST(SectoredCache, SectorMissOnResidentLine)
+{
+    Cache c(sectoredCfg());
+    Backing mem;
+    // Fill sector 0 only.
+    c.access(7, 0x1u, 0, std::ref(mem));
+    EXPECT_EQ(mem.fetched_sectors, 1u);
+    // Sector 0 again at a later time: hit.
+    std::uint64_t r = c.access(7, 0x1u, 500, std::ref(mem));
+    EXPECT_EQ(r, 510u);
+    EXPECT_EQ(c.stats().hits, 1u);
+    // Sector 2: the line is resident but the sector is not.
+    c.access(7, 0x4u, 600, std::ref(mem));
+    EXPECT_EQ(c.stats().sector_misses, 1u);
+    EXPECT_EQ(mem.fetched_sectors, 2u); // only the missing sector
+}
+
+TEST(SectoredCache, PartialHitFetchesOnlyMissingSectors)
+{
+    Cache c(sectoredCfg());
+    Backing mem;
+    c.access(3, 0x3u, 0, std::ref(mem)); // sectors 0,1
+    c.access(3, 0x7u, 500, std::ref(mem)); // needs 0,1,2 -> fetch 2
+    EXPECT_EQ(mem.fetched_sectors, 3u);
+}
+
+TEST(SectoredCache, MshrMergeRequiresSectorCoverage)
+{
+    Cache c(sectoredCfg());
+    Backing mem;
+    c.access(9, 0x1u, 0, std::ref(mem)); // fill of sector 0 in flight
+    // Same sector while in flight: merge, no new fetch.
+    c.access(9, 0x1u, 5, std::ref(mem));
+    EXPECT_EQ(c.stats().mshr_merges, 1u);
+    EXPECT_EQ(mem.fetches, 1u);
+    // Different sector while in flight: its own fetch.
+    c.access(9, 0x2u, 6, std::ref(mem));
+    EXPECT_EQ(mem.fetches, 2u);
+}
+
+TEST(SectoredCache, WholeLineOverloadStillWorks)
+{
+    Cache c(sectoredCfg());
+    std::uint64_t fetches = 0;
+    auto below = [&](std::uint64_t, std::uint64_t t) {
+        fetches++;
+        return t + 100;
+    };
+    c.access(1, 0, below);
+    std::uint64_t r = c.access(1, 500, below);
+    EXPECT_EQ(r, 510u); // full line resident -> hit
+    EXPECT_EQ(fetches, 1u);
+}
+
+TEST(SectoredMemorySystem, SmallFetchesMoveLessData)
+{
+    MemConfig cfg;
+    cfg.num_sms = 1;
+    cfg.l1 = {4 * 128, 0, 128, 10};
+    cfg.l2 = {64 * 1024, 8, 128, 50};
+    cfg.l2_banks = 2;
+    cfg.dram.channels = 2;
+
+    MemConfig sectored = cfg;
+    sectored.l1_sector_bytes = 32;
+
+    // 32-byte strided accesses to distinct lines: unsectored fills
+    // whole 128 B lines; sectored fills 32 B sectors.
+    MemorySystem plain(cfg), sect(sectored);
+    for (int i = 0; i < 32; ++i) {
+        plain.fetch(0, std::uint64_t(i) * 128, 32, std::uint64_t(i));
+        sect.fetch(0, std::uint64_t(i) * 128, 32, std::uint64_t(i));
+    }
+    EXPECT_EQ(plain.stats().l2_bytes, 32u * 128);
+    EXPECT_EQ(sect.stats().l2_bytes, 32u * 32);
+}
+
+TEST(SectoredMemorySystem, InvalidSectorGeometryRejected)
+{
+    MemConfig cfg;
+    cfg.num_sms = 1;
+    cfg.l1 = {4 * 128, 0, 128, 10};
+    cfg.l2 = {64 * 1024, 8, 128, 50};
+    cfg.l1_sector_bytes = 3; // does not divide 128
+    EXPECT_THROW(MemorySystem{cfg}, std::invalid_argument);
+    cfg.l1_sector_bytes = 2; // 64 sectors > 32
+    EXPECT_THROW(MemorySystem{cfg}, std::invalid_argument);
+}
+
+} // namespace

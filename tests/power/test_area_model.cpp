@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the Table 3 area model: calibration against the paper's
+ * synthesized numbers and the < 3.0 % warp-buffer overhead claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/area_model.hpp"
+
+namespace {
+
+using cooprt::power::AreaModel;
+using cooprt::power::AreaReport;
+
+TEST(AreaModel, MatchesPaperTable3Cells)
+{
+    // Paper Table 3: cells for subwarp sizes 32/16/8/4. The model is
+    // a structural fit; require < 1 % deviation.
+    struct Row { int subwarp; double cells; };
+    const Row rows[] = {{32, 16122}, {16, 15867}, {8, 15511},
+                        {4, 15167}};
+    for (const Row &r : rows) {
+        AreaReport a = AreaModel::coopLogic(r.subwarp);
+        EXPECT_NEAR(double(a.cells), r.cells, 0.01 * r.cells)
+            << "subwarp " << r.subwarp;
+    }
+}
+
+TEST(AreaModel, MatchesPaperTable3Area)
+{
+    struct Row { int subwarp; double um2; };
+    const Row rows[] = {{32, 13347}, {16, 13104}, {8, 12661},
+                        {4, 12055}};
+    for (const Row &r : rows) {
+        AreaReport a = AreaModel::coopLogic(r.subwarp);
+        EXPECT_NEAR(a.area_um2, r.um2, 0.02 * r.um2)
+            << "subwarp " << r.subwarp;
+    }
+}
+
+TEST(AreaModel, AreaMonotoneInSubwarpSize)
+{
+    double prev = 0.0;
+    for (int s : {4, 8, 16, 32}) {
+        AreaReport a = AreaModel::coopLogic(s);
+        EXPECT_GT(a.area_um2, prev) << s;
+        prev = a.area_um2;
+    }
+}
+
+TEST(AreaModel, PercentSavingsMatchTable3Trend)
+{
+    const double a32 = AreaModel::coopLogic(32).area_um2;
+    const double a4 = AreaModel::coopLogic(4).area_um2;
+    const double a16 = AreaModel::coopLogic(16).area_um2;
+    // Paper: subwarp 4 saves ~9.7 %, subwarp 16 ~1.8 %.
+    EXPECT_NEAR((a32 - a4) / a32, 0.097, 0.015);
+    EXPECT_NEAR((a32 - a16) / a32, 0.018, 0.015);
+}
+
+TEST(AreaModel, WarpBufferBitsMatchPaper)
+{
+    // Paper: 4 entries * 32 threads * 768 bits = 98,304 bits.
+    EXPECT_EQ(AreaModel::warpBufferBits(4), 98304u);
+    // One entry costs 24,576 bits (the paper's comparison point for
+    // "just add warp buffers").
+    EXPECT_EQ(AreaModel::warpBufferEntryBits(), 24576u);
+}
+
+TEST(AreaModel, FfEquivalentNearPaper2200)
+{
+    // Paper: "the area occupied by the combinational logic is
+    // equivalent to approximately 2,200 flip-flops".
+    const double ff = AreaModel::coopLogic(32).ffEquivalent();
+    EXPECT_NEAR(ff, 2224.5, 40.0);
+}
+
+TEST(AreaModel, OverheadAboutThreePercent)
+{
+    // Paper: (2200 + 4*32*(5+1)) / 98304, quoted as "less than
+    // 3.0 %" — the unrounded value is 3.02 %; our model's 2224.5 FF
+    // equivalents give 3.04 %. Accept the honest ~3 % band.
+    const double f = AreaModel::overheadFraction(32, 4);
+    EXPECT_LT(f, 0.0306);
+    EXPECT_GT(f, 0.028);
+}
+
+TEST(AreaModel, SmallerSubwarpSmallerOverhead)
+{
+    EXPECT_LT(AreaModel::overheadFraction(4, 4),
+              AreaModel::overheadFraction(32, 4));
+}
+
+TEST(AreaModel, OverheadCheaperThanExtraWarpBufferEntry)
+{
+    // The paper's headline comparison: the whole CoopRT addition is
+    // far cheaper than even one extra warp-buffer entry.
+    const AreaReport a = AreaModel::coopLogic(32);
+    const double coop_bits_equiv =
+        a.ffEquivalent() + 4 * 32 * AreaModel::kExtraBitsPerThread;
+    EXPECT_LT(coop_bits_equiv,
+              double(AreaModel::warpBufferEntryBits()) / 4.0);
+}
+
+} // namespace

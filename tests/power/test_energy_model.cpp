@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the GpuWattch-style energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace {
+
+using cooprt::gpu::GpuRunResult;
+using cooprt::power::EnergyCoefficients;
+using cooprt::power::EnergyModel;
+using cooprt::power::PowerReport;
+
+GpuRunResult
+syntheticRun(std::uint64_t cycles)
+{
+    GpuRunResult r;
+    r.cycles = cycles;
+    r.rt.box_tests = 1000;
+    r.rt.tri_tests = 300;
+    r.rt.steals = 50;
+    r.rt.issue_cycles = 400;
+    r.l1.accesses = 500;
+    r.l2.accesses = 200;
+    r.dram.requests = 80;
+    r.stalls.alu = 100;
+    r.stalls.sfu = 40;
+    r.stalls.mem = 60;
+    return r;
+}
+
+TEST(EnergyModel, SecondsFromClock)
+{
+    EnergyModel m({}, 1.0); // 1 GHz
+    PowerReport p = m.evaluate(syntheticRun(1'000'000'000), 1);
+    EXPECT_NEAR(p.seconds, 1.0, 1e-9);
+}
+
+TEST(EnergyModel, StaticEnergyScalesWithTimeAndSms)
+{
+    EnergyCoefficients c;
+    c.static_w_per_sm = 2.0;
+    EnergyModel m(c, 1.0);
+    PowerReport p1 = m.evaluate(syntheticRun(1'000'000), 1);
+    PowerReport p2 = m.evaluate(syntheticRun(2'000'000), 1);
+    PowerReport p30 = m.evaluate(syntheticRun(1'000'000), 30);
+    EXPECT_NEAR(p2.static_j, 2.0 * p1.static_j, 1e-12);
+    EXPECT_NEAR(p30.static_j, 30.0 * p1.static_j, 1e-12);
+}
+
+TEST(EnergyModel, DynamicEnergyIndependentOfCycles)
+{
+    EnergyModel m;
+    PowerReport fast = m.evaluate(syntheticRun(1'000), 4);
+    PowerReport slow = m.evaluate(syntheticRun(1'000'000), 4);
+    EXPECT_NEAR(fast.dynamic_j, slow.dynamic_j, 1e-15);
+    EXPECT_LT(fast.static_j, slow.static_j);
+}
+
+TEST(EnergyModel, DynamicComponentsAdd)
+{
+    EnergyCoefficients c{};
+    c.box_test_nj = 1.0;
+    c.tri_test_nj = 0.0;
+    c.lbu_move_nj = 0.0;
+    c.stack_op_nj = 0.0;
+    c.l1_access_nj = 0.0;
+    c.l2_access_nj = 0.0;
+    c.dram_access_nj = 0.0;
+    c.shade_cycle_nj = 0.0;
+    EnergyModel m(c, 1.0);
+    PowerReport p = m.evaluate(syntheticRun(1000), 1);
+    EXPECT_NEAR(p.dynamic_j, 1000.0 * 1e-9, 1e-15); // 1000 box tests
+}
+
+TEST(EnergyModel, PowerIsEnergyOverTime)
+{
+    EnergyModel m;
+    PowerReport p = m.evaluate(syntheticRun(10'000'000), 8);
+    EXPECT_NEAR(p.avgWatts(), p.totalJoules() / p.seconds, 1e-12);
+    EXPECT_GT(p.avgWatts(), 0.0);
+}
+
+TEST(EnergyModel, EdpIsEnergyTimesDelay)
+{
+    EnergyModel m;
+    PowerReport p = m.evaluate(syntheticRun(5'000'000), 8);
+    EXPECT_NEAR(p.edp(), p.totalJoules() * p.seconds, 1e-18);
+}
+
+TEST(EnergyModel, ZeroCyclesNoPowerBlowup)
+{
+    EnergyModel m;
+    PowerReport p = m.evaluate(syntheticRun(0), 8);
+    EXPECT_DOUBLE_EQ(p.avgWatts(), 0.0);
+    EXPECT_DOUBLE_EQ(p.static_j, 0.0);
+}
+
+TEST(EnergyModel, CoopShapeFasterRunBurnsLessStaticSameDynamic)
+{
+    // The Fig. 9 causal story in miniature: same dynamic work, half
+    // the cycles -> power roughly doubles, total energy drops.
+    EnergyModel m;
+    GpuRunResult base = syntheticRun(10'000'000);
+    GpuRunResult coop = syntheticRun(5'000'000);
+    PowerReport pb = m.evaluate(base, 30);
+    PowerReport pc = m.evaluate(coop, 30);
+    EXPECT_LT(pc.totalJoules(), pb.totalJoules());
+    EXPECT_GT(pc.avgWatts(), pb.avgWatts());
+    EXPECT_LT(pc.edp(), pb.edp());
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared harness for RT-unit tests: a scene, its flat BVH, a
+ * constant-latency memory stub and a tick loop driving the unit to
+ * completion.
+ */
+
+#ifndef COOPRT_TESTS_RTUNIT_TEST_UTIL_HPP
+#define COOPRT_TESTS_RTUNIT_TEST_UTIL_HPP
+
+#include <gtest/gtest.h>
+
+#include "bvh/traversal.hpp"
+#include "geom/rng.hpp"
+#include "rtunit/rt_unit.hpp"
+
+namespace cooprt::testutil {
+
+/** Random triangle soup used across the RT-unit tests. */
+inline scene::Mesh
+makeSoup(std::uint64_t seed, int n, float extent = 10.0f)
+{
+    scene::Mesh m;
+    geom::Pcg32 rng(seed);
+    for (int i = 0; i < n; ++i) {
+        geom::Vec3 p = rng.nextInBox(geom::Vec3(-extent),
+                                     geom::Vec3(extent));
+        geom::Vec3 e1 = rng.nextUnitVector() * 0.5f;
+        geom::Vec3 e2 = rng.nextUnitVector() * 0.5f;
+        m.addTriangle({p, p + e1, p + e2});
+    }
+    return m;
+}
+
+/**
+ * Owns a mesh + flat BVH + RT unit with a fixed-latency, unlimited-
+ * bandwidth memory stub, and drives traces to completion.
+ */
+class RtHarness
+{
+  public:
+    RtHarness(scene::Mesh mesh_in, const rtunit::TraceConfig &cfg,
+              std::uint64_t mem_latency = 100)
+        : mesh(std::move(mesh_in)), flat(bvh::buildWideBvh(mesh)),
+          unit(flat, mesh, cfg,
+               [this, mem_latency](std::uint64_t, std::uint32_t,
+                                   std::uint64_t now) {
+                   fetches++;
+                   return now + mem_latency;
+               })
+    {}
+
+    /** Submit one job and run the unit until it retires. */
+    rtunit::TraceResult
+    runOne(const rtunit::TraceJob &job)
+    {
+        bool done = false;
+        rtunit::TraceResult out;
+        unit.submit(job, now,
+                    [&](int, const rtunit::TraceResult &r) {
+                        out = r;
+                        done = true;
+                    });
+        drain([&] { return done; });
+        return out;
+    }
+
+    /** Tick until @p until() is true (or the unit empties). */
+    template <typename Pred>
+    void
+    drain(Pred until)
+    {
+        std::uint64_t guard = 0;
+        while (!until()) {
+            const std::uint64_t e = unit.nextEventCycle(now);
+            ASSERT_NE(e, rtunit::kNever)
+                << "RT unit stalled with work outstanding";
+            if (e > now)
+                now = e;
+            unit.tick(now);
+            now++;
+            ASSERT_LT(++guard, 50'000'000ull) << "tick loop runaway";
+        }
+    }
+
+    scene::Mesh mesh;
+    bvh::FlatBvh flat;
+    std::uint64_t fetches = 0;
+    std::uint64_t now = 0;
+    rtunit::RtUnit unit;
+};
+
+/** A warp job with @p k rays aimed from z=-20 into the soup. */
+inline rtunit::TraceJob
+frontalJob(int k, std::uint64_t seed = 9)
+{
+    rtunit::TraceJob job;
+    geom::Pcg32 rng(seed);
+    for (int t = 0; t < k && t < rtunit::kWarpSize; ++t) {
+        geom::Vec3 o{rng.nextRange(-10, 10), rng.nextRange(-10, 10),
+                     -20.0f};
+        geom::Vec3 target{rng.nextRange(-8, 8), rng.nextRange(-8, 8),
+                          rng.nextRange(-8, 8)};
+        job.rays[std::size_t(t)] =
+            geom::Ray(o, normalize(target - o));
+    }
+    return job;
+}
+
+} // namespace cooprt::testutil
+
+#endif // COOPRT_TESTS_RTUNIT_TEST_UTIL_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Randomized cross-configuration fuzzing of the RT unit: every
+ * combination of knobs the hardware supports must return exactly the
+ * oracle's closest hits, for arbitrary scenes and ray mixes. This is
+ * the widest net for interaction bugs (coop x any-hit x predictor x
+ * prefetch x BFS x subwarps x ...).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtunit_test_util.hpp"
+
+namespace {
+
+using namespace cooprt;
+using rtunit::kWarpSize;
+using rtunit::TraceConfig;
+using rtunit::TraceJob;
+using rtunit::TraceResult;
+using rtunit::TraversalOrder;
+using testutil::RtHarness;
+
+/** A random configuration drawn from the whole knob space. */
+TraceConfig
+randomConfig(geom::Pcg32 &rng)
+{
+    TraceConfig cfg;
+    cfg.coop = rng.nextBelow(4) != 0; // mostly coop
+    const int subwarps[] = {4, 8, 16, 32};
+    cfg.subwarp_size = subwarps[rng.nextBelow(4)];
+    const int buffers[] = {1, 2, 4, 8};
+    cfg.warp_buffer_entries = buffers[rng.nextBelow(4)];
+    cfg.lbu_moves_per_cycle = 1 + int(rng.nextBelow(3));
+    cfg.steal_from_bottom = rng.nextBelow(2) != 0;
+    cfg.order = rng.nextBelow(4) == 0 ? TraversalOrder::Bfs
+                                      : TraversalOrder::Dfs;
+    cfg.helper_requires_idle = rng.nextBelow(2) != 0;
+    cfg.child_prefetch = rng.nextBelow(3) == 0;
+    cfg.intersection_predictor = rng.nextBelow(3) == 0;
+    cfg.model_hit_stores = rng.nextBelow(2) != 0;
+    cfg.math_latency = 1 + rng.nextBelow(8);
+    cfg.stack_capacity = 4 + int(rng.nextBelow(28));
+    return cfg;
+}
+
+/** A random job: random active mask, random ray kinds, maybe any-hit. */
+TraceJob
+randomJob(geom::Pcg32 &rng)
+{
+    TraceJob job;
+    job.any_hit = rng.nextBelow(3) == 0;
+    const int actives = 1 + int(rng.nextBelow(kWarpSize));
+    for (int k = 0; k < actives; ++k) {
+        const int t = int(rng.nextBelow(kWarpSize));
+        geom::Vec3 o = rng.nextInBox(geom::Vec3(-25), geom::Vec3(25));
+        geom::Vec3 target =
+            rng.nextInBox(geom::Vec3(-9), geom::Vec3(9));
+        if ((target - o).lengthSq() < 1e-6f)
+            continue;
+        // A mix of unbounded and short (occlusion-like) rays.
+        const float tmax = rng.nextBelow(3) == 0
+                               ? rng.nextRange(1.0f, 20.0f)
+                               : geom::kNoHit;
+        job.rays[std::size_t(t)] =
+            geom::Ray(o, normalize(target - o), 1e-4f, tmax);
+    }
+    return job;
+}
+
+class RtUnitFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RtUnitFuzz, AllConfigurationsMatchOracle)
+{
+    geom::Pcg32 rng(GetParam());
+    scene::Mesh mesh =
+        testutil::makeSoup(GetParam() * 3 + 1, 1200 + int(rng.nextBelow(1500)));
+    const TraceConfig cfg = randomConfig(rng);
+    RtHarness h(mesh, cfg, 50 + rng.nextBelow(400));
+
+    for (int round = 0; round < 6; ++round) {
+        const TraceJob job = randomJob(rng);
+        const TraceResult r = h.runOne(job);
+        for (int t = 0; t < kWarpSize; ++t) {
+            if (!job.rays[std::size_t(t)]) {
+                EXPECT_FALSE(r.hits[std::size_t(t)].hit())
+                    << "seed " << GetParam() << " r" << round << " t"
+                    << t;
+                continue;
+            }
+            const geom::Ray &ray = *job.rays[std::size_t(t)];
+            if (job.any_hit) {
+                EXPECT_EQ(r.hits[std::size_t(t)].hit(),
+                          bvh::anyHit(h.flat, h.mesh, ray))
+                    << "seed " << GetParam() << " r" << round << " t"
+                    << t;
+            } else {
+                const auto ref = bvh::closestHit(h.flat, h.mesh, ray);
+                ASSERT_EQ(r.hits[std::size_t(t)].hit(), ref.hit())
+                    << "seed " << GetParam() << " r" << round << " t"
+                    << t;
+                if (ref.hit()) {
+                    EXPECT_FLOAT_EQ(r.hits[std::size_t(t)].thit,
+                                    ref.thit)
+                        << "seed " << GetParam() << " r" << round
+                        << " t" << t;
+                    EXPECT_EQ(r.hits[std::size_t(t)].prim_id,
+                              ref.prim_id)
+                        << "seed " << GetParam() << " r" << round
+                        << " t" << t;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtUnitFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the related-work RT-unit features discussed in the
+ * paper's Section 8.2: the treelet-style child prefetcher and the
+ * intersection predictor. Both must preserve exact closest hits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtunit_test_util.hpp"
+
+namespace {
+
+using namespace cooprt;
+using rtunit::TraceConfig;
+using rtunit::TraceJob;
+using rtunit::TraceResult;
+using testutil::frontalJob;
+using testutil::makeSoup;
+using testutil::RtHarness;
+
+TEST(Prefetch, DisabledByDefault)
+{
+    RtHarness h(makeSoup(1, 500), TraceConfig{});
+    h.runOne(frontalJob(4));
+    EXPECT_EQ(h.unit.stats().prefetches, 0u);
+}
+
+TEST(Prefetch, CountsAndPreservesResults)
+{
+    scene::Mesh mesh = makeSoup(2, 2000);
+    TraceJob job = frontalJob(8, 3);
+
+    RtHarness plain(mesh, TraceConfig{});
+    TraceResult r_plain = plain.runOne(job);
+
+    TraceConfig pf;
+    pf.child_prefetch = true;
+    RtHarness pre(mesh, pf);
+    TraceResult r_pre = pre.runOne(job);
+
+    EXPECT_GT(pre.unit.stats().prefetches, 0u);
+    // Prefetch issues extra fetches through the memory port.
+    EXPECT_GT(pre.fetches, plain.fetches);
+    for (int t = 0; t < 8; ++t) {
+        ASSERT_EQ(r_pre.hits[std::size_t(t)].hit(),
+                  r_plain.hits[std::size_t(t)].hit())
+            << t;
+        if (r_plain.hits[std::size_t(t)].hit())
+            EXPECT_FLOAT_EQ(r_pre.hits[std::size_t(t)].thit,
+                            r_plain.hits[std::size_t(t)].thit);
+    }
+}
+
+TEST(Prefetch, ComposesWithCoop)
+{
+    scene::Mesh mesh = makeSoup(3, 2000);
+    TraceConfig cfg;
+    cfg.coop = true;
+    cfg.child_prefetch = true;
+    RtHarness h(mesh, cfg);
+    TraceJob job = frontalJob(2, 5);
+    TraceResult r = h.runOne(job);
+    EXPECT_GT(h.unit.stats().steals, 0u);
+    EXPECT_GT(h.unit.stats().prefetches, 0u);
+    for (int t = 0; t < 2; ++t) {
+        auto ref = bvh::closestHit(h.flat, h.mesh,
+                                   *job.rays[std::size_t(t)]);
+        ASSERT_EQ(r.hits[std::size_t(t)].hit(), ref.hit()) << t;
+        if (ref.hit())
+            EXPECT_FLOAT_EQ(r.hits[std::size_t(t)].thit, ref.thit);
+    }
+}
+
+TEST(Predictor, DisabledByDefault)
+{
+    RtHarness h(makeSoup(4, 500), TraceConfig{});
+    h.runOne(frontalJob(4));
+    EXPECT_EQ(h.unit.stats().predictor_hits, 0u);
+    EXPECT_EQ(h.unit.stats().predictor_misses, 0u);
+}
+
+TEST(Predictor, LearnsAndPrunesRepeatedRays)
+{
+    scene::Mesh mesh = makeSoup(5, 3000);
+    TraceConfig cfg;
+    cfg.intersection_predictor = true;
+    RtHarness h(mesh, cfg);
+
+    TraceJob job = frontalJob(16, 7);
+    h.runOne(job); // cold: table learns the hits
+    const std::uint64_t cold_fetches = h.fetches;
+    const std::uint64_t misses1 = h.unit.stats().predictor_misses;
+    EXPECT_GT(misses1, 0u);
+
+    TraceResult r = h.runOne(job); // warm: predictions confirm
+    EXPECT_GT(h.unit.stats().predictor_hits, 0u);
+    const std::uint64_t warm_fetches = h.fetches - cold_fetches;
+    EXPECT_LT(warm_fetches, cold_fetches); // pruned traversal
+
+    // And the results are still exact.
+    for (int t = 0; t < 16; ++t) {
+        auto ref = bvh::closestHit(h.flat, h.mesh,
+                                   *job.rays[std::size_t(t)]);
+        ASSERT_EQ(r.hits[std::size_t(t)].hit(), ref.hit()) << t;
+        if (ref.hit()) {
+            EXPECT_FLOAT_EQ(r.hits[std::size_t(t)].thit, ref.thit)
+                << t;
+            EXPECT_EQ(r.hits[std::size_t(t)].prim_id, ref.prim_id)
+                << t;
+        }
+    }
+}
+
+TEST(Predictor, AnyHitPredictionSkipsTraversalEntirely)
+{
+    scene::Mesh mesh = makeSoup(6, 2000);
+    TraceConfig cfg;
+    cfg.intersection_predictor = true;
+    RtHarness h(mesh, cfg);
+
+    TraceJob job = frontalJob(8, 9);
+    job.any_hit = true;
+    h.runOne(job); // learn
+    const std::uint64_t cold = h.fetches;
+    h.runOne(job); // predicted any-hits terminate instantly
+    const std::uint64_t warm = h.fetches - cold;
+    // Missing rays learn nothing (the table stores hits only), so
+    // they re-traverse; but the hitting rays' traversals vanish.
+    EXPECT_LT(warm, cold);
+    EXPECT_GT(h.unit.stats().predictor_hits, 0u);
+}
+
+TEST(Predictor, ValidatesConfig)
+{
+    TraceConfig cfg;
+    cfg.predictor_entries = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+} // namespace

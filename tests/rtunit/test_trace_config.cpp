@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for TraceConfig validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtunit/trace_config.hpp"
+
+namespace {
+
+using cooprt::rtunit::TraceConfig;
+
+TEST(TraceConfig, DefaultsAreValidBaseline)
+{
+    TraceConfig c;
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_FALSE(c.coop);
+    EXPECT_EQ(c.subwarp_size, 32);
+    EXPECT_EQ(c.warp_buffer_entries, 4); // Table 1
+}
+
+TEST(TraceConfig, PaperSubwarpSizesAccepted)
+{
+    for (int s : {4, 8, 16, 32}) {
+        TraceConfig c;
+        c.subwarp_size = s;
+        EXPECT_NO_THROW(c.validate()) << s;
+    }
+}
+
+TEST(TraceConfig, BadSubwarpRejected)
+{
+    for (int s : {0, 1, 2, 3, 5, 6, 7, 12, 64}) {
+        TraceConfig c;
+        c.subwarp_size = s;
+        EXPECT_THROW(c.validate(), std::invalid_argument) << s;
+    }
+}
+
+TEST(TraceConfig, WarpBufferBounds)
+{
+    TraceConfig c;
+    c.warp_buffer_entries = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c.warp_buffer_entries = 65;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    for (int n : {4, 8, 16, 32}) { // Fig. 13 sweep values
+        c.warp_buffer_entries = n;
+        EXPECT_NO_THROW(c.validate()) << n;
+    }
+}
+
+TEST(TraceConfig, LbuMovesPositive)
+{
+    TraceConfig c;
+    c.lbu_moves_per_cycle = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(TraceConfig, StackCapacityPositive)
+{
+    TraceConfig c;
+    c.stack_capacity = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+} // namespace

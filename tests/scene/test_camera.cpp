@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the pinhole camera.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/camera.hpp"
+
+namespace {
+
+using cooprt::geom::Ray;
+using cooprt::geom::Vec3;
+using cooprt::scene::Camera;
+
+const Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0f);
+
+TEST(Camera, CenterRayPointsAtLookat)
+{
+    // Exact image center: pixel (32, 32) with zero sub-pixel offset.
+    Ray r = cam.primaryRay(32, 32, 64, 64, 0.0f, 0.0f);
+    EXPECT_EQ(r.orig, Vec3(0, 0, 5));
+    EXPECT_NEAR(r.dir.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.dir.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.dir.z, -1.0f, 1e-5f);
+}
+
+TEST(Camera, RaysAreUnitLength)
+{
+    for (int px = 0; px < 64; px += 13)
+        for (int py = 0; py < 64; py += 13)
+            EXPECT_NEAR(cam.primaryRay(px, py, 64, 64).dir.length(),
+                        1.0f, 1e-5f);
+}
+
+TEST(Camera, TopOfImageLooksUp)
+{
+    Ray top = cam.primaryRay(32, 0, 64, 64);
+    Ray bottom = cam.primaryRay(32, 63, 64, 64);
+    EXPECT_GT(top.dir.y, 0.0f);
+    EXPECT_LT(bottom.dir.y, 0.0f);
+}
+
+TEST(Camera, RightOfImageLooksRight)
+{
+    // Camera at +z looking toward -z; image-right is -x? Compute:
+    // u = normalize(cross(up, w)) with w = +z: cross((0,1,0),(0,0,1))
+    // = (1,0,0), so +sx moves +x.
+    Ray right = cam.primaryRay(63, 32, 64, 64);
+    Ray left = cam.primaryRay(0, 32, 64, 64);
+    EXPECT_GT(right.dir.x, 0.0f);
+    EXPECT_LT(left.dir.x, 0.0f);
+}
+
+TEST(Camera, FovControlsSpread)
+{
+    Camera narrow({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 20.0f);
+    Camera wide({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 90.0f);
+    float spread_n = std::abs(narrow.primaryRay(0, 32, 64, 64).dir.x);
+    float spread_w = std::abs(wide.primaryRay(0, 32, 64, 64).dir.x);
+    EXPECT_GT(spread_w, spread_n);
+}
+
+TEST(Camera, JitterMovesWithinPixel)
+{
+    Ray a = cam.primaryRay(10, 10, 64, 64, 0.0f, 0.0f);
+    Ray b = cam.primaryRay(10, 10, 64, 64, 0.999f, 0.999f);
+    Ray next = cam.primaryRay(11, 10, 64, 64, 0.0f, 0.0f);
+    // Jitter moves the ray, but less than a whole pixel.
+    EXPECT_NE(a.dir.x, b.dir.x);
+    EXPECT_LT(b.dir.x, next.dir.x + 1e-6f);
+}
+
+TEST(Camera, AspectRatioWidensHorizontalFov)
+{
+    Ray square = cam.primaryRay(0, 32, 64, 64);
+    Ray wide = cam.primaryRay(0, 16, 128, 32);
+    EXPECT_GT(std::abs(wide.dir.x), std::abs(square.dir.x));
+}
+
+TEST(Camera, ForwardIsTowardLookat)
+{
+    Camera c({1, 2, 3}, {4, 2, 3}, {0, 1, 0}, 45.0f);
+    EXPECT_NEAR(c.forward().x, 1.0f, 1e-5f);
+    EXPECT_NEAR(c.forward().y, 0.0f, 1e-5f);
+}
+
+} // namespace

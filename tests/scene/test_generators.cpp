@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the procedural scene generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/generators.hpp"
+
+namespace {
+
+using namespace cooprt::scene;
+
+TEST(Generators, ObjectSceneDeterministic)
+{
+    Scene a = makeObjectScene("x", 7, 24);
+    Scene b = makeObjectScene("x", 7, 24);
+    ASSERT_EQ(a.mesh.size(), b.mesh.size());
+    for (std::uint32_t i = 0; i < a.mesh.size(); i += 37)
+        EXPECT_EQ(a.mesh.tri(i).v0, b.mesh.tri(i).v0) << i;
+}
+
+TEST(Generators, ObjectSceneSeedChangesGeometry)
+{
+    Scene a = makeObjectScene("x", 7, 24);
+    Scene c = makeObjectScene("x", 8, 24);
+    // Blob displacement is seed-independent but light/ground are not;
+    // at minimum the scenes must be valid and same-sized structure.
+    EXPECT_EQ(a.mesh.size(), c.mesh.size());
+}
+
+TEST(Generators, ObjectSceneDetailScalesTriangles)
+{
+    Scene small = makeObjectScene("s", 1, 16);
+    Scene large = makeObjectScene("l", 1, 64);
+    EXPECT_GT(large.mesh.size(), 4 * small.mesh.size());
+}
+
+TEST(Generators, ObjectSceneHasOpenSkyAndLight)
+{
+    Scene s = makeObjectScene("s", 1, 16);
+    EXPECT_GT(s.sky_emission, 0.0f);
+    bool has_light = false;
+    for (std::uint32_t i = 0; i < s.mesh.size(); ++i)
+        has_light |= s.materialOf(i).isLight();
+    EXPECT_TRUE(has_light);
+}
+
+TEST(Generators, ClosedRoomFullyEnclosedHasNoSky)
+{
+    Scene s = makeClosedRoomScene("room", 3, 8, 0.0f, 5);
+    EXPECT_FLOAT_EQ(s.sky_emission, 0.0f);
+}
+
+TEST(Generators, ClosedRoomWithOpeningHasSky)
+{
+    Scene s = makeClosedRoomScene("room", 3, 8, 0.3f, 5);
+    EXPECT_GT(s.sky_emission, 0.0f);
+}
+
+TEST(Generators, ClosedRoomHasCeilingLight)
+{
+    Scene s = makeClosedRoomScene("room", 3, 8, 0.0f, 5);
+    bool has_light = false;
+    for (std::uint32_t i = 0; i < s.mesh.size(); ++i)
+        has_light |= s.materialOf(i).isLight();
+    EXPECT_TRUE(has_light);
+}
+
+TEST(Generators, ClosedRoomCameraInsideBounds)
+{
+    Scene s = makeClosedRoomScene("room", 3, 8, 0.0f, 5);
+    EXPECT_TRUE(s.mesh.bounds().contains(s.camera.eye()));
+}
+
+TEST(Generators, OpennessReducesCeilingTriangles)
+{
+    Scene closed = makeClosedRoomScene("a", 3, 8, 0.0f, 0);
+    Scene open = makeClosedRoomScene("b", 3, 8, 0.5f, 0);
+    EXPECT_GT(closed.mesh.size(), open.mesh.size());
+}
+
+TEST(Generators, ShipSceneNonTrivial)
+{
+    Scene s = makeShipScene("ship", 5, 100);
+    EXPECT_GT(s.mesh.size(), 300u);
+    EXPECT_GT(s.sky_emission, 0.0f);
+}
+
+TEST(Generators, TreeSceneNonTrivial)
+{
+    Scene s = makeTreeScene("tree", 5, 30);
+    EXPECT_GT(s.mesh.size(), 1000u);
+}
+
+TEST(Generators, CarnivalStructuresScaleSize)
+{
+    Scene small = makeCarnivalScene("c", 9, 20, 8);
+    Scene large = makeCarnivalScene("c", 9, 20, 32);
+    EXPECT_GT(large.mesh.size(), small.mesh.size());
+}
+
+TEST(Generators, ForestTreesScaleSize)
+{
+    Scene small = makeForestScene("f", 9, 40, 10, 0.9f);
+    Scene large = makeForestScene("f", 9, 40, 40, 0.9f);
+    EXPECT_GT(large.mesh.size(), small.mesh.size());
+}
+
+TEST(Generators, TerrainSceneNonTrivial)
+{
+    Scene s = makeTerrainScene("t", 9, 32);
+    EXPECT_GT(s.mesh.size(), 2u * 32 * 32);
+}
+
+TEST(Generators, AllGeneratorsProduceFiniteGeometry)
+{
+    const Scene scenes[] = {
+        makeObjectScene("a", 1, 16),
+        makeShipScene("b", 2, 50),
+        makeClosedRoomScene("c", 3, 8, 0.1f, 4),
+        makeTreeScene("d", 4, 20),
+        makeCarnivalScene("e", 5, 15, 6),
+        makeForestScene("f", 6, 30, 8, 0.9f),
+        makeTerrainScene("g", 7, 16),
+    };
+    for (const Scene &s : scenes) {
+        ASSERT_FALSE(s.mesh.empty()) << s.name;
+        const auto &b = s.mesh.bounds();
+        EXPECT_TRUE(std::isfinite(b.lo.x) && std::isfinite(b.hi.x))
+            << s.name;
+        EXPECT_TRUE(std::isfinite(b.lo.y) && std::isfinite(b.hi.y))
+            << s.name;
+        EXPECT_LT(b.extent().maxComponent(), 1e4f) << s.name;
+        for (std::uint32_t i = 0; i < s.mesh.size(); ++i) {
+            const auto &t = s.mesh.tri(i);
+            ASSERT_TRUE(std::isfinite(t.v0.x) && std::isfinite(t.v1.y) &&
+                        std::isfinite(t.v2.z))
+                << s.name << " tri " << i;
+        }
+    }
+}
+
+TEST(Generators, MaterialIdsValid)
+{
+    Scene s = makeCarnivalScene("e", 5, 15, 6);
+    for (std::uint32_t i = 0; i < s.mesh.size(); ++i)
+        ASSERT_LT(s.mesh.materialOf(i), s.materials.size()) << i;
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the OBJ importer/exporter.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "scene/obj_io.hpp"
+#include "scene/primitives.hpp"
+
+namespace {
+
+using cooprt::geom::Vec3;
+using cooprt::scene::loadObj;
+using cooprt::scene::Mesh;
+using cooprt::scene::saveObj;
+
+TEST(ObjIo, LoadSingleTriangle)
+{
+    std::istringstream in("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n");
+    Mesh m;
+    EXPECT_EQ(loadObj(in, m), 1u);
+    ASSERT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.tri(0).v0, Vec3(0, 0, 0));
+    EXPECT_EQ(m.tri(0).v2, Vec3(0, 1, 0));
+}
+
+TEST(ObjIo, QuadFaceFanTriangulated)
+{
+    std::istringstream in(
+        "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n");
+    Mesh m;
+    EXPECT_EQ(loadObj(in, m), 2u);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(ObjIo, SlashSyntaxIgnoresExtraIndices)
+{
+    std::istringstream in(
+        "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1/1 2/2/2 3/3/3\n");
+    Mesh m;
+    EXPECT_EQ(loadObj(in, m), 1u);
+}
+
+TEST(ObjIo, NegativeIndicesResolveRelative)
+{
+    std::istringstream in("v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n");
+    Mesh m;
+    EXPECT_EQ(loadObj(in, m), 1u);
+    EXPECT_EQ(m.tri(0).v1, Vec3(1, 0, 0));
+}
+
+TEST(ObjIo, CommentsAndUnknownRecordsIgnored)
+{
+    std::istringstream in("# hello\no thing\nvn 0 0 1\nvt 0 0\n"
+                          "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n");
+    Mesh m;
+    EXPECT_EQ(loadObj(in, m), 1u);
+}
+
+TEST(ObjIo, OutOfRangeIndexThrows)
+{
+    std::istringstream in("v 0 0 0\nv 1 0 0\nf 1 2 9\n");
+    Mesh m;
+    EXPECT_THROW(loadObj(in, m), std::runtime_error);
+}
+
+TEST(ObjIo, MalformedVertexThrows)
+{
+    std::istringstream in("v 0 zero 0\n");
+    Mesh m;
+    EXPECT_THROW(loadObj(in, m), std::runtime_error);
+}
+
+TEST(ObjIo, TooFewFaceVertsThrows)
+{
+    std::istringstream in("v 0 0 0\nv 1 0 0\nf 1 2\n");
+    Mesh m;
+    EXPECT_THROW(loadObj(in, m), std::runtime_error);
+}
+
+TEST(ObjIo, MaterialIdAssigned)
+{
+    std::istringstream in("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n");
+    Mesh m;
+    loadObj(in, m, 3);
+    EXPECT_EQ(m.materialOf(0), 3);
+}
+
+TEST(ObjIo, RoundTripPreservesGeometry)
+{
+    Mesh original;
+    addBox(original, {0, 0, 0}, {1, 2, 3});
+    addSphere(original, {5, 5, 5}, 1.0f, 8);
+
+    std::stringstream buf;
+    saveObj(buf, original);
+    Mesh loaded;
+    EXPECT_EQ(loadObj(buf, loaded), original.size());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::uint32_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded.tri(i).v0, original.tri(i).v0) << i;
+        EXPECT_EQ(loaded.tri(i).v1, original.tri(i).v1) << i;
+        EXPECT_EQ(loaded.tri(i).v2, original.tri(i).v2) << i;
+    }
+    EXPECT_EQ(loaded.bounds().lo, original.bounds().lo);
+    EXPECT_EQ(loaded.bounds().hi, original.bounds().hi);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for tessellated primitive shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/primitives.hpp"
+
+namespace {
+
+using cooprt::geom::AABB;
+using cooprt::geom::Vec3;
+using cooprt::scene::Mesh;
+
+TEST(Primitives, QuadProducesTwoTriangles)
+{
+    Mesh m;
+    addQuad(m, {0, 0, 0}, {1, 0, 0}, {0, 1, 0});
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(Primitives, QuadCoversCorners)
+{
+    Mesh m;
+    addQuad(m, {1, 2, 3}, {2, 0, 0}, {0, 3, 0});
+    AABB b = m.bounds();
+    EXPECT_EQ(b.lo, Vec3(1, 2, 3));
+    EXPECT_EQ(b.hi, Vec3(3, 5, 3));
+}
+
+TEST(Primitives, QuadAreaMatches)
+{
+    Mesh m;
+    addQuad(m, {0, 0, 0}, {2, 0, 0}, {0, 3, 0});
+    float area = 0;
+    for (std::uint32_t i = 0; i < m.size(); ++i)
+        area += 0.5f * m.tri(i).area2();
+    EXPECT_FLOAT_EQ(area, 6.0f);
+}
+
+TEST(Primitives, BoxProducesTwelveTriangles)
+{
+    Mesh m;
+    addBox(m, {0, 0, 0}, {1, 1, 1});
+    EXPECT_EQ(m.size(), 12u);
+}
+
+TEST(Primitives, BoxBoundsMatch)
+{
+    Mesh m;
+    addBox(m, {-1, -2, -3}, {4, 5, 6});
+    EXPECT_EQ(m.bounds().lo, Vec3(-1, -2, -3));
+    EXPECT_EQ(m.bounds().hi, Vec3(4, 5, 6));
+}
+
+TEST(Primitives, BoxSurfaceAreaMatches)
+{
+    Mesh m;
+    addBox(m, {0, 0, 0}, {2, 3, 4});
+    float area = 0;
+    for (std::uint32_t i = 0; i < m.size(); ++i)
+        area += 0.5f * m.tri(i).area2();
+    EXPECT_NEAR(area, 2.0f * (2 * 3 + 3 * 4 + 2 * 4), 1e-3f);
+}
+
+TEST(Primitives, SphereTriangleCountAndBounds)
+{
+    Mesh m;
+    addSphere(m, {1, 2, 3}, 2.0f, 16);
+    EXPECT_GT(m.size(), 100u);
+    AABB b = m.bounds();
+    // Tessellation is inscribed: bounds within the true sphere box.
+    EXPECT_GE(b.lo.x, 1.0f - 2.0f - 1e-4f);
+    EXPECT_LE(b.hi.x, 1.0f + 2.0f + 1e-4f);
+    // ...but should come close to it.
+    EXPECT_LT(b.lo.y, 2.0f - 1.9f);
+    EXPECT_GT(b.hi.y, 2.0f + 1.9f);
+}
+
+TEST(Primitives, SphereVerticesOnSurface)
+{
+    Mesh m;
+    addSphere(m, {0, 0, 0}, 3.0f, 12);
+    for (std::uint32_t i = 0; i < m.size(); ++i) {
+        EXPECT_NEAR(m.tri(i).v0.length(), 3.0f, 1e-3f);
+        EXPECT_NEAR(m.tri(i).v1.length(), 3.0f, 1e-3f);
+        EXPECT_NEAR(m.tri(i).v2.length(), 3.0f, 1e-3f);
+    }
+}
+
+TEST(Primitives, SphereHasNoDegenerateTriangles)
+{
+    Mesh m;
+    addSphere(m, {0, 0, 0}, 1.0f, 10);
+    for (std::uint32_t i = 0; i < m.size(); ++i)
+        EXPECT_GT(m.tri(i).area2(), 1e-6f) << "triangle " << i;
+}
+
+TEST(Primitives, SphereMinimumSegmentsClamped)
+{
+    Mesh m;
+    addSphere(m, {0, 0, 0}, 1.0f, 1); // clamped to 3
+    EXPECT_GT(m.size(), 0u);
+}
+
+TEST(Primitives, ConeGeometry)
+{
+    Mesh m;
+    addCone(m, {0, 0, 0}, 1.0f, 2.0f, 8);
+    EXPECT_EQ(m.size(), 16u); // 8 sides + 8 base
+    EXPECT_NEAR(m.bounds().hi.y, 2.0f, 1e-5f);
+    EXPECT_NEAR(m.bounds().lo.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(m.bounds().hi.x, 1.0f, 1e-5f);
+}
+
+TEST(Primitives, CylinderGeometry)
+{
+    Mesh m;
+    addCylinder(m, {0, 1, 0}, 0.5f, 3.0f, 6);
+    EXPECT_EQ(m.size(), 12u);
+    EXPECT_NEAR(m.bounds().lo.y, 1.0f, 1e-5f);
+    EXPECT_NEAR(m.bounds().hi.y, 4.0f, 1e-5f);
+}
+
+TEST(Primitives, HeightfieldCountAndExtent)
+{
+    Mesh m;
+    addHeightfield(m, {0, 5, 0}, 10, 20, 4,
+                   [](int i, int j) { return float(i + j); });
+    EXPECT_EQ(m.size(), 2u * 4 * 4);
+    EXPECT_FLOAT_EQ(m.bounds().lo.y, 5.0f);     // height(0,0) = 0
+    EXPECT_FLOAT_EQ(m.bounds().hi.y, 5.0f + 8); // height(4,4) = 8
+    EXPECT_FLOAT_EQ(m.bounds().hi.x, 10.0f);
+    EXPECT_FLOAT_EQ(m.bounds().hi.z, 20.0f);
+}
+
+TEST(Primitives, MeshAppendConcatenates)
+{
+    Mesh a, b;
+    addBox(a, {0, 0, 0}, {1, 1, 1}, 1);
+    addBox(b, {2, 0, 0}, {3, 1, 1}, 2);
+    a.append(b);
+    EXPECT_EQ(a.size(), 24u);
+    EXPECT_EQ(a.materialOf(0), 1);
+    EXPECT_EQ(a.materialOf(12), 2);
+    EXPECT_FLOAT_EQ(a.bounds().hi.x, 3.0f);
+}
+
+} // namespace

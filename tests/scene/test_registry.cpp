@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the 15-scene benchmark registry.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "scene/registry.hpp"
+
+namespace {
+
+using cooprt::scene::Scene;
+using cooprt::scene::SceneRegistry;
+
+TEST(Registry, HasFifteenLabels)
+{
+    EXPECT_EQ(SceneRegistry::allLabels().size(), 15u);
+}
+
+TEST(Registry, LabelsAreUnique)
+{
+    std::set<std::string> s(SceneRegistry::allLabels().begin(),
+                            SceneRegistry::allLabels().end());
+    EXPECT_EQ(s.size(), 15u);
+}
+
+TEST(Registry, PaperLabelsPresent)
+{
+    for (const char *l : {"wknd", "spnza", "bath", "crnvl", "fox",
+                          "party", "car", "robot"})
+        EXPECT_TRUE(SceneRegistry::has(l)) << l;
+    EXPECT_FALSE(SceneRegistry::has("park")); // excluded in the paper
+    EXPECT_FALSE(SceneRegistry::has("nope"));
+}
+
+TEST(Registry, GetReturnsCachedInstance)
+{
+    const Scene &a = SceneRegistry::get("wknd");
+    const Scene &b = SceneRegistry::get("wknd");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, UnknownLabelThrows)
+{
+    EXPECT_THROW(SceneRegistry::get("park"), std::out_of_range);
+    EXPECT_THROW(SceneRegistry::benchResolution("park"),
+                 std::out_of_range);
+}
+
+TEST(Registry, SceneNameMatchesLabel)
+{
+    EXPECT_EQ(SceneRegistry::get("bunny").name, "bunny");
+    EXPECT_EQ(SceneRegistry::get("crnvl").name, "crnvl");
+}
+
+TEST(Registry, BenchResolutionMirrorsPaperDownscaling)
+{
+    // Standard scenes at 48x48; the heaviest traversal scenes are
+    // down-scaled further, as the paper does with car/robot/park.
+    EXPECT_EQ(SceneRegistry::benchResolution("wknd"), 48);
+    EXPECT_EQ(SceneRegistry::benchResolution("spnza"), 48);
+    EXPECT_EQ(SceneRegistry::benchResolution("fox"), 40);
+    EXPECT_EQ(SceneRegistry::benchResolution("car"), 32);
+    EXPECT_EQ(SceneRegistry::benchResolution("robot"), 32);
+}
+
+TEST(Registry, RelativeSizeOrderingFollowsTable2)
+{
+    // Table 2 ordering (tree size): wknd smallest; car/robot largest.
+    auto size = [](const char *l) {
+        return SceneRegistry::get(l).mesh.size();
+    };
+    EXPECT_LT(size("wknd"), size("bunny"));
+    EXPECT_LT(size("bunny"), size("car"));
+    EXPECT_LT(size("car"), size("robot"));
+    EXPECT_LT(size("wknd"), size("frst"));
+}
+
+TEST(Registry, SpnzaIsClosedScene)
+{
+    EXPECT_FLOAT_EQ(SceneRegistry::get("spnza").sky_emission, 0.0f);
+}
+
+TEST(Registry, DivergentScenesAreOpen)
+{
+    for (const char *l : {"crnvl", "fox", "party"})
+        EXPECT_GT(SceneRegistry::get(l).sky_emission, 0.0f) << l;
+}
+
+TEST(Registry, AllScenesBuildAndAreNonEmpty)
+{
+    for (const auto &l : SceneRegistry::allLabels()) {
+        const Scene &s = SceneRegistry::get(l);
+        EXPECT_GT(s.mesh.size(), 100u) << l;
+        EXPECT_GT(s.materials.size(), 1u) << l;
+    }
+}
+
+} // namespace

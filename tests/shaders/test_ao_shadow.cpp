@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the ambient-occlusion and shadow shader workloads
+ * (paper Section 7.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bvh/wide_bvh.hpp"
+#include "gpu/gpu.hpp"
+#include "scene/generators.hpp"
+#include "shaders/ao.hpp"
+#include "shaders/path_tracer.hpp"
+#include "shaders/shadow.hpp"
+
+namespace {
+
+using namespace cooprt;
+using shaders::AmbientOcclusionProgram;
+using shaders::AoParams;
+using shaders::Film;
+using shaders::LightSampler;
+using shaders::makeAmbientOcclusionFrame;
+using shaders::makeShadowFrame;
+using shaders::ShadowParams;
+
+struct WorkloadFixture
+{
+    scene::Scene sc = scene::makeObjectScene("obj", 9, 20);
+    bvh::FlatBvh flat{bvh::buildWideBvh(sc.mesh)};
+
+    gpu::GpuConfig
+    cfg(bool coop = false)
+    {
+        gpu::GpuConfig c;
+        c.num_sms = 2;
+        c.mem.num_sms = 2;
+        c.mem.l1 = {16 * 1024, 0, 128, 20};
+        c.mem.l2 = {256 * 1024, 8, 128, 80};
+        c.mem.l2_banks = 2;
+        c.mem.dram.channels = 2;
+        c.trace.coop = coop;
+        return c;
+    }
+
+    gpu::GpuRunResult
+    run(std::vector<std::unique_ptr<gpu::WarpProgram>> programs,
+        bool coop = false)
+    {
+        std::vector<gpu::WarpProgram *> ptrs;
+        for (auto &p : programs)
+            ptrs.push_back(p.get());
+        gpu::Gpu g(flat, sc.mesh, cfg(coop));
+        return g.run(ptrs);
+    }
+};
+
+TEST(AoShader, CoversAllPixels)
+{
+    WorkloadFixture f;
+    Film film(12, 12);
+    f.run(makeAmbientOcclusionFrame(f.sc, &film, 12, 12));
+    EXPECT_EQ(film.samplesAdded(), 144u);
+}
+
+TEST(AoShader, ValuesWithinUnitRange)
+{
+    WorkloadFixture f;
+    Film film(12, 12);
+    f.run(makeAmbientOcclusionFrame(f.sc, &film, 12, 12));
+    for (int y = 0; y < 12; ++y)
+        for (int x = 0; x < 12; ++x) {
+            EXPECT_GE(film.pixel(x, y).x, 0.0f) << x << "," << y;
+            EXPECT_LE(film.pixel(x, y).x, 1.0f) << x << "," << y;
+        }
+}
+
+TEST(AoShader, SkyPixelsFullyUnoccluded)
+{
+    WorkloadFixture f;
+    Film film(12, 12);
+    f.run(makeAmbientOcclusionFrame(f.sc, &film, 12, 12));
+    // The top-left corner looks above the object into the sky.
+    EXPECT_FLOAT_EQ(film.pixel(0, 0).x, 1.0f);
+}
+
+TEST(AoShader, SomeOcclusionNearGroundContact)
+{
+    WorkloadFixture f;
+    AoParams p;
+    p.samples = 8;
+    Film film(24, 24);
+    f.run(makeAmbientOcclusionFrame(f.sc, &film, 24, 24, p));
+    // At least one surface pixel must be partially occluded.
+    bool any_occluded = false;
+    for (int y = 0; y < 24; ++y)
+        for (int x = 0; x < 24; ++x)
+            any_occluded |= film.pixel(x, y).x < 0.99f;
+    EXPECT_TRUE(any_occluded);
+}
+
+TEST(AoShader, TraceCountMatchesSamples)
+{
+    WorkloadFixture f;
+    AoParams p;
+    p.samples = 3;
+    auto r = f.run(makeAmbientOcclusionFrame(f.sc, nullptr, 8, 8, p));
+    // 2 warps x (1 primary + up to 3 AO rounds).
+    EXPECT_GE(r.rt.retired_warps, 2u);
+    EXPECT_LE(r.rt.retired_warps, 8u);
+}
+
+TEST(AoShader, CoopDoesNotChangeImage)
+{
+    WorkloadFixture f;
+    Film base(12, 12), coop(12, 12);
+    f.run(makeAmbientOcclusionFrame(f.sc, &base, 12, 12), false);
+    f.run(makeAmbientOcclusionFrame(f.sc, &coop, 12, 12), true);
+    for (int y = 0; y < 12; ++y)
+        for (int x = 0; x < 12; ++x)
+            EXPECT_EQ(base.pixel(x, y).x, coop.pixel(x, y).x)
+                << x << "," << y;
+}
+
+TEST(LightSamplerTest, FindsEmissiveTriangles)
+{
+    WorkloadFixture f;
+    LightSampler ls(f.sc);
+    EXPECT_TRUE(ls.hasLights());
+    geom::Pcg32 rng(4);
+    // Sampled points lie on the light quad (y = 6 plane in the
+    // object scene).
+    for (int i = 0; i < 50; ++i) {
+        geom::Vec3 p = ls.samplePoint(rng);
+        EXPECT_NEAR(p.y, 6.0f, 1e-3f);
+        EXPECT_GE(p.x, 3.0f - 1e-3f);
+        EXPECT_LE(p.x, 5.0f + 1e-3f);
+    }
+}
+
+TEST(LightSamplerTest, NoLightsFallsBackGracefully)
+{
+    scene::Scene bare;
+    bare.mesh.addTriangle({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+    LightSampler ls(bare);
+    EXPECT_FALSE(ls.hasLights());
+    geom::Pcg32 rng(5);
+    EXPECT_NO_THROW(ls.samplePoint(rng));
+}
+
+TEST(ShadowShader, CoversAllPixels)
+{
+    WorkloadFixture f;
+    LightSampler ls(f.sc);
+    Film film(12, 12);
+    f.run(makeShadowFrame(f.sc, ls, &film, 12, 12));
+    EXPECT_EQ(film.samplesAdded(), 144u);
+}
+
+TEST(ShadowShader, ValuesWithinExpectedRange)
+{
+    WorkloadFixture f;
+    LightSampler ls(f.sc);
+    Film film(12, 12);
+    f.run(makeShadowFrame(f.sc, ls, &film, 12, 12));
+    for (int y = 0; y < 12; ++y)
+        for (int x = 0; x < 12; ++x) {
+            EXPECT_GE(film.pixel(x, y).x, 0.15f - 1e-5f);
+            EXPECT_LE(film.pixel(x, y).x, 1.0f + 1e-5f);
+        }
+}
+
+TEST(ShadowShader, ProducesBothLitAndShadowedPixels)
+{
+    WorkloadFixture f;
+    LightSampler ls(f.sc);
+    ShadowParams p;
+    p.samples = 2;
+    Film film(24, 24);
+    f.run(makeShadowFrame(f.sc, ls, &film, 24, 24, p));
+    bool any_lit = false, any_shadow = false;
+    for (int y = 0; y < 24; ++y)
+        for (int x = 0; x < 24; ++x) {
+            const float v = film.pixel(x, y).x;
+            any_lit |= v > 0.9f;
+            any_shadow |= v < 0.6f;
+        }
+    EXPECT_TRUE(any_lit);
+    EXPECT_TRUE(any_shadow);
+}
+
+TEST(ShadowShader, CoopDoesNotChangeImage)
+{
+    WorkloadFixture f;
+    LightSampler ls(f.sc);
+    Film base(10, 10), coop(10, 10);
+    f.run(makeShadowFrame(f.sc, ls, &base, 10, 10), false);
+    f.run(makeShadowFrame(f.sc, ls, &coop, 10, 10), true);
+    for (int y = 0; y < 10; ++y)
+        for (int x = 0; x < 10; ++x)
+            EXPECT_EQ(base.pixel(x, y).x, coop.pixel(x, y).x);
+}
+
+TEST(Workloads, AoAndShadowAreCheaperThanPathTracingInClosedScene)
+{
+    // The paper's Section 7.3 observation: AO/SH are lightweight
+    // compared to PT — which shows where PT actually runs its full
+    // bounce loop, i.e. in an enclosed scene. (In an open scene PT
+    // paths escape after a bounce or two and the contrast vanishes.)
+    scene::Scene room = scene::makeClosedRoomScene("r", 3, 8, 0.0f, 8);
+    bvh::FlatBvh flat(bvh::buildWideBvh(room.mesh));
+    LightSampler ls(room);
+
+    WorkloadFixture f; // only for cfg()
+    auto run = [&](std::vector<std::unique_ptr<gpu::WarpProgram>> ps) {
+        std::vector<gpu::WarpProgram *> ptrs;
+        for (auto &p : ps)
+            ptrs.push_back(p.get());
+        gpu::Gpu g(flat, room.mesh, f.cfg());
+        return g.run(ptrs);
+    };
+
+    auto r_ao = run(makeAmbientOcclusionFrame(room, nullptr, 16, 16));
+    auto r_sh = run(makeShadowFrame(room, ls, nullptr, 16, 16));
+    auto r_pt = run(shaders::makePathTracerFrame(
+        room, nullptr, 16, 16, shaders::PtParams{}));
+
+    EXPECT_LT(r_ao.rt.node_fetches + r_ao.rt.leaf_fetches,
+              r_pt.rt.node_fetches + r_pt.rt.leaf_fetches);
+    EXPECT_LT(r_sh.rt.node_fetches + r_sh.rt.leaf_fetches,
+              r_pt.rt.node_fetches + r_pt.rt.leaf_fetches);
+    EXPECT_LT(r_ao.cycles, r_pt.cycles);
+}
+
+} // namespace

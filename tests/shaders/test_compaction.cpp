@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the active-thread compaction baseline (Wald, HPG'11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bvh/wide_bvh.hpp"
+#include "scene/generators.hpp"
+#include "shaders/compaction.hpp"
+
+namespace {
+
+using namespace cooprt;
+using shaders::CompactionResult;
+using shaders::Film;
+using shaders::PtParams;
+using shaders::runCompactedPathTrace;
+
+struct CompactionFixture
+{
+    scene::Scene sc = scene::makeObjectScene("obj", 9, 20);
+    bvh::FlatBvh flat{bvh::buildWideBvh(sc.mesh)};
+
+    gpu::GpuConfig
+    cfg(bool coop = false)
+    {
+        gpu::GpuConfig c;
+        c.num_sms = 2;
+        c.mem.num_sms = 2;
+        c.mem.l1 = {16 * 1024, 0, 128, 20};
+        c.mem.l2 = {256 * 1024, 8, 128, 80};
+        c.mem.l2_banks = 2;
+        c.mem.dram.channels = 2;
+        c.trace.coop = coop;
+        return c;
+    }
+};
+
+TEST(Compaction, ImageIdenticalToUncompactedTracer)
+{
+    CompactionFixture f;
+    const int res = 16;
+    PtParams params;
+    params.max_bounces = 6;
+
+    Film compacted(res, res);
+    runCompactedPathTrace(f.sc, f.flat, f.cfg(), res, params,
+                          &compacted);
+
+    Film reference(res, res);
+    renderReference(f.sc, f.flat, reference, 1, params);
+
+    for (int y = 0; y < res; ++y)
+        for (int x = 0; x < res; ++x) {
+            EXPECT_NEAR(compacted.pixel(x, y).x,
+                        reference.pixel(x, y).x, 1e-5f)
+                << x << "," << y;
+        }
+    EXPECT_EQ(compacted.samplesAdded(), std::uint64_t(res) * res);
+}
+
+TEST(Compaction, WarpCountShrinksAcrossBounces)
+{
+    CompactionFixture f;
+    CompactionResult r =
+        runCompactedPathTrace(f.sc, f.flat, f.cfg(), 24);
+    ASSERT_GE(r.bounce_warps.size(), 2u);
+    // Open scene: most paths die after a bounce or two, so the
+    // compacted warp count must shrink fast.
+    EXPECT_LT(r.bounce_warps[1], r.bounce_warps[0]);
+    EXPECT_LT(r.bounce_warps.back(), r.bounce_warps.front());
+}
+
+TEST(Compaction, CyclesAreSumOfBouncePasses)
+{
+    CompactionFixture f;
+    CompactionResult r =
+        runCompactedPathTrace(f.sc, f.flat, f.cfg(), 16);
+    std::uint64_t sum = 0;
+    for (auto c : r.bounce_cycles)
+        sum += c;
+    EXPECT_EQ(sum, r.cycles);
+    EXPECT_GT(r.traces, 0u);
+}
+
+TEST(Compaction, WorksWithCoopEnabled)
+{
+    CompactionFixture f;
+    const int res = 16;
+    Film film(res, res);
+    CompactionResult r =
+        runCompactedPathTrace(f.sc, f.flat, f.cfg(true), res,
+                              PtParams{}, &film);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(film.samplesAdded(), std::uint64_t(res) * res);
+
+    // Coop must not change the image either.
+    Film reference(res, res);
+    renderReference(f.sc, f.flat, reference, 1, PtParams{});
+    for (int y = 0; y < res; y += 3)
+        for (int x = 0; x < res; x += 3)
+            EXPECT_NEAR(film.pixel(x, y).x, reference.pixel(x, y).x,
+                        1e-5f);
+}
+
+TEST(Compaction, FullWarpsExceptLast)
+{
+    // First bounce of a 16x16 frame: 256 paths = exactly 8 warps.
+    CompactionFixture f;
+    CompactionResult r =
+        runCompactedPathTrace(f.sc, f.flat, f.cfg(), 16);
+    EXPECT_EQ(r.bounce_warps[0], 8u);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the Film frame buffer.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "shaders/film.hpp"
+
+namespace {
+
+using cooprt::geom::Vec3;
+using cooprt::shaders::Film;
+
+TEST(Film, StartsBlack)
+{
+    Film f(4, 3);
+    EXPECT_EQ(f.width(), 4);
+    EXPECT_EQ(f.height(), 3);
+    EXPECT_EQ(f.pixel(0, 0), Vec3(0, 0, 0));
+    EXPECT_DOUBLE_EQ(f.averageLuminance(), 0.0);
+}
+
+TEST(Film, AddAccumulates)
+{
+    Film f(2, 2);
+    f.add(1, 0, {0.5f, 0.25f, 0.0f});
+    f.add(1, 0, {0.5f, 0.25f, 0.0f});
+    EXPECT_EQ(f.pixel(1, 0), Vec3(1.0f, 0.5f, 0.0f));
+    EXPECT_EQ(f.samplesAdded(), 2u);
+}
+
+TEST(Film, AverageLuminanceOfUniformGray)
+{
+    Film f(8, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            f.add(x, y, Vec3(1.0f));
+    EXPECT_NEAR(f.averageLuminance(), 1.0, 1e-6);
+}
+
+TEST(Film, WritePpmProducesValidHeaderAndSize)
+{
+    Film f(5, 4);
+    f.add(2, 1, {1, 0, 0});
+    const std::string path = "/tmp/cooprt_film_test.ppm";
+    f.writePpm(path);
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string magic;
+    int w = 0, h = 0, maxv = 0;
+    in >> magic >> w >> h >> maxv;
+    EXPECT_EQ(magic, "P6");
+    EXPECT_EQ(w, 5);
+    EXPECT_EQ(h, 4);
+    EXPECT_EQ(maxv, 255);
+    in.get(); // single whitespace after header
+    std::vector<char> data(5 * 4 * 3);
+    in.read(data.data(), std::streamsize(data.size()));
+    EXPECT_EQ(in.gcount(), std::streamsize(data.size()));
+    std::remove(path.c_str());
+}
+
+TEST(Film, PpmGammaMapsFullWhiteTo255)
+{
+    Film f(1, 1);
+    f.add(0, 0, Vec3(1.0f));
+    const std::string path = "/tmp/cooprt_film_white.ppm";
+    f.writePpm(path);
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    int w, h, maxv;
+    in >> magic >> w >> h >> maxv;
+    in.get();
+    unsigned char rgb[3];
+    in.read(reinterpret_cast<char *>(rgb), 3);
+    EXPECT_EQ(rgb[0], 255);
+    EXPECT_EQ(rgb[1], 255);
+    EXPECT_EQ(rgb[2], 255);
+    std::remove(path.c_str());
+}
+
+TEST(Film, WriteToBadPathThrows)
+{
+    Film f(1, 1);
+    EXPECT_THROW(f.writePpm("/nonexistent_dir_xyz/file.ppm"),
+                 std::runtime_error);
+}
+
+} // namespace
+
+namespace {
+
+using cooprt::shaders::Film;
+using cooprt::geom::Vec3;
+
+TEST(FilmMetrics, MseOfIdenticalIsZero)
+{
+    Film a(4, 4), b(4, 4);
+    a.add(1, 1, Vec3(0.5f));
+    b.add(1, 1, Vec3(0.5f));
+    EXPECT_DOUBLE_EQ(a.mse(b), 0.0);
+    EXPECT_TRUE(std::isinf(a.psnr(b)));
+}
+
+TEST(FilmMetrics, MseOfKnownDifference)
+{
+    Film a(2, 1), b(2, 1);
+    a.add(0, 0, Vec3(1.0f, 0.0f, 0.0f));
+    // one channel of six differs by 1 -> MSE = 1/6.
+    EXPECT_NEAR(a.mse(b), 1.0 / 6.0, 1e-12);
+    EXPECT_NEAR(a.psnr(b), 10.0 * std::log10(6.0), 1e-9);
+}
+
+TEST(FilmMetrics, MseSymmetric)
+{
+    Film a(3, 3), b(3, 3);
+    a.add(2, 2, Vec3(0.25f, 0.5f, 0.75f));
+    b.add(0, 1, Vec3(0.1f, 0.0f, 0.9f));
+    EXPECT_DOUBLE_EQ(a.mse(b), b.mse(a));
+}
+
+TEST(FilmMetrics, DimensionMismatchThrows)
+{
+    Film a(2, 2), b(3, 2);
+    EXPECT_THROW(a.mse(b), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the interval activity sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/sampler.hpp"
+
+namespace {
+
+using cooprt::stats::ActivitySampler;
+
+TEST(Sampler, DueAtStart)
+{
+    ActivitySampler s(500);
+    EXPECT_TRUE(s.due(0));
+}
+
+TEST(Sampler, NotDueAgainWithinInterval)
+{
+    ActivitySampler s(500);
+    s.sample(0, 1, 2);
+    EXPECT_FALSE(s.due(100));
+    EXPECT_FALSE(s.due(499));
+    EXPECT_TRUE(s.due(500));
+}
+
+TEST(Sampler, SkipsIdleGaps)
+{
+    ActivitySampler s(500);
+    s.sample(0, 1, 2);
+    // Long idle gap: next sample at cycle 5000 should be accepted and
+    // boundaries advanced past it (no back-filling).
+    EXPECT_TRUE(s.due(5000));
+    s.sample(5000, 1, 2);
+    EXPECT_FALSE(s.due(5400));
+    EXPECT_TRUE(s.due(5500));
+    EXPECT_EQ(s.sampleCount(), 2u);
+}
+
+TEST(Sampler, RatioComputation)
+{
+    ActivitySampler s(500);
+    s.sample(0, 8, 32);
+    s.sample(500, 16, 32);
+    EXPECT_DOUBLE_EQ(s.ratioAt(0), 0.25);
+    EXPECT_DOUBLE_EQ(s.ratioAt(1), 0.5);
+    EXPECT_DOUBLE_EQ(s.averageRatio(), 0.375);
+}
+
+TEST(Sampler, ZeroTotalIsZeroRatio)
+{
+    ActivitySampler s(500);
+    s.sample(0, 0, 0);
+    EXPECT_DOUBLE_EQ(s.ratioAt(0), 0.0);
+}
+
+TEST(Sampler, EmptyAverageIsZero)
+{
+    ActivitySampler s;
+    EXPECT_DOUBLE_EQ(s.averageRatio(), 0.0);
+}
+
+TEST(Sampler, SeriesMatchesRatios)
+{
+    ActivitySampler s(100);
+    s.sample(0, 1, 4);
+    s.sample(100, 2, 4);
+    s.sample(200, 3, 4);
+    auto series = s.series();
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series[0], 0.25);
+    EXPECT_DOUBLE_EQ(series[2], 0.75);
+}
+
+TEST(Sampler, ResetClears)
+{
+    ActivitySampler s(100);
+    s.sample(0, 1, 2);
+    s.reset();
+    EXPECT_EQ(s.sampleCount(), 0u);
+    EXPECT_TRUE(s.due(0));
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the table printer and aggregate helpers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hpp"
+
+namespace {
+
+using cooprt::stats::geomean;
+using cooprt::stats::mean;
+using cooprt::stats::Table;
+
+TEST(Table, CellAccess)
+{
+    Table t({"scene", "speedup"});
+    t.row().cell("crnvl").cell(4.52, 2);
+    t.row().cell("fox").cell(5.11, 2);
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.columnCount(), 2u);
+    EXPECT_EQ(t.at(0, 0), "crnvl");
+    EXPECT_EQ(t.at(1, 1), "5.11");
+}
+
+TEST(Table, IntegerCells)
+{
+    Table t({"n"});
+    t.row().cell(std::uint64_t(98304));
+    EXPECT_EQ(t.at(0, 0), "98304");
+}
+
+TEST(Table, MissingCellIsEmpty)
+{
+    Table t({"a", "b"});
+    t.row().cell("x");
+    EXPECT_EQ(t.at(0, 1), "");
+}
+
+TEST(Table, OutOfRangeRowThrows)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.at(0, 0), std::out_of_range);
+}
+
+TEST(Table, CellBeforeRowThrows)
+{
+    Table t({"a"});
+    EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Table, PrintAlignsColumns)
+{
+    Table t({"scene", "speedup"});
+    t.row().cell("fox").cell(5.11, 2);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("scene"), std::string::npos);
+    EXPECT_NE(s.find("5.11"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos); // separator
+}
+
+TEST(Table, PrintCsv)
+{
+    Table t({"scene", "x"});
+    t.row().cell("fox").cell(1.5, 1);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "scene,x\nfox,1.5\n");
+}
+
+TEST(Aggregates, GeomeanBasic)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Aggregates, GeomeanSingle)
+{
+    EXPECT_DOUBLE_EQ(geomean({3.5}), 3.5);
+}
+
+TEST(Aggregates, GeomeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Aggregates, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), std::domain_error);
+    EXPECT_THROW(geomean({-1.0}), std::domain_error);
+}
+
+TEST(Aggregates, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+} // namespace

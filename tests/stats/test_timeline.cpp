@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the Fig. 11-style timeline recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/timeline.hpp"
+
+namespace {
+
+using cooprt::stats::TimelineRecorder;
+
+TEST(Timeline, SingleInterval)
+{
+    TimelineRecorder t(4);
+    t.setBusy(0, 100, true);
+    t.setBusy(0, 200, false);
+    ASSERT_EQ(t.intervalsOf(0).size(), 1u);
+    EXPECT_EQ(t.intervalsOf(0)[0].begin, 100u);
+    EXPECT_EQ(t.intervalsOf(0)[0].end, 200u);
+    EXPECT_EQ(t.busyCycles(0), 100u);
+}
+
+TEST(Timeline, RepeatedSetBusyIsIdempotent)
+{
+    TimelineRecorder t(2);
+    t.setBusy(0, 100, true);
+    t.setBusy(0, 120, true); // no-op
+    t.setBusy(0, 150, false);
+    t.setBusy(0, 160, false); // no-op
+    ASSERT_EQ(t.intervalsOf(0).size(), 1u);
+    EXPECT_EQ(t.busyCycles(0), 50u);
+}
+
+TEST(Timeline, ZeroLengthIntervalDropped)
+{
+    TimelineRecorder t(1);
+    t.setBusy(0, 100, true);
+    t.setBusy(0, 100, false);
+    EXPECT_TRUE(t.intervalsOf(0).empty());
+}
+
+TEST(Timeline, MultipleIntervalsPerLane)
+{
+    TimelineRecorder t(1);
+    t.setBusy(0, 0, true);
+    t.setBusy(0, 10, false);
+    t.setBusy(0, 20, true);
+    t.setBusy(0, 35, false);
+    EXPECT_EQ(t.intervalsOf(0).size(), 2u);
+    EXPECT_EQ(t.busyCycles(0), 25u);
+}
+
+TEST(Timeline, FinishClosesOpenIntervals)
+{
+    TimelineRecorder t(3);
+    t.setBusy(0, 10, true);
+    t.setBusy(2, 5, true);
+    t.finish(50);
+    EXPECT_EQ(t.busyCycles(0), 40u);
+    EXPECT_EQ(t.busyCycles(1), 0u);
+    EXPECT_EQ(t.busyCycles(2), 45u);
+}
+
+TEST(Timeline, FirstAndLastCycle)
+{
+    TimelineRecorder t(2);
+    t.setBusy(0, 30, true);
+    t.setBusy(0, 60, false);
+    t.setBusy(1, 10, true);
+    t.setBusy(1, 40, false);
+    EXPECT_EQ(t.firstCycle(), 10u);
+    EXPECT_EQ(t.lastCycle(), 60u);
+}
+
+TEST(Timeline, AverageUtilization)
+{
+    TimelineRecorder t(2);
+    // Lane 0 busy for the whole span, lane 1 idle: 50%.
+    t.setBusy(0, 0, true);
+    t.setBusy(0, 100, false);
+    EXPECT_DOUBLE_EQ(t.averageUtilization(), 0.5);
+}
+
+TEST(Timeline, EmptyUtilizationZero)
+{
+    TimelineRecorder t(4);
+    EXPECT_DOUBLE_EQ(t.averageUtilization(), 0.0);
+    EXPECT_TRUE(t.render(40).empty());
+}
+
+TEST(Timeline, RenderShape)
+{
+    TimelineRecorder t(2);
+    t.setBusy(0, 0, true);
+    t.setBusy(0, 100, false);
+    t.setBusy(1, 50, true);
+    t.setBusy(1, 100, false);
+    std::string art = t.render(10);
+    // Two rows, each "tNN " + 10 columns + newline.
+    ASSERT_EQ(art.size(), 2u * (4 + 10 + 1));
+    // Lane 0 busy everywhere; lane 1 only the second half.
+    EXPECT_EQ(art.substr(4, 10), "##########");
+    std::string lane1 = art.substr(15 + 4, 10);
+    EXPECT_EQ(lane1.substr(0, 4), "....");
+    EXPECT_EQ(lane1.substr(6, 4), "####");
+}
+
+} // namespace
