@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_active_threads.dir/fig02_active_threads.cpp.o"
+  "CMakeFiles/fig02_active_threads.dir/fig02_active_threads.cpp.o.d"
+  "fig02_active_threads"
+  "fig02_active_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_active_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_thread_status.dir/fig04_thread_status.cpp.o"
+  "CMakeFiles/fig04_thread_status.dir/fig04_thread_status.cpp.o.d"
+  "fig04_thread_status"
+  "fig04_thread_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_thread_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_speedup_pt.cpp" "bench/CMakeFiles/fig09_speedup_pt.dir/fig09_speedup_pt.cpp.o" "gcc" "bench/CMakeFiles/fig09_speedup_pt.dir/fig09_speedup_pt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cooprt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/shaders/CMakeFiles/cooprt_shaders.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cooprt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtunit/CMakeFiles/cooprt_rtunit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bvh/CMakeFiles/cooprt_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/cooprt_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cooprt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cooprt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

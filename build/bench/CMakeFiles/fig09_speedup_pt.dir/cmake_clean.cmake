@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_speedup_pt.dir/fig09_speedup_pt.cpp.o"
+  "CMakeFiles/fig09_speedup_pt.dir/fig09_speedup_pt.cpp.o.d"
+  "fig09_speedup_pt"
+  "fig09_speedup_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_speedup_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

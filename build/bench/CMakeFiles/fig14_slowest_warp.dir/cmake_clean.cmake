@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_slowest_warp.dir/fig14_slowest_warp.cpp.o"
+  "CMakeFiles/fig14_slowest_warp.dir/fig14_slowest_warp.cpp.o.d"
+  "fig14_slowest_warp"
+  "fig14_slowest_warp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_slowest_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

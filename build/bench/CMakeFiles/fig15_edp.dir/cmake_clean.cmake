@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_edp.dir/fig15_edp.cpp.o"
+  "CMakeFiles/fig15_edp.dir/fig15_edp.cpp.o.d"
+  "fig15_edp"
+  "fig15_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ao_sh.dir/fig17_ao_sh.cpp.o"
+  "CMakeFiles/fig17_ao_sh.dir/fig17_ao_sh.cpp.o.d"
+  "fig17_ao_sh"
+  "fig17_ao_sh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ao_sh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_ao_sh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_ao_sh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_mobile.dir/fig18_mobile.cpp.o"
+  "CMakeFiles/fig18_mobile.dir/fig18_mobile.cpp.o.d"
+  "fig18_mobile"
+  "fig18_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

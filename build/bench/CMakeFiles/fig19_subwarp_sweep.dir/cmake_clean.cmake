@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_subwarp_sweep.dir/fig19_subwarp_sweep.cpp.o"
+  "CMakeFiles/fig19_subwarp_sweep.dir/fig19_subwarp_sweep.cpp.o.d"
+  "fig19_subwarp_sweep"
+  "fig19_subwarp_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_subwarp_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

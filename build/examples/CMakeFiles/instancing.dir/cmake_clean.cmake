@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instancing.dir/instancing.cpp.o"
+  "CMakeFiles/instancing.dir/instancing.cpp.o.d"
+  "instancing"
+  "instancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_image.dir/render_image.cpp.o"
+  "CMakeFiles/render_image.dir/render_image.cpp.o.d"
+  "render_image"
+  "render_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

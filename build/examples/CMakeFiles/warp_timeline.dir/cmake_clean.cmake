@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_timeline.dir/warp_timeline.cpp.o"
+  "CMakeFiles/warp_timeline.dir/warp_timeline.cpp.o.d"
+  "warp_timeline"
+  "warp_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bvh/builder.cpp" "src/bvh/CMakeFiles/cooprt_bvh.dir/builder.cpp.o" "gcc" "src/bvh/CMakeFiles/cooprt_bvh.dir/builder.cpp.o.d"
+  "/root/repo/src/bvh/flat_bvh.cpp" "src/bvh/CMakeFiles/cooprt_bvh.dir/flat_bvh.cpp.o" "gcc" "src/bvh/CMakeFiles/cooprt_bvh.dir/flat_bvh.cpp.o.d"
+  "/root/repo/src/bvh/tlas.cpp" "src/bvh/CMakeFiles/cooprt_bvh.dir/tlas.cpp.o" "gcc" "src/bvh/CMakeFiles/cooprt_bvh.dir/tlas.cpp.o.d"
+  "/root/repo/src/bvh/traversal.cpp" "src/bvh/CMakeFiles/cooprt_bvh.dir/traversal.cpp.o" "gcc" "src/bvh/CMakeFiles/cooprt_bvh.dir/traversal.cpp.o.d"
+  "/root/repo/src/bvh/wide_bvh.cpp" "src/bvh/CMakeFiles/cooprt_bvh.dir/wide_bvh.cpp.o" "gcc" "src/bvh/CMakeFiles/cooprt_bvh.dir/wide_bvh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scene/CMakeFiles/cooprt_scene.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_bvh.dir/builder.cpp.o"
+  "CMakeFiles/cooprt_bvh.dir/builder.cpp.o.d"
+  "CMakeFiles/cooprt_bvh.dir/flat_bvh.cpp.o"
+  "CMakeFiles/cooprt_bvh.dir/flat_bvh.cpp.o.d"
+  "CMakeFiles/cooprt_bvh.dir/tlas.cpp.o"
+  "CMakeFiles/cooprt_bvh.dir/tlas.cpp.o.d"
+  "CMakeFiles/cooprt_bvh.dir/traversal.cpp.o"
+  "CMakeFiles/cooprt_bvh.dir/traversal.cpp.o.d"
+  "CMakeFiles/cooprt_bvh.dir/wide_bvh.cpp.o"
+  "CMakeFiles/cooprt_bvh.dir/wide_bvh.cpp.o.d"
+  "libcooprt_bvh.a"
+  "libcooprt_bvh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_bvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

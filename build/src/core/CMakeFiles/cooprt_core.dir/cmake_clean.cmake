@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_core.dir/report.cpp.o"
+  "CMakeFiles/cooprt_core.dir/report.cpp.o.d"
+  "CMakeFiles/cooprt_core.dir/simulation.cpp.o"
+  "CMakeFiles/cooprt_core.dir/simulation.cpp.o.d"
+  "libcooprt_core.a"
+  "libcooprt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcooprt_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_gpu.dir/gpu.cpp.o"
+  "CMakeFiles/cooprt_gpu.dir/gpu.cpp.o.d"
+  "CMakeFiles/cooprt_gpu.dir/sm.cpp.o"
+  "CMakeFiles/cooprt_gpu.dir/sm.cpp.o.d"
+  "libcooprt_gpu.a"
+  "libcooprt_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

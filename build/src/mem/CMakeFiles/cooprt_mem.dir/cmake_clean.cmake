@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_mem.dir/cache.cpp.o"
+  "CMakeFiles/cooprt_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/cooprt_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/cooprt_mem.dir/memory_system.cpp.o.d"
+  "libcooprt_mem.a"
+  "libcooprt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_rtunit.dir/rt_unit.cpp.o"
+  "CMakeFiles/cooprt_rtunit.dir/rt_unit.cpp.o.d"
+  "libcooprt_rtunit.a"
+  "libcooprt_rtunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_rtunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/generators.cpp" "src/scene/CMakeFiles/cooprt_scene.dir/generators.cpp.o" "gcc" "src/scene/CMakeFiles/cooprt_scene.dir/generators.cpp.o.d"
+  "/root/repo/src/scene/obj_io.cpp" "src/scene/CMakeFiles/cooprt_scene.dir/obj_io.cpp.o" "gcc" "src/scene/CMakeFiles/cooprt_scene.dir/obj_io.cpp.o.d"
+  "/root/repo/src/scene/primitives.cpp" "src/scene/CMakeFiles/cooprt_scene.dir/primitives.cpp.o" "gcc" "src/scene/CMakeFiles/cooprt_scene.dir/primitives.cpp.o.d"
+  "/root/repo/src/scene/registry.cpp" "src/scene/CMakeFiles/cooprt_scene.dir/registry.cpp.o" "gcc" "src/scene/CMakeFiles/cooprt_scene.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_scene.dir/generators.cpp.o"
+  "CMakeFiles/cooprt_scene.dir/generators.cpp.o.d"
+  "CMakeFiles/cooprt_scene.dir/obj_io.cpp.o"
+  "CMakeFiles/cooprt_scene.dir/obj_io.cpp.o.d"
+  "CMakeFiles/cooprt_scene.dir/primitives.cpp.o"
+  "CMakeFiles/cooprt_scene.dir/primitives.cpp.o.d"
+  "CMakeFiles/cooprt_scene.dir/registry.cpp.o"
+  "CMakeFiles/cooprt_scene.dir/registry.cpp.o.d"
+  "libcooprt_scene.a"
+  "libcooprt_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

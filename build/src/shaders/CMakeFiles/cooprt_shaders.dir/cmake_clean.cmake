@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_shaders.dir/ao.cpp.o"
+  "CMakeFiles/cooprt_shaders.dir/ao.cpp.o.d"
+  "CMakeFiles/cooprt_shaders.dir/compaction.cpp.o"
+  "CMakeFiles/cooprt_shaders.dir/compaction.cpp.o.d"
+  "CMakeFiles/cooprt_shaders.dir/film.cpp.o"
+  "CMakeFiles/cooprt_shaders.dir/film.cpp.o.d"
+  "CMakeFiles/cooprt_shaders.dir/path_tracer.cpp.o"
+  "CMakeFiles/cooprt_shaders.dir/path_tracer.cpp.o.d"
+  "CMakeFiles/cooprt_shaders.dir/shadow.cpp.o"
+  "CMakeFiles/cooprt_shaders.dir/shadow.cpp.o.d"
+  "libcooprt_shaders.a"
+  "libcooprt_shaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_shaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

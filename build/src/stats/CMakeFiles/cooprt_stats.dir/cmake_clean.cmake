@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_stats.dir/table.cpp.o"
+  "CMakeFiles/cooprt_stats.dir/table.cpp.o.d"
+  "CMakeFiles/cooprt_stats.dir/timeline.cpp.o"
+  "CMakeFiles/cooprt_stats.dir/timeline.cpp.o.d"
+  "libcooprt_stats.a"
+  "libcooprt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

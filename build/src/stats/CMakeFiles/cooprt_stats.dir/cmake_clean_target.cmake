@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcooprt_stats.a"
+)

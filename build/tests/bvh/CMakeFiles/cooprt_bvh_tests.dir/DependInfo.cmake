@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bvh/test_builder.cpp" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_builder.cpp.o" "gcc" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/bvh/test_flat_bvh.cpp" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_flat_bvh.cpp.o" "gcc" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_flat_bvh.cpp.o.d"
+  "/root/repo/tests/bvh/test_tlas.cpp" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_tlas.cpp.o" "gcc" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_tlas.cpp.o.d"
+  "/root/repo/tests/bvh/test_traversal.cpp" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_traversal.cpp.o" "gcc" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_traversal.cpp.o.d"
+  "/root/repo/tests/bvh/test_wide_bvh.cpp" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_wide_bvh.cpp.o" "gcc" "tests/bvh/CMakeFiles/cooprt_bvh_tests.dir/test_wide_bvh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bvh/CMakeFiles/cooprt_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/cooprt_scene.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

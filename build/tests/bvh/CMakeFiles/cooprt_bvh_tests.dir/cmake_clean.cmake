@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_bvh_tests.dir/test_builder.cpp.o"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_builder.cpp.o.d"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_flat_bvh.cpp.o"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_flat_bvh.cpp.o.d"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_tlas.cpp.o"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_tlas.cpp.o.d"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_traversal.cpp.o"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_traversal.cpp.o.d"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_wide_bvh.cpp.o"
+  "CMakeFiles/cooprt_bvh_tests.dir/test_wide_bvh.cpp.o.d"
+  "cooprt_bvh_tests"
+  "cooprt_bvh_tests.pdb"
+  "cooprt_bvh_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_bvh_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

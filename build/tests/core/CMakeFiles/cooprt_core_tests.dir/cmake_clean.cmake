@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_core_tests.dir/test_end_to_end.cpp.o"
+  "CMakeFiles/cooprt_core_tests.dir/test_end_to_end.cpp.o.d"
+  "CMakeFiles/cooprt_core_tests.dir/test_report.cpp.o"
+  "CMakeFiles/cooprt_core_tests.dir/test_report.cpp.o.d"
+  "CMakeFiles/cooprt_core_tests.dir/test_simulation.cpp.o"
+  "CMakeFiles/cooprt_core_tests.dir/test_simulation.cpp.o.d"
+  "cooprt_core_tests"
+  "cooprt_core_tests.pdb"
+  "cooprt_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

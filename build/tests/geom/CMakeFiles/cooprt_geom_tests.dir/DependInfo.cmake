@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geom/test_aabb.cpp" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_aabb.cpp.o" "gcc" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_aabb.cpp.o.d"
+  "/root/repo/tests/geom/test_quantized_aabb.cpp" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_quantized_aabb.cpp.o" "gcc" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_quantized_aabb.cpp.o.d"
+  "/root/repo/tests/geom/test_rng.cpp" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_rng.cpp.o" "gcc" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/geom/test_transform.cpp" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_transform.cpp.o" "gcc" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_transform.cpp.o.d"
+  "/root/repo/tests/geom/test_triangle.cpp" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_triangle.cpp.o" "gcc" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_triangle.cpp.o.d"
+  "/root/repo/tests/geom/test_vec3.cpp" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_vec3.cpp.o" "gcc" "tests/geom/CMakeFiles/cooprt_geom_tests.dir/test_vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

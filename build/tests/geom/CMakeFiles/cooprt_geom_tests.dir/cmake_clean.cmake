@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_geom_tests.dir/test_aabb.cpp.o"
+  "CMakeFiles/cooprt_geom_tests.dir/test_aabb.cpp.o.d"
+  "CMakeFiles/cooprt_geom_tests.dir/test_quantized_aabb.cpp.o"
+  "CMakeFiles/cooprt_geom_tests.dir/test_quantized_aabb.cpp.o.d"
+  "CMakeFiles/cooprt_geom_tests.dir/test_rng.cpp.o"
+  "CMakeFiles/cooprt_geom_tests.dir/test_rng.cpp.o.d"
+  "CMakeFiles/cooprt_geom_tests.dir/test_transform.cpp.o"
+  "CMakeFiles/cooprt_geom_tests.dir/test_transform.cpp.o.d"
+  "CMakeFiles/cooprt_geom_tests.dir/test_triangle.cpp.o"
+  "CMakeFiles/cooprt_geom_tests.dir/test_triangle.cpp.o.d"
+  "CMakeFiles/cooprt_geom_tests.dir/test_vec3.cpp.o"
+  "CMakeFiles/cooprt_geom_tests.dir/test_vec3.cpp.o.d"
+  "cooprt_geom_tests"
+  "cooprt_geom_tests.pdb"
+  "cooprt_geom_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_geom_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_gpu_tests.dir/test_gpu.cpp.o"
+  "CMakeFiles/cooprt_gpu_tests.dir/test_gpu.cpp.o.d"
+  "CMakeFiles/cooprt_gpu_tests.dir/test_gpu_config.cpp.o"
+  "CMakeFiles/cooprt_gpu_tests.dir/test_gpu_config.cpp.o.d"
+  "CMakeFiles/cooprt_gpu_tests.dir/test_sm.cpp.o"
+  "CMakeFiles/cooprt_gpu_tests.dir/test_sm.cpp.o.d"
+  "CMakeFiles/cooprt_gpu_tests.dir/test_warm_memory.cpp.o"
+  "CMakeFiles/cooprt_gpu_tests.dir/test_warm_memory.cpp.o.d"
+  "cooprt_gpu_tests"
+  "cooprt_gpu_tests.pdb"
+  "cooprt_gpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_cache.cpp" "tests/mem/CMakeFiles/cooprt_mem_tests.dir/test_cache.cpp.o" "gcc" "tests/mem/CMakeFiles/cooprt_mem_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/mem/test_dram.cpp" "tests/mem/CMakeFiles/cooprt_mem_tests.dir/test_dram.cpp.o" "gcc" "tests/mem/CMakeFiles/cooprt_mem_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/mem/test_memory_system.cpp" "tests/mem/CMakeFiles/cooprt_mem_tests.dir/test_memory_system.cpp.o" "gcc" "tests/mem/CMakeFiles/cooprt_mem_tests.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/mem/test_sectored_cache.cpp" "tests/mem/CMakeFiles/cooprt_mem_tests.dir/test_sectored_cache.cpp.o" "gcc" "tests/mem/CMakeFiles/cooprt_mem_tests.dir/test_sectored_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/cooprt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_mem_tests.dir/test_cache.cpp.o"
+  "CMakeFiles/cooprt_mem_tests.dir/test_cache.cpp.o.d"
+  "CMakeFiles/cooprt_mem_tests.dir/test_dram.cpp.o"
+  "CMakeFiles/cooprt_mem_tests.dir/test_dram.cpp.o.d"
+  "CMakeFiles/cooprt_mem_tests.dir/test_memory_system.cpp.o"
+  "CMakeFiles/cooprt_mem_tests.dir/test_memory_system.cpp.o.d"
+  "CMakeFiles/cooprt_mem_tests.dir/test_sectored_cache.cpp.o"
+  "CMakeFiles/cooprt_mem_tests.dir/test_sectored_cache.cpp.o.d"
+  "cooprt_mem_tests"
+  "cooprt_mem_tests.pdb"
+  "cooprt_mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_power_tests.dir/test_area_model.cpp.o"
+  "CMakeFiles/cooprt_power_tests.dir/test_area_model.cpp.o.d"
+  "CMakeFiles/cooprt_power_tests.dir/test_energy_model.cpp.o"
+  "CMakeFiles/cooprt_power_tests.dir/test_energy_model.cpp.o.d"
+  "cooprt_power_tests"
+  "cooprt_power_tests.pdb"
+  "cooprt_power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

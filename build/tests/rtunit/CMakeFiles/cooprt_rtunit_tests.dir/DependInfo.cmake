@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtunit/test_coop_correctness.cpp" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_coop_correctness.cpp.o" "gcc" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_coop_correctness.cpp.o.d"
+  "/root/repo/tests/rtunit/test_fuzz.cpp" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_fuzz.cpp.o" "gcc" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/rtunit/test_related_work.cpp" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_related_work.cpp.o" "gcc" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_related_work.cpp.o.d"
+  "/root/repo/tests/rtunit/test_rt_unit.cpp" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_rt_unit.cpp.o" "gcc" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_rt_unit.cpp.o.d"
+  "/root/repo/tests/rtunit/test_scheduler.cpp" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_scheduler.cpp.o" "gcc" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/rtunit/test_trace_config.cpp" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_trace_config.cpp.o" "gcc" "tests/rtunit/CMakeFiles/cooprt_rtunit_tests.dir/test_trace_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtunit/CMakeFiles/cooprt_rtunit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bvh/CMakeFiles/cooprt_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/cooprt_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cooprt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_coop_correctness.cpp.o"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_coop_correctness.cpp.o.d"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_fuzz.cpp.o"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_fuzz.cpp.o.d"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_related_work.cpp.o"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_related_work.cpp.o.d"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_rt_unit.cpp.o"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_rt_unit.cpp.o.d"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_scheduler.cpp.o"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_scheduler.cpp.o.d"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_trace_config.cpp.o"
+  "CMakeFiles/cooprt_rtunit_tests.dir/test_trace_config.cpp.o.d"
+  "cooprt_rtunit_tests"
+  "cooprt_rtunit_tests.pdb"
+  "cooprt_rtunit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_rtunit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scene/test_camera.cpp" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_camera.cpp.o" "gcc" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_camera.cpp.o.d"
+  "/root/repo/tests/scene/test_generators.cpp" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_generators.cpp.o" "gcc" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/scene/test_obj_io.cpp" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_obj_io.cpp.o" "gcc" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_obj_io.cpp.o.d"
+  "/root/repo/tests/scene/test_primitives.cpp" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_primitives.cpp.o" "gcc" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_primitives.cpp.o.d"
+  "/root/repo/tests/scene/test_registry.cpp" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_registry.cpp.o" "gcc" "tests/scene/CMakeFiles/cooprt_scene_tests.dir/test_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scene/CMakeFiles/cooprt_scene.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

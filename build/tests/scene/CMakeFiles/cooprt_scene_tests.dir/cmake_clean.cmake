@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_scene_tests.dir/test_camera.cpp.o"
+  "CMakeFiles/cooprt_scene_tests.dir/test_camera.cpp.o.d"
+  "CMakeFiles/cooprt_scene_tests.dir/test_generators.cpp.o"
+  "CMakeFiles/cooprt_scene_tests.dir/test_generators.cpp.o.d"
+  "CMakeFiles/cooprt_scene_tests.dir/test_obj_io.cpp.o"
+  "CMakeFiles/cooprt_scene_tests.dir/test_obj_io.cpp.o.d"
+  "CMakeFiles/cooprt_scene_tests.dir/test_primitives.cpp.o"
+  "CMakeFiles/cooprt_scene_tests.dir/test_primitives.cpp.o.d"
+  "CMakeFiles/cooprt_scene_tests.dir/test_registry.cpp.o"
+  "CMakeFiles/cooprt_scene_tests.dir/test_registry.cpp.o.d"
+  "cooprt_scene_tests"
+  "cooprt_scene_tests.pdb"
+  "cooprt_scene_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_scene_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

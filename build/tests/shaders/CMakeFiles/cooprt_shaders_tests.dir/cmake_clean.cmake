@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_shaders_tests.dir/test_ao_shadow.cpp.o"
+  "CMakeFiles/cooprt_shaders_tests.dir/test_ao_shadow.cpp.o.d"
+  "CMakeFiles/cooprt_shaders_tests.dir/test_compaction.cpp.o"
+  "CMakeFiles/cooprt_shaders_tests.dir/test_compaction.cpp.o.d"
+  "CMakeFiles/cooprt_shaders_tests.dir/test_film.cpp.o"
+  "CMakeFiles/cooprt_shaders_tests.dir/test_film.cpp.o.d"
+  "CMakeFiles/cooprt_shaders_tests.dir/test_path_tracer.cpp.o"
+  "CMakeFiles/cooprt_shaders_tests.dir/test_path_tracer.cpp.o.d"
+  "cooprt_shaders_tests"
+  "cooprt_shaders_tests.pdb"
+  "cooprt_shaders_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_shaders_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_sampler.cpp" "tests/stats/CMakeFiles/cooprt_stats_tests.dir/test_sampler.cpp.o" "gcc" "tests/stats/CMakeFiles/cooprt_stats_tests.dir/test_sampler.cpp.o.d"
+  "/root/repo/tests/stats/test_table.cpp" "tests/stats/CMakeFiles/cooprt_stats_tests.dir/test_table.cpp.o" "gcc" "tests/stats/CMakeFiles/cooprt_stats_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/stats/test_timeline.cpp" "tests/stats/CMakeFiles/cooprt_stats_tests.dir/test_timeline.cpp.o" "gcc" "tests/stats/CMakeFiles/cooprt_stats_tests.dir/test_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/cooprt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

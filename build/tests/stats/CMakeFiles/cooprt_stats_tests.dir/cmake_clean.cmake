@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooprt_stats_tests.dir/test_sampler.cpp.o"
+  "CMakeFiles/cooprt_stats_tests.dir/test_sampler.cpp.o.d"
+  "CMakeFiles/cooprt_stats_tests.dir/test_table.cpp.o"
+  "CMakeFiles/cooprt_stats_tests.dir/test_table.cpp.o.d"
+  "CMakeFiles/cooprt_stats_tests.dir/test_timeline.cpp.o"
+  "CMakeFiles/cooprt_stats_tests.dir/test_timeline.cpp.o.d"
+  "cooprt_stats_tests"
+  "cooprt_stats_tests.pdb"
+  "cooprt_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooprt_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
