@@ -7,12 +7,16 @@
  *
  *   --csv              machine-readable output
  *   --scenes a,b,c     restrict to a subset of the 15 scenes
+ *   --json-out FILE    append each emitted table as one JSON line
+ *                      ({"bench": ..., "table": {...}}), so bench
+ *                      trajectories can be collected by tooling
  */
 
 #ifndef COOPRT_BENCH_BENCH_UTIL_HPP
 #define COOPRT_BENCH_BENCH_UTIL_HPP
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -20,6 +24,7 @@
 
 #include "core/simulation.hpp"
 #include "stats/table.hpp"
+#include "trace/json.hpp"
 
 namespace cooprt::benchutil {
 
@@ -28,6 +33,10 @@ struct Options
 {
     bool csv = false;
     std::vector<std::string> scenes;
+    /** When set, emit() appends machine-readable JSON lines here. */
+    std::string json_out;
+    /** The experiment name of the last banner(), tagged into JSON. */
+    mutable std::string bench_name;
 };
 
 inline Options
@@ -46,12 +55,17 @@ parse(int argc, char **argv)
             while (std::getline(ss, tok, ','))
                 if (scene::SceneRegistry::has(tok))
                     opt.scenes.push_back(tok);
+        } else if (arg == "--json-out" && i + 1 < argc) {
+            opt.json_out = argv[++i];
         }
     }
     return opt;
 }
 
-/** Print @p table per the --csv flag. */
+/**
+ * Print @p table per the --csv flag; with --json-out, also append
+ * it as one JSON line tagged with the current banner name.
+ */
 inline void
 emit(const stats::Table &table, const Options &opt)
 {
@@ -59,6 +73,18 @@ emit(const stats::Table &table, const Options &opt)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+    if (opt.json_out.empty())
+        return;
+    std::ofstream os(opt.json_out, std::ios::app);
+    if (!os) {
+        std::fprintf(stderr, "[bench] cannot append to %s\n",
+                     opt.json_out.c_str());
+        return;
+    }
+    os << "{\"bench\":" << trace::quoteJson(opt.bench_name)
+       << ",\"table\":";
+    table.printJson(os);
+    os << "}\n";
 }
 
 /** Progress note on stderr (kept off the table output). */
@@ -72,6 +98,7 @@ note(const std::string &msg)
 inline void
 banner(const std::string &what, const Options &opt)
 {
+    opt.bench_name = what;
     if (!opt.csv)
         std::cout << "== " << what << " ==\n";
 }

@@ -22,13 +22,23 @@
  *   --bounces N           path-tracing bounce limit
  *   --json                emit a JSON report instead of text
  *   --list                list scene labels and exit
+ *
+ * Observability (see DESIGN.md "Observability" and src/trace/):
+ *   --trace FILE          write Chrome trace_event JSON (open in
+ *                         chrome://tracing or https://ui.perfetto.dev)
+ *   --metrics FILE        write the sampled metric time-series CSV
+ *   --trace-filter PAT    restrict events/metric columns, e.g.
+ *                         "rtunit.*" or "mem.l2.*,rtunit.sm0.*"
+ *   --trace-capacity N    event ring-buffer capacity (default 1M)
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "core/report.hpp"
 #include "core/simulation.hpp"
+#include "trace/session.hpp"
 
 namespace {
 
@@ -51,6 +61,9 @@ main(int argc, char **argv)
     std::string scene_label = "crnvl";
     core::RunConfig cfg;
     bool json = false;
+    std::string trace_path;
+    std::string metrics_path;
+    trace::SessionOptions trace_opt;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -70,7 +83,9 @@ main(int argc, char **argv)
                 "usage: simulate_cli [--scene L] [--shader pt|ao|sh]\n"
                 "  [--resolution N] [--coop] [--subwarp N]\n"
                 "  [--warp-buffer N] [--prefetch] [--predictor]\n"
-                "  [--bfs] [--mobile] [--bounces N] [--json] [--list]\n";
+                "  [--bfs] [--mobile] [--bounces N] [--json] [--list]\n"
+                "  [--trace FILE] [--metrics FILE]\n"
+                "  [--trace-filter PAT] [--trace-capacity N]\n";
             return 0;
         } else if (a == "--scene") {
             scene_label = next("--scene");
@@ -105,6 +120,17 @@ main(int argc, char **argv)
             cfg.pt.max_bounces = std::atoi(next("--bounces"));
         } else if (a == "--json") {
             json = true;
+        } else if (a == "--trace") {
+            trace_path = next("--trace");
+            trace_opt.events = true;
+        } else if (a == "--metrics") {
+            metrics_path = next("--metrics");
+            trace_opt.metrics = true;
+        } else if (a == "--trace-filter") {
+            trace_opt.filter = next("--trace-filter");
+        } else if (a == "--trace-capacity") {
+            trace_opt.ring_capacity =
+                std::size_t(std::atoll(next("--trace-capacity")));
         } else {
             return usage(("unknown flag " + a).c_str());
         }
@@ -118,8 +144,46 @@ main(int argc, char **argv)
         return usage(e.what());
     }
 
+    // The session outlives the run; metrics sampling shares the
+    // GPU's activity-sampling interval so the exported series lines
+    // up with the paper's 500-cycle AerialVision-style samples.
+    trace_opt.metrics_interval = cfg.gpu.sample_interval;
+    trace::Session session(trace_opt);
+    if (trace_opt.events || trace_opt.metrics)
+        cfg.trace_session = &session;
+
     const core::Simulation &sim = core::simulationFor(scene_label);
     const core::RunOutcome out = sim.run(cfg);
+
+    auto write_file = [](const std::string &path, auto &&writer,
+                         const char *what) {
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot open " << path << " for "
+                      << what << "\n";
+            std::exit(1);
+        }
+        writer(os);
+        std::cerr << "[trace] wrote " << what << " to " << path
+                  << "\n";
+    };
+    if (!trace_path.empty())
+        write_file(trace_path,
+                   [&](std::ostream &os) { session.writeTrace(os); },
+                   "chrome trace");
+    if (!metrics_path.empty())
+        write_file(
+            metrics_path,
+            [&](std::ostream &os) { session.writeMetricsCsv(os); },
+            "metrics csv");
+    if (cfg.trace_session != nullptr) {
+        const auto &ts = out.traceSummary();
+        std::cerr << "[trace] events recorded " << ts.events_recorded
+                  << " (dropped " << ts.events_dropped
+                  << "), metric samples " << ts.metric_samples
+                  << " over " << ts.registered_metrics
+                  << " metrics\n";
+    }
 
     if (json) {
         core::writeJson(std::cout, out);

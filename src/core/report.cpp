@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "trace/json.hpp"
+
 namespace cooprt::core {
 
 namespace {
@@ -18,7 +20,7 @@ class JsonWriter
     {
         comma();
         if (key)
-            os_ << '"' << key << "\":";
+            os_ << cooprt::trace::quoteJson(key) << ':';
         os_ << '{';
         first_ = true;
     }
@@ -35,7 +37,7 @@ class JsonWriter
     field(const char *key, const T &value)
     {
         comma();
-        os_ << '"' << key << "\":" << value;
+        os_ << cooprt::trace::quoteJson(key) << ':' << value;
         first_ = false;
     }
 
@@ -43,7 +45,8 @@ class JsonWriter
     field(const char *key, const std::string &value)
     {
         comma();
-        os_ << '"' << key << "\":\"" << value << '"';
+        os_ << cooprt::trace::quoteJson(key) << ':'
+            << cooprt::trace::quoteJson(value);
         first_ = false;
     }
 
@@ -112,6 +115,16 @@ writeJson(std::ostream &os, const RunOutcome &o)
 
     w.field("avg_thread_utilization", o.gpu.avg_thread_utilization);
     w.field("slowest_warp_latency", o.gpu.slowestWarpLatency());
+
+    if (o.traceSummary().enabled) {
+        w.open("trace");
+        w.field("events_recorded", o.traceSummary().events_recorded);
+        w.field("events_dropped", o.traceSummary().events_dropped);
+        w.field("metric_samples", o.traceSummary().metric_samples);
+        w.field("registered_metrics",
+                o.traceSummary().registered_metrics);
+        w.close();
+    }
     w.close();
     os << '\n';
 }

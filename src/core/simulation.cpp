@@ -44,6 +44,7 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
         ptrs.push_back(p.get());
 
     gpu::Gpu g(flat_, scene_.mesh, config.gpu);
+    g.setTrace(config.trace_session);
     RunOutcome out;
     out.scene = scene_.name;
     out.resolution = res;

@@ -28,6 +28,7 @@
 #include "shaders/ao.hpp"
 #include "shaders/path_tracer.hpp"
 #include "shaders/shadow.hpp"
+#include "trace/session.hpp"
 
 namespace cooprt::core {
 
@@ -45,6 +46,17 @@ struct RunConfig
     shaders::AoParams ao;
     shaders::ShadowParams sh;
     power::EnergyCoefficients energy;
+
+    /**
+     * Optional observability session (see trace/session.hpp): when
+     * set, the run registers every component's counters into the
+     * session registry and — per the session's options — records
+     * Chrome-trace events and periodic metric snapshots. The session
+     * is borrowed, must outlive the run, and has its collected data
+     * restarted by each run that uses it. Null = tracing off (the
+     * default, with zero timing impact).
+     */
+    cooprt::trace::Session *trace_session = nullptr;
 };
 
 /** The result of one run: timing, power and all collected stats. */
@@ -54,6 +66,10 @@ struct RunOutcome
     int resolution = 0;
     gpu::GpuRunResult gpu;
     power::PowerReport power;
+
+    /** Shorthand for the run's observability totals. */
+    const cooprt::trace::RunTraceSummary &traceSummary() const
+    { return gpu.trace_summary; }
 };
 
 /**

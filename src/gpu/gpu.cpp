@@ -25,24 +25,52 @@ Gpu::Gpu(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
             "GpuConfig.num_sms must match mem.num_sms");
 }
 
+Gpu::~Gpu()
+{
+    if (session_ != nullptr)
+        session_->registry().unregisterOwner(this);
+}
+
 void
 Gpu::sampleActivity(std::uint64_t cycle)
 {
+    cooprt::trace::Tracer *tracer =
+        session_ != nullptr ? session_->tracer() : nullptr;
+    cooprt::trace::MetricsSampler *metrics =
+        session_ != nullptr ? session_->metrics() : nullptr;
+
     rtunit::ThreadStatusCounts total;
-    for (const auto &sm : sms_) {
-        const auto c = sm->rtUnit().threadStatus();
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        const auto c = sms_[i]->rtUnit().threadStatus();
         total.inactive += c.inactive;
         total.busy += c.busy;
         total.waiting += c.waiting;
+        if (tracer != nullptr && c.total() != 0) {
+            COOPRT_TRACE_COUNTER(tracer, "rtunit", "busy_threads",
+                                 int(i), cycle, double(c.busy));
+            COOPRT_TRACE_COUNTER(tracer, "rtunit", "waiting_threads",
+                                 int(i), cycle, double(c.waiting));
+        }
     }
     if (total.total() == 0) {
         sampler_.skip(cycle); // nothing resident; no empty samples
+        if (metrics != nullptr)
+            metrics->skip(cycle);
         return;
     }
     sampler_.sample(cycle, total.busy, total.total());
     status_accum_.inactive += total.inactive;
     status_accum_.busy += total.busy;
     status_accum_.waiting += total.waiting;
+
+    // The registry snapshot rides the very same boundaries as the
+    // activity sampler, so the exported `rtunit.thread_utilization`
+    // CSV column reproduces ActivitySampler::series() exactly.
+    util_now_ = double(total.busy) / double(total.total());
+    if (metrics != nullptr)
+        metrics->sample(cycle);
+    COOPRT_TRACE_COUNTER(tracer, "rtunit", "thread_utilization",
+                         cfg_.num_sms, cycle, util_now_);
 }
 
 GpuRunResult
@@ -66,6 +94,19 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
                       std::uint64_t now) {
                 return memsys_.fetch(i, addr, bytes, now);
             }));
+    }
+    if (session_ != nullptr) {
+        // Each run restarts the session's collected data; component
+        // registrations are idempotent (overwrite by name).
+        session_->resetData();
+        memsys_.registerMetrics(session_->registry());
+        session_->registry().probe(
+            "rtunit.thread_utilization",
+            [this] { return util_now_; }, this);
+        for (auto &sm : sms_)
+            sm->attachTrace(session_);
+        if (session_->tracer() != nullptr)
+            session_->tracer()->processName(cfg_.num_sms, "GPU");
     }
     if (timeline != nullptr)
         sms_[0]->rtUnit().armTimeline(timeline, timeline_skip);
@@ -148,6 +189,8 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
     res.avg_thread_utilization = sampler_.averageRatio();
     res.utilization_series = sampler_.series();
     res.thread_status = status_accum_;
+    if (session_ != nullptr)
+        res.trace_summary = session_->summary();
     res.dram_utilization =
         res.dram.utilization(res.cycles, memsys_.dramChannels());
     return res;

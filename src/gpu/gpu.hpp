@@ -14,6 +14,7 @@
 #include "gpu/sm.hpp"
 #include "mem/memory_system.hpp"
 #include "stats/sampler.hpp"
+#include "trace/session.hpp"
 
 namespace cooprt::gpu {
 
@@ -39,6 +40,9 @@ struct GpuRunResult
     /** Per-warp completion records; max latency drives Fig. 14. */
     std::vector<WarpCompletion> completions;
 
+    /** Observability collection totals (zero when tracing is off). */
+    cooprt::trace::RunTraceSummary trace_summary;
+
     std::uint64_t slowestWarpLatency() const;
     /** DRAM bandwidth utilization in [0,1] (Section 7.4). */
     double dram_utilization = 0.0;
@@ -59,8 +63,25 @@ class Gpu
   public:
     Gpu(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
         const GpuConfig &config);
+    ~Gpu();
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
 
     const GpuConfig &config() const { return cfg_; }
+
+    /**
+     * Attach an observability session for subsequent run() calls
+     * (null = tracing off, the default). The memory hierarchy, SMs
+     * and RT units register their counters into the session registry
+     * under hierarchical names (`rtunit.sm0.*`, `mem.l2.*`, ...);
+     * when the session has event tracing / metrics sampling enabled,
+     * runs emit Chrome-trace events and periodic registry snapshots.
+     * The session must outlive this Gpu. Purely observational:
+     * reported cycle counts are identical with and without it.
+     */
+    void setTrace(cooprt::trace::Session *session)
+    { session_ = session; }
 
     /**
      * Run @p programs (one per warp / thread block) to completion.
@@ -91,6 +112,10 @@ class Gpu
     std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
     stats::ActivitySampler sampler_;
     rtunit::ThreadStatusCounts status_accum_;
+
+    cooprt::trace::Session *session_ = nullptr;
+    /** Busy-thread ratio at the latest sample (metrics probe src). */
+    double util_now_ = 0.0;
 };
 
 } // namespace cooprt::gpu

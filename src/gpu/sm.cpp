@@ -19,6 +19,18 @@ StreamingMultiprocessor::assign(int warp_id, WarpProgram *program)
     pending_.emplace_back(warp_id, program);
 }
 
+void
+StreamingMultiprocessor::attachTrace(cooprt::trace::Session *session)
+{
+    if (session == nullptr)
+        return;
+    tracer_ = session->tracer();
+    rt_.attachTrace(&session->registry(), tracer_, sm_id_);
+    if (tracer_ != nullptr)
+        tracer_->processName(sm_id_,
+                             "SM " + std::to_string(sm_id_));
+}
+
 bool
 StreamingMultiprocessor::done() const
 {
@@ -45,6 +57,9 @@ StreamingMultiprocessor::scheduleAction(std::unique_ptr<WarpCtx> ctx,
     stalls_.mem += std::uint64_t(action.cost.mem) * cfg_.mem_latency;
 
     const std::uint64_t done_at = now + shadingCycles(action.cost);
+    if (done_at > now)
+        COOPRT_TRACE_COMPLETE(tracer_, "sm", "shade", sm_id_,
+                              ctx->warp_id, now, done_at - now);
     ctx->action = std::move(action);
     ctx->shade_done = done_at;
     shading_.emplace(done_at, std::move(ctx));
@@ -74,6 +89,9 @@ StreamingMultiprocessor::onRetire(std::unique_ptr<WarpCtx> ctx,
     // trace_ray latency is the RT stall class (the dominant one).
     stalls_.rt += result.latency();
     in_trace_--;
+    COOPRT_TRACE_COMPLETE(tracer_, "rtunit", "trace_ray", sm_id_,
+                          ctx->warp_id, result.issue_cycle,
+                          result.latency());
     const std::uint64_t now = result.retire_cycle;
     WarpProgram *program = ctx->program;
     scheduleAction(std::move(ctx), program->resume(result), now);
@@ -87,6 +105,11 @@ StreamingMultiprocessor::submitReady(std::uint64_t now)
         wait_slot_.pop_front();
         // Waiting for a warp-buffer slot is an RT-class stall.
         stalls_.rt += now - ctx->wait_since;
+        if (now > ctx->wait_since)
+            COOPRT_TRACE_COMPLETE(tracer_, "sm", "wait_warp_buffer",
+                                  sm_id_, ctx->warp_id,
+                                  ctx->wait_since,
+                                  now - ctx->wait_since);
 
         in_trace_++;
         rtunit::TraceJob job = std::move(ctx->action.trace);
@@ -114,6 +137,9 @@ StreamingMultiprocessor::tick(std::uint64_t now)
         if (ctx->action.kind == WarpAction::Kind::Finish) {
             completions_.push_back(
                 {ctx->warp_id, ctx->start_cycle, now});
+            COOPRT_TRACE_COMPLETE(tracer_, "sm", "warp", sm_id_,
+                                  ctx->warp_id, ctx->start_cycle,
+                                  now - ctx->start_cycle);
             resident_warps_--;
             admitPending(now); // a residency slot opened
             continue;

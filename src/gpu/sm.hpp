@@ -16,6 +16,7 @@
 #include "gpu/gpu_config.hpp"
 #include "gpu/warp_program.hpp"
 #include "rtunit/rt_unit.hpp"
+#include "trace/session.hpp"
 
 namespace cooprt::gpu {
 
@@ -44,6 +45,17 @@ class StreamingMultiprocessor
 
     /** Assign a warp (thread block) to this SM. */
     void assign(int warp_id, WarpProgram *program);
+
+    /**
+     * Attach an observability session: registers this SM's RT unit
+     * into the session registry (under `rtunit.sm<id>.*`) and, when
+     * event tracing is on, names this SM's Perfetto track group and
+     * starts emitting per-warp duration events (shading phases,
+     * warp-buffer waits, trace_rays, whole-warp lifetimes) with
+     * pid = SM id and tid = warp id. Null detaches nothing and is a
+     * no-op; call before the first tick.
+     */
+    void attachTrace(cooprt::trace::Session *session);
 
     /** True when every assigned warp has finished. */
     bool done() const;
@@ -87,6 +99,7 @@ class StreamingMultiprocessor
     const GpuConfig &cfg_;
     rtunit::RtUnit rt_;
     StallBreakdown stalls_;
+    cooprt::trace::Tracer *tracer_ = nullptr;
 
     /** Warps assigned but not yet resident. */
     std::deque<std::pair<int, WarpProgram *>> pending_;

@@ -2,6 +2,25 @@
 
 namespace cooprt::mem {
 
+void
+Cache::registerMetrics(cooprt::trace::Registry &registry,
+                       const std::string &prefix,
+                       const void *owner) const
+{
+    const CacheStats *s = &stats_;
+    auto add = [&](const char *name, const std::uint64_t *src) {
+        registry.probe(prefix + "." + name,
+                       [src] { return double(*src); }, owner);
+    };
+    add("accesses", &s->accesses);
+    add("hits", &s->hits);
+    add("misses", &s->misses);
+    add("mshr_merges", &s->mshr_merges);
+    add("sector_misses", &s->sector_misses);
+    registry.probe(prefix + ".miss_rate",
+                   [s] { return s->missRate(); }, owner);
+}
+
 Cache::Cache(const CacheConfig &config) : cfg_(config)
 {
     const std::uint64_t lines = cfg_.size_bytes / cfg_.line_bytes;

@@ -19,8 +19,11 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "trace/registry.hpp"
 
 namespace cooprt::mem {
 
@@ -78,6 +81,18 @@ class Cache
 
     const CacheConfig &config() const { return cfg_; }
     const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Register this cache's counters into @p registry as probes
+     * under `<prefix>.accesses`, `.hits`, `.misses`, `.mshr_merges`,
+     * `.sector_misses` and `.miss_rate`. @p owner tags the
+     * registrations for `Registry::unregisterOwner` (the owning
+     * hierarchy unregisters, since it controls this cache's
+     * lifetime).
+     */
+    void registerMetrics(cooprt::trace::Registry &registry,
+                         const std::string &prefix,
+                         const void *owner) const;
 
     std::uint64_t lineOf(std::uint64_t addr) const
     { return addr / cfg_.line_bytes; }

@@ -27,6 +27,53 @@ MemorySystem::MemorySystem(const MemConfig &config)
         l1_.push_back(std::make_unique<Cache>(cfg_.l1));
 }
 
+MemorySystem::~MemorySystem()
+{
+    if (metrics_registry_ != nullptr)
+        metrics_registry_->unregisterOwner(this);
+}
+
+void
+MemorySystem::registerMetrics(cooprt::trace::Registry &registry)
+{
+    metrics_registry_ = &registry;
+
+    // Aggregate L1 probes (what the paper's Fig. 16 reports) plus
+    // the per-SM breakdown; the filter decides what a consumer sees.
+    auto agg = [this](std::uint64_t CacheStats::*field) {
+        return [this, field] {
+            return double(l1StatsTotal().*field);
+        };
+    };
+    registry.probe("mem.l1.accesses", agg(&CacheStats::accesses),
+                   this);
+    registry.probe("mem.l1.hits", agg(&CacheStats::hits), this);
+    registry.probe("mem.l1.misses", agg(&CacheStats::misses), this);
+    registry.probe("mem.l1.mshr_merges",
+                   agg(&CacheStats::mshr_merges), this);
+    registry.probe("mem.l1.miss_rate",
+                   [this] { return l1StatsTotal().missRate(); },
+                   this);
+    for (std::size_t i = 0; i < l1_.size(); ++i)
+        l1_[i]->registerMetrics(
+            registry, "mem.l1.sm" + std::to_string(i), this);
+
+    l2_.registerMetrics(registry, "mem.l2", this);
+    registry.probe("mem.l2.bytes",
+                   [this] { return double(stats_.l2_bytes); }, this);
+    registry.probe("mem.l2.busy_cycles",
+                   [this] { return double(stats_.l2_busy_cycles); },
+                   this);
+
+    const DramStats *d = &dram_.stats();
+    registry.probe("mem.dram.requests",
+                   [d] { return double(d->requests); }, this);
+    registry.probe("mem.dram.bytes",
+                   [d] { return double(d->bytes); }, this);
+    registry.probe("mem.dram.busy_cycles",
+                   [d] { return double(d->busy_cycles); }, this);
+}
+
 std::uint64_t
 MemorySystem::l2Access(std::uint64_t line, std::uint32_t bytes,
                        std::uint64_t now)

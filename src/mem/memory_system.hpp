@@ -52,8 +52,22 @@ class MemorySystem
 {
   public:
     explicit MemorySystem(const MemConfig &config);
+    ~MemorySystem();
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
 
     const MemConfig &config() const { return cfg_; }
+
+    /**
+     * Register the hierarchy's counters into @p registry: aggregate
+     * L1 probes under `mem.l1.*`, per-SM L1s under `mem.l1.sm<i>.*`,
+     * the L2 under `mem.l2.*`, DRAM under `mem.dram.*` and the
+     * interconnect under `mem.xbar.*`. Idempotent (re-registration
+     * overwrites); registrations are dropped in the destructor, so
+     * the registry must outlive this object.
+     */
+    void registerMetrics(cooprt::trace::Registry &registry);
 
     /**
      * Fetch @p bytes at @p addr on behalf of SM @p sm at cycle
@@ -91,6 +105,7 @@ class MemorySystem
     Dram dram_;
     std::vector<std::uint64_t> bank_free_;
     MemSystemStats stats_;
+    cooprt::trace::Registry *metrics_registry_ = nullptr;
 };
 
 } // namespace cooprt::mem

@@ -24,6 +24,49 @@ RtUnit::RtUnit(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
             std::size_t(cfg_.predictor_entries), 0xffffffffu);
 }
 
+RtUnit::~RtUnit()
+{
+    if (metrics_registry_ != nullptr)
+        metrics_registry_->unregisterOwner(this);
+}
+
+void
+RtUnit::attachTrace(cooprt::trace::Registry *registry,
+                    cooprt::trace::Tracer *tracer, int sm_id)
+{
+    tracer_ = tracer;
+    trace_pid_ = sm_id;
+    metrics_registry_ = registry;
+    if (registry == nullptr)
+        return;
+
+    const std::string p = "rtunit.sm" + std::to_string(sm_id) + ".";
+    auto add = [&](const char *name, const std::uint64_t *src) {
+        registry->probe(p + name, [src] { return double(*src); },
+                        this);
+    };
+    add("node_fetches", &stats_.node_fetches);
+    add("leaf_fetches", &stats_.leaf_fetches);
+    add("box_tests", &stats_.box_tests);
+    add("tri_tests", &stats_.tri_tests);
+    add("steals", &stats_.steals);
+    add("coalesced_threads", &stats_.coalesced_threads);
+    add("stale_pops", &stats_.stale_pops);
+    add("stack_overflows", &stats_.stack_overflows);
+    add("retired_warps", &stats_.retired_warps);
+    add("issue_cycles", &stats_.issue_cycles);
+    add("prefetches", &stats_.prefetches);
+    add("predictor_hits", &stats_.predictor_hits);
+    add("predictor_misses", &stats_.predictor_misses);
+    add("hit_stores", &stats_.hit_stores);
+    registry->probe(p + "warpbuf.occupancy",
+                    [this] { return double(resident_); }, this);
+    registry->probe(p + "responses.pending",
+                    [this] { return double(responses_.size()); },
+                    this);
+    latency_hist_ = &registry->histogram(p + "trace_latency");
+}
+
 std::size_t
 RtUnit::predictorIndex(const Ray &ray) const
 {
@@ -379,6 +422,8 @@ RtUnit::runLbu(std::uint64_t now)
                 hs.main_tid = stolen.main;
                 stats_.steals++;
                 any_move = true;
+                COOPRT_TRACE_INSTANT(tracer_, "rtunit.lbu", "steal",
+                                     trace_pid_, slot, now);
 
                 if (w.record_timeline) {
                     recordBusyEdge(slot, helper, now);
@@ -516,6 +561,8 @@ RtUnit::maybeRetire(int slot, std::uint64_t now)
     stats_.retired_trace_latency += lat;
     if (lat > stats_.max_trace_latency)
         stats_.max_trace_latency = lat;
+    if (latency_hist_ != nullptr)
+        latency_hist_->record(lat);
 
     if (w.record_timeline) {
         for (int t = 0; t < kWarpSize; ++t)

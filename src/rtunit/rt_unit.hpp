@@ -41,6 +41,8 @@
 #include "geom/ray.hpp"
 #include "rtunit/trace_config.hpp"
 #include "stats/timeline.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/registry.hpp"
 
 namespace cooprt::rtunit {
 
@@ -135,9 +137,25 @@ class RtUnit
 
     RtUnit(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
            const TraceConfig &config, FetchFn fetch);
+    ~RtUnit();
+
+    RtUnit(const RtUnit &) = delete;
+    RtUnit &operator=(const RtUnit &) = delete;
 
     const TraceConfig &config() const { return cfg_; }
     const RtUnitStats &stats() const { return stats_; }
+
+    /**
+     * Register this unit's counters into @p registry under
+     * `rtunit.sm<sm_id>.*` (probes reading the live RtUnitStats,
+     * plus a warp-buffer occupancy gauge and a trace-latency
+     * histogram) and attach @p tracer for structured events (LBU
+     * steal instants on track pid = @p sm_id). Either may be null.
+     * Registrations are dropped in the destructor; the registry must
+     * outlive this unit.
+     */
+    void attachTrace(cooprt::trace::Registry *registry,
+                     cooprt::trace::Tracer *tracer, int sm_id);
 
     /** Number of free warp-buffer entries. */
     int freeSlots() const;
@@ -291,6 +309,12 @@ class RtUnit
      */
     std::shared_ptr<std::vector<std::uint32_t>> predictor_;
     std::uint64_t last_tick_ = 0;
+
+    /** Observability hooks (all null/unused when tracing is off). */
+    cooprt::trace::Registry *metrics_registry_ = nullptr;
+    cooprt::trace::Tracer *tracer_ = nullptr;
+    cooprt::trace::Histogram *latency_hist_ = nullptr;
+    int trace_pid_ = 0;
 };
 
 } // namespace cooprt::rtunit

@@ -1,10 +1,13 @@
 #include "stats/table.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "trace/json.hpp"
 
 namespace cooprt::stats {
 
@@ -97,6 +100,40 @@ Table::printCsv(std::ostream &os) const
             os << (c ? "," : "") << (c < r.size() ? r[c] : empty_);
         os << '\n';
     }
+}
+
+void
+Table::printJson(std::ostream &os) const
+{
+    // A cell is numeric when strtod consumes all of it and the value
+    // is finite (JSON has no nan/inf).
+    auto emitCell = [&os](const std::string &v) {
+        if (!v.empty()) {
+            char *end = nullptr;
+            const double d = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() + v.size() && std::isfinite(d)) {
+                os << v;
+                return;
+            }
+        }
+        os << cooprt::trace::quoteJson(v);
+    };
+
+    os << "{\"headers\":[";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "")
+           << cooprt::trace::quoteJson(headers_[c]);
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << (r ? ",[" : "[");
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            if (c)
+                os << ',';
+            emitCell(c < rows_[r].size() ? rows_[r][c] : empty_);
+        }
+        os << ']';
+    }
+    os << "]}";
 }
 
 double

@@ -43,6 +43,13 @@ class Table
     void print(std::ostream &os) const;
     /** Print as CSV (no escaping of commas; labels are simple). */
     void printCsv(std::ostream &os) const;
+    /**
+     * Print as one JSON object `{"headers":[...],"rows":[[...]]}`.
+     * Cells that parse fully as finite numbers are emitted as JSON
+     * numbers, everything else as escaped strings — so downstream
+     * tooling can `json.load` bench output without re-parsing.
+     */
+    void printJson(std::ostream &os) const;
 
   private:
     std::vector<std::string> headers_;

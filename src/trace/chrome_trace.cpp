@@ -1,0 +1,164 @@
+#include "trace/chrome_trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "trace/json.hpp"
+#include "trace/registry.hpp"
+
+namespace cooprt::trace {
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+Tracer::push(const TraceEvent &e)
+{
+    recorded_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(e);
+        return;
+    }
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+    dropped_++;
+}
+
+void
+Tracer::complete(const char *cat, const char *name, int pid, int tid,
+                 std::uint64_t ts, std::uint64_t dur)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Complete;
+    e.cat = cat;
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts;
+    e.dur = dur;
+    push(e);
+}
+
+void
+Tracer::instant(const char *cat, const char *name, int pid, int tid,
+                std::uint64_t ts)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Instant;
+    e.cat = cat;
+    e.name = name;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts;
+    push(e);
+}
+
+void
+Tracer::counter(const char *cat, const char *name, int pid,
+                std::uint64_t ts, double value)
+{
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Counter;
+    e.cat = cat;
+    e.name = name;
+    e.pid = pid;
+    e.ts = ts;
+    e.value = value;
+    push(e);
+}
+
+void
+Tracer::processName(int pid, std::string name)
+{
+    track_names_.push_back({pid, -1, std::move(name)});
+}
+
+void
+Tracer::threadName(int pid, int tid, std::string name)
+{
+    track_names_.push_back({pid, tid, std::move(name)});
+}
+
+namespace {
+
+bool
+eventMatches(const TraceEvent &e, const std::string &filter)
+{
+    if (filter.empty())
+        return true;
+    if (nameMatchesFilter(e.cat, filter))
+        return true;
+    std::string full = e.cat;
+    full += '.';
+    full += e.name;
+    return nameMatchesFilter(full, filter);
+}
+
+void
+writeEvent(std::ostream &os, const TraceEvent &e, bool &first)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"cat\":" << quoteJson(e.cat) << ",\"name\":"
+       << quoteJson(e.name) << ",\"pid\":" << e.pid;
+    switch (e.kind) {
+      case TraceEvent::Kind::Complete:
+        os << ",\"tid\":" << e.tid << ",\"ph\":\"X\",\"ts\":" << e.ts
+           << ",\"dur\":" << e.dur;
+        break;
+      case TraceEvent::Kind::Instant:
+        os << ",\"tid\":" << e.tid
+           << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.ts;
+        break;
+      case TraceEvent::Kind::Counter:
+        os << ",\"ph\":\"C\",\"ts\":" << e.ts << ",\"args\":{"
+           << quoteJson(e.name) << ":" << e.value << '}';
+        break;
+    }
+    os << '}';
+}
+
+} // namespace
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto &t : track_names_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"M\",\"pid\":" << t.pid;
+        if (t.tid >= 0)
+            os << ",\"tid\":" << t.tid
+               << ",\"name\":\"thread_name\"";
+        else
+            os << ",\"name\":\"process_name\"";
+        os << ",\"args\":{\"name\":" << quoteJson(t.name) << "}}";
+    }
+    // Oldest first: once the ring has wrapped, head_ is the oldest.
+    const std::size_t n = ring_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        const TraceEvent &e = ring_[(head_ + k) % n];
+        if (eventMatches(e, filter_))
+            writeEvent(os, e, first);
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+Tracer::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+    track_names_.clear();
+}
+
+} // namespace cooprt::trace

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * JSON string escaping shared by every hand-rolled JSON emitter in
+ * the repository (the run reporter, the Chrome-trace writer, the
+ * bench table exporter). Kept dependency-free on purpose.
+ */
+
+#ifndef COOPRT_TRACE_JSON_HPP
+#define COOPRT_TRACE_JSON_HPP
+
+#include <string>
+#include <string_view>
+
+namespace cooprt::trace {
+
+/**
+ * Escape @p s for use inside a JSON string literal: quotes and
+ * backslashes are backslash-escaped, control characters below 0x20
+ * become \n / \t / \r / \b / \f or \u00XX. The result does NOT
+ * include the surrounding quotes.
+ */
+std::string escapeJson(std::string_view s);
+
+/** Convenience: @p s escaped and wrapped in double quotes. */
+std::string quoteJson(std::string_view s);
+
+} // namespace cooprt::trace
+
+#endif // COOPRT_TRACE_JSON_HPP

@@ -1,0 +1,87 @@
+#include "trace/metrics.hpp"
+
+#include <ostream>
+
+namespace cooprt::trace {
+
+MetricsSampler::MetricsSampler(const Registry *registry,
+                               std::uint64_t interval,
+                               std::string filter)
+    : registry_(registry), interval_(interval == 0 ? 1 : interval),
+      filter_(std::move(filter))
+{
+}
+
+void
+MetricsSampler::skip(std::uint64_t cycle)
+{
+    while (next_ <= cycle)
+        next_ += interval_;
+}
+
+void
+MetricsSampler::sample(std::uint64_t cycle)
+{
+    const std::vector<MetricSample> snap =
+        registry_->snapshot(filter_);
+    if (columns_.empty()) {
+        columns_.reserve(snap.size());
+        for (const auto &s : snap)
+            columns_.push_back(s.name);
+    }
+    // The registered metric set is fixed for a run, so rows align
+    // with the first snapshot's columns; late registrations (which
+    // would misalign) are dropped by matching on name.
+    std::vector<double> row(columns_.size(), 0.0);
+    std::size_t j = 0;
+    for (const auto &s : snap) {
+        while (j < columns_.size() && columns_[j] < s.name)
+            ++j;
+        if (j < columns_.size() && columns_[j] == s.name)
+            row[j] = s.value;
+    }
+    cycles_.push_back(cycle);
+    rows_.push_back(std::move(row));
+    skip(cycle);
+}
+
+std::vector<double>
+MetricsSampler::seriesOf(const std::string &name) const
+{
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (columns_[c] != name)
+            continue;
+        std::vector<double> out;
+        out.reserve(rows_.size());
+        for (const auto &row : rows_)
+            out.push_back(row[c]);
+        return out;
+    }
+    return {};
+}
+
+void
+MetricsSampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const auto &c : columns_)
+        os << ',' << c;
+    os << '\n';
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << cycles_[r];
+        for (const double v : rows_[r])
+            os << ',' << v;
+        os << '\n';
+    }
+}
+
+void
+MetricsSampler::reset()
+{
+    next_ = 0;
+    columns_.clear();
+    cycles_.clear();
+    rows_.clear();
+}
+
+} // namespace cooprt::trace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../trace/json_check.hpp"
 #include "core/report.hpp"
 
 namespace {
@@ -73,6 +74,38 @@ TEST(Report, EndsWithNewline)
     const std::string j = core::toJson(sampleOutcome());
     ASSERT_FALSE(j.empty());
     EXPECT_EQ(j.back(), '\n');
+}
+
+TEST(Report, IsValidJson)
+{
+    EXPECT_TRUE(
+        testutil::isValidJson(core::toJson(sampleOutcome())));
+}
+
+TEST(Report, EscapesSceneNameWithQuotes)
+{
+    // The original writer emitted strings raw; a quote in the scene
+    // name produced unparseable output.
+    core::RunOutcome out;
+    out.scene = "cornell \"box\"";
+    const std::string j = core::toJson(out);
+    EXPECT_TRUE(testutil::isValidJson(j));
+    EXPECT_NE(j.find("cornell \\\"box\\\""), std::string::npos);
+}
+
+TEST(Report, EscapesBackslashesAndControlCharacters)
+{
+    core::RunOutcome out;
+    out.scene = "a\\b\nnewline\ttab";
+    const std::string j = core::toJson(out);
+    EXPECT_TRUE(testutil::isValidJson(j));
+    EXPECT_NE(j.find("a\\\\b\\nnewline\\ttab"), std::string::npos);
+}
+
+TEST(Report, OmitsTraceBlockWithoutSession)
+{
+    const std::string j = core::toJson(sampleOutcome());
+    EXPECT_EQ(j.find("\"trace\":{"), std::string::npos);
 }
 
 } // namespace

@@ -83,4 +83,63 @@ TEST(Sampler, ResetClears)
     EXPECT_TRUE(s.due(0));
 }
 
+TEST(Sampler, NextDueAdvancesExactlyPastSampledCycle)
+{
+    ActivitySampler s(500);
+    EXPECT_EQ(s.nextDue(), 0u);
+    s.sample(0, 1, 2);
+    EXPECT_EQ(s.nextDue(), 500u);
+    // Sampling exactly on the boundary advances one interval.
+    s.sample(500, 1, 2);
+    EXPECT_EQ(s.nextDue(), 1000u);
+    // Sampling mid-interval advances past the given cycle only.
+    s.sample(1700, 1, 2);
+    EXPECT_EQ(s.nextDue(), 2000u);
+}
+
+TEST(Sampler, NotDueOneCycleBeforeBoundary)
+{
+    ActivitySampler s(500);
+    s.sample(0, 1, 2);
+    EXPECT_FALSE(s.due(s.nextDue() - 1));
+    EXPECT_TRUE(s.due(s.nextDue()));
+}
+
+TEST(Sampler, IntervalOneIsDueEveryCycle)
+{
+    ActivitySampler s(1);
+    for (std::uint64_t c = 0; c < 4; ++c) {
+        ASSERT_TRUE(s.due(c));
+        s.sample(c, 1, 1);
+        ASSERT_FALSE(s.due(c));
+        ASSERT_EQ(s.nextDue(), c + 1);
+    }
+    EXPECT_EQ(s.sampleCount(), 4u);
+}
+
+TEST(Sampler, SkipMatchesSampleBoundaries)
+{
+    // skip() must advance exactly like sample() so idle intervals
+    // (zero resident threads) keep the two paths in lock-step.
+    ActivitySampler sampled(500), skipped(500);
+    const std::uint64_t cycles[] = {0, 500, 2300, 2500};
+    for (std::uint64_t c : cycles) {
+        sampled.sample(c, 1, 2);
+        skipped.skip(c);
+        ASSERT_EQ(sampled.nextDue(), skipped.nextDue());
+    }
+    EXPECT_EQ(skipped.sampleCount(), 0u);
+}
+
+TEST(Sampler, ZeroTotalSamplesCountTowardAverage)
+{
+    // A recorded zero-total interval contributes a 0 ratio (distinct
+    // from skip(), which records nothing).
+    ActivitySampler s(500);
+    s.sample(0, 8, 32);
+    s.sample(500, 0, 0);
+    EXPECT_EQ(s.sampleCount(), 2u);
+    EXPECT_DOUBLE_EQ(s.averageRatio(), 0.125);
+}
+
 } // namespace

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON validator for tests: enough to
+ * assert that exported trace/report documents are well-formed
+ * without pulling a JSON library into the build.
+ */
+
+#ifndef COOPRT_TESTS_TRACE_JSON_CHECK_HPP
+#define COOPRT_TESTS_TRACE_JSON_CHECK_HPP
+
+#include <cctype>
+#include <string_view>
+
+namespace cooprt::testutil {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    /** True when the whole input is exactly one valid JSON value. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        ws();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        ws();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (peek() != '"' || !string())
+                return false;
+            ws();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char: invalid JSON
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(text_[pos_])))
+                            return false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digits())
+            return false;
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    digits()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    void
+    ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+/** Convenience wrapper. */
+inline bool
+isValidJson(std::string_view text)
+{
+    return JsonChecker(text).valid();
+}
+
+} // namespace cooprt::testutil
+
+#endif // COOPRT_TESTS_TRACE_JSON_CHECK_HPP

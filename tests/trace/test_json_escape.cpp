@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the shared JSON string escaping (the fix for the report
+ * writer's unescaped-string bug) and for the test-side validator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "json_check.hpp"
+#include "trace/json.hpp"
+
+namespace {
+
+using cooprt::testutil::isValidJson;
+using cooprt::trace::escapeJson;
+using cooprt::trace::quoteJson;
+
+TEST(JsonEscape, PassesPlainStringsThrough)
+{
+    EXPECT_EQ(escapeJson("crnvl"), "crnvl");
+    EXPECT_EQ(escapeJson(""), "");
+    EXPECT_EQ(escapeJson("rtunit.sm0.node_fetches"),
+              "rtunit.sm0.node_fetches");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(escapeJson("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapeJson("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeJson("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesCommonControlCharacters)
+{
+    EXPECT_EQ(escapeJson("a\nb"), "a\\nb");
+    EXPECT_EQ(escapeJson("a\tb"), "a\\tb");
+    EXPECT_EQ(escapeJson("a\rb"), "a\\rb");
+    EXPECT_EQ(escapeJson("a\bb"), "a\\bb");
+    EXPECT_EQ(escapeJson("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, EscapesRareControlCharactersAsUnicode)
+{
+    EXPECT_EQ(escapeJson(std::string("a") + '\x01' + "b"),
+              "a\\u0001b");
+    EXPECT_EQ(escapeJson(std::string("a") + '\x1f' + "b"),
+              "a\\u001fb");
+    EXPECT_EQ(escapeJson(std::string("\0", 1)), "\\u0000");
+}
+
+TEST(JsonEscape, QuoteJsonProducesValidJsonStrings)
+{
+    const std::string nasty =
+        "scene \"one\\two\"\n\twith\rcontrol\x02 chars";
+    EXPECT_TRUE(isValidJson(quoteJson(nasty)));
+    EXPECT_TRUE(isValidJson(quoteJson("")));
+    EXPECT_TRUE(isValidJson(quoteJson("plain")));
+}
+
+TEST(JsonCheck, ValidatorAcceptsAndRejectsCorrectly)
+{
+    EXPECT_TRUE(isValidJson("{}"));
+    EXPECT_TRUE(isValidJson("[1,2.5,-3e4,\"x\",true,false,null]"));
+    EXPECT_TRUE(isValidJson("{\"a\":{\"b\":[{}]}}"));
+    EXPECT_TRUE(isValidJson("  {\"k\" : \"v\\n\"} "));
+    EXPECT_FALSE(isValidJson("{\"a\":}"));
+    EXPECT_FALSE(isValidJson("{\"a\":1,}"));
+    EXPECT_FALSE(isValidJson("\"unterminated"));
+    EXPECT_FALSE(isValidJson("\"raw\ncontrol\""));
+    EXPECT_FALSE(isValidJson("[1 2]"));
+    EXPECT_FALSE(isValidJson("{} extra"));
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the periodic registry sampler: boundary semantics
+ * (matching stats::ActivitySampler), column fixing, filtering and
+ * CSV export.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/sampler.hpp"
+#include "trace/metrics.hpp"
+#include "trace/registry.hpp"
+
+namespace {
+
+using cooprt::stats::ActivitySampler;
+using cooprt::trace::MetricsSampler;
+using cooprt::trace::Registry;
+
+TEST(MetricsSampler, DueAtStartAndAdvances)
+{
+    Registry reg;
+    MetricsSampler m(&reg, 500);
+    EXPECT_TRUE(m.due(0));
+    m.sample(0);
+    EXPECT_FALSE(m.due(499));
+    EXPECT_TRUE(m.due(500));
+    EXPECT_EQ(m.nextDue(), 500u);
+}
+
+TEST(MetricsSampler, SkipAdvancesWithoutRecording)
+{
+    Registry reg;
+    MetricsSampler m(&reg, 500);
+    m.skip(0);
+    EXPECT_EQ(m.sampleCount(), 0u);
+    EXPECT_EQ(m.nextDue(), 500u);
+    m.skip(1700); // advances past idle gap, no back-filling
+    EXPECT_EQ(m.nextDue(), 2000u);
+}
+
+TEST(MetricsSampler, BoundariesMatchActivitySampler)
+{
+    // The acceptance criterion behind `--metrics`: driven on the
+    // same cycles, both samplers agree on every boundary decision.
+    Registry reg;
+    ActivitySampler a(500);
+    MetricsSampler m(&reg, 500);
+    const std::uint64_t cycles[] = {0, 500, 5000, 5500, 9999, 10000};
+    for (std::uint64_t c : cycles) {
+        ASSERT_EQ(a.due(c), m.due(c)) << "cycle " << c;
+        if (!a.due(c))
+            continue;
+        a.sample(c, 1, 2);
+        m.sample(c);
+        ASSERT_EQ(a.nextDue(), m.nextDue()) << "cycle " << c;
+    }
+    EXPECT_EQ(a.sampleCount(), m.sampleCount());
+}
+
+TEST(MetricsSampler, ColumnsFixedAtFirstSample)
+{
+    Registry reg;
+    reg.counter("a") = 1;
+    MetricsSampler m(&reg, 100);
+    m.sample(0);
+    ASSERT_EQ(m.columns().size(), 1u);
+    // A metric registered after the first sample is not a column;
+    // existing columns keep collecting.
+    reg.counter("b") = 2;
+    reg.counter("a") = 3;
+    m.sample(100);
+    ASSERT_EQ(m.columns().size(), 1u);
+    EXPECT_EQ(m.columns()[0], "a");
+    ASSERT_EQ(m.sampleCount(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(MetricsSampler, SeriesOfReturnsOneColumn)
+{
+    Registry reg;
+    std::uint64_t &c = reg.counter("rtunit.sm0.steals");
+    MetricsSampler m(&reg, 100);
+    c = 1;
+    m.sample(0);
+    c = 4;
+    m.sample(100);
+    const auto series = m.seriesOf("rtunit.sm0.steals");
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_DOUBLE_EQ(series[0], 1.0);
+    EXPECT_DOUBLE_EQ(series[1], 4.0);
+    EXPECT_TRUE(m.seriesOf("no.such.metric").empty());
+}
+
+TEST(MetricsSampler, FilterRestrictsColumns)
+{
+    Registry reg;
+    reg.counter("rtunit.sm0.steals") = 1;
+    reg.counter("mem.l2.misses") = 2;
+    MetricsSampler m(&reg, 100, "mem.*");
+    m.sample(0);
+    ASSERT_EQ(m.columns().size(), 1u);
+    EXPECT_EQ(m.columns()[0], "mem.l2.misses");
+}
+
+TEST(MetricsSampler, CsvHasHeaderAndOneRowPerSample)
+{
+    Registry reg;
+    std::uint64_t &c = reg.counter("m");
+    MetricsSampler m(&reg, 500);
+    c = 10;
+    m.sample(0);
+    c = 20;
+    m.sample(500);
+    std::ostringstream ss;
+    m.writeCsv(ss);
+    const std::string csv = ss.str();
+    std::istringstream lines(csv);
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, "cycle,m");
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.substr(0, 2), "0,");
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.substr(0, 4), "500,");
+    EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(MetricsSampler, ResetRestartsBoundariesAndDropsData)
+{
+    Registry reg;
+    reg.counter("m") = 1;
+    MetricsSampler m(&reg, 100);
+    m.sample(0);
+    m.reset();
+    EXPECT_EQ(m.sampleCount(), 0u);
+    EXPECT_TRUE(m.columns().empty());
+    EXPECT_TRUE(m.due(0));
+    EXPECT_EQ(m.nextDue(), 0u);
+}
+
+TEST(MetricsSampler, IntervalOneSamplesEveryCycle)
+{
+    Registry reg;
+    reg.counter("m") = 1;
+    MetricsSampler m(&reg, 1);
+    for (std::uint64_t c = 0; c < 5; ++c) {
+        ASSERT_TRUE(m.due(c));
+        m.sample(c);
+        ASSERT_FALSE(m.due(c));
+        ASSERT_EQ(m.nextDue(), c + 1);
+    }
+    EXPECT_EQ(m.sampleCount(), 5u);
+}
+
+TEST(MetricsSampler, RowsSurviveRegistryMutation)
+{
+    // Rows are value copies: exporting after probes die must work.
+    Registry reg;
+    MetricsSampler m(&reg, 100);
+    {
+        int live = 5;
+        reg.probe("p", [&live] { return double(live); }, &live);
+        m.sample(0);
+        reg.unregisterOwner(&live);
+    }
+    ASSERT_EQ(m.sampleCount(), 1u);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+    std::ostringstream ss;
+    m.writeCsv(ss); // must not touch the dead probe
+    EXPECT_NE(ss.str().find("p"), std::string::npos);
+}
+
+} // namespace
