@@ -52,6 +52,17 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
 
     power::EnergyModel energy(config.energy);
     out.power = energy.evaluate(out.gpu, config.gpu.num_sms);
+#if COOPRT_CHECK_ENABLED
+    COOPRT_AUDIT("core.simulation", "core.outcome_sane",
+                 out.gpu.cycles,
+                 (ptrs.empty() || out.gpu.cycles > 0) &&
+                     out.gpu.completions.size() == ptrs.size() &&
+                     out.power.totalJoules() >= 0.0,
+                 "scene " + out.scene + ": cycles=" +
+                     std::to_string(out.gpu.cycles) + " warps=" +
+                     std::to_string(ptrs.size()) + " completed=" +
+                     std::to_string(out.gpu.completions.size()));
+#endif
     return out;
 }
 

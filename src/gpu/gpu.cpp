@@ -182,6 +182,26 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
             res.completions.push_back(c);
     }
 
+#if COOPRT_CHECK_ENABLED
+    // End-of-run conservation: the event loop only exits when every
+    // SM drained, so every launched warp must have a completion
+    // record with a sane lifetime.
+    COOPRT_AUDIT("gpu", "gpu.warp_conservation", now,
+                 res.completions.size() == programs.size(),
+                 std::to_string(programs.size()) +
+                     " warps launched but " +
+                     std::to_string(res.completions.size()) +
+                     " completed");
+    for (const auto &c : res.completions)
+        COOPRT_AUDIT("gpu", "gpu.completion_time_sane", now,
+                     c.start_cycle <= c.finish_cycle &&
+                         c.finish_cycle <= now,
+                     "warp " + std::to_string(c.warp_id) + " [" +
+                         std::to_string(c.start_cycle) + ", " +
+                         std::to_string(c.finish_cycle) +
+                         "] vs end cycle " + std::to_string(now));
+#endif
+
     res.l1 = memsys_.l1StatsTotal();
     res.l2 = memsys_.l2Stats();
     res.dram = memsys_.dramStats();

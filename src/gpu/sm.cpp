@@ -11,12 +11,17 @@ StreamingMultiprocessor::StreamingMultiprocessor(
       rt_(bvh, mesh, cfg.trace, std::move(fetch))
 {
     (void)sm_id_;
+#if COOPRT_CHECK_ENABLED
+    check_label_ = "sm" + std::to_string(sm_id_);
+    rt_.setCheckLabel("rtunit.sm" + std::to_string(sm_id_));
+#endif
 }
 
 void
 StreamingMultiprocessor::assign(int warp_id, WarpProgram *program)
 {
     pending_.emplace_back(warp_id, program);
+    COOPRT_CHECK_ONLY(audit_assigned_++;)
 }
 
 void
@@ -89,6 +94,9 @@ StreamingMultiprocessor::onRetire(std::unique_ptr<WarpCtx> ctx,
     // trace_ray latency is the RT stall class (the dominant one).
     stalls_.rt += result.latency();
     in_trace_--;
+    if (COOPRT_MUTATE(LostWarp))
+        return; // drop the retired warp on the floor
+
     COOPRT_TRACE_COMPLETE(tracer_, "rtunit", "trace_ray", sm_id_,
                           ctx->warp_id, result.issue_cycle,
                           result.latency());
@@ -152,7 +160,41 @@ StreamingMultiprocessor::tick(std::uint64_t now)
     rt_.tick(now); // may retire warps -> onRetire -> new shading
     // Retires during this tick may have freed warp-buffer slots.
     submitReady(now);
+#if COOPRT_CHECK_ENABLED
+    auditInvariants(now);
+#endif
 }
+
+#if COOPRT_CHECK_ENABLED
+void
+StreamingMultiprocessor::auditInvariants(std::uint64_t now) const
+{
+    // Every warp ever assigned is queued, shading, waiting for a
+    // warp-buffer slot, tracing, or completed — nothing vanishes.
+    const std::uint64_t accounted =
+        pending_.size() + shading_.size() + wait_slot_.size() +
+        std::uint64_t(in_trace_) + completions_.size();
+    COOPRT_AUDIT(check_label_, "sm.warp_conservation", now,
+                 audit_assigned_ == accounted,
+                 "assigned=" + std::to_string(audit_assigned_) +
+                     " pending=" + std::to_string(pending_.size()) +
+                     " shading=" + std::to_string(shading_.size()) +
+                     " wait_slot=" +
+                     std::to_string(wait_slot_.size()) +
+                     " in_trace=" + std::to_string(in_trace_) +
+                     " completed=" +
+                     std::to_string(completions_.size()));
+    COOPRT_AUDIT(check_label_, "sm.resident_ledger", now,
+                 std::uint64_t(resident_warps_) ==
+                     shading_.size() + wait_slot_.size() +
+                         std::uint64_t(in_trace_),
+                 "resident=" + std::to_string(resident_warps_) +
+                     " shading=" + std::to_string(shading_.size()) +
+                     " wait_slot=" +
+                     std::to_string(wait_slot_.size()) +
+                     " in_trace=" + std::to_string(in_trace_));
+}
+#endif // COOPRT_CHECK_ENABLED
 
 std::uint64_t
 StreamingMultiprocessor::nextEventCycle(std::uint64_t now) const

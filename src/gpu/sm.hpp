@@ -11,8 +11,10 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/warp_program.hpp"
 #include "rtunit/rt_unit.hpp"
@@ -115,6 +117,15 @@ class StreamingMultiprocessor
     /** Warps currently inside the RT unit (for done()). */
     int in_trace_ = 0;
     std::uint64_t retire_bonus_events_ = 0;
+
+#if COOPRT_CHECK_ENABLED
+    /** End-of-tick conservation audits (DESIGN.md catalogue). */
+    void auditInvariants(std::uint64_t now) const;
+
+    std::string check_label_ = "sm";
+    /** Warps ever assigned, for sm.warp_conservation. */
+    std::uint64_t audit_assigned_ = 0;
+#endif
 };
 
 } // namespace cooprt::gpu

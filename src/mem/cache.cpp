@@ -93,6 +93,45 @@ Cache::maybeCompactOutstanding(std::uint64_t now)
     }
 }
 
+#if COOPRT_CHECK_ENABLED
+void
+Cache::auditInvariants(std::uint64_t line, std::uint64_t now) const
+{
+    // Every access is classified exactly once.
+    COOPRT_AUDIT(check_label_, "mem.cache_access_conservation", now,
+                 stats_.accesses ==
+                     stats_.hits + stats_.misses + stats_.mshr_merges,
+                 "accesses=" + std::to_string(stats_.accesses) +
+                     " hits=" + std::to_string(stats_.hits) +
+                     " misses=" + std::to_string(stats_.misses) +
+                     " mshr_merges=" +
+                     std::to_string(stats_.mshr_merges));
+    COOPRT_AUDIT(check_label_, "mem.cache_access_conservation", now,
+                 stats_.sector_misses <= stats_.misses,
+                 "sector_misses=" +
+                     std::to_string(stats_.sector_misses) +
+                     " > misses=" + std::to_string(stats_.misses));
+
+    // The touched set's LRU list and tag map mirror each other and
+    // respect the associativity bound.
+    const Set &s = sets_[setOf(line)];
+    COOPRT_AUDIT(check_label_, "mem.cache_lru_consistent", now,
+                 s.lru.size() == s.where.size() &&
+                     s.lru.size() <= ways_,
+                 "set " + std::to_string(setOf(line)) + " lru=" +
+                     std::to_string(s.lru.size()) + " map=" +
+                     std::to_string(s.where.size()) + " ways=" +
+                     std::to_string(ways_));
+    for (auto it = s.lru.begin(); it != s.lru.end(); ++it) {
+        auto w = s.where.find(*it);
+        COOPRT_AUDIT(check_label_, "mem.cache_lru_consistent", now,
+                     w != s.where.end() && w->second.pos == it,
+                     "line " + std::to_string(*it) +
+                         " on the LRU list lacks a matching tag");
+    }
+}
+#endif // COOPRT_CHECK_ENABLED
+
 void
 Cache::resetTiming()
 {

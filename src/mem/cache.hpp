@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/check.hpp"
 #include "trace/registry.hpp"
 
 namespace cooprt::mem {
@@ -81,6 +82,18 @@ class Cache
 
     const CacheConfig &config() const { return cfg_; }
     const CacheStats &stats() const { return stats_; }
+
+    /** Component path reported by COOPRT_CHECK audits ("mem.l1.sm0",
+     *  "mem.l2", ...). No-op in default builds. */
+    void
+    setCheckLabel(const std::string &label)
+    {
+#if COOPRT_CHECK_ENABLED
+        check_label_ = label;
+#else
+        (void)label;
+#endif
+    }
 
     /**
      * Register this cache's counters into @p registry as probes
@@ -154,12 +167,14 @@ class Cache
             (sectors & ~mshr->second.sectors) == 0) {
             stats_.mshr_merges++;
             lookupAndTouch(line, 0);
+            COOPRT_CHECK_ONLY(auditInvariants(line, now);)
             return mshr->second.ready;
         }
         const std::uint32_t resident = lookupAndTouch(line, 0);
         std::uint32_t missing = sectors & ~resident;
         if (resident != 0 && missing == 0) {
-            stats_.hits++;
+            stats_.hits += COOPRT_MUTATE(CacheHitMiscount) ? 2 : 1;
+            COOPRT_CHECK_ONLY(auditInvariants(line, now);)
             return now + cfg_.latency;
         }
         stats_.misses++;
@@ -175,6 +190,7 @@ class Cache
         slot.sectors |= sectors;
         insert(line, sectors);
         maybeCompactOutstanding(now);
+        COOPRT_CHECK_ONLY(auditInvariants(line, now);)
         return ready;
     }
 
@@ -202,6 +218,14 @@ class Cache
     void resetTiming();
 
   private:
+#if COOPRT_CHECK_ENABLED
+    /**
+     * Per-access audit: counter conservation plus LRU/tag-map
+     * consistency of the set @p line maps to (DESIGN.md catalogue).
+     */
+    void auditInvariants(std::uint64_t line, std::uint64_t now) const;
+#endif
+
     /**
      * Look up @p line: returns the resident sector mask (0 when
      * absent), touches the LRU and ORs @p add_sectors into the
@@ -242,6 +266,10 @@ class Cache
     };
     std::unordered_map<std::uint64_t, Mshr> outstanding_;
     std::uint64_t last_compact_ = 0;
+
+#if COOPRT_CHECK_ENABLED
+    std::string check_label_ = "mem.cache";
+#endif
 };
 
 } // namespace cooprt::mem

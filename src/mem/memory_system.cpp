@@ -25,6 +25,12 @@ MemorySystem::MemorySystem(const MemConfig &config)
     l1_.reserve(std::size_t(cfg_.num_sms));
     for (int i = 0; i < cfg_.num_sms; ++i)
         l1_.push_back(std::make_unique<Cache>(cfg_.l1));
+#if COOPRT_CHECK_ENABLED
+    for (int i = 0; i < cfg_.num_sms; ++i)
+        l1_[std::size_t(i)]->setCheckLabel("mem.l1.sm" +
+                                           std::to_string(i));
+    l2_.setCheckLabel("mem.l2");
+#endif
 }
 
 MemorySystem::~MemorySystem()
@@ -86,7 +92,19 @@ MemorySystem::l2Access(std::uint64_t line, std::uint32_t bytes,
         double(bytes) / cfg_.l2_bytes_per_cycle + 0.999999);
     const std::uint64_t start =
         bank_free_[bank] > now ? bank_free_[bank] : now;
+    COOPRT_CHECK_ONLY(const std::uint64_t prev_free =
+                          bank_free_[bank];)
     bank_free_[bank] = start + service;
+    if (COOPRT_MUTATE(L2BankTimeTravel))
+        bank_free_[bank] = now; // bank forgets its queued work
+    // A bank only ever books time forward: the new free cycle is
+    // strictly past both the request and the previous booking.
+    COOPRT_AUDIT("mem.xbar", "mem.l2_bank_monotone", now,
+                 bank_free_[bank] > now &&
+                     bank_free_[bank] > prev_free,
+                 "bank " + std::to_string(bank) + " free " +
+                     std::to_string(prev_free) + " -> " +
+                     std::to_string(bank_free_[bank]));
     stats_.l2_busy_cycles += service;
     stats_.l2_bytes += bytes;
 

@@ -22,6 +22,23 @@ RtUnit::RtUnit(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
     if (cfg_.intersection_predictor)
         predictor_ = std::make_shared<std::vector<std::uint32_t>>(
             std::size_t(cfg_.predictor_entries), 0xffffffffu);
+
+#if COOPRT_CHECK_ENABLED
+    // Architectural stack-depth bound (rtunit.stack_depth_bound): a
+    // DFS thread's stack holds at most (width-1) entries per tree
+    // level for each of its at most two concurrent work sources (its
+    // current subtree plus the children of one in-flight response);
+    // BFS queues are only bounded by the ref population. Generous
+    // constants keep legitimate runs violation-free; a runaway push
+    // loop blows through either bound immediately.
+    const bvh::TreeStats ts = bvh_.stats();
+    if (cfg_.order == TraversalOrder::Dfs)
+        check_stack_bound_ =
+            4u * std::size_t(ts.max_depth + 2) * bvh::kWideArity + 16;
+    else
+        check_stack_bound_ =
+            2u * (bvh_.nodeCount() + bvh_.primCount()) + 16;
+#endif
 }
 
 RtUnit::~RtUnit()
@@ -144,6 +161,25 @@ RtUnit::freeSlots() const
     return int(warps_.size()) - resident_;
 }
 
+void
+RtUnit::pushResponse(Response r)
+{
+    // Exactly std::priority_queue<Response, vector, greater>::push.
+    responses_.push_back(std::move(r));
+    std::push_heap(responses_.begin(), responses_.end(),
+                   std::greater<Response>{});
+}
+
+RtUnit::Response
+RtUnit::popResponse()
+{
+    std::pop_heap(responses_.begin(), responses_.end(),
+                  std::greater<Response>{});
+    Response r = std::move(responses_.back());
+    responses_.pop_back();
+    return r;
+}
+
 int
 RtUnit::submit(const TraceJob &job, std::uint64_t now, RetireFn on_retire)
 {
@@ -182,6 +218,7 @@ RtUnit::submit(const TraceJob &job, std::uint64_t now, RetireFn on_retire)
             predictorSeed(w, t);
     }
     resident_++;
+    COOPRT_CHECK_ONLY(audit_submitted_++;)
 
     if (timeline_armed_ && timeline_slot_ < 0) {
         if (timeline_skip_ > 0) {
@@ -249,6 +286,13 @@ RtUnit::pushWork(ThreadState &t, const StackEntry &e)
     t.stack.push_back(e);
     if (int(t.stack.size()) > cfg_.stack_capacity)
         stats_.stack_overflows++;
+#if COOPRT_CHECK_ENABLED
+    // Seeded bug: a runaway push loop floods the stack, the class of
+    // defect rtunit.stack_depth_bound exists to catch.
+    if (COOPRT_MUTATE(StackOverPush))
+        for (std::size_t i = 0; i <= check_stack_bound_; ++i)
+            t.stack.push_back(e);
+#endif
 }
 
 void
@@ -345,9 +389,10 @@ RtUnit::tryIssue(std::uint64_t now)
 
         const std::uint64_t data_ready =
             fetch_(bvh_.addressOf(ref), bvh_.fetchBytes(ref), now);
-        responses_.push(Response{data_ready + cfg_.math_latency, slot,
-                                 consumers, ref, mains});
+        pushResponse(Response{data_ready + cfg_.math_latency, slot,
+                              consumers, ref, mains});
         w.outstanding++;
+        COOPRT_CHECK_ONLY(audit_issues_this_tick_++;)
 
         stats_.issue_cycles++;
         stats_.coalesced_threads +=
@@ -412,6 +457,44 @@ RtUnit::runLbu(std::uint64_t now)
                 }
                 if (helper < 0 || main < 0 || helper == main)
                     break;
+
+#if COOPRT_CHECK_ENABLED
+                // Seeded bug: retarget a busy thread as the helper —
+                // the steal then destroys that thread's own work.
+                if (COOPRT_MUTATE_ARMED(IllegalLbuHelper)) {
+                    for (int t = lo; t < hi; ++t) {
+                        if (t == main ||
+                            w.th[std::size_t(t)].stack.empty())
+                            continue;
+                        if (COOPRT_MUTATE(IllegalLbuHelper))
+                            helper = t;
+                        break;
+                    }
+                }
+                {
+                    const ThreadState &hth = w.th[std::size_t(helper)];
+                    const ThreadState &mth = w.th[std::size_t(main)];
+                    COOPRT_AUDIT(
+                        check_label_, "rtunit.lbu_steal_legality", now,
+                        helper != main &&
+                            helper / cfg_.subwarp_size ==
+                                main / cfg_.subwarp_size &&
+                            hth.stack.empty() &&
+                            (!cfg_.helper_requires_idle ||
+                             !hth.pending) &&
+                            (mth.stack.size() >= 2 ||
+                             (mth.pending && !mth.stack.empty())),
+                        "helper=" + std::to_string(helper) +
+                            " (stack=" +
+                            std::to_string(hth.stack.size()) +
+                            " pending=" +
+                            std::to_string(hth.pending) + ") main=" +
+                            std::to_string(main) + " (stack=" +
+                            std::to_string(mth.stack.size()) +
+                            " pending=" +
+                            std::to_string(mth.pending) + ")");
+                }
+#endif
 
                 ThreadState &ms = w.th[std::size_t(main)];
                 ThreadState &hs = w.th[std::size_t(helper)];
@@ -494,14 +577,21 @@ RtUnit::processNode(WarpEntry &w, int tid, NodeRef ref, int main,
 bool
 RtUnit::processOneResponse(std::uint64_t now)
 {
-    if (responses_.empty() || responses_.top().ready > now)
+    if (responses_.empty() || responses_.front().ready > now)
         return false;
 
-    const Response r = responses_.top();
-    responses_.pop();
+    const Response r = popResponse();
 
     WarpEntry &w = warps_[std::size_t(r.slot)];
     assert(w.valid);
+#if COOPRT_CHECK_ENABLED
+    // Seeded bug: the response is accounted for but its data never
+    // delivered — the consuming threads stay pending forever.
+    if (COOPRT_MUTATE(DropResponse)) {
+        w.outstanding--;
+        return true;
+    }
+#endif
     for (int t = 0; t < kWarpSize; ++t) {
         if (!(r.consumers & (1u << t)))
             continue;
@@ -512,6 +602,9 @@ RtUnit::processOneResponse(std::uint64_t now)
         processNode(w, t, r.ref, r.mains[std::size_t(t)], now);
     }
     w.outstanding--;
+    // Seeded bug: one response consumed, accounted for twice.
+    if (COOPRT_MUTATE(DoubleConsumeResponse))
+        w.outstanding--;
 
     if (w.record_timeline)
         for (int t = 0; t < kWarpSize; ++t)
@@ -573,7 +666,10 @@ RtUnit::maybeRetire(int slot, std::uint64_t now)
 
     RetireFn cb = std::move(w.on_retire);
     w = WarpEntry{};
-    resident_--;
+    // Seeded bug: the slot is recycled but the residency ledger keeps
+    // counting it (use-after-free of the warp-buffer entry class).
+    if (!COOPRT_MUTATE(LeakWarpSlot))
+        resident_--;
     if (cb)
         cb(slot, result);
 }
@@ -590,12 +686,20 @@ RtUnit::recordBusyEdge(int slot, int tid, std::uint64_t now)
 void
 RtUnit::tick(std::uint64_t now)
 {
+    COOPRT_AUDIT(check_label_, "rtunit.monotone_tick", now,
+                 now >= last_tick_,
+                 "tick at " + std::to_string(now) + " after " +
+                     std::to_string(last_tick_));
     assert(now >= last_tick_);
     last_tick_ = now;
 
+    COOPRT_CHECK_ONLY(audit_issues_this_tick_ = 0;)
     tryIssue(now);
     runLbu(now);
     processOneResponse(now);
+#if COOPRT_CHECK_ENABLED
+    auditInvariants(now);
+#endif
 }
 
 std::uint64_t
@@ -626,7 +730,7 @@ RtUnit::nextEventCycle(std::uint64_t now) const
     }
 
     if (!responses_.empty()) {
-        const std::uint64_t r = responses_.top().ready;
+        const std::uint64_t r = responses_.front().ready;
         return r > now ? r : now;
     }
 
@@ -661,6 +765,142 @@ RtUnit::sharePredictor(const RtUnit &other)
     if (cfg_.intersection_predictor && other.predictor_)
         predictor_ = other.predictor_;
 }
+
+#if COOPRT_CHECK_ENABLED
+void
+RtUnit::auditInvariants(std::uint64_t now) const
+{
+    // Fig. 7 step 1: one coalesced node fetch per RT unit per cycle.
+    COOPRT_AUDIT(check_label_, "rtunit.single_issue_per_cycle", now,
+                 audit_issues_this_tick_ <= 1,
+                 std::to_string(audit_issues_this_tick_) +
+                     " fetches issued in one cycle");
+
+    // Warp-buffer residency ledger and trace_ray conservation.
+    int valid = 0;
+    for (const WarpEntry &w : warps_)
+        valid += w.valid ? 1 : 0;
+    COOPRT_AUDIT(check_label_, "rtunit.resident_count", now,
+                 valid == resident_,
+                 "resident_=" + std::to_string(resident_) + " but " +
+                     std::to_string(valid) + " valid entries");
+    COOPRT_AUDIT(check_label_, "rtunit.warp_conservation", now,
+                 audit_submitted_ ==
+                     stats_.retired_warps + std::uint64_t(valid),
+                 "submitted=" + std::to_string(audit_submitted_) +
+                     " retired=" +
+                     std::to_string(stats_.retired_warps) +
+                     " resident=" + std::to_string(valid));
+
+    // Response FIFO vs warp bookkeeping: every in-flight response
+    // targets a live slot, per-slot outstanding counts match, and the
+    // pending threads are exactly the consumers awaiting data.
+    std::vector<int> fifo(warps_.size(), 0);
+    std::vector<std::uint32_t> consumers(warps_.size(), 0);
+    for (const Response &r : responses_) {
+        const bool slot_ok = r.slot >= 0 &&
+                             r.slot < int(warps_.size()) &&
+                             warps_[std::size_t(r.slot)].valid;
+        COOPRT_AUDIT(check_label_, "rtunit.response_slot_valid", now,
+                     slot_ok,
+                     "response (ready " + std::to_string(r.ready) +
+                         ") targets dead slot " +
+                         std::to_string(r.slot));
+        if (!slot_ok)
+            continue;
+        fifo[std::size_t(r.slot)]++;
+        consumers[std::size_t(r.slot)] |= r.consumers;
+    }
+
+    for (std::size_t i = 0; i < warps_.size(); ++i) {
+        const WarpEntry &w = warps_[i];
+        if (!w.valid) {
+            COOPRT_AUDIT(check_label_,
+                         "rtunit.outstanding_matches_fifo", now,
+                         fifo[i] == 0,
+                         "slot " + std::to_string(i) +
+                             " invalid but has " +
+                             std::to_string(fifo[i]) + " responses");
+            continue;
+        }
+        COOPRT_AUDIT(check_label_, "rtunit.outstanding_matches_fifo",
+                     now, w.outstanding == fifo[i],
+                     "slot " + std::to_string(i) + " outstanding=" +
+                         std::to_string(w.outstanding) + " but " +
+                         std::to_string(fifo[i]) +
+                         " responses in flight");
+
+        std::uint32_t pending_mask = 0;
+        for (int t = 0; t < kWarpSize; ++t)
+            if (w.th[std::size_t(t)].pending)
+                pending_mask |= (1u << t);
+        COOPRT_AUDIT(check_label_, "rtunit.pending_matches_responses",
+                     now, pending_mask == consumers[i],
+                     "slot " + std::to_string(i) + " pending mask " +
+                         std::to_string(pending_mask) +
+                         " != consumer union " +
+                         std::to_string(consumers[i]));
+
+        for (int t = 0; t < kWarpSize; ++t) {
+            const ThreadState &th = w.th[std::size_t(t)];
+
+            COOPRT_AUDIT(check_label_, "rtunit.stack_depth_bound",
+                         now, th.stack.size() <= check_stack_bound_,
+                         "slot " + std::to_string(i) + " thread " +
+                             std::to_string(t) + " stack depth " +
+                             std::to_string(th.stack.size()) +
+                             " > bound " +
+                             std::to_string(check_stack_bound_));
+
+            for (const StackEntry &e : th.stack) {
+                const int m = e.main;
+                // Helpers may only hold work of an active ray owned
+                // inside their own subwarp (their own tid when the
+                // LBU is off).
+                const bool scope_ok =
+                    m >= 0 && m < kWarpSize &&
+                    w.th[std::size_t(m)].active &&
+                    (cfg_.coop ? m / cfg_.subwarp_size ==
+                                     t / cfg_.subwarp_size
+                               : m == t);
+                COOPRT_AUDIT(check_label_, "rtunit.stack_owner_scope",
+                             now, scope_ok,
+                             "slot " + std::to_string(i) +
+                                 " thread " + std::to_string(t) +
+                                 " holds entry owned by " +
+                                 std::to_string(m));
+                const bool ref_ok =
+                    e.ref.isLeaf()
+                        ? e.ref.firstSlot() + e.ref.primCount() <=
+                              bvh_.primCount()
+                        : e.ref.nodeIndex() < bvh_.nodeCount();
+                COOPRT_AUDIT(check_label_, "rtunit.stack_ref_valid",
+                             now, ref_ok,
+                             "slot " + std::to_string(i) +
+                                 " thread " + std::to_string(t) +
+                                 " ref raw " +
+                                 std::to_string(e.ref.raw()));
+            }
+
+            // Hit-state consistency: the min_thit register and the
+            // hit record move together (Section 5.3's invariant that
+            // helpers update the main thread's registers).
+            const float mt = w.min_thit[std::size_t(t)];
+            const geom::HitRecord &rec = w.hit[std::size_t(t)];
+            const bool hit_ok =
+                th.active ? (rec.hit() == (mt != geom::kNoHit) &&
+                             (!rec.hit() || mt <= rec.thit))
+                          : (!rec.hit() && mt == geom::kNoHit);
+            COOPRT_AUDIT(check_label_, "rtunit.hit_state_consistent",
+                         now, hit_ok,
+                         "slot " + std::to_string(i) + " thread " +
+                             std::to_string(t) + " min_thit=" +
+                             std::to_string(mt) + " rec.thit=" +
+                             std::to_string(rec.thit));
+        }
+    }
+}
+#endif // COOPRT_CHECK_ENABLED
 
 void
 RtUnit::armTimeline(stats::TimelineRecorder *recorder,

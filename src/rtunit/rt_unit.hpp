@@ -33,10 +33,11 @@
 #include <limits>
 #include <memory>
 #include <optional>
-#include <queue>
+#include <string>
 #include <vector>
 
 #include "bvh/flat_bvh.hpp"
+#include "check/check.hpp"
 #include "bvh/traversal.hpp"
 #include "geom/ray.hpp"
 #include "rtunit/trace_config.hpp"
@@ -157,6 +158,21 @@ class RtUnit
     void attachTrace(cooprt::trace::Registry *registry,
                      cooprt::trace::Tracer *tracer, int sm_id);
 
+    /**
+     * Component path used by `cooprt::check` violations (default
+     * "rtunit"; the SM sets "rtunit.sm<id>"). No-op when the audit
+     * layer is compiled out.
+     */
+    void
+    setCheckLabel(const std::string &label)
+    {
+#if COOPRT_CHECK_ENABLED
+        check_label_ = label;
+#else
+        (void)label;
+#endif
+    }
+
     /** Number of free warp-buffer entries. */
     int freeSlots() const;
     /** True when no warp is resident. */
@@ -256,6 +272,11 @@ class RtUnit
         bool operator>(const Response &o) const { return ready > o.ready; }
     };
 
+    /** Min-heap push onto responses_ (what priority_queue::push does). */
+    void pushResponse(Response r);
+    /** Min-heap pop of responses_.front(). */
+    Response popResponse();
+
     bool threadBusy(const ThreadState &t) const
     { return t.pending || !t.stack.empty(); }
 
@@ -295,8 +316,13 @@ class RtUnit
     int resident_ = 0;
     int rr_next_ = 0; ///< round-robin warp pointer
 
-    std::priority_queue<Response, std::vector<Response>,
-                        std::greater<Response>> responses_;
+    /**
+     * The response FIFO, kept as an explicit min-heap on `ready`
+     * (std::push_heap/std::pop_heap — behaviourally identical to the
+     * std::priority_queue it replaces) so the audit layer can iterate
+     * outstanding responses per warp slot.
+     */
+    std::vector<Response> responses_;
 
     stats::TimelineRecorder *timeline_ = nullptr;
     int timeline_slot_ = -1;
@@ -315,6 +341,23 @@ class RtUnit
     cooprt::trace::Tracer *tracer_ = nullptr;
     cooprt::trace::Histogram *latency_hist_ = nullptr;
     int trace_pid_ = 0;
+
+#if COOPRT_CHECK_ENABLED
+    /**
+     * Audit-layer state (check builds only; see DESIGN.md invariant
+     * catalogue). Validates the warp-buffer/response/LBU bookkeeping
+     * at the end of every tick. Read-only over simulated state.
+     */
+    void auditInvariants(std::uint64_t now) const;
+
+    std::string check_label_ = "rtunit";
+    /** Trace_rays submitted (for rtunit.warp_conservation). */
+    std::uint64_t audit_submitted_ = 0;
+    /** Node fetches issued this tick (rtunit.single_issue_per_cycle). */
+    mutable int audit_issues_this_tick_ = 0;
+    /** Architectural traversal-stack depth bound for this BVH. */
+    std::size_t check_stack_bound_ = 0;
+#endif
 };
 
 } // namespace cooprt::rtunit

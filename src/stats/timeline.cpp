@@ -57,7 +57,7 @@ TimelineRecorder::render(int columns) const
             for (int c = c0; c <= c1; ++c)
                 row[std::size_t(c)] = '#';
         }
-        char label[8];
+        char label[16];
         std::snprintf(label, sizeof(label), "t%02d ", l);
         out += label;
         out += row;

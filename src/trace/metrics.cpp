@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "check/check.hpp"
+
 namespace cooprt::trace {
 
 MetricsSampler::MetricsSampler(const Registry *registry,
@@ -40,9 +42,27 @@ MetricsSampler::sample(std::uint64_t cycle)
         if (j < columns_.size() && columns_[j] == s.name)
             row[j] = s.value;
     }
-    cycles_.push_back(cycle);
+    std::uint64_t recorded = cycle;
+    if (!cycles_.empty() && COOPRT_MUTATE(MetricsCycleRepeat))
+        recorded = cycles_.back(); // the sampler's clock stalls
+    cycles_.push_back(recorded);
     rows_.push_back(std::move(row));
     skip(cycle);
+    // Rows advance strictly in time and the next boundary is always
+    // in the future of the row just taken.
+    COOPRT_AUDIT("trace.metrics", "trace.metrics_monotone", cycle,
+                 cycles_.size() < 2 ||
+                     cycles_[cycles_.size() - 1] >
+                         cycles_[cycles_.size() - 2],
+                 "sample row " +
+                     std::to_string(cycles_.size() - 1) +
+                     " at cycle " + std::to_string(cycles_.back()) +
+                     " does not advance past the previous row");
+    COOPRT_AUDIT("trace.metrics", "trace.metrics_monotone", cycle,
+                 next_ > cycle,
+                 "next boundary " + std::to_string(next_) +
+                     " not past sampled cycle " +
+                     std::to_string(cycle));
 }
 
 std::vector<double>

@@ -125,8 +125,9 @@ TEST(Builder, RespectsMaxLeafSize)
     cfg.max_leaf_size = 2;
     BinaryBvh b = buildBinaryBvh(m, cfg);
     for (const BinaryNode &n : b.nodes)
-        if (n.isLeaf())
+        if (n.isLeaf()) {
             EXPECT_LE(n.prim_count, 2u);
+        }
 }
 
 TEST(Builder, DepthIsLogarithmicForUniformSoup)

@@ -181,8 +181,9 @@ TEST(OracleSceneTest, MatchesBruteForceOnGeneratedScene)
         HitRecord ref = bruteForceClosest(s.mesh, r);
         HitRecord got = closestHit(flat, s.mesh, r);
         ASSERT_EQ(ref.hit(), got.hit()) << "iter " << i;
-        if (ref.hit())
+        if (ref.hit()) {
             EXPECT_FLOAT_EQ(ref.thit, got.thit) << "iter " << i;
+        }
     }
 }
 

@@ -99,8 +99,9 @@ TEST(Gpu, ResultsMatchOracle)
             const auto &got =
                 programs[0].results[k].hits[std::size_t(t)];
             ASSERT_EQ(got.hit(), ref.hit()) << k << "/" << t;
-            if (ref.hit())
+            if (ref.hit()) {
                 EXPECT_FLOAT_EQ(got.thit, ref.thit) << k << "/" << t;
+            }
         }
     }
     (void)r;

@@ -118,4 +118,84 @@ TEST_P(RtUnitFuzz, AllConfigurationsMatchOracle)
 INSTANTIATE_TEST_SUITE_P(Seeds, RtUnitFuzz,
                          ::testing::Range<std::uint64_t>(1, 25));
 
+/**
+ * Multi-warp fuzz: fill the warp buffer with concurrent jobs so the
+ * response FIFO, LBU and retire paths interleave across slots — the
+ * regime where conservation bugs (and the COOPRT_CHECK audits that
+ * hunt them) live. Every ray must still match the oracle exactly.
+ */
+class RtUnitMultiWarpFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RtUnitMultiWarpFuzz, ConcurrentWarpsMatchOracle)
+{
+    geom::Pcg32 rng(GetParam() * 977 + 5);
+    scene::Mesh mesh = testutil::makeSoup(
+        GetParam() * 7 + 2, 800 + int(rng.nextBelow(1200)));
+    TraceConfig cfg = randomConfig(rng);
+    RtHarness h(mesh, cfg, 50 + rng.nextBelow(300));
+
+    // Several batches, each filling every warp-buffer slot at once.
+    for (int batch = 0; batch < 3; ++batch) {
+        const int warps = cfg.warp_buffer_entries;
+        std::vector<TraceJob> jobs;
+        std::vector<TraceResult> results;
+        results.resize(std::size_t(warps));
+        std::vector<bool> done(std::size_t(warps), false);
+        for (int w = 0; w < warps; ++w)
+            jobs.push_back(randomJob(rng));
+        for (int w = 0; w < warps; ++w)
+            h.unit.submit(
+                jobs[std::size_t(w)], h.now,
+                [&results, &done, w](int,
+                                     const TraceResult &r) {
+                    results[std::size_t(w)] = r;
+                    done[std::size_t(w)] = true;
+                });
+        h.drain([&] {
+            for (const bool d : done)
+                if (!d)
+                    return false;
+            return true;
+        });
+
+        for (int w = 0; w < warps; ++w) {
+            const TraceJob &job = jobs[std::size_t(w)];
+            const TraceResult &r = results[std::size_t(w)];
+            for (int t = 0; t < kWarpSize; ++t) {
+                if (!job.rays[std::size_t(t)]) {
+                    EXPECT_FALSE(r.hits[std::size_t(t)].hit())
+                        << "seed " << GetParam() << " b" << batch
+                        << " w" << w << " t" << t;
+                    continue;
+                }
+                const geom::Ray &ray = *job.rays[std::size_t(t)];
+                if (job.any_hit) {
+                    EXPECT_EQ(r.hits[std::size_t(t)].hit(),
+                              bvh::anyHit(h.flat, h.mesh, ray))
+                        << "seed " << GetParam() << " b" << batch
+                        << " w" << w << " t" << t;
+                    continue;
+                }
+                const auto ref = bvh::closestHit(h.flat, h.mesh, ray);
+                ASSERT_EQ(r.hits[std::size_t(t)].hit(), ref.hit())
+                    << "seed " << GetParam() << " b" << batch << " w"
+                    << w << " t" << t;
+                if (ref.hit()) {
+                    EXPECT_FLOAT_EQ(r.hits[std::size_t(t)].thit,
+                                    ref.thit)
+                        << "seed " << GetParam() << " b" << batch
+                        << " w" << w << " t" << t;
+                }
+            }
+        }
+        EXPECT_TRUE(h.unit.idle())
+            << "seed " << GetParam() << " batch " << batch;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtUnitMultiWarpFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 } // namespace

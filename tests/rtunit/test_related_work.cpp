@@ -46,9 +46,10 @@ TEST(Prefetch, CountsAndPreservesResults)
         ASSERT_EQ(r_pre.hits[std::size_t(t)].hit(),
                   r_plain.hits[std::size_t(t)].hit())
             << t;
-        if (r_plain.hits[std::size_t(t)].hit())
+        if (r_plain.hits[std::size_t(t)].hit()) {
             EXPECT_FLOAT_EQ(r_pre.hits[std::size_t(t)].thit,
                             r_plain.hits[std::size_t(t)].thit);
+        }
     }
 }
 
@@ -67,8 +68,9 @@ TEST(Prefetch, ComposesWithCoop)
         auto ref = bvh::closestHit(h.flat, h.mesh,
                                    *job.rays[std::size_t(t)]);
         ASSERT_EQ(r.hits[std::size_t(t)].hit(), ref.hit()) << t;
-        if (ref.hit())
+        if (ref.hit()) {
             EXPECT_FLOAT_EQ(r.hits[std::size_t(t)].thit, ref.thit);
+        }
     }
 }
 

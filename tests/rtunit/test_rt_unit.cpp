@@ -63,8 +63,9 @@ TEST(RtUnit, FullWarpMatchesOraclePerThread)
     for (int t = 0; t < kWarpSize; ++t) {
         auto ref = bvh::closestHit(h.flat, h.mesh, *job.rays[t]);
         ASSERT_EQ(r.hits[t].hit(), ref.hit()) << "thread " << t;
-        if (ref.hit())
+        if (ref.hit()) {
             EXPECT_FLOAT_EQ(r.hits[t].thit, ref.thit) << "thread " << t;
+        }
     }
 }
 
@@ -131,8 +132,9 @@ TEST(RtUnit, MultipleWarpsAllRetireCorrectly)
                                        *jobs[w].rays[t]);
             ASSERT_EQ(results[w].hits[t].hit(), ref.hit())
                 << "warp " << w << " thread " << t;
-            if (ref.hit())
+            if (ref.hit()) {
                 EXPECT_FLOAT_EQ(results[w].hits[t].thit, ref.thit);
+            }
         }
     }
     EXPECT_EQ(h.unit.stats().retired_warps, 4u);
@@ -172,8 +174,9 @@ TEST(RtUnit, CoopSingleRayFasterThanBaseline)
 
     // Same answer...
     EXPECT_EQ(rb.hits[0].hit(), rc.hits[0].hit());
-    if (rb.hits[0].hit())
+    if (rb.hits[0].hit()) {
         EXPECT_FLOAT_EQ(rb.hits[0].thit, rc.hits[0].thit);
+    }
     // ...much faster: the helpers parallelize the latency chain.
     EXPECT_LT(rc.latency() * 2, rb.latency());
 }
@@ -232,8 +235,9 @@ TEST(RtUnit, StealFromBottomStillCorrect)
     for (int t = 0; t < 4; ++t) {
         auto ref = bvh::closestHit(h.flat, h.mesh, *job.rays[t]);
         ASSERT_EQ(r.hits[t].hit(), ref.hit()) << t;
-        if (ref.hit())
+        if (ref.hit()) {
             EXPECT_FLOAT_EQ(r.hits[t].thit, ref.thit) << t;
+        }
     }
     EXPECT_GT(h.unit.stats().steals, 0u);
 }
@@ -250,8 +254,9 @@ TEST(RtUnit, BfsOrderCorrect)
     for (int t = 0; t < 6; ++t) {
         auto ref = bvh::closestHit(h.flat, h.mesh, *job.rays[t]);
         ASSERT_EQ(r.hits[t].hit(), ref.hit()) << t;
-        if (ref.hit())
+        if (ref.hit()) {
             EXPECT_FLOAT_EQ(r.hits[t].thit, ref.thit) << t;
+        }
     }
 }
 
@@ -267,8 +272,9 @@ TEST(RtUnit, BfsCoopCorrectAndSteals)
     TraceResult r = h.runOne(job);
     auto ref = bvh::closestHit(h.flat, h.mesh, *job.rays[0]);
     ASSERT_EQ(r.hits[0].hit(), ref.hit());
-    if (ref.hit())
+    if (ref.hit()) {
         EXPECT_FLOAT_EQ(r.hits[0].thit, ref.thit);
+    }
     EXPECT_GT(h.unit.stats().steals, 0u);
 }
 

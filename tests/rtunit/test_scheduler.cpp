@@ -54,10 +54,11 @@ TEST_P(SchedPolicyTest, MultiWarpResultsMatchOracle)
             ASSERT_EQ(results[std::size_t(w)].hits[std::size_t(t)].hit(),
                       ref.hit())
                 << "warp " << w << " thread " << t;
-            if (ref.hit())
+            if (ref.hit()) {
                 EXPECT_FLOAT_EQ(
                     results[std::size_t(w)].hits[std::size_t(t)].thit,
                     ref.thit);
+            }
         }
 }
 

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Cross-check stats counters against trace::Registry registrations.
+
+Every ``std::uint64_t`` counter in the simulator's stats structs is
+supposed to be observable through the ``cooprt::trace`` registry (the
+PR-1 observability layer), so metric CSVs and Chrome traces never
+silently lag behind a newly added counter. This lint parses the stats
+struct definitions and the corresponding ``registerMetrics`` /
+``attachTrace`` registration code and fails when a counter exists but
+is never registered.
+
+Counters whose information reaches the registry through another
+channel (e.g. the ``trace_latency`` histogram covering both
+``retired_trace_latency`` and ``max_trace_latency``) are allowlisted
+explicitly, with the reason, below.
+
+Run from the repository root (CI registers it as a ctest case):
+
+    python3 tools/lint_stats_registry.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# (struct, header, field) -> why it is allowed to skip registration.
+ALLOWLIST = {
+    ("RtUnitStats", "retired_trace_latency"):
+        "sum is derivable from the trace_latency histogram",
+    ("RtUnitStats", "max_trace_latency"):
+        "max is derivable from the trace_latency histogram",
+}
+
+FIELD_RE = re.compile(
+    r"^\s*std::uint64_t\s+(\w+)\s*=\s*0\s*;", re.MULTILINE)
+
+
+def struct_fields(header: Path, struct: str) -> list[str]:
+    """The uint64 counter fields of ``struct`` in ``header``."""
+    text = header.read_text()
+    m = re.search(rf"struct\s+{struct}\b.*?^\}};", text,
+                  re.MULTILINE | re.DOTALL)
+    if m is None:
+        sys.exit(f"lint_stats_registry: struct {struct} not found "
+                 f"in {header}")
+    return FIELD_RE.findall(m.group(0))
+
+
+def registered_fields(source: Path, pattern: str) -> set[str]:
+    """Field names captured by ``pattern`` across ``source``."""
+    return set(re.findall(pattern, source.read_text()))
+
+
+def check(struct: str, header: str, source: str,
+          pattern: str) -> list[str]:
+    fields = struct_fields(REPO / header, struct)
+    registered = registered_fields(REPO / source, pattern)
+    problems = []
+    for field in fields:
+        if field in registered:
+            continue
+        if (struct, field) in ALLOWLIST:
+            continue
+        problems.append(
+            f"{header}: {struct}.{field} is never registered in "
+            f"{source} (register it, or allowlist it with a reason "
+            f"in tools/lint_stats_registry.py)")
+    for field, reason in [(f, r) for (s, f), r in ALLOWLIST.items()
+                          if s == struct]:
+        if field not in fields:
+            problems.append(
+                f"allowlist entry ({struct}, {field}) matches no "
+                f"field; stale entry?")
+        if field in registered:
+            problems.append(
+                f"allowlist entry ({struct}, {field}) is registered "
+                f"after all ({reason}); drop the entry")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+
+    # RtUnit counters -> rtunit.sm<i>.* probes in attachTrace.
+    problems += check(
+        "RtUnitStats", "src/rtunit/rt_unit.hpp",
+        "src/rtunit/rt_unit.cpp",
+        r'add\("(\w+)",\s*&stats_\.\w+\)')
+
+    # Cache counters -> <prefix>.* probes in Cache::registerMetrics.
+    problems += check(
+        "CacheStats", "src/mem/cache.hpp", "src/mem/cache.cpp",
+        r'add\("(\w+)",\s*&s->\w+\)')
+
+    # DRAM counters -> mem.dram.* probes.
+    problems += check(
+        "DramStats", "src/mem/dram.hpp", "src/mem/memory_system.cpp",
+        r'registry\.probe\("mem\.dram\.(\w+)"')
+
+    # Memory-system aggregates -> mem.l2.* probes (field l2_bytes is
+    # registered as mem.l2.bytes, so strip the l2_ prefix).
+    fields = struct_fields(REPO / "src/mem/memory_system.hpp",
+                           "MemSystemStats")
+    registered = registered_fields(
+        REPO / "src/mem/memory_system.cpp",
+        r'registry\.probe\("mem\.l2\.(\w+)"')
+    for field in fields:
+        if field.removeprefix("l2_") not in registered:
+            problems.append(
+                f"src/mem/memory_system.hpp: MemSystemStats.{field} "
+                f"is never registered as a mem.l2.* probe")
+
+    if problems:
+        print("lint_stats_registry: FAIL")
+        for p in problems:
+            print("  -", p)
+        return 1
+    print("lint_stats_registry: OK (all stats counters are "
+          "registry-observable)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
