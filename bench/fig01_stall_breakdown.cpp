@@ -3,6 +3,13 @@
  * Paper Fig. 1: share of pipeline stalls by instruction class (RT =
  * trace_ray, MEM/ALU/SFU = CUDA-core instructions) on the baseline
  * GPU, path tracing, 1 spp. The paper's point: trace_ray dominates.
+ *
+ * The RT class is additionally split by the stall-attribution
+ * profiler's taxonomy (prof/prof.hpp): issue = cycles the warp made
+ * progress, starved = waiting on the memory hierarchy, queued = lost
+ * the single-issue arbitration or waited for a warp-buffer slot,
+ * other = stack-bound / LBU / drain / idle. The split sums to the RT
+ * share exactly (the prof.bucket_conservation identity).
  */
 
 #include "bench_util.hpp"
@@ -11,22 +18,41 @@ int
 main(int argc, char **argv)
 {
     using namespace cooprt;
+    using prof::Bucket;
     auto opt = benchutil::parse(argc, argv);
     benchutil::banner("Fig. 1 — pipeline stall breakdown (baseline, "
                       "path tracing)", opt);
 
-    stats::Table t({"scene", "RT %", "MEM %", "ALU %", "SFU %"});
+    prof::Profiler profiler;
+    stats::Table t({"scene", "RT %", "MEM %", "ALU %", "SFU %",
+                    "rt issue %", "rt starved %", "rt queued %",
+                    "rt other %"});
     for (const auto &label : opt.scenes) {
         benchutil::note("fig01 " + label);
         const auto &sim = core::simulationFor(label);
-        core::RunOutcome r = sim.run(core::RunConfig{});
+        core::RunConfig cfg;
+        cfg.profiler = &profiler;
+        core::RunOutcome r = sim.run(cfg);
         const double total = double(r.gpu.stalls.total());
+        const auto &p = r.gpu.prof_summary;
+        const double issue = double(p.of(Bucket::IssueCompute));
+        const double starved = double(p.of(Bucket::StarvedL1) +
+                                      p.of(Bucket::StarvedL2) +
+                                      p.of(Bucket::StarvedDram));
+        const double queued = double(p.of(Bucket::FetchQueued) +
+                                     p.of(Bucket::WarpBufferFull));
+        const double other =
+            double(p.rtStallCycles()) - issue - starved - queued;
         t.row()
             .cell(label)
             .cell(100.0 * double(r.gpu.stalls.rt) / total, 1)
             .cell(100.0 * double(r.gpu.stalls.mem) / total, 1)
             .cell(100.0 * double(r.gpu.stalls.alu) / total, 1)
-            .cell(100.0 * double(r.gpu.stalls.sfu) / total, 1);
+            .cell(100.0 * double(r.gpu.stalls.sfu) / total, 1)
+            .cell(100.0 * issue / total, 1)
+            .cell(100.0 * starved / total, 1)
+            .cell(100.0 * queued / total, 1)
+            .cell(100.0 * other / total, 1);
     }
     benchutil::emit(t, opt);
     return 0;

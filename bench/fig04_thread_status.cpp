@@ -1,8 +1,9 @@
 /**
  * @file
  * Paper Fig. 4: distribution of thread status inside the RT unit
- * (inactive / busy / waiting-after-early-finish), sampled at fixed
- * intervals on the baseline, path tracing.
+ * (inactive / busy / waiting-after-early-finish) on the baseline,
+ * path tracing. Exact per-cycle totals from the stall-attribution
+ * profiler (prof::Summary::threads), not interval samples.
  */
 
 #include "bench_util.hpp"
@@ -15,21 +16,23 @@ main(int argc, char **argv)
     benchutil::banner("Fig. 4 — thread status distribution (baseline)",
                       opt);
 
+    prof::Profiler profiler;
     stats::Table t({"scene", "inactive %", "busy %", "early-wait %"});
     for (const auto &label : opt.scenes) {
         benchutil::note("fig04 " + label);
         const auto &sim = core::simulationFor(label);
-        core::RunOutcome r = sim.run(core::RunConfig{});
-        const double total = double(r.gpu.thread_status.total());
+        core::RunConfig cfg;
+        cfg.profiler = &profiler;
+        core::RunOutcome r = sim.run(cfg);
+        const auto &th = r.gpu.prof_summary.threads;
+        const double total = double(th.total());
         if (total == 0)
             continue;
         t.row()
             .cell(label)
-            .cell(100.0 * double(r.gpu.thread_status.inactive) / total,
-                  1)
-            .cell(100.0 * double(r.gpu.thread_status.busy) / total, 1)
-            .cell(100.0 * double(r.gpu.thread_status.waiting) / total,
-                  1);
+            .cell(100.0 * double(th.inactive) / total, 1)
+            .cell(100.0 * double(th.busy) / total, 1)
+            .cell(100.0 * double(th.waiting) / total, 1);
     }
     benchutil::emit(t, opt);
     return 0;

@@ -30,14 +30,27 @@
  *   --trace-filter PAT    restrict events/metric columns, e.g.
  *                         "rtunit.*" or "mem.l2.*,rtunit.sm0.*"
  *   --trace-capacity N    event ring-buffer capacity (default 1M)
+ *
+ * Stall-attribution profiling (see DESIGN.md "Profiling" / src/prof/):
+ *   --profile             collect the warp stall taxonomy and print a
+ *                         per-bucket summary (adds a "prof" object to
+ *                         --json reports)
+ *   --profile-out FILE    write folded flamegraph stacks, one
+ *                         `scene;sm<i>;rtunit;<bucket> N` line each —
+ *                         pipe into flamegraph.pl or load in
+ *                         speedscope (implies --profile)
+ *   --profile-json FILE   write the hierarchical JSON profile
+ *                         (implies --profile)
  */
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "core/report.hpp"
 #include "core/simulation.hpp"
+#include "prof/prof.hpp"
 #include "trace/session.hpp"
 
 namespace {
@@ -61,8 +74,11 @@ main(int argc, char **argv)
     std::string scene_label = "crnvl";
     core::RunConfig cfg;
     bool json = false;
+    bool profile = false;
     std::string trace_path;
     std::string metrics_path;
+    std::string profile_folded_path;
+    std::string profile_json_path;
     trace::SessionOptions trace_opt;
 
     for (int i = 1; i < argc; ++i) {
@@ -85,7 +101,9 @@ main(int argc, char **argv)
                 "  [--warp-buffer N] [--prefetch] [--predictor]\n"
                 "  [--bfs] [--mobile] [--bounces N] [--json] [--list]\n"
                 "  [--trace FILE] [--metrics FILE]\n"
-                "  [--trace-filter PAT] [--trace-capacity N]\n";
+                "  [--trace-filter PAT] [--trace-capacity N]\n"
+                "  [--profile] [--profile-out FILE]\n"
+                "  [--profile-json FILE]\n";
             return 0;
         } else if (a == "--scene") {
             scene_label = next("--scene");
@@ -131,6 +149,14 @@ main(int argc, char **argv)
         } else if (a == "--trace-capacity") {
             trace_opt.ring_capacity =
                 std::size_t(std::atoll(next("--trace-capacity")));
+        } else if (a == "--profile") {
+            profile = true;
+        } else if (a == "--profile-out") {
+            profile_folded_path = next("--profile-out");
+            profile = true;
+        } else if (a == "--profile-json") {
+            profile_json_path = next("--profile-json");
+            profile = true;
         } else {
             return usage(("unknown flag " + a).c_str());
         }
@@ -151,6 +177,9 @@ main(int argc, char **argv)
     trace::Session session(trace_opt);
     if (trace_opt.events || trace_opt.metrics)
         cfg.trace_session = &session;
+    prof::Profiler profiler;
+    if (profile)
+        cfg.profiler = &profiler;
 
     const core::Simulation &sim = core::simulationFor(scene_label);
     const core::RunOutcome out = sim.run(cfg);
@@ -176,6 +205,18 @@ main(int argc, char **argv)
             metrics_path,
             [&](std::ostream &os) { session.writeMetricsCsv(os); },
             "metrics csv");
+    if (!profile_folded_path.empty())
+        write_file(profile_folded_path,
+                   [&](std::ostream &os) {
+                       profiler.writeFolded(os, out.scene);
+                   },
+                   "folded profile");
+    if (!profile_json_path.empty())
+        write_file(profile_json_path,
+                   [&](std::ostream &os) {
+                       profiler.writeJson(os, out.scene);
+                   },
+                   "json profile");
     if (cfg.trace_session != nullptr) {
         const auto &ts = out.traceSummary();
         std::cerr << "[trace] events recorded " << ts.events_recorded
@@ -209,5 +250,20 @@ main(int argc, char **argv)
               << " W\n";
     std::cout << "  energy:           " << out.power.totalJoules()
               << " J (EDP " << out.power.edp() << ")\n";
+    if (profile) {
+        const auto &p = out.gpu.prof_summary;
+        std::cout << "  stall taxonomy (" << p.resident_cycles
+                  << " warp-resident cycles):\n";
+        for (int b = 0; b < prof::kNumBuckets; ++b) {
+            const std::uint64_t c = p.buckets[std::size_t(b)];
+            if (c == 0)
+                continue;
+            const double denom = double(p.rtStallCycles());
+            std::printf("    %-16s %12llu  %5.1f%%\n",
+                        prof::bucketName(prof::Bucket(b)),
+                        static_cast<unsigned long long>(c),
+                        denom > 0 ? 100.0 * double(c) / denom : 0.0);
+        }
+    }
     return 0;
 }

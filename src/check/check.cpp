@@ -84,6 +84,7 @@ mutationName(Mutation m)
       case Mutation::CacheHitMiscount: return "CacheHitMiscount";
       case Mutation::L2BankTimeTravel: return "L2BankTimeTravel";
       case Mutation::MetricsCycleRepeat: return "MetricsCycleRepeat";
+      case Mutation::ProfMisattribution: return "ProfMisattribution";
     }
     return "Unknown";
 }
@@ -96,7 +97,7 @@ allMutations()
         Mutation::StackOverPush,         Mutation::LostWarp,
         Mutation::LeakWarpSlot,          Mutation::IllegalLbuHelper,
         Mutation::CacheHitMiscount,      Mutation::L2BankTimeTravel,
-        Mutation::MetricsCycleRepeat,
+        Mutation::MetricsCycleRepeat,    Mutation::ProfMisattribution,
     };
     return all;
 }

@@ -148,6 +148,8 @@ enum class Mutation
     L2BankTimeTravel,
     /** Metrics sampler records a duplicate (non-monotone) cycle row. */
     MetricsCycleRepeat,
+    /** Profiler skips one warp's stall classification for a cycle. */
+    ProfMisattribution,
 };
 
 /** Stable name of @p m ("DoubleConsumeResponse", ...). */

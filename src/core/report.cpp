@@ -116,6 +116,23 @@ writeJson(std::ostream &os, const RunOutcome &o)
     w.field("avg_thread_utilization", o.gpu.avg_thread_utilization);
     w.field("slowest_warp_latency", o.gpu.slowestWarpLatency());
 
+    if (o.gpu.prof_summary.enabled) {
+        const auto &p = o.gpu.prof_summary;
+        w.open("prof");
+        w.field("resident_cycles", p.resident_cycles);
+        w.field("rt_stall_cycles", p.rtStallCycles());
+        w.open("buckets");
+        for (int b = 0; b < prof::kNumBuckets; ++b)
+            w.field(prof::bucketName(prof::Bucket(b)), p.buckets[b]);
+        w.close();
+        w.open("thread_status");
+        w.field("inactive", p.threads.inactive);
+        w.field("busy", p.threads.busy);
+        w.field("waiting", p.threads.waiting);
+        w.close();
+        w.close();
+    }
+
     if (o.traceSummary().enabled) {
         w.open("trace");
         w.field("events_recorded", o.traceSummary().events_recorded);

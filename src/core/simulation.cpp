@@ -45,6 +45,7 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
 
     gpu::Gpu g(flat_, scene_.mesh, config.gpu);
     g.setTrace(config.trace_session);
+    g.setProf(config.profiler);
     RunOutcome out;
     out.scene = scene_.name;
     out.resolution = res;

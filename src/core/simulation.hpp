@@ -57,6 +57,15 @@ struct RunConfig
      * default, with zero timing impact).
      */
     cooprt::trace::Session *trace_session = nullptr;
+
+    /**
+     * Optional stall-attribution profiler (see prof/prof.hpp): when
+     * set, the run classifies every warp-resident RT-unit cycle into
+     * the taxonomy and fills `GpuRunResult::prof_summary`. Borrowed,
+     * must outlive the run, reset by each run that uses it. Null =
+     * profiling off (the default, bit-identical timing).
+     */
+    cooprt::prof::Profiler *profiler = nullptr;
 };
 
 /** The result of one run: timing, power and all collected stats. */

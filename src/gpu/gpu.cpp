@@ -59,9 +59,6 @@ Gpu::sampleActivity(std::uint64_t cycle)
         return;
     }
     sampler_.sample(cycle, total.busy, total.total());
-    status_accum_.inactive += total.inactive;
-    status_accum_.busy += total.busy;
-    status_accum_.waiting += total.waiting;
 
     // The registry snapshot rides the very same boundaries as the
     // activity sampler, so the exported `rtunit.thread_utilization`
@@ -85,7 +82,6 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
     else
         memsys_.reset();
     sampler_.reset();
-    status_accum_ = {};
     sms_.clear();
     for (int i = 0; i < cfg_.num_sms; ++i) {
         sms_.push_back(std::make_unique<StreamingMultiprocessor>(
@@ -95,10 +91,24 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
                 return memsys_.fetch(i, addr, bytes, now);
             }));
     }
+    if (prof_ != nullptr) {
+        prof_->reset();
+        // The level callback attributes a response-starved cycle to
+        // the hierarchy level that served the fetch; it is read right
+        // after issue, while MemorySystem::lastFetchDepth() still
+        // refers to this fetch.
+        for (std::size_t i = 0; i < sms_.size(); ++i)
+            sms_[i]->attachProf(&prof_->unit(int(i)), [this] {
+                return cooprt::prof::MemLevel(
+                    memsys_.lastFetchDepth());
+            });
+    }
     if (session_ != nullptr) {
         // Each run restarts the session's collected data; component
         // registrations are idempotent (overwrite by name).
         session_->resetData();
+        if (prof_ != nullptr)
+            prof_->registerMetrics(session_->registry());
         memsys_.registerMetrics(session_->registry());
         session_->registry().probe(
             "rtunit.thread_utilization",
@@ -208,7 +218,12 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
     res.mem_sys = memsys_.stats();
     res.avg_thread_utilization = sampler_.averageRatio();
     res.utilization_series = sampler_.series();
-    res.thread_status = status_accum_;
+    if (prof_ != nullptr) {
+        res.prof_summary.enabled = true;
+        res.prof_summary.buckets = prof_->totals();
+        res.prof_summary.resident_cycles = prof_->residentCycles();
+        res.prof_summary.threads = prof_->threadStatus();
+    }
     if (session_ != nullptr)
         res.trace_summary = session_->summary();
     res.dram_utilization =

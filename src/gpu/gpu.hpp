@@ -13,6 +13,7 @@
 
 #include "gpu/sm.hpp"
 #include "mem/memory_system.hpp"
+#include "prof/prof.hpp"
 #include "stats/sampler.hpp"
 #include "trace/session.hpp"
 
@@ -34,8 +35,14 @@ struct GpuRunResult
     double avg_thread_utilization = 0.0;
     /** Busy-thread ratio time series, one per sample (Fig. 2). */
     std::vector<double> utilization_series;
-    /** Thread status totals accumulated over samples (Fig. 4). */
-    rtunit::ThreadStatusCounts thread_status;
+
+    /**
+     * Stall-attribution roll-up (zero / disabled unless a
+     * `cooprt::prof::Profiler` was attached via setProf). Supersedes
+     * the old sampled thread-status accumulator: `prof_summary.threads`
+     * is the exact per-cycle Fig.-4 distribution.
+     */
+    cooprt::prof::Summary prof_summary;
 
     /** Per-warp completion records; max latency drives Fig. 14. */
     std::vector<WarpCompletion> completions;
@@ -84,6 +91,19 @@ class Gpu
     { session_ = session; }
 
     /**
+     * Attach a stall-attribution profiler for subsequent run() calls
+     * (null = profiling off, the default). Each run resets the
+     * profiler, wires one `RtUnitProfile` per SM and attributes
+     * response-starved cycles to the memory level that served the
+     * fetch. When a trace session is also attached, the `prof.*`
+     * bucket probes join its metrics registry (CSV columns). Purely
+     * observational: simulated cycle counts are bit-identical with
+     * and without it. The profiler must outlive this Gpu.
+     */
+    void setProf(cooprt::prof::Profiler *profiler)
+    { prof_ = profiler; }
+
+    /**
      * Run @p programs (one per warp / thread block) to completion.
      * Thread blocks are assigned to SMs round-robin, as the
      * Gigathread engine does. The Gpu instance can be reused; state
@@ -111,9 +131,9 @@ class Gpu
     mem::MemorySystem memsys_;
     std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
     stats::ActivitySampler sampler_;
-    rtunit::ThreadStatusCounts status_accum_;
 
     cooprt::trace::Session *session_ = nullptr;
+    cooprt::prof::Profiler *prof_ = nullptr;
     /** Busy-thread ratio at the latest sample (metrics probe src). */
     double util_now_ = 0.0;
 };

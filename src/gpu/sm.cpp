@@ -36,6 +36,15 @@ StreamingMultiprocessor::attachTrace(cooprt::trace::Session *session)
                              "SM " + std::to_string(sm_id_));
 }
 
+void
+StreamingMultiprocessor::attachProf(
+    cooprt::prof::RtUnitProfile *profile,
+    rtunit::RtUnit::ProfLevelFn level)
+{
+    prof_ = profile;
+    rt_.attachProf(profile, std::move(level));
+}
+
 bool
 StreamingMultiprocessor::done() const
 {
@@ -113,6 +122,8 @@ StreamingMultiprocessor::submitReady(std::uint64_t now)
         wait_slot_.pop_front();
         // Waiting for a warp-buffer slot is an RT-class stall.
         stalls_.rt += now - ctx->wait_since;
+        if (prof_ != nullptr)
+            prof_->addWarpBufferFull(now - ctx->wait_since);
         if (now > ctx->wait_since)
             COOPRT_TRACE_COMPLETE(tracer_, "sm", "wait_warp_buffer",
                                   sm_id_, ctx->warp_id,

@@ -59,6 +59,17 @@ class StreamingMultiprocessor
      */
     void attachTrace(cooprt::trace::Session *session);
 
+    /**
+     * Attach the stall-attribution profiler: the RT unit classifies
+     * every warp-resident cycle into @p profile, and this SM adds
+     * the warp-buffer-full wait cycles (trace issued, no free slot)
+     * it measures at submit time. @p level attributes
+     * response-starved cycles to their serving memory level. Null
+     * profile disables profiling (the default; bit-identical runs).
+     */
+    void attachProf(cooprt::prof::RtUnitProfile *profile,
+                    rtunit::RtUnit::ProfLevelFn level);
+
     /** True when every assigned warp has finished. */
     bool done() const;
 
@@ -102,6 +113,7 @@ class StreamingMultiprocessor
     rtunit::RtUnit rt_;
     StallBreakdown stalls_;
     cooprt::trace::Tracer *tracer_ = nullptr;
+    cooprt::prof::RtUnitProfile *prof_ = nullptr;
 
     /** Warps assigned but not yet resident. */
     std::deque<std::pair<int, WarpProgram *>> pending_;

@@ -110,6 +110,7 @@ MemorySystem::l2Access(std::uint64_t line, std::uint32_t bytes,
 
     return l2_.access(line, start,
                       [this](std::uint64_t l, std::uint64_t t) {
+                          last_depth_ = 2;
                           return dram_.access(
                               l * cfg_.l2.line_bytes,
                               cfg_.l2.line_bytes, t);
@@ -133,6 +134,7 @@ MemorySystem::fetch(int sm, std::uint64_t addr, std::uint32_t bytes,
         cfg_.l1.sector_bytes ? cfg_.l1.sector_bytes : line_bytes;
 
     std::uint64_t ready = now;
+    last_depth_ = 0;
     for (std::uint64_t line = first; line <= last; ++line) {
         // Byte range of the request inside this line.
         const std::uint64_t lo =
@@ -141,14 +143,22 @@ MemorySystem::fetch(int sm, std::uint64_t addr, std::uint32_t bytes,
             addr + bytes, (line + 1) * line_bytes);
         const std::uint32_t mask =
             l1.sectorMaskOf(lo, std::uint32_t(hi - lo));
+        const std::uint64_t merges_before = l1.stats().mshr_merges;
         const std::uint64_t r = l1.access(
             line, mask, now,
             [this, sector](std::uint64_t l, std::uint32_t missing,
                            std::uint64_t t) {
+                if (last_depth_ < 1)
+                    last_depth_ = 1; // filled from L2 (or deeper)
                 const std::uint32_t fill_bytes =
                     std::uint32_t(std::popcount(missing)) * sector;
                 return l2Access(l, fill_bytes, t);
             });
+        // An MSHR merge rides an in-flight L2 fill without invoking
+        // the fill callback; attribute it to the L2.
+        if (l1.stats().mshr_merges != merges_before &&
+            last_depth_ < 1)
+            last_depth_ = 1;
         if (r > ready)
             ready = r;
     }

@@ -77,6 +77,16 @@ class MemorySystem
     std::uint64_t fetch(int sm, std::uint64_t addr, std::uint32_t bytes,
                         std::uint64_t now);
 
+    /**
+     * Level that served the most recent fetch(): 0 = L1 hit, 1 = L2
+     * (including L1 MSHR merges, which ride an L2 fill already in
+     * flight), 2 = DRAM. A multi-line fetch reports its deepest
+     * line. Maintained unconditionally (plain stores, no timing
+     * effect); the profiler reads it right after each RT-unit issue
+     * to attribute response-starved cycles (prof::MemLevel).
+     */
+    int lastFetchDepth() const { return last_depth_; }
+
     const CacheStats &l1Stats(int sm) const { return l1_[sm]->stats(); }
     /** L1 stats aggregated over all SMs. */
     CacheStats l1StatsTotal() const;
@@ -106,6 +116,7 @@ class MemorySystem
     std::vector<std::uint64_t> bank_free_;
     MemSystemStats stats_;
     cooprt::trace::Registry *metrics_registry_ = nullptr;
+    int last_depth_ = 0; ///< serving level of the last fetch()
 };
 
 } // namespace cooprt::mem

@@ -84,6 +84,14 @@ RtUnit::attachTrace(cooprt::trace::Registry *registry,
     latency_hist_ = &registry->histogram(p + "trace_latency");
 }
 
+void
+RtUnit::attachProf(cooprt::prof::RtUnitProfile *profile,
+                   ProfLevelFn level)
+{
+    prof_ = profile;
+    prof_level_ = std::move(level);
+}
+
 std::size_t
 RtUnit::predictorIndex(const Ray &ray) const
 {
@@ -234,6 +242,20 @@ RtUnit::submit(const TraceJob &job, std::uint64_t now, RetireFn on_retire)
 
     // A warp whose rays all missed the scene box retires immediately.
     maybeRetire(slot, now);
+
+    if (prof_ != nullptr && w.valid) {
+        // Attribution starts at the submit cycle. A retired slot may
+        // be recycled within one tick, so drop any event bits its
+        // previous occupant left behind; and when the end-of-tick
+        // pass for this cycle already ran (post-tick submits from the
+        // SM), classify the submit cycle right away so it is not
+        // lost from the conservation sum.
+        prof_progress_ &= ~(1ull << std::uint64_t(slot));
+        prof_stolen_ &= ~(1ull << std::uint64_t(slot));
+        w.prof_from = now;
+        if (prof_accounted_ == now)
+            profAccount(now, true);
+    }
     return slot;
 }
 
@@ -389,8 +411,14 @@ RtUnit::tryIssue(std::uint64_t now)
 
         const std::uint64_t data_ready =
             fetch_(bvh_.addressOf(ref), bvh_.fetchBytes(ref), now);
+        std::int8_t level = 0;
+        if (prof_ != nullptr) {
+            prof_progress_ |= 1ull << std::uint64_t(slot);
+            if (prof_level_)
+                level = std::int8_t(prof_level_());
+        }
         pushResponse(Response{data_ready + cfg_.math_latency, slot,
-                              consumers, ref, mains});
+                              consumers, ref, mains, level});
         w.outstanding++;
         COOPRT_CHECK_ONLY(audit_issues_this_tick_++;)
 
@@ -504,6 +532,8 @@ RtUnit::runLbu(std::uint64_t now)
                 // records it as its current target (status/debug).
                 hs.main_tid = stolen.main;
                 stats_.steals++;
+                if (prof_ != nullptr)
+                    prof_stolen_ |= 1ull << std::uint64_t(slot);
                 any_move = true;
                 COOPRT_TRACE_INSTANT(tracer_, "rtunit.lbu", "steal",
                                      trace_pid_, slot, now);
@@ -606,6 +636,11 @@ RtUnit::processOneResponse(std::uint64_t now)
     if (COOPRT_MUTATE(DoubleConsumeResponse))
         w.outstanding--;
 
+    if (prof_ != nullptr) {
+        prof_progress_ |= 1ull << std::uint64_t(r.slot);
+        w.prof_consumed = true;
+    }
+
     if (w.record_timeline)
         for (int t = 0; t < kWarpSize; ++t)
             recordBusyEdge(r.slot, t, now);
@@ -694,12 +729,141 @@ RtUnit::tick(std::uint64_t now)
     last_tick_ = now;
 
     COOPRT_CHECK_ONLY(audit_issues_this_tick_ = 0;)
+    if (prof_ != nullptr) {
+        // Attribute the idle-skipped gap since the last tick from
+        // the frozen pre-tick state, then start collecting this
+        // tick's per-slot progress/steal events.
+        profAccount(now, false);
+        prof_progress_ = 0;
+        prof_stolen_ = 0;
+    }
     tryIssue(now);
     runLbu(now);
     processOneResponse(now);
+    if (prof_ != nullptr)
+        profAccount(now, true);
 #if COOPRT_CHECK_ENABLED
     auditInvariants(now);
 #endif
+}
+
+void
+RtUnit::profAccount(std::uint64_t now, bool end_of_tick)
+{
+    // Earliest-ready outstanding response (and its serving level)
+    // per slot, for response-starved attribution.
+    std::array<std::uint64_t, 64> best;
+    std::array<std::int8_t, 64> level{};
+    best.fill(kNever);
+    for (const Response &r : responses_) {
+        if (r.ready < best[std::size_t(r.slot)]) {
+            best[std::size_t(r.slot)] = r.ready;
+            level[std::size_t(r.slot)] = r.level;
+        }
+    }
+
+    COOPRT_CHECK_ONLY(std::uint64_t audit_expected = 0;)
+    COOPRT_CHECK_ONLY(const std::uint64_t audit_before =
+                          prof_->residentBucketSum();)
+
+    for (std::size_t slot = 0; slot < warps_.size(); ++slot) {
+        WarpEntry &w = warps_[slot];
+        if (!w.valid)
+            continue;
+        std::uint64_t weight;
+        if (end_of_tick) {
+            if (w.prof_from > now)
+                continue; // this cycle is already attributed
+            weight = 1;
+            w.prof_from = now + 1;
+        } else {
+            if (w.prof_from >= now)
+                continue; // no idle-skipped gap to attribute
+            weight = now - w.prof_from;
+            w.prof_from = now;
+        }
+        COOPRT_CHECK_ONLY(audit_expected += weight;)
+
+        // Seeded bug (check builds): this warp's cycles silently
+        // vanish from the attribution — the class of defect
+        // prof.bucket_conservation exists to catch.
+        if (COOPRT_MUTATE(ProfMisattribution))
+            continue;
+
+        prof::WarpView v;
+        v.coop = cfg_.coop;
+        v.outstanding = w.outstanding;
+        if (end_of_tick) {
+            v.progressed = ((prof_progress_ >> slot) & 1) != 0;
+            v.stole = ((prof_stolen_ >> slot) & 1) != 0;
+        }
+        bool fresh_ready = false;
+        for (int t = 0; t < kWarpSize; ++t) {
+            const ThreadState &th = w.th[std::size_t(t)];
+            if (!th.stack.empty()) {
+                v.any_stack_work = true;
+                if (!th.pending) {
+                    v.has_ready = true;
+                    const StackEntry &top = peekWork(th);
+                    if (top.entry_t < searchLimit(w, top.main))
+                        fresh_ready = true;
+                }
+            } else if (!th.pending) {
+                v.has_idle_lane = true;
+            }
+        }
+        v.ready_all_stale = v.has_ready && !fresh_ready;
+        if (cfg_.coop && !v.has_ready) {
+            // LBU-only progress: a legal helper/main pair in some
+            // subwarp (exactly the runLbu selection criteria).
+            const int groups = kWarpSize / cfg_.subwarp_size;
+            for (int g = 0; g < groups && !v.lbu_eligible; ++g) {
+                bool helper = false, main = false;
+                for (int t = g * cfg_.subwarp_size;
+                     t < (g + 1) * cfg_.subwarp_size; ++t) {
+                    const ThreadState &th = w.th[std::size_t(t)];
+                    if (th.stack.empty() &&
+                        (!cfg_.helper_requires_idle || !th.pending))
+                        helper = true;
+                    if (th.stack.size() >= 2 ||
+                        (th.pending && !th.stack.empty()))
+                        main = true;
+                }
+                v.lbu_eligible = helper && main;
+            }
+        }
+        if (w.outstanding > 0 && best[slot] != kNever)
+            v.wait_level = prof::MemLevel(level[slot]);
+
+        const prof::Phase phase =
+            prof::phaseOf(w.prof_consumed, v.any_stack_work);
+        prof_->add(prof::classify(v), phase, weight);
+
+        // Exact thread-status cycle totals (the Fig. 4 axes).
+        for (int t = 0; t < kWarpSize; ++t) {
+            const ThreadState &th = w.th[std::size_t(t)];
+            if (threadBusy(th))
+                prof_->threads.busy += weight;
+            else if (th.active)
+                prof_->threads.waiting += weight;
+            else
+                prof_->threads.inactive += weight;
+        }
+    }
+    if (end_of_tick)
+        prof_accounted_ = now;
+
+    // Conservation: the pass must attribute exactly one bucket
+    // increment per resident warp per covered cycle.
+    COOPRT_AUDIT(check_label_, "prof.bucket_conservation", now,
+                 prof_->residentBucketSum() - audit_before ==
+                     audit_expected,
+                 "attributed " +
+                     std::to_string(prof_->residentBucketSum() -
+                                    audit_before) +
+                     " cycles but " +
+                     std::to_string(audit_expected) +
+                     " warp-resident cycles elapsed");
 }
 
 std::uint64_t

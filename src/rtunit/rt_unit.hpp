@@ -40,6 +40,7 @@
 #include "check/check.hpp"
 #include "bvh/traversal.hpp"
 #include "geom/ray.hpp"
+#include "prof/prof.hpp"
 #include "rtunit/trace_config.hpp"
 #include "stats/timeline.hpp"
 #include "trace/chrome_trace.hpp"
@@ -158,6 +159,22 @@ class RtUnit
     void attachTrace(cooprt::trace::Registry *registry,
                      cooprt::trace::Tracer *tracer, int sm_id);
 
+    /** Serving level of the most recent fetch (see MemorySystem). */
+    using ProfLevelFn = std::function<cooprt::prof::MemLevel()>;
+
+    /**
+     * Attach the stall-attribution profiler: every warp-resident
+     * cycle is classified into @p profile per the `cooprt::prof`
+     * taxonomy (the sum over buckets equals the warp's trace latency
+     * exactly). @p level attributes response-starved cycles to the
+     * memory level that serves them; a null @p level attributes all
+     * of them to L1. Null @p profile (the default) disables the
+     * profiler entirely: no per-cycle work runs and simulated
+     * behaviour is bit-identical.
+     */
+    void attachProf(cooprt::prof::RtUnitProfile *profile,
+                    ProfLevelFn level);
+
     /**
      * Component path used by `cooprt::check` violations (default
      * "rtunit"; the SM sets "rtunit.sm<id>"). No-op when the audit
@@ -257,6 +274,10 @@ class RtUnit
         std::uint64_t issue_cycle = 0;
         RetireFn on_retire;
         bool record_timeline = false;
+        /** First cycle not yet stall-attributed (profiler only). */
+        std::uint64_t prof_from = 0;
+        /** Consumed any response yet (profiler phase tracking). */
+        bool prof_consumed = false;
     };
 
     /** An element of the response FIFO. */
@@ -268,6 +289,8 @@ class RtUnit
         bvh::NodeRef ref;
         /** Ray owner per consumer thread (issue-time snapshot). */
         std::array<std::int8_t, kWarpSize> mains{};
+        /** Serving memory level (prof::MemLevel; profiler only). */
+        std::int8_t level = 0;
 
         bool operator>(const Response &o) const { return ready > o.ready; }
     };
@@ -341,6 +364,25 @@ class RtUnit
     cooprt::trace::Tracer *tracer_ = nullptr;
     cooprt::trace::Histogram *latency_hist_ = nullptr;
     int trace_pid_ = 0;
+
+    /**
+     * Stall-attribution state (all dormant while prof_ is null; see
+     * attachProf). Accounting runs in two passes per tick: a gap
+     * pass at tick entry covers the idle-skipped cycles since the
+     * last tick from the frozen pre-tick state, and an end-of-tick
+     * pass classifies the current cycle with the per-slot progress /
+     * steal event masks recorded during the tick.
+     */
+    void profAccount(std::uint64_t now, bool end_of_tick);
+
+    cooprt::prof::RtUnitProfile *prof_ = nullptr;
+    ProfLevelFn prof_level_;
+    /** Slots that issued a fetch or consumed a response this tick. */
+    std::uint64_t prof_progress_ = 0;
+    /** Slots the LBU served this tick. */
+    std::uint64_t prof_stolen_ = 0;
+    /** Last cycle the end-of-tick pass accounted (kNever = none). */
+    std::uint64_t prof_accounted_ = kNever;
 
 #if COOPRT_CHECK_ENABLED
     /**

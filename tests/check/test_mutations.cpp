@@ -15,6 +15,7 @@
 #include "check/check.hpp"
 #include "core/simulation.hpp"
 #include "mem/memory_system.hpp"
+#include "prof/prof.hpp"
 #include "trace/metrics.hpp"
 #include "trace/registry.hpp"
 
@@ -159,12 +160,27 @@ TEST_F(MutationTest, MetricsCycleRepeat)
                  });
 }
 
+TEST_F(MutationTest, ProfMisattribution)
+{
+    // A warp cycle the profiler skips breaks the bucket sum ==
+    // resident-cycles identity the conservation audit re-derives
+    // after every accounting pass.
+    expectCaught(check::Mutation::ProfMisattribution,
+                 "prof.bucket_conservation", [] {
+                     prof::RtUnitProfile profile;
+                     RtHarness h(testutil::makeSoup(8, 2000),
+                                 TraceConfig{});
+                     h.unit.attachProf(&profile, nullptr);
+                     h.runOne(testutil::frontalJob(rtunit::kWarpSize));
+                 });
+}
+
 /** The harness covers every mutation in the catalogue. */
 TEST_F(MutationTest, CatalogueFullyExercised)
 {
     // One TEST_F above per entry; this guards against a new Mutation
     // being added without a matching detection test.
-    EXPECT_EQ(check::allMutations().size(), 9u)
+    EXPECT_EQ(check::allMutations().size(), 10u)
         << "new mutation added: write its detection test and update "
            "this count";
 }

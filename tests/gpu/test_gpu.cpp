@@ -180,7 +180,45 @@ TEST(Gpu, UtilizationSeriesSane)
     }
     EXPECT_GT(r.avg_thread_utilization, 0.0);
     EXPECT_LE(r.avg_thread_utilization, 1.0);
-    EXPECT_GT(r.thread_status.total(), 0u);
+    // Profiling is off by default: the summary stays disabled/zero.
+    EXPECT_FALSE(r.prof_summary.enabled);
+    EXPECT_EQ(r.prof_summary.threads.total(), 0u);
+}
+
+TEST(Gpu, ProfilerConservationAndBitIdenticalTiming)
+{
+    Fixture f;
+    auto p1 = f.makePrograms(8, 3, 91);
+    auto p2 = f.makePrograms(8, 3, 91);
+    GpuRunResult plain = f.run(tinyGpu(), p1);
+
+    prof::Profiler profiler;
+    Gpu g(f.flat, f.mesh, tinyGpu());
+    g.setProf(&profiler);
+    std::vector<gpu::WarpProgram *> ptrs;
+    for (auto &p : p2)
+        ptrs.push_back(&p);
+    GpuRunResult r = g.run(ptrs);
+
+    // Attaching the profiler must not change timing at all.
+    EXPECT_EQ(r.cycles, plain.cycles);
+    EXPECT_EQ(r.rt.node_fetches, plain.rt.node_fetches);
+    EXPECT_EQ(r.stalls.rt, plain.stalls.rt);
+
+    // Conservation: every warp-resident cycle lands in exactly one
+    // bucket, so the bucket sum equals the aggregated trace latency
+    // and, with the SM-side warp-buffer waits added, stalls.rt.
+    ASSERT_TRUE(r.prof_summary.enabled);
+    EXPECT_EQ(r.prof_summary.resident_cycles,
+              r.rt.retired_trace_latency);
+    std::uint64_t resident_sum = 0;
+    for (int b = 0; b < prof::kNumBuckets; ++b)
+        if (prof::Bucket(b) != prof::Bucket::WarpBufferFull)
+            resident_sum += r.prof_summary.buckets[std::size_t(b)];
+    EXPECT_EQ(resident_sum, r.prof_summary.resident_cycles);
+    EXPECT_EQ(r.prof_summary.rtStallCycles(), r.stalls.rt);
+    EXPECT_GT(r.prof_summary.of(prof::Bucket::IssueCompute), 0u);
+    EXPECT_GT(r.prof_summary.threads.total(), 0u);
 }
 
 TEST(Gpu, MoreWarpsThanBufferStillComplete)

@@ -82,6 +82,69 @@ def check(struct: str, header: str, source: str,
     return problems
 
 
+def prof_bucket_problems() -> list[str]:
+    """Cross-check the prof stall taxonomy across its three homes.
+
+    The Bucket enum (prof.hpp), the kBucketNames table (prof.cpp) and
+    the DESIGN.md taxonomy section must agree; every name must be
+    snake_case and unique; the names must be published as ``prof.*``
+    registry probes from prof.cpp and nowhere else (one registration
+    authority, like the stats counters above).
+    """
+    problems: list[str] = []
+    hpp = (REPO / "src/prof/prof.hpp").read_text()
+    cpp = (REPO / "src/prof/prof.cpp").read_text()
+
+    m = re.search(r"enum\s+class\s+Bucket\s*:\s*int\s*\{(.*?)\};",
+                  hpp, re.DOTALL)
+    if m is None:
+        return ["src/prof/prof.hpp: Bucket enum not found"]
+    enum_members = re.findall(r"^\s*(\w+)\s*(?:=\s*\d+)?\s*,",
+                              m.group(1), re.MULTILINE)
+
+    m = re.search(r"kBucketNames\s*=\s*\{(.*?)\};", cpp, re.DOTALL)
+    if m is None:
+        return ["src/prof/prof.cpp: kBucketNames table not found"]
+    names = re.findall(r'"([^"]+)"', m.group(1))
+
+    if len(enum_members) != len(names):
+        problems.append(
+            f"prof taxonomy size mismatch: {len(enum_members)} enum "
+            f"members vs {len(names)} kBucketNames entries")
+    if len(set(names)) != len(names):
+        problems.append("duplicate names in kBucketNames")
+    for member, name in zip(enum_members, names):
+        if not re.fullmatch(r"[a-z][a-z0-9_]*", name):
+            problems.append(f"bucket name {name!r} is not snake_case")
+        # The table is order-indexed by the enum: the snake_case name
+        # must be the member name itself (IssueCompute/issue_compute).
+        if member.lower() != name.replace("_", ""):
+            problems.append(
+                f"kBucketNames[{names.index(name)}] = {name!r} does "
+                f"not match enum member {member} — table order "
+                f"drifted from the enum")
+
+    design = (REPO / "DESIGN.md").read_text()
+    for name in names:
+        if f"`{name}`" not in design:
+            problems.append(
+                f"bucket `{name}` is missing from the DESIGN.md "
+                f"stall-taxonomy table")
+
+    if "prof.sm" not in cpp or "prof.gpu." not in cpp:
+        problems.append(
+            "src/prof/prof.cpp no longer registers prof.sm<i>.* and "
+            "prof.gpu.* probes")
+    for src in (REPO / "src").rglob("*.cpp"):
+        if src.name == "prof.cpp":
+            continue
+        if re.search(r'probe\(\s*"prof\.', src.read_text()):
+            problems.append(
+                f"{src.relative_to(REPO)} registers prof.* probes; "
+                f"prof.cpp is the single registration authority")
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
 
@@ -113,6 +176,10 @@ def main() -> int:
             problems.append(
                 f"src/mem/memory_system.hpp: MemSystemStats.{field} "
                 f"is never registered as a mem.l2.* probe")
+
+    # Stall-taxonomy cross-check (enum <-> name table <-> DESIGN.md
+    # <-> prof.* registry probes).
+    problems += prof_bucket_problems()
 
     if problems:
         print("lint_stats_registry: FAIL")
