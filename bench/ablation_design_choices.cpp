@@ -91,19 +91,19 @@ main(int argc, char **argv)
     stats::Table t(headers);
     std::vector<std::vector<double>> cols(std::size(kVariants));
 
-    for (const auto &label : opt.scenes) {
-        benchutil::note("ablation " + label);
-        const auto &sim = core::simulationFor(label);
-        const auto base = sim.run(core::RunConfig{});
-        auto row = &t.row().cell(label);
+    // Config 0 is the baseline; configs 1..N the variants.
+    std::vector<core::RunConfig> cfgs(1 + std::size(kVariants));
+    for (std::size_t k = 0; k < std::size(kVariants); ++k)
+        kVariants[k].apply(cfgs[k + 1]);
+    const auto m =
+        benchutil::runMatrix(opt, opt.scenes, cfgs, "ablation");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const double base = double(m.at(s, 0).gpu.cycles);
+        auto row = &t.row().cell(opt.scenes[s]);
         for (std::size_t k = 0; k < std::size(kVariants); ++k) {
-            core::RunConfig cfg;
-            kVariants[k].apply(cfg);
-            const auto r = sim.run(cfg);
-            const double s =
-                double(base.gpu.cycles) / double(r.gpu.cycles);
-            cols[k].push_back(s);
-            row->cell(s, 2);
+            const double sp = base / double(m.at(s, k + 1).gpu.cycles);
+            cols[k].push_back(sp);
+            row->cell(sp, 2);
         }
     }
     if (!cols[0].empty()) {

@@ -7,15 +7,27 @@
  *
  *   --csv              machine-readable output
  *   --scenes a,b,c     restrict to a subset of the 15 scenes
+ *                      (unknown labels are an error)
+ *   --jobs N           campaign worker threads (default: hardware
+ *                      concurrency; output is byte-identical for
+ *                      every N — see src/exec/)
  *   --json-out FILE    append each emitted table as one JSON line
  *                      ({"bench": ..., "table": {...}}), so bench
  *                      trajectories can be collected by tooling
+ *
+ * The per-scene × per-config simulation loops run on the
+ * `cooprt::exec` campaign engine (`runMatrix` / `compareCoopAll`
+ * below): jobs execute across a work-stealing pool, results come
+ * back in submission order, and the printed tables are bit-identical
+ * to a serial run.
  */
 
 #ifndef COOPRT_BENCH_BENCH_UTIL_HPP
 #define COOPRT_BENCH_BENCH_UTIL_HPP
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +35,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "exec/exec.hpp"
 #include "stats/table.hpp"
 #include "trace/json.hpp"
 
@@ -33,6 +46,8 @@ struct Options
 {
     bool csv = false;
     std::vector<std::string> scenes;
+    /** Campaign worker threads; 0 = hardware concurrency. */
+    int jobs = 0;
     /** When set, emit() appends machine-readable JSON lines here. */
     std::string json_out;
     /** The experiment name of the last banner(), tagged into JSON. */
@@ -52,9 +67,27 @@ parse(int argc, char **argv)
             opt.scenes.clear();
             std::stringstream ss(argv[++i]);
             std::string tok;
-            while (std::getline(ss, tok, ','))
-                if (scene::SceneRegistry::has(tok))
-                    opt.scenes.push_back(tok);
+            while (std::getline(ss, tok, ',')) {
+                if (!scene::SceneRegistry::has(tok)) {
+                    std::string valid;
+                    for (const auto &l :
+                         scene::SceneRegistry::allLabels())
+                        valid += (valid.empty() ? "" : ", ") + l;
+                    std::fprintf(stderr,
+                                 "[bench] unknown scene '%s' "
+                                 "(valid: %s)\n",
+                                 tok.c_str(), valid.c_str());
+                    std::exit(2);
+                }
+                opt.scenes.push_back(tok);
+            }
+            if (opt.scenes.empty()) {
+                std::fprintf(stderr,
+                             "[bench] --scenes selected no scenes\n");
+                std::exit(2);
+            }
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opt.jobs = std::atoi(argv[++i]);
         } else if (arg == "--json-out" && i + 1 < argc) {
             opt.json_out = argv[++i];
         }
@@ -101,6 +134,97 @@ banner(const std::string &what, const Options &opt)
     opt.bench_name = what;
     if (!opt.csv)
         std::cout << "== " << what << " ==\n";
+}
+
+/** Scene-major result block of one scenes × configs campaign. */
+struct Matrix
+{
+    std::vector<core::RunOutcome> outcomes;
+    std::size_t num_configs = 1;
+
+    const core::RunOutcome &
+    at(std::size_t scene, std::size_t config) const
+    {
+        return outcomes[scene * num_configs + config];
+    }
+};
+
+/**
+ * Run every scene × config pair as one `cooprt::exec` campaign
+ * (worker count from `opt.jobs`) and return the outcomes in
+ * submission order. Progress goes to stderr in completion order;
+ * the returned data — and hence every table built from it — is
+ * independent of scheduling. Any failed job aborts the bench with
+ * its captured error.
+ */
+inline Matrix
+runMatrix(const Options &opt, const std::vector<std::string> &scenes,
+          const std::vector<core::RunConfig> &configs,
+          const std::string &what, bool attach_profiler = false)
+{
+    std::vector<exec::Job> jobs;
+    jobs.reserve(scenes.size() * configs.size());
+    for (const auto &label : scenes)
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            std::string tag = what + " " + label;
+            if (configs.size() > 1) {
+                tag += '#';
+                tag += std::to_string(c);
+            }
+            jobs.push_back(exec::Job{label, configs[c], std::move(tag)});
+        }
+
+    exec::CampaignOptions copt;
+    copt.jobs = opt.jobs;
+    copt.attach_profiler = attach_profiler;
+    const std::size_t total = jobs.size();
+    std::atomic<std::size_t> completed{0};
+    copt.on_job_done = [&](const exec::JobResult &r) {
+        note(r.tag + (r.ok ? "" : " FAILED") + " [" +
+             std::to_string(++completed) + "/" +
+             std::to_string(total) + "]");
+    };
+
+    auto results = exec::runCampaign(std::move(jobs), copt);
+    Matrix m;
+    m.num_configs = configs.empty() ? 1 : configs.size();
+    m.outcomes.reserve(results.size());
+    for (auto &r : results) {
+        if (!r.ok) {
+            std::fprintf(
+                stderr, "[bench] job '%s' failed (%s): %s\n",
+                r.tag.c_str(),
+                r.failure ? exec::failureKindName(r.failure->kind)
+                          : "?",
+                r.failure ? r.failure->message.c_str() : "?");
+            std::exit(1);
+        }
+        m.outcomes.push_back(std::move(r.outcome));
+    }
+    return m;
+}
+
+/**
+ * Baseline-vs-CoopRT comparisons for @p scenes under @p cfg, one
+ * campaign for the whole sweep (replaces per-scene `compareCoop`
+ * loops). Results are ordered like @p scenes.
+ */
+inline std::vector<core::Comparison>
+compareCoopAll(const Options &opt,
+               const std::vector<std::string> &scenes,
+               core::RunConfig cfg, const std::string &what)
+{
+    core::RunConfig base = cfg;
+    base.gpu.trace.coop = false;
+    core::RunConfig coop = cfg;
+    coop.gpu.trace.coop = true;
+    const Matrix m = runMatrix(opt, scenes, {base, coop}, what);
+    std::vector<core::Comparison> out(scenes.size());
+    for (std::size_t s = 0; s < scenes.size(); ++s) {
+        out[s].base = m.at(s, 0);
+        out[s].coop = m.at(s, 1);
+    }
+    return out;
 }
 
 } // namespace cooprt::benchutil

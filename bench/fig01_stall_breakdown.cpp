@@ -23,16 +23,15 @@ main(int argc, char **argv)
     benchutil::banner("Fig. 1 — pipeline stall breakdown (baseline, "
                       "path tracing)", opt);
 
-    prof::Profiler profiler;
     stats::Table t({"scene", "RT %", "MEM %", "ALU %", "SFU %",
                     "rt issue %", "rt starved %", "rt queued %",
                     "rt other %"});
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig01 " + label);
-        const auto &sim = core::simulationFor(label);
-        core::RunConfig cfg;
-        cfg.profiler = &profiler;
-        core::RunOutcome r = sim.run(cfg);
+    const auto m = benchutil::runMatrix(
+        opt, opt.scenes, {core::RunConfig{}}, "fig01",
+        /*attach_profiler=*/true);
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const auto &label = opt.scenes[s];
+        const core::RunOutcome &r = m.at(s, 0);
         const double total = double(r.gpu.stalls.total());
         const auto &p = r.gpu.prof_summary;
         const double issue = double(p.of(Bucket::IssueCompute));

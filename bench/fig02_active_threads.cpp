@@ -24,10 +24,11 @@ main(int argc, char **argv)
                           "% frame");
     stats::Table t(headers);
 
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig02 " + label);
-        const auto &sim = core::simulationFor(label);
-        core::RunOutcome r = sim.run(core::RunConfig{});
+    const auto m = benchutil::runMatrix(
+        opt, opt.scenes, {core::RunConfig{}}, "fig02");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const auto &label = opt.scenes[s];
+        const core::RunOutcome &r = m.at(s, 0);
         const auto &series = r.gpu.utilization_series;
         auto row = &t.row().cell(label);
         if (series.empty())

@@ -16,14 +16,13 @@ main(int argc, char **argv)
     benchutil::banner("Fig. 4 — thread status distribution (baseline)",
                       opt);
 
-    prof::Profiler profiler;
     stats::Table t({"scene", "inactive %", "busy %", "early-wait %"});
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig04 " + label);
-        const auto &sim = core::simulationFor(label);
-        core::RunConfig cfg;
-        cfg.profiler = &profiler;
-        core::RunOutcome r = sim.run(cfg);
+    const auto m = benchutil::runMatrix(
+        opt, opt.scenes, {core::RunConfig{}}, "fig04",
+        /*attach_profiler=*/true);
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const auto &label = opt.scenes[s];
+        const core::RunOutcome &r = m.at(s, 0);
         const auto &th = r.gpu.prof_summary.threads;
         const double total = double(th.total());
         if (total == 0)

@@ -46,10 +46,11 @@ main(int argc, char **argv)
     stats::Table t({"scene", "speedup", "power", "energy",
                     "util base", "util coop"});
     std::vector<double> speedups, powers, energies;
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig09 " + label);
-        core::Comparison cmp =
-            core::compareCoop(label, core::RunConfig{});
+    const auto cmps = benchutil::compareCoopAll(
+        opt, opt.scenes, core::RunConfig{}, "fig09");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const auto &label = opt.scenes[s];
+        const core::Comparison &cmp = cmps[s];
         speedups.push_back(cmp.speedup());
         powers.push_back(cmp.powerRatio());
         energies.push_back(cmp.energyRatio());

@@ -18,10 +18,11 @@ main(int argc, char **argv)
 
     stats::Table t({"scene", "baseline %", "CoopRT %", "improvement",
                     "speedup"});
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig10 " + label);
-        core::Comparison cmp =
-            core::compareCoop(label, core::RunConfig{});
+    const auto cmps = benchutil::compareCoopAll(
+        opt, opt.scenes, core::RunConfig{}, "fig10");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const auto &label = opt.scenes[s];
+        const core::Comparison &cmp = cmps[s];
         const double b = cmp.base.gpu.avg_thread_utilization;
         const double c = cmp.coop.gpu.avg_thread_utilization;
         t.row()

@@ -18,10 +18,11 @@ main(int argc, char **argv)
     stats::Table t({"scene", "L2 bw", "DRAM bw", "DRAM util base",
                     "DRAM util coop"});
     std::vector<double> l2s, drams;
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig12 " + label);
-        core::Comparison cmp =
-            core::compareCoop(label, core::RunConfig{});
+    const auto cmps = benchutil::compareCoopAll(
+        opt, opt.scenes, core::RunConfig{}, "fig12");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const auto &label = opt.scenes[s];
+        const core::Comparison &cmp = cmps[s];
         const double l2 = cmp.coop.gpu.l2BytesPerCycle() /
                           cmp.base.gpu.l2BytesPerCycle();
         const double dram = cmp.coop.gpu.dramBytesPerCycle() /

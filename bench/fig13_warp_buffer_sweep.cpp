@@ -24,35 +24,34 @@ main(int argc, char **argv)
                     "8 w/", "16 w/", "32 w/"});
     std::vector<std::vector<double>> cols(7);
 
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig13 " + label);
-        const auto &sim = core::simulationFor(label);
-        core::RunConfig cfg;
-        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
-        const auto base = sim.run(cfg);
-
-        auto row = &t.row().cell(label);
-        int col = 0;
-        for (int entries : sizes) {
-            cfg = core::RunConfig{};
-            cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
-            cfg.gpu.trace.warp_buffer_entries = entries;
-            const auto r = sim.run(cfg);
-            const double s =
-                double(base.gpu.cycles) / double(r.gpu.cycles);
-            cols[std::size_t(col++)].push_back(s);
-            row->cell(s, 2);
-        }
-        for (int entries : coop_sizes) {
-            cfg = core::RunConfig{};
-            cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
-            cfg.gpu.trace.coop = true;
-            cfg.gpu.trace.warp_buffer_entries = entries;
-            const auto r = sim.run(cfg);
-            const double s =
-                double(base.gpu.cycles) / double(r.gpu.cycles);
-            cols[std::size_t(col++)].push_back(s);
-            row->cell(s, 2);
+    // Config 0: the 4-entry high-occupancy baseline; then the seven
+    // buffer variants in column order.
+    auto high_occ = [] {
+        core::RunConfig c;
+        c.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+        return c;
+    };
+    std::vector<core::RunConfig> cfgs;
+    cfgs.push_back(high_occ());
+    for (int entries : sizes) {
+        auto c = high_occ();
+        c.gpu.trace.warp_buffer_entries = entries;
+        cfgs.push_back(c);
+    }
+    for (int entries : coop_sizes) {
+        auto c = high_occ();
+        c.gpu.trace.coop = true;
+        c.gpu.trace.warp_buffer_entries = entries;
+        cfgs.push_back(c);
+    }
+    const auto m = benchutil::runMatrix(opt, opt.scenes, cfgs, "fig13");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const double base = double(m.at(s, 0).gpu.cycles);
+        auto row = &t.row().cell(opt.scenes[s]);
+        for (std::size_t k = 0; k + 1 < cfgs.size(); ++k) {
+            const double sp = base / double(m.at(s, k + 1).gpu.cycles);
+            cols[k].push_back(sp);
+            row->cell(sp, 2);
         }
     }
     if (!cols[0].empty()) {

@@ -19,30 +19,24 @@ main(int argc, char **argv)
 
     stats::Table t({"scene", "4 w/ coop", "32 w/o coop"});
     std::vector<double> coop_col, big_col;
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig14 " + label);
-        const auto &sim = core::simulationFor(label);
-
-        core::RunConfig cfg;
-        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
-        const auto base = sim.run(cfg);
-        const double base_slowest = double(base.gpu.slowestWarpLatency());
-
-        cfg.gpu.trace.coop = true; // 4 entries with CoopRT
-        const auto coop = sim.run(cfg);
-
-        cfg = core::RunConfig{};
-        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
-        cfg.gpu.trace.warp_buffer_entries = 32; // big buffer, no coop
-        const auto big = sim.run(cfg);
-
+    // Config 0: 4-entry baseline; 1: CoopRT (4 entries); 2: the
+    // 32-entry buffer without CoopRT.
+    std::vector<core::RunConfig> cfgs(3);
+    for (auto &c : cfgs)
+        c.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+    cfgs[1].gpu.trace.coop = true;
+    cfgs[2].gpu.trace.warp_buffer_entries = 32;
+    const auto m = benchutil::runMatrix(opt, opt.scenes, cfgs, "fig14");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const double base_slowest =
+            double(m.at(s, 0).gpu.slowestWarpLatency());
         const double c =
-            double(coop.gpu.slowestWarpLatency()) / base_slowest;
+            double(m.at(s, 1).gpu.slowestWarpLatency()) / base_slowest;
         const double b =
-            double(big.gpu.slowestWarpLatency()) / base_slowest;
+            double(m.at(s, 2).gpu.slowestWarpLatency()) / base_slowest;
         coop_col.push_back(c);
         big_col.push_back(b);
-        t.row().cell(label).cell(c, 2).cell(b, 2);
+        t.row().cell(opt.scenes[s]).cell(c, 2).cell(b, 2);
     }
     if (!coop_col.empty())
         t.row()

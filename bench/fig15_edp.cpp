@@ -19,32 +19,34 @@ main(int argc, char **argv)
     stats::Table t({"scene", "8 w/o", "16 w/o", "32 w/o", "4 w/coop"});
     std::vector<std::vector<double>> cols(4);
 
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig15 " + label);
-        const auto &sim = core::simulationFor(label);
-        core::RunConfig cfg;
-        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
-        const auto base = sim.run(cfg);
-        const double base_edp = base.power.edp();
-
-        auto row = &t.row().cell(label);
-        int col = 0;
-        for (int entries : {8, 16, 32}) {
-            cfg = core::RunConfig{};
-        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
-            cfg.gpu.trace.warp_buffer_entries = entries;
-            const auto r = sim.run(cfg);
-            const double e = base_edp / r.power.edp();
-            cols[std::size_t(col++)].push_back(e);
+    // Config 0: the 4-entry baseline; 1-3: bigger buffers without
+    // CoopRT; 4: CoopRT with the 4-entry buffer.
+    auto high_occ = [] {
+        core::RunConfig c;
+        c.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
+        return c;
+    };
+    std::vector<core::RunConfig> cfgs;
+    cfgs.push_back(high_occ());
+    for (int entries : {8, 16, 32}) {
+        auto c = high_occ();
+        c.gpu.trace.warp_buffer_entries = entries;
+        cfgs.push_back(c);
+    }
+    {
+        auto c = high_occ();
+        c.gpu.trace.coop = true;
+        cfgs.push_back(c);
+    }
+    const auto m = benchutil::runMatrix(opt, opt.scenes, cfgs, "fig15");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const double base_edp = m.at(s, 0).power.edp();
+        auto row = &t.row().cell(opt.scenes[s]);
+        for (std::size_t k = 0; k < 4; ++k) {
+            const double e = base_edp / m.at(s, k + 1).power.edp();
+            cols[k].push_back(e);
             row->cell(e, 2);
         }
-        cfg = core::RunConfig{};
-        cfg.gpu = gpu::GpuConfig::rtx2060HighOccupancy();
-        cfg.gpu.trace.coop = true;
-        const auto coop = sim.run(cfg);
-        const double e = base_edp / coop.power.edp();
-        cols[3].push_back(e);
-        row->cell(e, 2);
     }
     if (!cols[0].empty()) {
         auto row = &t.row().cell("gmean");

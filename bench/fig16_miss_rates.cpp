@@ -18,10 +18,11 @@ main(int argc, char **argv)
 
     stats::Table t({"scene", "L1 base", "L1 coop", "L2 base",
                     "L2 coop", "L2 accesses x"});
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig16 " + label);
-        core::Comparison cmp =
-            core::compareCoop(label, core::RunConfig{});
+    const auto cmps = benchutil::compareCoopAll(
+        opt, opt.scenes, core::RunConfig{}, "fig16");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const auto &label = opt.scenes[s];
+        const core::Comparison &cmp = cmps[s];
         t.row()
             .cell(label)
             .cell(cmp.base.gpu.l1.missRate(), 3)

@@ -17,19 +17,24 @@ main(int argc, char **argv)
 
     stats::Table t({"scene", "AO speedup", "SH speedup"});
     std::vector<double> ao_col, sh_col;
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig17 " + label);
-        core::RunConfig cfg;
-        cfg.shader = core::ShaderKind::AmbientOcclusion;
-        core::Comparison ao = core::compareCoop(label, cfg);
-        cfg.shader = core::ShaderKind::Shadow;
-        core::Comparison sh = core::compareCoop(label, cfg);
-        ao_col.push_back(ao.speedup());
-        sh_col.push_back(sh.speedup());
-        t.row()
-            .cell(label)
-            .cell(ao.speedup(), 2)
-            .cell(sh.speedup(), 2);
+    // One campaign over all four cells: {AO, SH} × {base, coop}.
+    std::vector<core::RunConfig> cfgs(4);
+    cfgs[0].shader = core::ShaderKind::AmbientOcclusion;
+    cfgs[1].shader = core::ShaderKind::AmbientOcclusion;
+    cfgs[1].gpu.trace.coop = true;
+    cfgs[2].shader = core::ShaderKind::Shadow;
+    cfgs[3].shader = core::ShaderKind::Shadow;
+    cfgs[3].gpu.trace.coop = true;
+    const auto m = benchutil::runMatrix(opt, opt.scenes, cfgs, "fig17");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const auto &label = opt.scenes[s];
+        const double ao = double(m.at(s, 0).gpu.cycles) /
+                          double(m.at(s, 1).gpu.cycles);
+        const double sh = double(m.at(s, 2).gpu.cycles) /
+                          double(m.at(s, 3).gpu.cycles);
+        ao_col.push_back(ao);
+        sh_col.push_back(sh);
+        t.row().cell(label).cell(ao, 2).cell(sh, 2);
     }
     if (!ao_col.empty())
         t.row()

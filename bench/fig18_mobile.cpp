@@ -20,14 +20,18 @@ main(int argc, char **argv)
     std::vector<double> s_col, p_col, e_col;
     double ub = 0, uc = 0;
     int n = 0;
-    for (const auto &label : opt.scenes) {
-        // The paper's Fig. 18 omits car/robot on mobile.
-        if (label == "car" || label == "robot")
-            continue;
-        benchutil::note("fig18 " + label);
-        core::RunConfig cfg;
-        cfg.gpu = gpu::GpuConfig::mobileBench();
-        core::Comparison cmp = core::compareCoop(label, cfg);
+    // The paper's Fig. 18 omits car/robot on mobile.
+    std::vector<std::string> scenes;
+    for (const auto &label : opt.scenes)
+        if (label != "car" && label != "robot")
+            scenes.push_back(label);
+    core::RunConfig cfg;
+    cfg.gpu = gpu::GpuConfig::mobileBench();
+    const auto cmps =
+        benchutil::compareCoopAll(opt, scenes, cfg, "fig18");
+    for (std::size_t s = 0; s < scenes.size(); ++s) {
+        const auto &label = scenes[s];
+        const core::Comparison &cmp = cmps[s];
         s_col.push_back(cmp.speedup());
         p_col.push_back(cmp.powerRatio());
         e_col.push_back(cmp.energyRatio());

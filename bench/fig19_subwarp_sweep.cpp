@@ -18,22 +18,20 @@ main(int argc, char **argv)
     stats::Table t({"scene", "sw 4", "sw 8", "sw 16", "sw 32"});
     std::vector<std::vector<double>> cols(4);
 
-    for (const auto &label : opt.scenes) {
-        benchutil::note("fig19 " + label);
-        const auto &sim = core::simulationFor(label);
-        core::RunConfig cfg;
-        const auto base = sim.run(cfg);
-
-        auto row = &t.row().cell(label);
+    // Config 0 is the baseline; configs 1..4 the subwarp variants.
+    std::vector<core::RunConfig> cfgs(5);
+    for (std::size_t k = 0; k < 4; ++k) {
+        cfgs[k + 1].gpu.trace.coop = true;
+        cfgs[k + 1].gpu.trace.subwarp_size = subwarps[k];
+    }
+    const auto m = benchutil::runMatrix(opt, opt.scenes, cfgs, "fig19");
+    for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
+        const double base = double(m.at(s, 0).gpu.cycles);
+        auto row = &t.row().cell(opt.scenes[s]);
         for (std::size_t k = 0; k < 4; ++k) {
-            cfg = core::RunConfig{};
-            cfg.gpu.trace.coop = true;
-            cfg.gpu.trace.subwarp_size = subwarps[k];
-            const auto r = sim.run(cfg);
-            const double s =
-                double(base.gpu.cycles) / double(r.gpu.cycles);
-            cols[k].push_back(s);
-            row->cell(s, 2);
+            const double sp = base / double(m.at(s, k + 1).gpu.cycles);
+            cols[k].push_back(sp);
+            row->cell(sp, 2);
         }
     }
     if (!cols[0].empty()) {

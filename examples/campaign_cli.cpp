@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Campaign driver over the `cooprt::exec` engine: expand a
+ * scenes × configs matrix into jobs, run them across the
+ * work-stealing pool, and emit a summary table plus optional
+ * JSON-lines results. Parallel output is byte-identical to
+ * `--jobs 1` (see DESIGN.md "Campaign engine").
+ *
+ *   ./campaign_cli --matrix wknd,ship x base,coop --jobs 8
+ *   ./campaign_cli --scenes fox --configs base,coop,sw8 --json-out r.ndjson
+ *   ./campaign_cli --configs base,coop --retries 1 --timeout-s 600
+ *
+ * Flags:
+ *   --matrix S x C        scene list and config list in one flag
+ *                         (either side may be "all"); equivalent to
+ *                         --scenes S --configs C
+ *   --scenes a,b,c        scene axis (default: all 15)
+ *   --configs c1,c2       config axis (default: base,coop); see
+ *                         --list-configs for the named presets
+ *   --shader pt|ao|sh     workload applied to every config
+ *   --resolution N        square frame size (default: scene's bench)
+ *   --jobs N              worker threads (default: hardware
+ *                         concurrency)
+ *   --retries K           extra attempts after a thrown job failure
+ *   --timeout-s T         per-job wall-clock budget in seconds
+ *   --json-out FILE       append one JSON line per job
+ *   --metrics-dir DIR     per-job metrics CSV, named by job tag
+ *   --profile-dir DIR     per-job folded + JSON stall profiles
+ *   --csv                 CSV summary table
+ *   --list-configs        list named configs and exit
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace cooprt;
+
+/** Named configuration presets for the config axis. */
+struct NamedConfig
+{
+    const char *name;
+    const char *what;
+    void (*apply)(core::RunConfig &);
+};
+
+const NamedConfig kConfigs[] = {
+    {"base", "baseline RT unit", [](core::RunConfig &) {}},
+    {"coop", "CoopRT",
+     [](core::RunConfig &c) { c.gpu.trace.coop = true; }},
+    {"sw4", "CoopRT, subwarp 4",
+     [](core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.subwarp_size = 4;
+     }},
+    {"sw8", "CoopRT, subwarp 8",
+     [](core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.subwarp_size = 8;
+     }},
+    {"sw16", "CoopRT, subwarp 16",
+     [](core::RunConfig &c) {
+         c.gpu.trace.coop = true;
+         c.gpu.trace.subwarp_size = 16;
+     }},
+    {"prefetch", "treelet-style child prefetch",
+     [](core::RunConfig &c) { c.gpu.trace.child_prefetch = true; }},
+    {"predictor", "intersection predictor",
+     [](core::RunConfig &c) {
+         c.gpu.trace.intersection_predictor = true;
+     }},
+    {"bfs", "BFS traversal order",
+     [](core::RunConfig &c) {
+         c.gpu.trace.order = rtunit::TraversalOrder::Bfs;
+     }},
+    {"mobile", "mobile GPU, baseline",
+     [](core::RunConfig &c) { c.gpu = gpu::GpuConfig::mobileBench(); }},
+    {"mobile-coop", "mobile GPU, CoopRT",
+     [](core::RunConfig &c) {
+         c.gpu = gpu::GpuConfig::mobileBench();
+         c.gpu.trace.coop = true;
+     }},
+};
+
+const NamedConfig *
+findConfig(const std::string &name)
+{
+    for (const auto &c : kConfigs)
+        if (name == c.name)
+            return &c;
+    return nullptr;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (!tok.empty())
+            out.push_back(tok);
+    return out;
+}
+
+int
+usage(const std::string &msg = {})
+{
+    if (!msg.empty())
+        std::cerr << "error: " << msg << "\n";
+    std::cerr << "see the header of campaign_cli.cpp or run --help\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> scenes =
+        scene::SceneRegistry::allLabels();
+    std::vector<std::string> config_names = {"base", "coop"};
+    core::ShaderKind shader = core::ShaderKind::PathTracing;
+    int resolution = 0;
+    exec::CampaignOptions copt;
+    bool csv = false;
+    std::string json_out;
+
+    auto set_scenes = [&](const std::string &list) {
+        if (list == "all")
+            return;
+        scenes = splitList(list);
+        for (const auto &s : scenes)
+            if (!scene::SceneRegistry::has(s)) {
+                std::cerr << "error: unknown scene '" << s
+                          << "' (run simulate_cli --list)\n";
+                std::exit(2);
+            }
+        if (scenes.empty()) {
+            std::cerr << "error: empty scene list\n";
+            std::exit(2);
+        }
+    };
+    auto set_configs = [&](const std::string &list) {
+        if (list == "all") {
+            config_names.clear();
+            for (const auto &c : kConfigs)
+                config_names.push_back(c.name);
+            return;
+        }
+        config_names = splitList(list);
+        for (const auto &c : config_names)
+            if (findConfig(c) == nullptr) {
+                std::cerr << "error: unknown config '" << c
+                          << "' (run --list-configs)\n";
+                std::exit(2);
+            }
+        if (config_names.empty()) {
+            std::cerr << "error: empty config list\n";
+            std::exit(2);
+        }
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            std::cout
+                << "usage: campaign_cli [--matrix S x C]\n"
+                   "  [--scenes a,b,c] [--configs c1,c2]\n"
+                   "  [--shader pt|ao|sh] [--resolution N]\n"
+                   "  [--jobs N] [--retries K] [--timeout-s T]\n"
+                   "  [--json-out FILE] [--metrics-dir DIR]\n"
+                   "  [--profile-dir DIR] [--csv] [--list-configs]\n";
+            return 0;
+        } else if (a == "--list-configs") {
+            for (const auto &c : kConfigs)
+                std::printf("%-12s %s\n", c.name, c.what);
+            return 0;
+        } else if (a == "--matrix") {
+            // "--matrix scenes x configs" (x or ×), e.g.
+            // "--matrix wknd,ship x base,coop".
+            const std::string s = next("--matrix");
+            if (i + 2 < argc && (std::string(argv[i + 1]) == "x" ||
+                                 std::string(argv[i + 1]) == "×")) {
+                set_scenes(s);
+                ++i; // the separator
+                set_configs(next("--matrix"));
+            } else {
+                return usage("--matrix wants 'SCENES x CONFIGS'");
+            }
+        } else if (a == "--scenes") {
+            set_scenes(next("--scenes"));
+        } else if (a == "--configs") {
+            set_configs(next("--configs"));
+        } else if (a == "--shader") {
+            const std::string s = next("--shader");
+            if (s == "pt")
+                shader = core::ShaderKind::PathTracing;
+            else if (s == "ao")
+                shader = core::ShaderKind::AmbientOcclusion;
+            else if (s == "sh")
+                shader = core::ShaderKind::Shadow;
+            else
+                return usage("unknown shader (pt|ao|sh)");
+        } else if (a == "--resolution") {
+            resolution = std::atoi(next("--resolution"));
+        } else if (a == "--jobs") {
+            copt.jobs = std::atoi(next("--jobs"));
+        } else if (a == "--retries") {
+            copt.retries = std::atoi(next("--retries"));
+        } else if (a == "--timeout-s") {
+            copt.timeout_s = std::atof(next("--timeout-s"));
+        } else if (a == "--json-out") {
+            json_out = next("--json-out");
+        } else if (a == "--metrics-dir") {
+            copt.metrics_dir = next("--metrics-dir");
+        } else if (a == "--profile-dir") {
+            copt.profile_dir = next("--profile-dir");
+        } else if (a == "--csv") {
+            csv = true;
+        } else {
+            return usage("unknown flag " + a);
+        }
+    }
+
+    // The campaign's own observability: exec.* counters live in this
+    // session's registry and are printed with the summary.
+    trace::Session session;
+    copt.session = &session;
+
+    const std::size_t total = scenes.size() * config_names.size();
+    std::atomic<std::size_t> completed{0};
+    copt.on_job_done = [&](const exec::JobResult &r) {
+        std::fprintf(stderr, "[campaign] %s %s [%zu/%zu]%s\n",
+                     r.tag.c_str(), r.ok ? "ok" : "FAILED",
+                     ++completed, total,
+                     r.attempts > 1
+                         ? (" (attempts " + std::to_string(r.attempts) +
+                            ")")
+                               .c_str()
+                         : "");
+    };
+
+    exec::Campaign campaign(copt);
+    for (const auto &label : scenes)
+        for (const auto &cname : config_names) {
+            core::RunConfig cfg;
+            findConfig(cname)->apply(cfg);
+            cfg.shader = shader;
+            cfg.resolution = resolution;
+            campaign.add(
+                exec::Job{label, cfg, label + "/" + cname});
+        }
+
+    const auto results = campaign.run();
+
+    if (!json_out.empty()) {
+        std::ofstream os(json_out, std::ios::app);
+        if (!os) {
+            std::cerr << "error: cannot append to " << json_out
+                      << "\n";
+            return 1;
+        }
+        for (const auto &r : results)
+            exec::writeJsonLine(os, r);
+    }
+
+    // Summary table: cycles per scene × config, plus speedup columns
+    // relative to the first config when there is more than one.
+    std::vector<std::string> headers = {"scene"};
+    for (const auto &c : config_names)
+        headers.push_back(c + " cycles");
+    for (std::size_t c = 1; c < config_names.size(); ++c)
+        headers.push_back(config_names[c] + " speedup");
+    stats::Table t(headers);
+    const std::size_t ncfg = config_names.size();
+    for (std::size_t s = 0; s < scenes.size(); ++s) {
+        auto row = &t.row().cell(scenes[s]);
+        const exec::JobResult &first = results[s * ncfg];
+        for (std::size_t c = 0; c < ncfg; ++c) {
+            const exec::JobResult &r = results[s * ncfg + c];
+            if (r.ok)
+                row->cell(double(r.outcome.gpu.cycles), 0);
+            else
+                row->cell(std::string("FAILED(") +
+                          exec::failureKindName(r.failure->kind) +
+                          ")");
+        }
+        for (std::size_t c = 1; c < ncfg; ++c) {
+            const exec::JobResult &r = results[s * ncfg + c];
+            if (first.ok && r.ok && r.outcome.gpu.cycles > 0)
+                row->cell(double(first.outcome.gpu.cycles) /
+                              double(r.outcome.gpu.cycles),
+                          2);
+            else
+                row->cell("-");
+        }
+    }
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    const auto &st = campaign.stats();
+    std::fprintf(stderr,
+                 "[campaign] %llu ok, %llu failed (%llu timeouts), "
+                 "%llu retried, %llu steals, %.2f s wall\n",
+                 (unsigned long long)st.done.load(),
+                 (unsigned long long)st.failed.load(),
+                 (unsigned long long)st.timed_out.load(),
+                 (unsigned long long)st.retried.load(),
+                 (unsigned long long)st.steals.load(),
+                 campaign.wallSeconds());
+    for (const auto &sample : session.registry().snapshot("exec.*"))
+        std::fprintf(stderr, "[campaign] %s = %.0f\n",
+                     sample.name.c_str(), sample.value);
+
+    return st.failed.load() == 0 ? 0 : 1;
+}

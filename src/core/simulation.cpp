@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <stdexcept>
 
 namespace cooprt::core {
 
@@ -70,16 +71,31 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
 const Simulation &
 simulationFor(const std::string &label)
 {
-    static std::map<std::string, std::unique_ptr<Simulation>> cache;
-    static std::mutex mtx;
-    std::lock_guard<std::mutex> lock(mtx);
+    // Mirrors SceneRegistry::get: the map is created once with every
+    // label pre-inserted (immutable structure, lock-free lookups) and
+    // each BVH builds under its own once_flag, so campaign workers
+    // prepare different scenes concurrently without serializing on a
+    // global lock.
+    struct Slot
+    {
+        std::once_flag once;
+        std::unique_ptr<Simulation> sim;
+    };
+    static std::map<std::string, Slot> cache;
+    static std::once_flag init;
+    std::call_once(init, [] {
+        for (const auto &l : scene::SceneRegistry::allLabels())
+            cache.try_emplace(l);
+    });
     auto it = cache.find(label);
-    if (it == cache.end()) {
-        const scene::Scene &sc = scene::SceneRegistry::get(label);
-        it = cache.emplace(label, std::make_unique<Simulation>(sc))
-                 .first;
-    }
-    return *it->second;
+    if (it == cache.end())
+        throw std::out_of_range("unknown scene label: " + label);
+    Slot &slot = it->second;
+    std::call_once(slot.once, [&] {
+        slot.sim = std::make_unique<Simulation>(
+            scene::SceneRegistry::get(label));
+    });
+    return *slot.sim;
 }
 
 Comparison

@@ -1,0 +1,397 @@
+#include "exec/exec.hpp"
+
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/report.hpp"
+#include "prof/prof.hpp"
+#include "trace/json.hpp"
+
+namespace cooprt::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int
+resolveWorkers(int jobs_option, std::size_t num_jobs)
+{
+    int n = jobs_option;
+    if (n <= 0)
+        n = int(std::thread::hardware_concurrency());
+    if (n <= 0)
+        n = 1;
+    if (num_jobs > 0 && std::size_t(n) > num_jobs)
+        n = int(num_jobs);
+    return n;
+}
+
+void
+writeSinkFile(const std::string &path,
+              const std::function<void(std::ostream &)> &writer,
+              const char *what)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error(std::string("cannot open ") + path +
+                                 " for " + what);
+    writer(os);
+}
+
+} // namespace
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::Exception: return "exception";
+      case FailureKind::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+std::string
+sanitizeTag(const std::string &tag)
+{
+    std::string out;
+    out.reserve(tag.size());
+    for (char c : tag) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        out.push_back(ok ? c : '_');
+    }
+    return out.empty() ? std::string("job") : out;
+}
+
+Campaign::Campaign(CampaignOptions options)
+    : options_(std::move(options))
+{
+    if (options_.session != nullptr) {
+        auto &reg = options_.session->registry();
+        auto probe = [&](const char *name,
+                         const std::atomic<std::uint64_t> &value) {
+            reg.probe(name,
+                      [&value] {
+                          return double(value.load(
+                              std::memory_order_relaxed));
+                      },
+                      this);
+        };
+        probe("exec.jobs_queued", stats_.queued);
+        probe("exec.jobs_running", stats_.running);
+        probe("exec.jobs_done", stats_.done);
+        probe("exec.jobs_failed", stats_.failed);
+        probe("exec.jobs_retried", stats_.retried);
+        probe("exec.jobs_timed_out", stats_.timed_out);
+        probe("exec.steals", stats_.steals);
+    }
+}
+
+Campaign::~Campaign()
+{
+    if (options_.session != nullptr)
+        options_.session->registry().unregisterOwner(this);
+}
+
+std::size_t
+Campaign::add(Job job)
+{
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+core::RunOutcome
+runSimJob(const Job &job)
+{
+    return core::simulationFor(job.scene_label).run(job.config);
+}
+
+JobRunner
+Campaign::defaultRunner() const
+{
+    const std::string metrics_dir = options_.metrics_dir;
+    const std::string profile_dir = options_.profile_dir;
+    const bool attach_profiler =
+        options_.attach_profiler || !profile_dir.empty();
+    return [metrics_dir, profile_dir,
+            attach_profiler](const Job &job, std::stop_token) {
+        core::RunConfig cfg = job.config;
+
+        // Per-job sinks: every worker gets private session/profiler
+        // instances, so jobs never share observability state.
+        std::optional<trace::Session> session;
+        if (!metrics_dir.empty()) {
+            trace::SessionOptions so;
+            so.metrics = true;
+            so.metrics_interval = cfg.gpu.sample_interval;
+            session.emplace(so);
+            cfg.trace_session = &*session;
+        }
+        std::optional<prof::Profiler> profiler;
+        if (attach_profiler) {
+            profiler.emplace();
+            cfg.profiler = &*profiler;
+        }
+
+        const core::Simulation &sim =
+            core::simulationFor(job.scene_label);
+        core::RunOutcome out = sim.run(cfg);
+
+        const std::string stem = sanitizeTag(job.tag);
+        if (session)
+            writeSinkFile(metrics_dir + "/" + stem + ".metrics.csv",
+                          [&](std::ostream &os) {
+                              session->writeMetricsCsv(os);
+                          },
+                          "per-job metrics");
+        if (!profile_dir.empty()) {
+            writeSinkFile(profile_dir + "/" + stem + ".folded",
+                          [&](std::ostream &os) {
+                              profiler->writeFolded(os, out.scene);
+                          },
+                          "per-job folded profile");
+            writeSinkFile(profile_dir + "/" + stem + ".prof.json",
+                          [&](std::ostream &os) {
+                              profiler->writeJson(os, out.scene);
+                          },
+                          "per-job json profile");
+        }
+        return out;
+    };
+}
+
+std::vector<JobResult>
+Campaign::run()
+{
+    const std::size_t n = jobs_.size();
+    std::vector<JobResult> results(n);
+    if (n == 0)
+        return results;
+
+    const auto campaign_start = Clock::now();
+    stats_.queued.store(n, std::memory_order_relaxed);
+    const int workers = resolveWorkers(options_.jobs, n);
+    const double timeout_s = options_.timeout_s;
+    const JobRunner runner = runner_ ? runner_ : defaultRunner();
+
+    // Per-worker job queues; jobs are dealt round-robin and idle
+    // workers steal from the back of a victim's queue. Mutex-per-
+    // queue is plenty at this granularity (jobs are whole simulation
+    // runs, milliseconds to minutes each).
+    struct WorkerQueue
+    {
+        std::mutex m;
+        std::deque<std::size_t> q;
+    };
+    const std::size_t nworkers = std::size_t(workers);
+    std::vector<WorkerQueue> queues(nworkers);
+    for (std::size_t i = 0; i < n; ++i)
+        queues[i % nworkers].q.push_back(i);
+
+    std::vector<int> attempts(n, 0);
+    std::atomic<std::size_t> remaining{n};
+
+    // Watchdog bookkeeping: running jobs with a deadline. The
+    // watchdog requests stop on overdue jobs so cooperative runners
+    // can abort; non-cooperative ones are failed when they return.
+    struct RunningJob
+    {
+        Clock::time_point deadline;
+        std::stop_source *stop = nullptr;
+    };
+    std::mutex running_mtx;
+    std::map<std::size_t, RunningJob> running_jobs;
+
+    std::mutex completion_mtx;
+
+    auto execute = [&](int wid, std::size_t idx) {
+        Job &job = jobs_[idx];
+        JobResult &r = results[idx];
+        stats_.running.fetch_add(1, std::memory_order_relaxed);
+        const auto t0 = Clock::now();
+        std::stop_source stop;
+        if (timeout_s > 0.0) {
+            std::lock_guard<std::mutex> lock(running_mtx);
+            running_jobs[idx] = RunningJob{
+                t0 + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s)),
+                &stop};
+        }
+
+        attempts[idx]++;
+        bool ok = false;
+        std::optional<JobFailure> failure;
+        core::RunOutcome outcome;
+        try {
+            outcome = runner(job, stop.get_token());
+            ok = true;
+        } catch (const std::exception &e) {
+            failure = JobFailure{FailureKind::Exception, e.what()};
+        } catch (...) {
+            failure = JobFailure{FailureKind::Exception,
+                                 "unknown exception"};
+        }
+
+        if (timeout_s > 0.0) {
+            std::lock_guard<std::mutex> lock(running_mtx);
+            running_jobs.erase(idx);
+        }
+        const double elapsed = secondsSince(t0);
+        r.wall_seconds += elapsed;
+        stats_.running.fetch_sub(1, std::memory_order_relaxed);
+
+        // A job that overran its budget is a timeout no matter how
+        // it ended — even a runner that aborted by throwing once the
+        // token fired reports as Timeout, and timeouts never retry
+        // (a deterministic job would only time out again).
+        const bool overdue = timeout_s > 0.0 && elapsed > timeout_s;
+        if (overdue) {
+            ok = false;
+            failure = JobFailure{
+                FailureKind::Timeout,
+                "exceeded wall-clock budget of " +
+                    std::to_string(timeout_s) + " s"};
+            stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+        } else if (!ok && attempts[idx] <= options_.retries) {
+            stats_.retried.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(
+                queues[std::size_t(wid)].m);
+            queues[std::size_t(wid)].q.push_back(idx);
+            return;
+        }
+
+        r.index = idx;
+        r.tag = job.tag;
+        r.ok = ok;
+        r.attempts = attempts[idx];
+        if (ok) {
+            r.outcome = std::move(outcome);
+            stats_.done.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            r.failure = std::move(failure);
+            stats_.failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        remaining.fetch_sub(1);
+        if (options_.on_job_done) {
+            std::lock_guard<std::mutex> lock(completion_mtx);
+            options_.on_job_done(r);
+        }
+    };
+
+    auto workerLoop = [&](int wid) {
+        for (;;) {
+            std::size_t idx = 0;
+            bool have = false;
+            {
+                auto &own = queues[std::size_t(wid)];
+                std::lock_guard<std::mutex> lock(own.m);
+                if (!own.q.empty()) {
+                    idx = own.q.front();
+                    own.q.pop_front();
+                    have = true;
+                }
+            }
+            if (!have) {
+                for (int v = 1; v < workers && !have; ++v) {
+                    auto &victim =
+                        queues[std::size_t((wid + v) % workers)];
+                    std::lock_guard<std::mutex> lock(victim.m);
+                    if (!victim.q.empty()) {
+                        idx = victim.q.back();
+                        victim.q.pop_back();
+                        have = true;
+                        stats_.steals.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                }
+            }
+            if (!have) {
+                if (remaining.load() == 0)
+                    return;
+                // Another worker may still requeue a retry; nap
+                // briefly (jobs are whole simulation runs, so this
+                // costs nothing measurable).
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                continue;
+            }
+            execute(wid, idx);
+        }
+    };
+
+    {
+        std::jthread watchdog;
+        if (timeout_s > 0.0)
+            watchdog = std::jthread([&](std::stop_token st) {
+                while (!st.stop_requested()) {
+                    {
+                        std::lock_guard<std::mutex> lock(running_mtx);
+                        const auto now = Clock::now();
+                        for (auto &[idx, rj] : running_jobs)
+                            if (now >= rj.deadline)
+                                rj.stop->request_stop();
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+            });
+        {
+            std::vector<std::jthread> pool;
+            pool.reserve(std::size_t(workers));
+            for (int w = 0; w < workers; ++w)
+                pool.emplace_back(workerLoop, w);
+        } // joins the workers
+        if (watchdog.joinable())
+            watchdog.request_stop();
+    } // joins the watchdog
+
+    wall_seconds_ = secondsSince(campaign_start);
+    return results;
+}
+
+std::vector<JobResult>
+runCampaign(std::vector<Job> jobs, const CampaignOptions &options)
+{
+    Campaign campaign(options);
+    for (auto &j : jobs)
+        campaign.add(std::move(j));
+    return campaign.run();
+}
+
+void
+writeJsonLine(std::ostream &os, const JobResult &result)
+{
+    os << "{\"tag\":" << trace::quoteJson(result.tag)
+       << ",\"ok\":" << (result.ok ? "true" : "false");
+    if (result.ok) {
+        std::string outcome_json = core::toJson(result.outcome);
+        while (!outcome_json.empty() && outcome_json.back() == '\n')
+            outcome_json.pop_back();
+        os << ",\"outcome\":" << outcome_json;
+    } else {
+        os << ",\"attempts\":" << result.attempts << ",\"failure\":{";
+        if (result.failure) {
+            os << "\"kind\":\"" << failureKindName(result.failure->kind)
+               << "\",\"message\":"
+               << trace::quoteJson(result.failure->message);
+        }
+        os << "}";
+    }
+    os << "}\n";
+}
+
+} // namespace cooprt::exec

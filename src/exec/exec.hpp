@@ -1,0 +1,219 @@
+/**
+ * @file
+ * `cooprt::exec` — the host-parallel experiment-campaign engine.
+ *
+ * Every paper figure/table and design-space sweep is a list of
+ * independent, deterministic simulation jobs (scene × RunConfig).
+ * This subsystem runs such a campaign across a work-stealing pool of
+ * `std::jthread` workers and collects the outcomes in submission
+ * order, so parallel output is byte-identical to a serial run:
+ *
+ *     std::vector<exec::Job> jobs;
+ *     for (const auto &label : scene::SceneRegistry::allLabels())
+ *         jobs.push_back({label, core::RunConfig{}, "fig09/" + label});
+ *     exec::CampaignOptions opt;
+ *     opt.jobs = 8;                       // 0 = hardware_concurrency
+ *     auto results = exec::runCampaign(std::move(jobs), opt);
+ *
+ * Determinism contract: each job is simulated single-threaded with
+ * its own GPU/shader state; the only shared mutable state is the
+ * build-once scene/BVH cache (`SceneRegistry::get`, `simulationFor`),
+ * which is guarded by per-label `std::once_flag`s. Results are
+ * returned indexed by submission order, so tables and JSON lines
+ * assembled from them do not depend on worker count or scheduling.
+ *
+ * Fault isolation: a job that throws is captured as a structured
+ * `JobFailure` (with a retry budget for transient host errors), and a
+ * job that exceeds its wall-clock budget is failed as a timeout —
+ * either way the rest of the campaign completes. Timeouts are not
+ * retried: the simulator is deterministic, so a pathological config
+ * would only time out again.
+ */
+
+#ifndef COOPRT_EXEC_EXEC_HPP
+#define COOPRT_EXEC_EXEC_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <stop_token>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace cooprt::exec {
+
+/** One unit of campaign work: a scene under one configuration. */
+struct Job
+{
+    std::string scene_label;
+    core::RunConfig config;
+    /** Caller-chosen name, e.g. "fig09/crnvl/coop"; names per-job
+     *  sink files and shows up in progress notes and JSON lines. */
+    std::string tag;
+};
+
+/** Why a job gave up. */
+enum class FailureKind { Exception, Timeout };
+
+/** Stable lowercase name ("exception" / "timeout"). */
+const char *failureKindName(FailureKind kind);
+
+/** Structured capture of a failed job. */
+struct JobFailure
+{
+    FailureKind kind = FailureKind::Exception;
+    /** what() of the captured exception, or the timeout description. */
+    std::string message;
+};
+
+/** The per-job record a campaign returns, in submission order. */
+struct JobResult
+{
+    std::size_t index = 0; ///< submission index
+    std::string tag;
+    bool ok = false;
+    /** Valid when `ok`. */
+    core::RunOutcome outcome;
+    /** Set when `!ok`. */
+    std::optional<JobFailure> failure;
+    /** Attempts consumed (1 + retries actually taken). */
+    int attempts = 0;
+    /** Host wall clock across all attempts. Non-deterministic:
+     *  excluded from `writeJsonLine` so sinks stay byte-identical
+     *  between serial and parallel runs. */
+    double wall_seconds = 0.0;
+};
+
+/** Live campaign counters (also exported as `exec.*` registry
+ *  probes when a `trace::Session` is attached). */
+struct CampaignStats
+{
+    std::atomic<std::uint64_t> queued{0};    ///< total jobs submitted
+    std::atomic<std::uint64_t> running{0};   ///< currently executing
+    std::atomic<std::uint64_t> done{0};      ///< completed ok
+    std::atomic<std::uint64_t> failed{0};    ///< gave up (incl. timeouts)
+    std::atomic<std::uint64_t> retried{0};   ///< re-queued attempts
+    std::atomic<std::uint64_t> timed_out{0}; ///< failures that were timeouts
+    std::atomic<std::uint64_t> steals{0};    ///< jobs taken from another worker
+};
+
+/**
+ * Executes one job attempt. The stop token is signalled when the
+ * job's wall-clock budget expires; cooperative runners may poll it
+ * and abort early (the default simulation runner does not — a
+ * non-cooperative overdue job is failed post-hoc when it returns).
+ */
+using JobRunner =
+    std::function<core::RunOutcome(const Job &, std::stop_token)>;
+
+/** Everything configurable about a campaign. */
+struct CampaignOptions
+{
+    /** Worker threads; <= 0 means hardware_concurrency. */
+    int jobs = 0;
+    /** Extra attempts after a thrown (non-timeout) failure. */
+    int retries = 0;
+    /** Per-attempt wall-clock budget in seconds; 0 = unlimited. */
+    double timeout_s = 0.0;
+    /**
+     * Optional observability session: the campaign registers
+     * `exec.jobs_queued/running/done/failed/retried/timed_out` and
+     * `exec.steals` probes into its registry (owner-tagged, dropped
+     * when the campaign is destroyed). The session is borrowed and
+     * is NOT handed to jobs — per-job sinks are separate (below).
+     */
+    trace::Session *session = nullptr;
+    /** When set, each job runs with its own metrics-enabled session
+     *  and writes `<dir>/<sanitized tag>.metrics.csv`. */
+    std::string metrics_dir;
+    /** When set, each job runs with its own profiler and writes
+     *  `<dir>/<sanitized tag>.folded` + `.prof.json`. */
+    std::string profile_dir;
+    /** Attach a per-job profiler even without `profile_dir`, filling
+     *  `outcome.gpu.prof_summary` (bit-identical cycle counts). */
+    bool attach_profiler = false;
+    /**
+     * Completion hook, invoked once per job (success or final
+     * failure) from worker threads, serialized by the campaign.
+     * Completion order is scheduling-dependent — deterministic
+     * consumers should use the returned vector instead.
+     */
+    std::function<void(const JobResult &)> on_job_done;
+};
+
+/**
+ * A campaign: add jobs, run them, read the results in submission
+ * order. Reusable only for one `run()`.
+ */
+class Campaign
+{
+  public:
+    explicit Campaign(CampaignOptions options = {});
+    ~Campaign();
+
+    Campaign(const Campaign &) = delete;
+    Campaign &operator=(const Campaign &) = delete;
+
+    /** Queue @p job; returns its submission index. */
+    std::size_t add(Job job);
+
+    std::size_t size() const { return jobs_.size(); }
+
+    /**
+     * Replace the default simulation runner (tests use this to
+     * inject failures and skewed job durations).
+     */
+    void setRunner(JobRunner runner) { runner_ = std::move(runner); }
+
+    /**
+     * Run every job to completion across the pool; blocks. Results
+     * are indexed by submission order regardless of worker count.
+     */
+    std::vector<JobResult> run();
+
+    const CampaignStats &stats() const { return stats_; }
+
+    /** Wall clock of the last `run()`, in seconds. */
+    double wallSeconds() const { return wall_seconds_; }
+
+    const CampaignOptions &options() const { return options_; }
+
+  private:
+    JobRunner defaultRunner() const;
+
+    CampaignOptions options_;
+    std::vector<Job> jobs_;
+    JobRunner runner_;
+    CampaignStats stats_;
+    double wall_seconds_ = 0.0;
+};
+
+/** One-shot convenience over `Campaign`. */
+std::vector<JobResult> runCampaign(std::vector<Job> jobs,
+                                   const CampaignOptions &options = {});
+
+/**
+ * The default job body without per-job sinks: resolve the shared
+ * prepared simulation for the job's scene and run its config.
+ */
+core::RunOutcome runSimJob(const Job &job);
+
+/**
+ * Append @p result as one JSON line (the `--json-out` format):
+ * `{"tag":...,"ok":true,"outcome":{...}}` on success,
+ * `{"tag":...,"ok":false,"attempts":N,"failure":{...}}` otherwise.
+ * Only deterministic fields are written (no wall clock), so the sink
+ * is byte-identical between `--jobs 1` and `--jobs N`.
+ */
+void writeJsonLine(std::ostream &os, const JobResult &result);
+
+/** @p tag reduced to a file-name-safe form ([A-Za-z0-9._-]). */
+std::string sanitizeTag(const std::string &tag);
+
+} // namespace cooprt::exec
+
+#endif // COOPRT_EXEC_EXEC_HPP

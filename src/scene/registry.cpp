@@ -78,19 +78,49 @@ SceneRegistry::build(const std::string &label)
     throw std::out_of_range("unknown scene label: " + label);
 }
 
+namespace {
+
+/**
+ * Per-label build-once slot. The map itself is created once (all
+ * labels pre-inserted, structure immutable afterwards, so concurrent
+ * lookups need no lock) and each scene builds under its own
+ * once_flag — different labels build concurrently on the campaign
+ * pool, the same label exactly once.
+ */
+struct SceneSlot
+{
+    std::once_flag once;
+    std::unique_ptr<Scene> scene;
+};
+
+std::map<std::string, SceneSlot> &
+sceneCache()
+{
+    static std::map<std::string, SceneSlot> cache;
+    static std::once_flag init;
+    std::call_once(init, [] {
+        for (const auto &l : SceneRegistry::allLabels())
+            cache.try_emplace(l);
+    });
+    return cache;
+}
+
+} // namespace
+
 const Scene &
 SceneRegistry::get(const std::string &label)
 {
-    static std::map<std::string, std::unique_ptr<Scene>> cache;
-    static std::mutex mtx;
-    std::lock_guard<std::mutex> lock(mtx);
+    auto &cache = sceneCache();
     auto it = cache.find(label);
-    if (it == cache.end()) {
+    if (it == cache.end())
+        throw std::out_of_range("unknown scene label: " + label);
+    SceneSlot &slot = it->second;
+    std::call_once(slot.once, [&] {
         auto s = std::make_unique<Scene>(build(label));
         s->default_resolution = benchResolution(label);
-        it = cache.emplace(label, std::move(s)).first;
-    }
-    return *it->second;
+        slot.scene = std::move(s);
+    });
+    return *slot.scene;
 }
 
 int

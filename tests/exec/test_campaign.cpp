@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Campaign-engine determinism: a parallel run must be bit-identical
+ * to a serial run of the same jobs, on real simulations. The four
+ * pinned seed baselines (tests/core/test_pinned_cycles.cpp) anchor
+ * the comparison to absolute values, not just serial == parallel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "exec/exec.hpp"
+
+namespace {
+
+using namespace cooprt;
+
+exec::Job
+pinnedJob(const std::string &scene, int resolution,
+          core::ShaderKind shader, bool coop, const std::string &tag)
+{
+    core::RunConfig cfg;
+    cfg.resolution = resolution;
+    cfg.shader = shader;
+    cfg.gpu.trace.coop = coop;
+    return exec::Job{scene, cfg, tag};
+}
+
+std::vector<exec::Job>
+pinnedJobs()
+{
+    std::vector<exec::Job> jobs;
+    jobs.push_back(pinnedJob("wknd", 32, core::ShaderKind::PathTracing,
+                             false, "wknd/pt/base"));
+    jobs.push_back(pinnedJob("wknd", 32, core::ShaderKind::PathTracing,
+                             true, "wknd/pt/coop"));
+    jobs.push_back(pinnedJob("bunny", 24,
+                             core::ShaderKind::AmbientOcclusion, true,
+                             "bunny/ao/coop"));
+    jobs.push_back(pinnedJob("ship", 24, core::ShaderKind::Shadow,
+                             false, "ship/sh/base"));
+    return jobs;
+}
+
+TEST(ExecCampaign, ParallelMatchesSerialBitIdentical)
+{
+    exec::CampaignOptions serial;
+    serial.jobs = 1;
+    const auto s = exec::runCampaign(pinnedJobs(), serial);
+
+    exec::CampaignOptions parallel;
+    parallel.jobs = 4;
+    const auto p = exec::runCampaign(pinnedJobs(), parallel);
+
+    ASSERT_EQ(s.size(), 4u);
+    ASSERT_EQ(p.size(), 4u);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        ASSERT_TRUE(s[i].ok) << s[i].tag;
+        ASSERT_TRUE(p[i].ok) << p[i].tag;
+        EXPECT_EQ(s[i].index, i);
+        EXPECT_EQ(p[i].index, i);
+        EXPECT_EQ(s[i].tag, p[i].tag);
+        // The full outcome, not just cycles: every counter, series
+        // and report field must match bit-for-bit.
+        EXPECT_EQ(core::toJson(s[i].outcome), core::toJson(p[i].outcome))
+            << s[i].tag;
+    }
+
+    // Anchored to the seed baselines, so serial == parallel cannot
+    // pass by both being wrong the same way.
+    EXPECT_EQ(p[0].outcome.gpu.cycles, 34868u);
+    EXPECT_EQ(p[1].outcome.gpu.cycles, 18756u);
+    EXPECT_EQ(p[2].outcome.gpu.cycles, 17550u);
+    EXPECT_EQ(p[3].outcome.gpu.cycles, 36233u);
+}
+
+TEST(ExecCampaign, JsonLinesByteIdenticalAcrossWorkerCounts)
+{
+    auto render = [](const std::vector<exec::JobResult> &results) {
+        std::ostringstream os;
+        for (const auto &r : results)
+            exec::writeJsonLine(os, r);
+        return os.str();
+    };
+
+    exec::CampaignOptions serial;
+    serial.jobs = 1;
+    exec::CampaignOptions parallel;
+    parallel.jobs = 3;
+    const std::string a = render(exec::runCampaign(pinnedJobs(), serial));
+    const std::string b =
+        render(exec::runCampaign(pinnedJobs(), parallel));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"tag\":\"wknd/pt/base\""), std::string::npos);
+    EXPECT_NE(a.find("\"ok\":true"), std::string::npos);
+    // One line per job, each a complete JSON object.
+    EXPECT_EQ(std::count(a.begin(), a.end(), '\n'), 4);
+}
+
+TEST(ExecCampaign, RegistersCountersInSession)
+{
+    trace::Session session;
+    {
+        exec::CampaignOptions opt;
+        opt.jobs = 2;
+        opt.session = &session;
+        exec::Campaign campaign(opt);
+        campaign.setRunner([](const exec::Job &, std::stop_token) {
+            return core::RunOutcome{};
+        });
+        for (int i = 0; i < 5; ++i)
+            campaign.add(exec::Job{"wknd", core::RunConfig{},
+                                   "job" + std::to_string(i)});
+        campaign.run();
+
+        const auto samples = session.registry().snapshot("exec.*");
+        ASSERT_FALSE(samples.empty());
+        double queued = -1, done = -1, failed = -1;
+        for (const auto &s : samples) {
+            if (s.name == "exec.jobs_queued")
+                queued = s.value;
+            else if (s.name == "exec.jobs_done")
+                done = s.value;
+            else if (s.name == "exec.jobs_failed")
+                failed = s.value;
+        }
+        EXPECT_EQ(queued, 5.0);
+        EXPECT_EQ(done, 5.0);
+        EXPECT_EQ(failed, 0.0);
+    }
+    // Probes are owner-tagged and dropped with the campaign.
+    EXPECT_TRUE(session.registry().snapshot("exec.*").empty());
+}
+
+TEST(ExecCampaign, ResultsKeepSubmissionOrder)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = 4;
+    exec::Campaign campaign(opt);
+    // Later submissions finish first; the result vector must not.
+    campaign.setRunner([](const exec::Job &job, std::stop_token) {
+        const int idx = std::stoi(job.tag);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds((16 - idx) * 2));
+        core::RunOutcome out;
+        out.gpu.cycles = std::uint64_t(idx);
+        return out;
+    });
+    for (int i = 0; i < 16; ++i)
+        campaign.add(
+            exec::Job{"wknd", core::RunConfig{}, std::to_string(i)});
+    const auto results = campaign.run();
+    ASSERT_EQ(results.size(), 16u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].tag, std::to_string(i));
+        ASSERT_TRUE(results[i].ok);
+        EXPECT_EQ(results[i].outcome.gpu.cycles, i);
+    }
+}
+
+TEST(ExecCampaign, UnknownSceneIsAStructuredFailure)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = 2;
+    std::vector<exec::Job> jobs;
+    jobs.push_back(exec::Job{"no-such-scene", core::RunConfig{}, "bad"});
+    jobs.push_back(pinnedJob("wknd", 32, core::ShaderKind::PathTracing,
+                             false, "good"));
+    const auto results = exec::runCampaign(std::move(jobs), opt);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].ok);
+    ASSERT_TRUE(results[0].failure.has_value());
+    EXPECT_EQ(results[0].failure->kind, exec::FailureKind::Exception);
+    EXPECT_NE(results[0].failure->message.find("no-such-scene"),
+              std::string::npos);
+    // The bad job must not take the campaign down with it.
+    ASSERT_TRUE(results[1].ok);
+    EXPECT_EQ(results[1].outcome.gpu.cycles, 34868u);
+}
+
+TEST(ExecCampaign, SanitizeTagMakesFileNames)
+{
+    EXPECT_EQ(exec::sanitizeTag("fig09/crnvl coop#3"),
+              "fig09_crnvl_coop_3");
+    EXPECT_EQ(exec::sanitizeTag("a.b-c_9"), "a.b-c_9");
+}
+
+TEST(ExecCampaign, FailureKindNames)
+{
+    EXPECT_STREQ(exec::failureKindName(exec::FailureKind::Exception),
+                 "exception");
+    EXPECT_STREQ(exec::failureKindName(exec::FailureKind::Timeout),
+                 "timeout");
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The pool half of `cooprt::exec`: work stealing under skewed job
+ * sizes, per-job fault isolation (exception capture, retry budget)
+ * and wall-clock timeouts. These tests inject a stub runner and
+ * never touch the simulator, so they are fast and run unchanged
+ * under TSan (the CI `tsan` job exercises them).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/exec.hpp"
+
+namespace {
+
+using namespace cooprt;
+using namespace std::chrono_literals;
+
+core::RunOutcome
+outcomeWithCycles(std::uint64_t cycles)
+{
+    core::RunOutcome out;
+    out.gpu.cycles = cycles;
+    return out;
+}
+
+TEST(ExecPool, StealsAcrossWorkersUnderSkew)
+{
+    // Two workers, round-robin deal: worker 0 gets the even-indexed
+    // jobs, worker 1 the odd ones. Job 0 pins worker 0 for ~150 ms
+    // while worker 1 drains its own short jobs, so worker 0's
+    // remaining queue must be stolen for the campaign to finish
+    // promptly.
+    exec::CampaignOptions opt;
+    opt.jobs = 2;
+    exec::Campaign campaign(opt);
+    campaign.setRunner([](const exec::Job &job, std::stop_token) {
+        std::this_thread::sleep_for(job.tag == "0" ? 150ms : 2ms);
+        return core::RunOutcome{};
+    });
+    for (int i = 0; i < 12; ++i)
+        campaign.add(
+            exec::Job{"wknd", core::RunConfig{}, std::to_string(i)});
+    const auto results = campaign.run();
+    ASSERT_EQ(results.size(), 12u);
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok) << r.tag;
+    EXPECT_GT(campaign.stats().steals.load(), 0u);
+    EXPECT_EQ(campaign.stats().done.load(), 12u);
+    EXPECT_EQ(campaign.stats().running.load(), 0u);
+}
+
+TEST(ExecPool, ThrowingJobIsIsolated)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = 3;
+    exec::Campaign campaign(opt);
+    campaign.setRunner([](const exec::Job &job, std::stop_token) {
+        if (job.tag == "boom")
+            throw std::runtime_error("injected fault");
+        return outcomeWithCycles(7);
+    });
+    campaign.add(exec::Job{"wknd", core::RunConfig{}, "a"});
+    campaign.add(exec::Job{"wknd", core::RunConfig{}, "boom"});
+    campaign.add(exec::Job{"wknd", core::RunConfig{}, "b"});
+    const auto results = campaign.run();
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_FALSE(results[1].ok);
+    ASSERT_TRUE(results[1].failure.has_value());
+    EXPECT_EQ(results[1].failure->kind, exec::FailureKind::Exception);
+    EXPECT_EQ(results[1].failure->message, "injected fault");
+    EXPECT_EQ(campaign.stats().done.load(), 2u);
+    EXPECT_EQ(campaign.stats().failed.load(), 1u);
+    EXPECT_EQ(campaign.stats().timed_out.load(), 0u);
+}
+
+TEST(ExecPool, RetryBudgetRecoversTransientFailures)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = 2;
+    opt.retries = 2;
+    exec::Campaign campaign(opt);
+    std::atomic<int> flaky_attempts{0};
+    campaign.setRunner(
+        [&flaky_attempts](const exec::Job &job, std::stop_token) {
+            if (job.tag == "flaky" && ++flaky_attempts <= 2)
+                throw std::runtime_error("transient");
+            return outcomeWithCycles(11);
+        });
+    campaign.add(exec::Job{"wknd", core::RunConfig{}, "flaky"});
+    campaign.add(exec::Job{"wknd", core::RunConfig{}, "steady"});
+    const auto results = campaign.run();
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 3);
+    EXPECT_TRUE(results[1].ok);
+    EXPECT_EQ(results[1].attempts, 1);
+    EXPECT_EQ(campaign.stats().retried.load(), 2u);
+    EXPECT_EQ(campaign.stats().failed.load(), 0u);
+}
+
+TEST(ExecPool, RetriesExhaustedReportsLastError)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = 1;
+    opt.retries = 2;
+    exec::Campaign campaign(opt);
+    campaign.setRunner(
+        [](const exec::Job &, std::stop_token) -> core::RunOutcome {
+            throw std::runtime_error("always broken");
+        });
+    campaign.add(exec::Job{"wknd", core::RunConfig{}, "doomed"});
+    const auto results = campaign.run();
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].attempts, 3); // 1 + 2 retries
+    ASSERT_TRUE(results[0].failure.has_value());
+    EXPECT_EQ(results[0].failure->message, "always broken");
+    EXPECT_EQ(campaign.stats().retried.load(), 2u);
+    EXPECT_EQ(campaign.stats().failed.load(), 1u);
+}
+
+TEST(ExecPool, TimeoutFailsJobAndCampaignCompletes)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = 2;
+    opt.retries = 3; // must NOT apply to timeouts
+    opt.timeout_s = 0.2;
+    exec::Campaign campaign(opt);
+    campaign.setRunner([](const exec::Job &job, std::stop_token st) {
+        if (job.tag == "slow") {
+            // Cooperative runner: poll the stop token the watchdog
+            // trips, bail out well before the 10 s worst case.
+            for (int i = 0; i < 10000 && !st.stop_requested(); ++i)
+                std::this_thread::sleep_for(1ms);
+        }
+        return outcomeWithCycles(3);
+    });
+    campaign.add(exec::Job{"wknd", core::RunConfig{}, "slow"});
+    campaign.add(exec::Job{"wknd", core::RunConfig{}, "quick"});
+    const auto results = campaign.run();
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].ok);
+    ASSERT_TRUE(results[0].failure.has_value());
+    EXPECT_EQ(results[0].failure->kind, exec::FailureKind::Timeout);
+    EXPECT_EQ(results[0].attempts, 1); // timeouts are never retried
+    EXPECT_TRUE(results[1].ok);
+    EXPECT_EQ(campaign.stats().timed_out.load(), 1u);
+    EXPECT_EQ(campaign.stats().failed.load(), 1u);
+    EXPECT_EQ(campaign.stats().retried.load(), 0u);
+    // The watchdog stopped the slow job cooperatively, so the whole
+    // campaign finished far inside the job's 10 s worst case.
+    EXPECT_LT(campaign.wallSeconds(), 5.0);
+}
+
+TEST(ExecPool, CompletionHookSeesEveryFinalResult)
+{
+    std::atomic<int> calls{0};
+    std::atomic<int> failures{0};
+    exec::CampaignOptions opt;
+    opt.jobs = 3;
+    opt.on_job_done = [&](const exec::JobResult &r) {
+        ++calls;
+        if (!r.ok)
+            ++failures;
+    };
+    exec::Campaign campaign(opt);
+    campaign.setRunner([](const exec::Job &job, std::stop_token) {
+        if (job.tag == "4")
+            throw std::runtime_error("x");
+        return core::RunOutcome{};
+    });
+    for (int i = 0; i < 9; ++i)
+        campaign.add(
+            exec::Job{"wknd", core::RunConfig{}, std::to_string(i)});
+    campaign.run();
+    EXPECT_EQ(calls.load(), 9);
+    EXPECT_EQ(failures.load(), 1);
+}
+
+TEST(ExecPool, ZeroJobsRunsEmptyCampaign)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = 4;
+    exec::Campaign campaign(opt);
+    const auto results = campaign.run();
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(campaign.stats().done.load(), 0u);
+}
+
+} // namespace

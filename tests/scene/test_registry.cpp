@@ -4,6 +4,8 @@
  */
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -76,6 +78,50 @@ TEST(Registry, RelativeSizeOrderingFollowsTable2)
     EXPECT_LT(size("bunny"), size("car"));
     EXPECT_LT(size("car"), size("robot"));
     EXPECT_LT(size("wknd"), size("frst"));
+}
+
+TEST(Registry, ConcurrentGetIsSafeAndStable)
+{
+    // The exec pool builds scenes from many workers at once; each
+    // label's lazy init is a per-label std::once_flag, so concurrent
+    // callers must all see the same fully-built instance. (The CI
+    // `tsan` job runs this under ThreadSanitizer.)
+    const auto &labels = SceneRegistry::allLabels();
+    std::vector<std::vector<const Scene *>> seen(8);
+    {
+        std::vector<std::jthread> threads;
+        for (std::size_t t = 0; t < seen.size(); ++t)
+            threads.emplace_back([&, t] {
+                // Different starting offsets so several threads race
+                // on the same label from the first iteration.
+                for (std::size_t i = 0; i < labels.size(); ++i) {
+                    const auto &l = labels[(i + t) % labels.size()];
+                    seen[t].push_back(&SceneRegistry::get(l));
+                    EXPECT_GT(SceneRegistry::benchResolution(l), 0);
+                }
+            });
+    }
+    for (std::size_t t = 1; t < seen.size(); ++t) {
+        ASSERT_EQ(seen[t].size(), labels.size());
+        // Same pointer set regardless of thread: one instance per
+        // label, never a torn or duplicate build.
+        std::set<const Scene *> a(seen[0].begin(), seen[0].end());
+        std::set<const Scene *> b(seen[t].begin(), seen[t].end());
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Registry, ConcurrentGetThrowsForUnknownLabels)
+{
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([] {
+            for (int i = 0; i < 16; ++i) {
+                EXPECT_THROW(SceneRegistry::get("park"),
+                             std::out_of_range);
+                EXPECT_TRUE(SceneRegistry::has("wknd"));
+            }
+        });
 }
 
 TEST(Registry, SpnzaIsClosedScene)

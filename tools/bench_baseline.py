@@ -26,6 +26,7 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 
 # The tracked suite: binary, short name, and the metrics gated per
 # scene row. "higher_is_better" decides the regression direction;
@@ -51,8 +52,9 @@ SUITE = [
 ]
 
 
-def run_bench(build_dir: str, spec: dict, scenes: str | None) -> dict:
-    """Run one bench binary and return {scene: {column: value}}."""
+def run_bench(build_dir: str, spec: dict, scenes: str | None,
+              jobs: int | None) -> tuple[dict, float]:
+    """Run one bench binary; return ({scene: {column: value}}, wall)."""
     binary = os.path.join(build_dir, spec["binary"])
     if not os.path.exists(binary):
         sys.exit(f"error: {binary} not built "
@@ -62,8 +64,12 @@ def run_bench(build_dir: str, spec: dict, scenes: str | None) -> dict:
         cmd = [binary, "--csv", "--json-out", tmp.name]
         if scenes:
             cmd += ["--scenes", scenes]
+        if jobs:
+            cmd += ["--jobs", str(jobs)]
+        start = time.monotonic()
         subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
                        stderr=subprocess.DEVNULL)
+        wall_seconds = time.monotonic() - start
         lines = [json.loads(l) for l in tmp.read().splitlines() if l]
     for doc in lines:
         if doc["bench"].startswith(spec["banner_prefix"]):
@@ -81,17 +87,24 @@ def run_bench(build_dir: str, spec: dict, scenes: str | None) -> dict:
             for i in range(1, len(headers))
             if i < len(row) and isinstance(row[i], (int, float))
         }
-    return rows
+    return rows, wall_seconds
 
 
-def collect(build_dir: str, scenes: str | None) -> dict:
+def collect(build_dir: str, scenes: str | None,
+            jobs: int | None) -> dict:
     benches = {}
     for spec in SUITE:
         print(f"[bench_baseline] running {spec['name']} ...",
               file=sys.stderr)
+        rows, wall_seconds = run_bench(build_dir, spec, scenes, jobs)
         benches[spec["name"]] = {
             "metrics": spec["metrics"],
-            "rows": run_bench(build_dir, spec, scenes),
+            "rows": rows,
+            # Host wall clock of the campaign, for context only: it
+            # sits outside "rows" so compare() never gates on it (the
+            # simulated cycle counts are jobs-invariant; wall clock is
+            # not).
+            "wall_seconds": round(wall_seconds, 3),
         }
     return {"suite_version": 1, "benches": benches}
 
@@ -143,6 +156,10 @@ def main() -> int:
     ap.add_argument("--scenes", default=None,
                     help="comma-separated scene subset passed through "
                          "to the bench binaries")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="worker threads passed through to the bench "
+                         "binaries (campaign engine); simulated "
+                         "results are identical for any value")
     ap.add_argument("--json-out", default=None,
                     help="write the collected baseline to this file")
     ap.add_argument("--compare", default=None, metavar="BASELINE",
@@ -152,7 +169,7 @@ def main() -> int:
     if not args.json_out and not args.compare:
         ap.error("need --json-out (capture) or --compare (gate)")
 
-    current = collect(args.build_dir, args.scenes)
+    current = collect(args.build_dir, args.scenes, args.jobs)
 
     if args.json_out:
         with open(args.json_out, "w") as f:
