@@ -61,11 +61,22 @@ parse(int argc, char **argv)
     opt.scenes = scene::SceneRegistry::allLabels();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        // Diagnostics go to stderr and exit non-zero (2, the usage
+        // convention the CLIs share), so scripted sweeps fail loudly
+        // instead of silently running the full default matrix.
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "[bench] %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
         if (arg == "--csv") {
             opt.csv = true;
-        } else if (arg == "--scenes" && i + 1 < argc) {
+        } else if (arg == "--scenes") {
             opt.scenes.clear();
-            std::stringstream ss(argv[++i]);
+            std::stringstream ss(next("--scenes"));
             std::string tok;
             while (std::getline(ss, tok, ',')) {
                 if (!scene::SceneRegistry::has(tok)) {
@@ -86,10 +97,17 @@ parse(int argc, char **argv)
                              "[bench] --scenes selected no scenes\n");
                 std::exit(2);
             }
-        } else if (arg == "--jobs" && i + 1 < argc) {
-            opt.jobs = std::atoi(argv[++i]);
-        } else if (arg == "--json-out" && i + 1 < argc) {
-            opt.json_out = argv[++i];
+        } else if (arg == "--jobs") {
+            opt.jobs = std::atoi(next("--jobs"));
+        } else if (arg == "--json-out") {
+            opt.json_out = next("--json-out");
+        } else {
+            std::fprintf(stderr,
+                         "[bench] unknown flag '%s' (--csv, "
+                         "--scenes a,b,c, --jobs N, --json-out "
+                         "FILE)\n",
+                         arg.c_str());
+            std::exit(2);
         }
     }
     return opt;

@@ -4,9 +4,15 @@
  * in the bath scene, baseline vs CoopRT. A '#' column means the lane
  * has a non-empty traversal stack (or a node in flight). CoopRT fills
  * idle lanes with stolen work and shortens the whole trace.
+ *
+ * Built on the ray-provenance recorder (src/raytrace/): the recorder
+ * samples the same late warp the legacy armTimeline path recorded
+ * (all 32 lanes, SM 0, 60 trace_rays skipped) and its lane-edge log
+ * replays into the identical rendered timeline.
  */
 
 #include "bench_util.hpp"
+#include "raytrace/raytrace.hpp"
 
 int
 main(int argc, char **argv)
@@ -29,8 +35,25 @@ main(int argc, char **argv)
         core::RunConfig cfg;
         cfg.gpu.trace.coop = coop;
         cfg.profiler = &profiler;
-        stats::TimelineRecorder rec(rtunit::kWarpSize);
-        core::RunOutcome out = sim.run(cfg, nullptr, &rec, skip);
+        raytrace::RecorderConfig rcfg;
+        rcfg.sample_k = rtunit::kWarpSize;
+        rcfg.warp_skip = std::uint64_t(skip);
+        rcfg.max_warps_per_unit = 1;
+        rcfg.lane_timeline = true;
+        raytrace::Recorder ray(rcfg);
+        cfg.ray_recorder = &ray;
+        core::RunOutcome out = sim.run(cfg);
+
+        const raytrace::WarpRecord *warp = nullptr;
+        for (const raytrace::WarpRecord *w : ray.warps())
+            if (w->sm == 0)
+                warp = w;
+        if (warp == nullptr) {
+            std::fprintf(stderr,
+                         "fig11: recorder captured no warp on SM 0\n");
+            return 1;
+        }
+        stats::TimelineRecorder rec = raytrace::laneTimeline(*warp);
 
         if (!opt.csv) {
             std::printf("\nFig. 11%s — %s, scene %s, one late "

@@ -5,9 +5,18 @@
  * 32-entry warp buffer without CoopRT. Lower is better; the slowest
  * warp bounds the frame rate in real-time rendering. The paper:
  * 0.46x (CoopRT) vs 0.62x (big buffer).
+ *
+ * The headline ratios come from the per-warp completion records as
+ * before; the ray-provenance recorder (src/raytrace/) then explains
+ * WHY the slowest warp is slow: a final CoopRT run on the first scene
+ * attributes every cycle of each SM's slowest sampled warp to the
+ * stall-taxonomy bucket blocking its critical ray.
  */
 
+#include <iostream>
+
 #include "bench_util.hpp"
+#include "raytrace/raytrace.hpp"
 
 int
 main(int argc, char **argv)
@@ -44,5 +53,19 @@ main(int argc, char **argv)
             .cell(stats::geomean(coop_col), 2)
             .cell(stats::geomean(big_col), 2);
     benchutil::emit(t, opt);
+
+    // Critical-path attribution of the slowest sampled warps (text
+    // mode only, so --csv output is unchanged): one more CoopRT run
+    // on the first scene with the provenance recorder attached.
+    if (!opt.csv && !opt.scenes.empty()) {
+        benchutil::note("fig14 critical path " + opt.scenes[0]);
+        core::RunConfig cfg = cfgs[1];
+        raytrace::Recorder ray;
+        cfg.ray_recorder = &ray;
+        core::simulationFor(opt.scenes[0]).run(cfg);
+        std::printf("\nscene %s, CoopRT (4-entry buffer):\n",
+                    opt.scenes[0].c_str());
+        raytrace::writeCriticalPath(std::cout, ray.criticalPath());
+    }
     return 0;
 }

@@ -26,6 +26,10 @@
  *   --json-out FILE       append one JSON line per job
  *   --metrics-dir DIR     per-job metrics CSV, named by job tag
  *   --profile-dir DIR     per-job folded + JSON stall profiles
+ *   --ray-dir DIR         per-job ray-provenance stats JSON, named
+ *                         by job tag (see DESIGN.md "Ray provenance")
+ *   --ray-sample-k N      rays sampled per warp for --ray-dir
+ *                         recorders (default 4)
  *   --csv                 CSV summary table
  *   --list-configs        list named configs and exit
  */
@@ -187,7 +191,8 @@ main(int argc, char **argv)
                    "  [--shader pt|ao|sh] [--resolution N]\n"
                    "  [--jobs N] [--retries K] [--timeout-s T]\n"
                    "  [--json-out FILE] [--metrics-dir DIR]\n"
-                   "  [--profile-dir DIR] [--csv] [--list-configs]\n";
+                   "  [--profile-dir DIR] [--ray-dir DIR]\n"
+                   "  [--ray-sample-k N] [--csv] [--list-configs]\n";
             return 0;
         } else if (a == "--list-configs") {
             for (const auto &c : kConfigs)
@@ -233,6 +238,13 @@ main(int argc, char **argv)
             copt.metrics_dir = next("--metrics-dir");
         } else if (a == "--profile-dir") {
             copt.profile_dir = next("--profile-dir");
+        } else if (a == "--ray-dir") {
+            copt.raytrace_dir = next("--ray-dir");
+        } else if (a == "--ray-sample-k") {
+            copt.ray_config.sample_k =
+                std::atoi(next("--ray-sample-k"));
+            if (copt.ray_config.sample_k <= 0)
+                return usage("--ray-sample-k wants a positive value");
         } else if (a == "--csv") {
             csv = true;
         } else {

@@ -41,6 +41,19 @@
  *                         speedscope (implies --profile)
  *   --profile-json FILE   write the hierarchical JSON profile
  *                         (implies --profile)
+ *
+ * Ray-level provenance tracing (DESIGN.md "Ray provenance" /
+ * src/raytrace/):
+ *   --ray-trace           sample K rays per warp, record their
+ *                         lifecycle events and print the per-SM
+ *                         critical-path attribution (adds a "ray"
+ *                         object to --json reports; sampled rays get
+ *                         their own tracks in --trace exports)
+ *   --ray-sample-k N      rays sampled per warp (default 4; implies
+ *                         --ray-trace)
+ *   --ray-out FILE        write the per-ray statistics summary —
+ *                         JSON, or CSV when FILE ends in ".csv"
+ *                         (implies --ray-trace)
  */
 
 #include <cstdio>
@@ -51,6 +64,7 @@
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 #include "prof/prof.hpp"
+#include "raytrace/raytrace.hpp"
 #include "trace/session.hpp"
 
 namespace {
@@ -75,11 +89,14 @@ main(int argc, char **argv)
     core::RunConfig cfg;
     bool json = false;
     bool profile = false;
+    bool ray_trace = false;
     std::string trace_path;
     std::string metrics_path;
     std::string profile_folded_path;
     std::string profile_json_path;
+    std::string ray_out_path;
     trace::SessionOptions trace_opt;
+    raytrace::RecorderConfig ray_cfg;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -103,7 +120,8 @@ main(int argc, char **argv)
                 "  [--trace FILE] [--metrics FILE]\n"
                 "  [--trace-filter PAT] [--trace-capacity N]\n"
                 "  [--profile] [--profile-out FILE]\n"
-                "  [--profile-json FILE]\n";
+                "  [--profile-json FILE]\n"
+                "  [--ray-trace] [--ray-sample-k N] [--ray-out FILE]\n";
             return 0;
         } else if (a == "--scene") {
             scene_label = next("--scene");
@@ -157,6 +175,14 @@ main(int argc, char **argv)
         } else if (a == "--profile-json") {
             profile_json_path = next("--profile-json");
             profile = true;
+        } else if (a == "--ray-trace") {
+            ray_trace = true;
+        } else if (a == "--ray-sample-k") {
+            ray_cfg.sample_k = std::atoi(next("--ray-sample-k"));
+            ray_trace = true;
+        } else if (a == "--ray-out") {
+            ray_out_path = next("--ray-out");
+            ray_trace = true;
         } else {
             return usage(("unknown flag " + a).c_str());
         }
@@ -180,6 +206,11 @@ main(int argc, char **argv)
     prof::Profiler profiler;
     if (profile)
         cfg.profiler = &profiler;
+    if (ray_trace && ray_cfg.sample_k <= 0)
+        return usage("--ray-sample-k needs a positive value");
+    raytrace::Recorder ray(ray_cfg);
+    if (ray_trace)
+        cfg.ray_recorder = &ray;
 
     const core::Simulation &sim = core::simulationFor(scene_label);
     const core::RunOutcome out = sim.run(cfg);
@@ -217,6 +248,20 @@ main(int argc, char **argv)
                        profiler.writeJson(os, out.scene);
                    },
                    "json profile");
+    if (!ray_out_path.empty()) {
+        const bool csv =
+            ray_out_path.size() >= 4 &&
+            ray_out_path.compare(ray_out_path.size() - 4, 4,
+                                 ".csv") == 0;
+        write_file(ray_out_path,
+                   [&](std::ostream &os) {
+                       if (csv)
+                           ray.writeRayStatsCsv(os);
+                       else
+                           ray.writeRayStatsJson(os, out.scene);
+                   },
+                   csv ? "ray stats csv" : "ray stats json");
+    }
     if (cfg.trace_session != nullptr) {
         const auto &ts = out.traceSummary();
         std::cerr << "[trace] events recorded " << ts.events_recorded
@@ -264,6 +309,15 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(c),
                         denom > 0 ? 100.0 * double(c) / denom : 0.0);
         }
+    }
+    if (ray_trace) {
+        const auto &r = out.gpu.ray_summary;
+        std::cout << "  ray provenance:   " << r.stats.rays_sampled
+                  << " rays over " << r.stats.warps_sampled << "/"
+                  << r.stats.warps_seen << " warps, "
+                  << r.stats.events_recorded << " events (dropped "
+                  << r.stats.events_dropped << ")\n";
+        raytrace::writeCriticalPath(std::cout, ray.criticalPath());
     }
     return 0;
 }

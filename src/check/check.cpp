@@ -85,6 +85,7 @@ mutationName(Mutation m)
       case Mutation::L2BankTimeTravel: return "L2BankTimeTravel";
       case Mutation::MetricsCycleRepeat: return "MetricsCycleRepeat";
       case Mutation::ProfMisattribution: return "ProfMisattribution";
+      case Mutation::RayProvenanceDrop: return "RayProvenanceDrop";
     }
     return "Unknown";
 }
@@ -98,6 +99,7 @@ allMutations()
         Mutation::LeakWarpSlot,          Mutation::IllegalLbuHelper,
         Mutation::CacheHitMiscount,      Mutation::L2BankTimeTravel,
         Mutation::MetricsCycleRepeat,    Mutation::ProfMisattribution,
+        Mutation::RayProvenanceDrop,
     };
     return all;
 }

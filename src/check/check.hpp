@@ -150,6 +150,8 @@ enum class Mutation
     MetricsCycleRepeat,
     /** Profiler skips one warp's stall classification for a cycle. */
     ProfMisattribution,
+    /** Ray provenance recorder silently loses a steal event. */
+    RayProvenanceDrop,
 };
 
 /** Stable name of @p m ("DoubleConsumeResponse", ...). */

@@ -7,68 +7,10 @@
 
 namespace cooprt::core {
 
-namespace {
-
-/** Minimal JSON emitter: tracks comma placement per nesting level. */
-class JsonWriter
-{
-  public:
-    explicit JsonWriter(std::ostream &os) : os_(os) {}
-
-    void
-    open(const char *key = nullptr)
-    {
-        comma();
-        if (key)
-            os_ << cooprt::trace::quoteJson(key) << ':';
-        os_ << '{';
-        first_ = true;
-    }
-
-    void
-    close()
-    {
-        os_ << '}';
-        first_ = false;
-    }
-
-    template <typename T>
-    void
-    field(const char *key, const T &value)
-    {
-        comma();
-        os_ << cooprt::trace::quoteJson(key) << ':' << value;
-        first_ = false;
-    }
-
-    void
-    field(const char *key, const std::string &value)
-    {
-        comma();
-        os_ << cooprt::trace::quoteJson(key) << ':'
-            << cooprt::trace::quoteJson(value);
-        first_ = false;
-    }
-
-  private:
-    void
-    comma()
-    {
-        if (!first_)
-            os_ << ',';
-        first_ = true;
-    }
-
-    std::ostream &os_;
-    bool first_ = true;
-};
-
-} // namespace
-
 void
 writeJson(std::ostream &os, const RunOutcome &o)
 {
-    JsonWriter w(os);
+    cooprt::trace::JsonWriter w(os);
     w.open();
     w.field("scene", o.scene);
     w.field("resolution", o.resolution);
@@ -130,6 +72,40 @@ writeJson(std::ostream &os, const RunOutcome &o)
         w.field("busy", p.threads.busy);
         w.field("waiting", p.threads.waiting);
         w.close();
+        w.close();
+    }
+
+    if (o.gpu.ray_summary.enabled) {
+        const auto &r = o.gpu.ray_summary;
+        w.open("ray");
+        w.field("warps_seen", r.stats.warps_seen);
+        w.field("warps_sampled", r.stats.warps_sampled);
+        w.field("warps_retired", r.stats.warps_retired);
+        w.field("rays_sampled", r.stats.rays_sampled);
+        w.field("events_recorded", r.stats.events_recorded);
+        w.field("events_dropped", r.stats.events_dropped);
+        w.field("steal_events", r.stats.steal_events);
+        w.openArray("critical_path");
+        for (const auto &e : r.critical) {
+            w.open();
+            w.field("sm", e.sm);
+            w.field("ordinal", e.ordinal);
+            w.field("warp_id", e.warp_id);
+            w.field("submit_cycle", e.submit_cycle);
+            w.field("retire_cycle", e.retire_cycle);
+            w.field("latency", e.latency());
+            w.field("blocking_lane", e.blocking_lane);
+            w.field("ray_node_visits", e.ray_node_visits);
+            w.field("ray_steals_in", e.ray_steals_in);
+            w.field("ray_steals_out", e.ray_steals_out);
+            w.open("buckets");
+            for (int b = 0; b < prof::kNumBuckets; ++b)
+                w.field(prof::bucketName(prof::Bucket(b)),
+                        e.buckets[std::size_t(b)]);
+            w.close();
+            w.close();
+        }
+        w.closeArray();
         w.close();
     }
 

@@ -47,6 +47,7 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
     gpu::Gpu g(flat_, scene_.mesh, config.gpu);
     g.setTrace(config.trace_session);
     g.setProf(config.profiler);
+    g.setRayTrace(config.ray_recorder);
     RunOutcome out;
     out.scene = scene_.name;
     out.resolution = res;

@@ -66,6 +66,17 @@ struct RunConfig
      * profiling off (the default, bit-identical timing).
      */
     cooprt::prof::Profiler *profiler = nullptr;
+
+    /**
+     * Optional ray-level provenance recorder (see
+     * raytrace/raytrace.hpp): when set, the run deterministically
+     * samples K rays per warp, logs their lifecycle events and fills
+     * `GpuRunResult::ray_summary`; the recorder keeps the full
+     * per-warp records for raystats / Perfetto export. Borrowed, must
+     * outlive the run, reset by each run that uses it. Null =
+     * recording off (the default, bit-identical timing).
+     */
+    cooprt::raytrace::Recorder *ray_recorder = nullptr;
 };
 
 /** The result of one run: timing, power and all collected stats. */

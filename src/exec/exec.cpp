@@ -127,8 +127,12 @@ Campaign::defaultRunner() const
     const std::string profile_dir = options_.profile_dir;
     const bool attach_profiler =
         options_.attach_profiler || !profile_dir.empty();
-    return [metrics_dir, profile_dir,
-            attach_profiler](const Job &job, std::stop_token) {
+    const std::string raytrace_dir = options_.raytrace_dir;
+    const bool attach_ray =
+        options_.attach_ray_recorder || !raytrace_dir.empty();
+    const raytrace::RecorderConfig ray_config = options_.ray_config;
+    return [metrics_dir, profile_dir, attach_profiler, raytrace_dir,
+            attach_ray, ray_config](const Job &job, std::stop_token) {
         core::RunConfig cfg = job.config;
 
         // Per-job sinks: every worker gets private session/profiler
@@ -145,6 +149,11 @@ Campaign::defaultRunner() const
         if (attach_profiler) {
             profiler.emplace();
             cfg.profiler = &*profiler;
+        }
+        std::optional<raytrace::Recorder> ray;
+        if (attach_ray) {
+            ray.emplace(ray_config);
+            cfg.ray_recorder = &*ray;
         }
 
         const core::Simulation &sim =
@@ -170,6 +179,13 @@ Campaign::defaultRunner() const
                           },
                           "per-job json profile");
         }
+        if (!raytrace_dir.empty())
+            writeSinkFile(raytrace_dir + "/" + stem +
+                              ".raystats.json",
+                          [&](std::ostream &os) {
+                              ray->writeRayStatsJson(os, out.scene);
+                          },
+                          "per-job ray stats");
         return out;
     };
 }

@@ -136,6 +136,17 @@ struct CampaignOptions
     /** Attach a per-job profiler even without `profile_dir`, filling
      *  `outcome.gpu.prof_summary` (bit-identical cycle counts). */
     bool attach_profiler = false;
+    /** When set, each job runs with its own ray-provenance recorder
+     *  (configured by `ray_config`) and writes
+     *  `<dir>/<sanitized tag>.raystats.json`. The sink depends only
+     *  on the simulated run, so it is byte-identical between
+     *  `--jobs 1` and `--jobs N`. */
+    std::string raytrace_dir;
+    /** Attach a per-job ray recorder even without `raytrace_dir`,
+     *  filling `outcome.gpu.ray_summary` (bit-identical cycles). */
+    bool attach_ray_recorder = false;
+    /** Sampling parameters for per-job ray recorders. */
+    raytrace::RecorderConfig ray_config;
     /**
      * Completion hook, invoked once per job (success or final
      * failure) from worker threads, serialized by the campaign.

@@ -103,12 +103,25 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
                     memsys_.lastFetchDepth());
             });
     }
+    if (ray_ != nullptr) {
+        ray_->reset();
+        // Same serving-level contract as the profiler callback above;
+        // when both are attached the profiler's value is reused, so
+        // attaching the recorder never perturbs prof attribution.
+        for (std::size_t i = 0; i < sms_.size(); ++i)
+            sms_[i]->attachRayTrace(&ray_->unit(int(i)), [this] {
+                return cooprt::prof::MemLevel(
+                    memsys_.lastFetchDepth());
+            });
+    }
     if (session_ != nullptr) {
         // Each run restarts the session's collected data; component
         // registrations are idempotent (overwrite by name).
         session_->resetData();
         if (prof_ != nullptr)
             prof_->registerMetrics(session_->registry());
+        if (ray_ != nullptr)
+            ray_->registerMetrics(session_->registry());
         memsys_.registerMetrics(session_->registry());
         session_->registry().probe(
             "rtunit.thread_utilization",
@@ -223,6 +236,11 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
         res.prof_summary.buckets = prof_->totals();
         res.prof_summary.resident_cycles = prof_->residentCycles();
         res.prof_summary.threads = prof_->threadStatus();
+    }
+    if (ray_ != nullptr) {
+        if (session_ != nullptr && session_->tracer() != nullptr)
+            ray_->emitPerfetto(*session_->tracer());
+        res.ray_summary = ray_->summary();
     }
     if (session_ != nullptr)
         res.trace_summary = session_->summary();

@@ -14,6 +14,7 @@
 #include "gpu/sm.hpp"
 #include "mem/memory_system.hpp"
 #include "prof/prof.hpp"
+#include "raytrace/raytrace.hpp"
 #include "stats/sampler.hpp"
 #include "trace/session.hpp"
 
@@ -46,6 +47,14 @@ struct GpuRunResult
 
     /** Per-warp completion records; max latency drives Fig. 14. */
     std::vector<WarpCompletion> completions;
+
+    /**
+     * Ray-provenance roll-up (disabled unless a
+     * `cooprt::raytrace::Recorder` was attached via setRayTrace):
+     * recorder totals plus the per-SM critical-path attribution of
+     * each SM's slowest sampled warp.
+     */
+    cooprt::raytrace::Summary ray_summary;
 
     /** Observability collection totals (zero when tracing is off). */
     cooprt::trace::RunTraceSummary trace_summary;
@@ -104,6 +113,20 @@ class Gpu
     { prof_ = profiler; }
 
     /**
+     * Attach a ray-level provenance recorder for subsequent run()
+     * calls (null = recording off, the default). Each run resets the
+     * recorder, wires one `raytrace::UnitRecorder` per SM, and the
+     * RT units log the lifecycle events of the rays the recorder's
+     * deterministic sampler selects. When a trace session is also
+     * attached, sampled rays get their own Perfetto tracks and the
+     * `ray.*` probes join the metrics registry. Purely observational:
+     * simulated cycle counts are bit-identical with and without it.
+     * The recorder must outlive this Gpu.
+     */
+    void setRayTrace(cooprt::raytrace::Recorder *recorder)
+    { ray_ = recorder; }
+
+    /**
      * Run @p programs (one per warp / thread block) to completion.
      * Thread blocks are assigned to SMs round-robin, as the
      * Gigathread engine does. The Gpu instance can be reused; state
@@ -134,6 +157,7 @@ class Gpu
 
     cooprt::trace::Session *session_ = nullptr;
     cooprt::prof::Profiler *prof_ = nullptr;
+    cooprt::raytrace::Recorder *ray_ = nullptr;
     /** Busy-thread ratio at the latest sample (metrics probe src). */
     double util_now_ = 0.0;
 };

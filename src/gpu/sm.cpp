@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "raytrace/raytrace.hpp"
+
 namespace cooprt::gpu {
 
 StreamingMultiprocessor::StreamingMultiprocessor(
@@ -43,6 +45,15 @@ StreamingMultiprocessor::attachProf(
 {
     prof_ = profile;
     rt_.attachProf(profile, std::move(level));
+}
+
+void
+StreamingMultiprocessor::attachRayTrace(
+    cooprt::raytrace::UnitRecorder *recorder,
+    rtunit::RtUnit::ProfLevelFn level)
+{
+    ray_rec_ = recorder;
+    rt_.attachRayTrace(recorder, std::move(level));
 }
 
 bool
@@ -132,13 +143,19 @@ StreamingMultiprocessor::submitReady(std::uint64_t now)
 
         in_trace_++;
         rtunit::TraceJob job = std::move(ctx->action.trace);
+        const int warp_id = ctx->warp_id;
         // The retire callback owns the context until the RT unit
         // finishes the trace.
         auto *raw = ctx.release();
-        rt_.submit(job, now,
-                   [this, raw](int, const rtunit::TraceResult &res) {
-                       onRetire(std::unique_ptr<WarpCtx>(raw), res);
-                   });
+        const int slot = rt_.submit(
+            job, now,
+            [this, raw](int, const rtunit::TraceResult &res) {
+                onRetire(std::unique_ptr<WarpCtx>(raw), res);
+            });
+        // Post-submit (the record survives an instant retire): name
+        // the provenance record after the GPU-wide warp id.
+        if (ray_rec_ != nullptr)
+            ray_rec_->setWarpId(slot, warp_id);
     }
 }
 

@@ -70,6 +70,16 @@ class StreamingMultiprocessor
     void attachProf(cooprt::prof::RtUnitProfile *profile,
                     rtunit::RtUnit::ProfLevelFn level);
 
+    /**
+     * Attach the ray-level provenance recorder: the RT unit logs the
+     * lifecycle events of sampled rays and this SM associates each
+     * submitted warp's GPU-wide id with its record (so Perfetto ray
+     * tracks and the critical-path report name real warps). Null
+     * detaches; behaviour is bit-identical without a recorder.
+     */
+    void attachRayTrace(cooprt::raytrace::UnitRecorder *recorder,
+                        rtunit::RtUnit::ProfLevelFn level);
+
     /** True when every assigned warp has finished. */
     bool done() const;
 
@@ -114,6 +124,7 @@ class StreamingMultiprocessor
     StallBreakdown stalls_;
     cooprt::trace::Tracer *tracer_ = nullptr;
     cooprt::prof::RtUnitProfile *prof_ = nullptr;
+    cooprt::raytrace::UnitRecorder *ray_rec_ = nullptr;
 
     /** Warps assigned but not yet resident. */
     std::deque<std::pair<int, WarpProgram *>> pending_;

@@ -6,12 +6,16 @@
 #include <stdexcept>
 
 #include "geom/rng.hpp"
+#include "raytrace/raytrace.hpp"
 
 namespace cooprt::rtunit {
 
 using bvh::NodeRef;
 using geom::kNoHit;
 using geom::Ray;
+
+static_assert(cooprt::raytrace::kLanes == kWarpSize,
+              "raytrace lane count must mirror the warp width");
 
 RtUnit::RtUnit(const bvh::FlatBvh &bvh, const scene::Mesh &mesh,
                const TraceConfig &config, FetchFn fetch)
@@ -90,6 +94,14 @@ RtUnit::attachProf(cooprt::prof::RtUnitProfile *profile,
 {
     prof_ = profile;
     prof_level_ = std::move(level);
+}
+
+void
+RtUnit::attachRayTrace(cooprt::raytrace::UnitRecorder *recorder,
+                       ProfLevelFn level)
+{
+    ray_ = recorder;
+    ray_level_ = std::move(level);
 }
 
 std::size_t
@@ -240,6 +252,21 @@ RtUnit::submit(const TraceJob &job, std::uint64_t now, RetireFn on_retire)
         }
     }
 
+    if (ray_ != nullptr) {
+        // Sampling decision + launch events; before maybeRetire so a
+        // warp whose rays all missed the scene box still records its
+        // (instant) lifecycle.
+        std::uint32_t active_mask = 0, root_mask = 0;
+        for (int t = 0; t < kWarpSize; ++t) {
+            const ThreadState &th = w.th[std::size_t(t)];
+            if (th.active)
+                active_mask |= 1u << t;
+            if (!th.stack.empty())
+                root_mask |= 1u << t;
+        }
+        ray_->onSubmit(slot, now, active_mask, root_mask);
+    }
+
     // A warp whose rays all missed the scene box retires immediately.
     maybeRetire(slot, now);
 
@@ -318,15 +345,19 @@ RtUnit::pushWork(ThreadState &t, const StackEntry &e)
 }
 
 void
-RtUnit::dropStaleWork(WarpEntry &w, int tid)
+RtUnit::dropStaleWork(int slot, WarpEntry &w, int tid,
+                      std::uint64_t now)
 {
     ThreadState &t = w.th[std::size_t(tid)];
     while (!t.stack.empty()) {
         const StackEntry &top = peekWork(t);
         if (top.entry_t < searchLimit(w, top.main))
             break;
-        popWork(t);
+        const StackEntry dropped = popWork(t);
         stats_.stale_pops++;
+        if (ray_ != nullptr)
+            ray_->onPop(slot, tid, dropped.main, dropped.ref.raw(),
+                        true, now);
     }
 }
 
@@ -379,7 +410,7 @@ RtUnit::tryIssue(std::uint64_t now)
             ThreadState &th = w.th[std::size_t(t)];
             if (th.stack.empty())
                 continue;
-            dropStaleWork(w, t);
+            dropStaleWork(slot, w, t, now);
             if (first_ready < 0 && !th.pending && !th.stack.empty())
                 first_ready = t;
         }
@@ -416,7 +447,23 @@ RtUnit::tryIssue(std::uint64_t now)
             prof_progress_ |= 1ull << std::uint64_t(slot);
             if (prof_level_)
                 level = std::int8_t(prof_level_());
+        } else if (ray_ != nullptr && ray_->slotSampled(slot) &&
+                   ray_level_) {
+            // Without the profiler the serving level is only needed
+            // for sampled-ray provenance (same const read of
+            // MemorySystem::lastFetchDepth the profiler does).
+            level = std::int8_t(ray_level_());
         }
+        if (ray_ != nullptr && ray_->slotSampled(slot))
+            for (int t = 0; t < kWarpSize; ++t)
+                if (consumers & (1u << t)) {
+                    ray_->onPop(slot, t,
+                                mains[std::size_t(t)], ref.raw(),
+                                false, now);
+                    ray_->onFetchIssued(slot, t,
+                                        mains[std::size_t(t)],
+                                        ref.raw(), level, now);
+                }
         pushResponse(Response{data_ready + cfg_.math_latency, slot,
                               consumers, ref, mains, level});
         w.outstanding++;
@@ -433,6 +480,7 @@ RtUnit::tryIssue(std::uint64_t now)
         if (w.record_timeline)
             for (int t = 0; t < kWarpSize; ++t)
                 recordBusyEdge(slot, t, now);
+        recordRayEdges(slot, w, now);
 
         // Round-robin rotates away; greedy keeps serving this warp.
         rr_next_ = cfg_.sched == WarpSchedPolicy::GreedyThenOldest
@@ -528,6 +576,9 @@ RtUnit::runLbu(std::uint64_t now)
                 ThreadState &hs = w.th[std::size_t(helper)];
                 const StackEntry stolen = popSteal(ms);
                 pushWork(hs, stolen);
+                if (ray_ != nullptr)
+                    ray_->onSteal(slot, main, helper, stolen.main,
+                                  hs.main_tid != stolen.main, now);
                 // The stolen entry carries its ray owner; the helper
                 // records it as its current target (status/debug).
                 hs.main_tid = stolen.main;
@@ -542,6 +593,7 @@ RtUnit::runLbu(std::uint64_t now)
                     recordBusyEdge(slot, helper, now);
                     recordBusyEdge(slot, main, now);
                 }
+                recordRayEdges(slot, w, now);
             }
         }
         if (any_move)
@@ -550,16 +602,18 @@ RtUnit::runLbu(std::uint64_t now)
 }
 
 void
-RtUnit::processNode(WarpEntry &w, int tid, NodeRef ref, int main,
-                    std::uint64_t now)
+RtUnit::processNode(int slot, WarpEntry &w, int tid, NodeRef ref,
+                    int main, std::uint64_t now)
 {
     ThreadState &t = w.th[std::size_t(tid)];
     const Ray &ray = w.th[std::size_t(main)].ray;
 
     if (ref.isLeaf()) {
+        std::uint32_t tested = 0;
         for (std::uint32_t k = 0; k < ref.primCount(); ++k) {
             const std::uint32_t prim = bvh_.primAt(ref.firstSlot() + k);
             stats_.tri_tests++;
+            tested++;
             const float limit = searchLimit(w, main);
             const float thit = mesh_.tri(prim).intersect(ray, limit);
             if (thit != kNoHit) {
@@ -580,6 +634,8 @@ RtUnit::processNode(WarpEntry &w, int tid, NodeRef ref, int main,
                 }
             }
         }
+        if (ray_ != nullptr)
+            ray_->onLeafTests(slot, tid, main, tested, now);
         return;
     }
 
@@ -591,6 +647,8 @@ RtUnit::processNode(WarpEntry &w, int tid, NodeRef ref, int main,
         const float thit = c.box.intersect(ray, limit);
         if (thit != kNoHit) {
             pushWork(t, {c.ref, thit, std::int8_t(main)});
+            if (ray_ != nullptr)
+                ray_->onNodePush(slot, tid, main, c.ref.raw(), now);
             if (cfg_.child_prefetch) {
                 // Treelet-style prefetch: warm the hierarchy with
                 // the child's record so the demand fetch hits L1 or
@@ -622,6 +680,7 @@ RtUnit::processOneResponse(std::uint64_t now)
         return true;
     }
 #endif
+    const bool ray_on = ray_ != nullptr && ray_->slotSampled(r.slot);
     for (int t = 0; t < kWarpSize; ++t) {
         if (!(r.consumers & (1u << t)))
             continue;
@@ -629,7 +688,10 @@ RtUnit::processOneResponse(std::uint64_t now)
         assert(th.pending_main == r.mains[std::size_t(t)]);
         if (th.pending && th.pending_ref == r.ref)
             th.pending = false;
-        processNode(w, t, r.ref, r.mains[std::size_t(t)], now);
+        if (ray_on)
+            ray_->onFetchConsumed(r.slot, t, r.mains[std::size_t(t)],
+                                  r.ref.raw(), r.level, now);
+        processNode(r.slot, w, t, r.ref, r.mains[std::size_t(t)], now);
     }
     w.outstanding--;
     // Seeded bug: one response consumed, accounted for twice.
@@ -644,6 +706,7 @@ RtUnit::processOneResponse(std::uint64_t now)
     if (w.record_timeline)
         for (int t = 0; t < kWarpSize; ++t)
             recordBusyEdge(r.slot, t, now);
+    recordRayEdges(r.slot, w, now);
 
     maybeRetire(r.slot, now);
     return true;
@@ -699,6 +762,9 @@ RtUnit::maybeRetire(int slot, std::uint64_t now)
         timeline_armed_ = false; // record one warp per arm
     }
 
+    if (ray_ != nullptr)
+        ray_->onRetire(slot, now);
+
     RetireFn cb = std::move(w.on_retire);
     w = WarpEntry{};
     // Seeded bug: the slot is recycled but the residency ledger keeps
@@ -716,6 +782,19 @@ RtUnit::recordBusyEdge(int slot, int tid, std::uint64_t now)
         return;
     const WarpEntry &w = warps_[std::size_t(slot)];
     timeline_->setBusy(tid, now, threadBusy(w.th[std::size_t(tid)]));
+}
+
+void
+RtUnit::recordRayEdges(int slot, const WarpEntry &w, std::uint64_t now)
+{
+    if (ray_ == nullptr || !ray_->wantLaneEdges(slot))
+        return;
+    // All-lane edges at every state-changing site; the timeline
+    // recorder registers transitions only, so this reproduces the
+    // legacy armTimeline recording exactly (fig11).
+    for (int t = 0; t < kWarpSize; ++t)
+        ray_->onLaneEdge(slot, t, threadBusy(w.th[std::size_t(t)]),
+                         now);
 }
 
 void

@@ -46,6 +46,10 @@
 #include "trace/chrome_trace.hpp"
 #include "trace/registry.hpp"
 
+namespace cooprt::raytrace {
+class UnitRecorder;
+} // namespace cooprt::raytrace
+
 namespace cooprt::rtunit {
 
 /** Sentinel for "no cycle" / "never". */
@@ -174,6 +178,18 @@ class RtUnit
      */
     void attachProf(cooprt::prof::RtUnitProfile *profile,
                     ProfLevelFn level);
+
+    /**
+     * Attach the ray-level provenance recorder (`cooprt::raytrace`):
+     * lifecycle events of the recorder's sampled rays — launch,
+     * pops/pushes, fetches with serving level from @p level, leaf
+     * tests, LBU steals, retirement — are logged cycle-stamped.
+     * Null @p recorder (the default) disables recording; hot paths
+     * then pay one pointer test and simulated behaviour is
+     * bit-identical (pinned-cycle proof in tests/raytrace).
+     */
+    void attachRayTrace(cooprt::raytrace::UnitRecorder *recorder,
+                        ProfLevelFn level);
 
     /**
      * Component path used by `cooprt::check` violations (default
@@ -311,7 +327,8 @@ class RtUnit
     void pushWork(ThreadState &t, const StackEntry &e);
 
     /** Drop stale TOS entries (entry_t >= current search limit). */
-    void dropStaleWork(WarpEntry &w, int tid);
+    void dropStaleWork(int slot, WarpEntry &w, int tid,
+                       std::uint64_t now);
 
     /** Current search limit for ray owner @p main. */
     float searchLimit(const WarpEntry &w, int main) const;
@@ -319,8 +336,8 @@ class RtUnit
     bool tryIssue(std::uint64_t now);
     void runLbu(std::uint64_t now);
     bool processOneResponse(std::uint64_t now);
-    void processNode(WarpEntry &w, int tid, bvh::NodeRef ref, int main,
-                     std::uint64_t now);
+    void processNode(int slot, WarpEntry &w, int tid, bvh::NodeRef ref,
+                     int main, std::uint64_t now);
 
     /** Quantized-ray key for the intersection predictor. */
     std::size_t predictorIndex(const geom::Ray &ray) const;
@@ -328,6 +345,8 @@ class RtUnit
     void predictorLearn(const WarpEntry &w);
     void maybeRetire(int slot, std::uint64_t now);
     void recordBusyEdge(int slot, int tid, std::uint64_t now);
+    /** All-lane busy edges for ray-sampled warps (fig11 timelines). */
+    void recordRayEdges(int slot, const WarpEntry &w, std::uint64_t now);
 
     const bvh::FlatBvh &bvh_;
     const scene::Mesh &mesh_;
@@ -377,6 +396,10 @@ class RtUnit
 
     cooprt::prof::RtUnitProfile *prof_ = nullptr;
     ProfLevelFn prof_level_;
+    /** Ray provenance recorder (dormant while null; see attachRayTrace). */
+    cooprt::raytrace::UnitRecorder *ray_ = nullptr;
+    /** Serving-level reader for sampled-ray fetch events. */
+    ProfLevelFn ray_level_;
     /** Slots that issued a fetch or consumed a response this tick. */
     std::uint64_t prof_progress_ = 0;
     /** Slots the LBU served this tick. */

@@ -1,13 +1,15 @@
 /**
  * @file
- * JSON string escaping shared by every hand-rolled JSON emitter in
- * the repository (the run reporter, the Chrome-trace writer, the
- * bench table exporter). Kept dependency-free on purpose.
+ * JSON string escaping and the minimal streaming JSON writer shared
+ * by every hand-rolled JSON emitter in the repository (the run
+ * reporter, the Chrome-trace writer, the bench table exporter, the
+ * ray-provenance raystats export). Kept dependency-free on purpose.
  */
 
 #ifndef COOPRT_TRACE_JSON_HPP
 #define COOPRT_TRACE_JSON_HPP
 
+#include <ostream>
 #include <string>
 #include <string_view>
 
@@ -23,6 +25,102 @@ std::string escapeJson(std::string_view s);
 
 /** Convenience: @p s escaped and wrapped in double quotes. */
 std::string quoteJson(std::string_view s);
+
+/**
+ * Minimal streaming JSON emitter: tracks comma placement per nesting
+ * level, quotes keys/strings through quoteJson, and streams every
+ * other value through operator<<. The caller is responsible for
+ * balanced open/close calls; no validation happens here (the tests
+ * run emitted documents through a JSON checker instead).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    /** Open an object; with @p key, as `"key":{`. */
+    void
+    open(const char *key = nullptr)
+    {
+        comma();
+        if (key)
+            os_ << quoteJson(key) << ':';
+        os_ << '{';
+        first_ = true;
+    }
+
+    void
+    close()
+    {
+        os_ << '}';
+        first_ = false;
+    }
+
+    /** Open an array; with @p key, as `"key":[`. */
+    void
+    openArray(const char *key = nullptr)
+    {
+        comma();
+        if (key)
+            os_ << quoteJson(key) << ':';
+        os_ << '[';
+        first_ = true;
+    }
+
+    void
+    closeArray()
+    {
+        os_ << ']';
+        first_ = false;
+    }
+
+    template <typename T>
+    void
+    field(const char *key, const T &value)
+    {
+        comma();
+        os_ << quoteJson(key) << ':' << value;
+        first_ = false;
+    }
+
+    void
+    field(const char *key, const std::string &value)
+    {
+        comma();
+        os_ << quoteJson(key) << ':' << quoteJson(value);
+        first_ = false;
+    }
+
+    /** Array element (inside openArray/closeArray). */
+    template <typename T>
+    void
+    value(const T &v)
+    {
+        comma();
+        os_ << v;
+        first_ = false;
+    }
+
+    void
+    value(const std::string &v)
+    {
+        comma();
+        os_ << quoteJson(v);
+        first_ = false;
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (!first_)
+            os_ << ',';
+        first_ = true;
+    }
+
+    std::ostream &os_;
+    bool first_ = true;
+};
 
 } // namespace cooprt::trace
 

@@ -16,6 +16,7 @@
 #include "core/simulation.hpp"
 #include "mem/memory_system.hpp"
 #include "prof/prof.hpp"
+#include "raytrace/raytrace.hpp"
 #include "trace/metrics.hpp"
 #include "trace/registry.hpp"
 
@@ -175,12 +176,31 @@ TEST_F(MutationTest, ProfMisattribution)
                  });
 }
 
+TEST_F(MutationTest, RayProvenanceDrop)
+{
+    // A steal event the recorder silently loses breaks the
+    // recorded-vs-expected steal-event ledger the conservation audit
+    // re-checks when each sampled warp retires.
+    expectCaught(
+        check::Mutation::RayProvenanceDrop,
+        "ray.event_conservation", [] {
+            raytrace::RecorderConfig rcfg;
+            rcfg.sample_k = raytrace::kLanes; // every steal is logged
+            raytrace::UnitRecorder rec(0, &rcfg);
+            TraceConfig coop;
+            coop.coop = true;
+            RtHarness h(testutil::makeSoup(8, 2000), coop);
+            h.unit.attachRayTrace(&rec, nullptr);
+            h.runOne(testutil::frontalJob(1)); // steal-heavy warp
+        });
+}
+
 /** The harness covers every mutation in the catalogue. */
 TEST_F(MutationTest, CatalogueFullyExercised)
 {
     // One TEST_F above per entry; this guards against a new Mutation
     // being added without a matching detection test.
-    EXPECT_EQ(check::allMutations().size(), 10u)
+    EXPECT_EQ(check::allMutations().size(), 11u)
         << "new mutation added: write its detection test and update "
            "this count";
 }

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "core/simulation.hpp"
+#include "raytrace/raytrace.hpp"
 
 namespace {
 
@@ -20,12 +21,14 @@ using namespace cooprt;
 
 core::RunOutcome
 runPinned(const std::string &scene, int resolution,
-          core::ShaderKind shader, bool coop)
+          core::ShaderKind shader, bool coop,
+          raytrace::Recorder *ray = nullptr)
 {
     core::RunConfig cfg;
     cfg.resolution = resolution;
     cfg.shader = shader;
     cfg.gpu.trace.coop = coop;
+    cfg.ray_recorder = ray;
     return core::simulationFor(scene).run(cfg);
 }
 
@@ -73,6 +76,44 @@ TEST(PinnedCycles, ShipShadowBaseline)
 {
     const auto out =
         runPinned("ship", 24, core::ShaderKind::Shadow, false);
+    EXPECT_EQ(out.gpu.cycles, 36233u);
+    EXPECT_EQ(out.gpu.rt.stale_pops, 5123u);
+    EXPECT_EQ(out.gpu.rt.retired_warps, 50u);
+}
+
+// The ray-provenance recorder claims to be purely observational; the
+// pins below repeat two coop and one base run with a recorder
+// attached and demand the exact same cycle counts as above.
+
+TEST(PinnedCycles, WkndPathTracingCoopWithRayRecorder)
+{
+    raytrace::Recorder ray;
+    const auto out = runPinned("wknd", 32,
+                               core::ShaderKind::PathTracing, true,
+                               &ray);
+    EXPECT_EQ(out.gpu.cycles, 18756u);
+    EXPECT_EQ(out.gpu.rt.steals, 3750u);
+    EXPECT_EQ(out.gpu.rt.max_trace_latency, 6188u);
+    EXPECT_EQ(out.gpu.dram.bytes, 202624u);
+    EXPECT_TRUE(out.gpu.ray_summary.enabled);
+    EXPECT_GT(ray.stats().rays_sampled, 0u);
+}
+
+TEST(PinnedCycles, BunnyAmbientOcclusionCoopWithRayRecorder)
+{
+    raytrace::Recorder ray;
+    const auto out = runPinned(
+        "bunny", 24, core::ShaderKind::AmbientOcclusion, true, &ray);
+    EXPECT_EQ(out.gpu.cycles, 17550u);
+    EXPECT_EQ(out.gpu.rt.steals, 5129u);
+    EXPECT_EQ(out.gpu.rt.retired_warps, 78u);
+}
+
+TEST(PinnedCycles, ShipShadowBaselineWithRayRecorder)
+{
+    raytrace::Recorder ray;
+    const auto out =
+        runPinned("ship", 24, core::ShaderKind::Shadow, false, &ray);
     EXPECT_EQ(out.gpu.cycles, 36233u);
     EXPECT_EQ(out.gpu.rt.stale_pops, 5123u);
     EXPECT_EQ(out.gpu.rt.retired_warps, 50u);

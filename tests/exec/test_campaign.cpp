@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "core/report.hpp"
@@ -159,6 +161,51 @@ TEST(ExecCampaign, ResultsKeepSubmissionOrder)
         ASSERT_TRUE(results[i].ok);
         EXPECT_EQ(results[i].outcome.gpu.cycles, i);
     }
+}
+
+TEST(ExecCampaign, RayStatsSinksByteIdenticalAcrossWorkerCounts)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() / "cooprt_raystats_test";
+    fs::remove_all(root);
+
+    auto runWithJobs = [&](int jobs) {
+        const fs::path dir = root / ("jobs" + std::to_string(jobs));
+        fs::create_directories(dir);
+        exec::CampaignOptions opt;
+        opt.jobs = jobs;
+        opt.raytrace_dir = dir.string();
+        opt.ray_config.sample_k = 2;
+        const auto results = exec::runCampaign(pinnedJobs(), opt);
+        for (const auto &r : results)
+            EXPECT_TRUE(r.ok) << r.tag;
+        return dir;
+    };
+    const fs::path serial = runWithJobs(1);
+    const fs::path parallel = runWithJobs(4);
+
+    auto slurp = [](const fs::path &p) {
+        std::ifstream is(p, std::ios::binary);
+        EXPECT_TRUE(is.good()) << p;
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        return ss.str();
+    };
+    // Per-ray sampling is seed-derived, never scheduler-derived, so
+    // every per-job raystats file must be byte-identical regardless
+    // of how many workers ran the campaign.
+    std::size_t files = 0;
+    for (const auto &entry : fs::directory_iterator(serial)) {
+        const std::string name = entry.path().filename().string();
+        const std::string a = slurp(entry.path());
+        const std::string b = slurp(parallel / name);
+        EXPECT_EQ(a, b) << name;
+        EXPECT_NE(a.find("\"rays_sampled\""), std::string::npos);
+        files++;
+    }
+    EXPECT_EQ(files, 4u) << "one raystats file per job";
+    fs::remove_all(root);
 }
 
 TEST(ExecCampaign, UnknownSceneIsAStructuredFailure)

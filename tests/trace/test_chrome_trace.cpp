@@ -118,6 +118,35 @@ TEST(Tracer, ClearDropsDataButKeepsCapacity)
     EXPECT_TRUE(isValidJson(exportJson(t)));
 }
 
+TEST(Tracer, TrackNamesSurviveRingWraparound)
+{
+    // Track metadata lives outside the event ring: a burst that
+    // evicts every early event must not take the processName /
+    // threadName records registered alongside them with it, and the
+    // export must stay valid JSON. This is what keeps long ray-trace
+    // sessions loadable in Perfetto: the named per-warp tracks are
+    // registered once at emit time, while events churn through the
+    // ring.
+    Tracer t(4);
+    t.processName(0, "SM 0");
+    t.threadName(0, 7, "rays w7");
+    t.instant("ray", "launch", 0, 7, 1);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        t.instant("ray", "pop", 0, 7, 2 + i);
+
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_GT(t.dropped(), 0u);
+    // The launch event itself was evicted...
+    const std::string json = exportJson(t);
+    EXPECT_TRUE(isValidJson(json));
+    EXPECT_EQ(json.find("\"name\":\"launch\""), std::string::npos);
+    // ...but both name records survived eviction.
+    EXPECT_NE(json.find("SM 0"), std::string::npos);
+    EXPECT_NE(json.find("rays w7"), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
 TEST(Tracer, MacrosAreNullSafe)
 {
     Tracer *none = nullptr;

@@ -177,6 +177,13 @@ def main() -> int:
                 f"src/mem/memory_system.hpp: MemSystemStats.{field} "
                 f"is never registered as a mem.l2.* probe")
 
+    # Ray-provenance recorder counters -> ray.* probes in
+    # Recorder::registerMetrics.
+    problems += check(
+        "RecorderStats", "src/raytrace/raytrace.hpp",
+        "src/raytrace/raytrace.cpp",
+        r'reg\.probe\("ray\.(\w+)"')
+
     # Stall-taxonomy cross-check (enum <-> name table <-> DESIGN.md
     # <-> prof.* registry probes).
     problems += prof_bucket_problems()

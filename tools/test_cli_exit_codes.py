@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Exit-code contract for the repository's command-line tools.
+
+Every user-facing binary must reject bad input the same way: a
+diagnostic on *stderr* and a non-zero exit status (2, the
+conventional usage-error code), never a silent success or a crash.
+Successful informational paths (``--list-configs``) must exit 0.
+
+Registered as a ctest case; the binary paths arrive on argv:
+
+    test_cli_exit_codes.py SIMULATE_CLI CAMPAIGN_CLI BENCH_BIN
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def run(argv: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(argv, capture_output=True, text=True,
+                          timeout=120)
+
+
+FAILURES: list[str] = []
+
+
+def expect(argv: list[str], code: int, on_stderr: str = "") -> None:
+    p = run(argv)
+    label = " ".join(argv[1:]) or "(no args)"
+    if p.returncode != code:
+        FAILURES.append(
+            f"{argv[0]} {label}: exit {p.returncode}, want {code}\n"
+            f"    stderr: {p.stderr.strip()[:200]}")
+        return
+    if code != 0 and not p.stderr.strip():
+        FAILURES.append(
+            f"{argv[0]} {label}: failed silently (empty stderr)")
+    if on_stderr and on_stderr not in p.stderr:
+        FAILURES.append(
+            f"{argv[0]} {label}: stderr {p.stderr.strip()[:200]!r} "
+            f"does not mention {on_stderr!r}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    simulate, campaign, bench = argv[1:]
+
+    # simulate_cli: every malformed invocation is a usage error.
+    expect([simulate, "--no-such-flag"], 2, "unknown flag")
+    expect([simulate, "--scene", "not-a-scene"], 2, "unknown scene")
+    expect([simulate, "--shader", "bogus"], 2, "unknown shader")
+    expect([simulate, "--ray-sample-k", "0"], 2, "--ray-sample-k")
+
+    # campaign_cli: flag errors exit 2; --list-configs is a success.
+    expect([campaign, "--no-such-flag"], 2)
+    expect([campaign, "--configs", "no-such-config"], 2)
+    expect([campaign, "--jobs"], 2)
+    expect([campaign, "--ray-sample-k", "0"], 2)
+    expect([campaign, "--list-configs"], 0)
+
+    # bench binaries share bench_util's strict parser.
+    expect([bench, "--no-such-flag"], 2, "unknown flag")
+    expect([bench, "--scenes"], 2, "needs a value")
+    expect([bench, "--scenes", "not-a-scene"], 2, "unknown scene")
+
+    if FAILURES:
+        print("test_cli_exit_codes: FAIL")
+        for f in FAILURES:
+            print("  -", f)
+        return 1
+    print("test_cli_exit_codes: OK (diagnostics on stderr, "
+          "non-zero exits on bad input)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

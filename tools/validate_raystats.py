@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a raystats JSON file produced by the ray-provenance
+recorder (``simulate_cli --ray-trace --ray-out FILE`` or the campaign
+engine's ``--ray-dir`` sinks).
+
+Checks the schema and the internal conservation laws the recorder
+guarantees (see DESIGN.md §13):
+
+  - every top-level counter exists and is a non-negative integer;
+  - ``rays_sampled`` equals the number of per-ray records;
+  - each warp samples at most ``sample_k`` rays, all on distinct
+    lanes covered by ``sampled_mask``;
+  - each retired ray's launch cycle is <= its retire cycle, and its
+    ``node_visits`` equals the sum of its per-level histogram.
+
+CI runs this against a fresh smoke run (see ray-trace-smoke in
+.github/workflows/ci.yml):
+
+    python3 tools/validate_raystats.py out.raystats.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+TOP_COUNTERS = (
+    "sample_k", "seed", "warps_seen", "warps_sampled",
+    "warps_retired", "rays_sampled", "events_recorded",
+    "events_dropped", "steal_events",
+)
+
+RAY_COUNTERS = (
+    "lane", "launch", "retire", "node_visits", "node_pops",
+    "stale_pops", "node_pushes", "leaf_tests", "steals_in",
+    "steals_out", "stack_hwm", "events", "events_dropped",
+)
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"validate_raystats: FAIL: {msg}")
+
+
+def expect_counter(obj: dict, key: str, where: str) -> int:
+    if key not in obj:
+        fail(f"{where}: missing field {key!r}")
+    v = obj[key]
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        fail(f"{where}: {key} = {v!r} is not a non-negative integer")
+    return v
+
+
+def validate(doc: dict) -> tuple[int, int]:
+    if not isinstance(doc.get("scene"), str):
+        fail("top level: missing string field 'scene'")
+    for key in TOP_COUNTERS:
+        expect_counter(doc, key, "top level")
+    sample_k = doc["sample_k"]
+    if sample_k <= 0:
+        fail(f"sample_k = {sample_k} must be positive")
+
+    warps = doc.get("warps")
+    if not isinstance(warps, list):
+        fail("top level: 'warps' is not an array")
+    if len(warps) != doc["warps_sampled"]:
+        fail(f"warps_sampled = {doc['warps_sampled']} but the warps "
+             f"array holds {len(warps)} records")
+
+    rays_total = 0
+    for i, w in enumerate(warps):
+        where = f"warps[{i}]"
+        for key in ("sm", "ordinal", "warp_id", "submit", "retire",
+                    "sampled_mask"):
+            if key not in w:
+                fail(f"{where}: missing field {key!r}")
+        if not isinstance(w.get("retired"), bool):
+            fail(f"{where}: 'retired' is not a boolean")
+        rays = w.get("rays")
+        if not isinstance(rays, list):
+            fail(f"{where}: 'rays' is not an array")
+        if len(rays) > sample_k:
+            fail(f"{where}: {len(rays)} rays sampled with "
+                 f"sample_k = {sample_k}")
+        lanes = set()
+        for j, r in enumerate(rays):
+            rwhere = f"{where}.rays[{j}]"
+            for key in RAY_COUNTERS:
+                expect_counter(r, key, rwhere)
+            lane = r["lane"]
+            if lane in lanes:
+                fail(f"{rwhere}: duplicate lane {lane}")
+            lanes.add(lane)
+            if not (w["sampled_mask"] >> lane) & 1:
+                fail(f"{rwhere}: lane {lane} not in sampled_mask "
+                     f"{w['sampled_mask']:#x}")
+            levels = r.get("levels")
+            if not isinstance(levels, list) or len(levels) != 3:
+                fail(f"{rwhere}: 'levels' is not a 3-entry array")
+            if sum(levels) != r["node_visits"]:
+                fail(f"{rwhere}: node_visits = {r['node_visits']} "
+                     f"but levels sum to {sum(levels)}")
+            if w["retired"] and r["launch"] > r["retire"]:
+                fail(f"{rwhere}: launch {r['launch']} after retire "
+                     f"{r['retire']}")
+        rays_total += len(rays)
+
+    if rays_total != doc["rays_sampled"]:
+        fail(f"rays_sampled = {doc['rays_sampled']} but per-warp "
+             f"records hold {rays_total} rays")
+    return rays_total, len(warps)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: validate_raystats.py FILE.raystats.json",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{argv[1]}: {e}")
+    rays, warps = validate(doc)
+    print(f"validate_raystats: OK ({argv[1]}: {rays} rays over "
+          f"{warps} warps, scene {doc['scene']!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
