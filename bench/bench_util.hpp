@@ -178,7 +178,8 @@ struct Matrix
 inline Matrix
 runMatrix(const Options &opt, const std::vector<std::string> &scenes,
           const std::vector<core::RunConfig> &configs,
-          const std::string &what, bool attach_profiler = false)
+          const std::string &what, bool attach_profiler = false,
+          bool attach_memscope = false)
 {
     std::vector<exec::Job> jobs;
     jobs.reserve(scenes.size() * configs.size());
@@ -195,6 +196,7 @@ runMatrix(const Options &opt, const std::vector<std::string> &scenes,
     exec::CampaignOptions copt;
     copt.jobs = opt.jobs;
     copt.attach_profiler = attach_profiler;
+    copt.attach_memscope = attach_memscope;
     const std::size_t total = jobs.size();
     std::atomic<std::size_t> completed{0};
     copt.on_job_done = [&](const exec::JobResult &r) {
@@ -230,13 +232,16 @@ runMatrix(const Options &opt, const std::vector<std::string> &scenes,
 inline std::vector<core::Comparison>
 compareCoopAll(const Options &opt,
                const std::vector<std::string> &scenes,
-               core::RunConfig cfg, const std::string &what)
+               core::RunConfig cfg, const std::string &what,
+               bool attach_memscope = false)
 {
     core::RunConfig base = cfg;
     base.gpu.trace.coop = false;
     core::RunConfig coop = cfg;
     coop.gpu.trace.coop = true;
-    const Matrix m = runMatrix(opt, scenes, {base, coop}, what);
+    const Matrix m = runMatrix(opt, scenes, {base, coop}, what,
+                               /*attach_profiler=*/false,
+                               attach_memscope);
     std::vector<core::Comparison> out(scenes.size());
     for (std::size_t s = 0; s < scenes.size(); ++s) {
         out[s].base = m.at(s, 0);

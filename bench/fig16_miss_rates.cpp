@@ -4,9 +4,65 @@
  * observes higher L1 miss rates under CoopRT (more contention) but
  * similar L2 miss rates (L1 reuse migrates to L2), and that MLP
  * matters more than the miss count.
+ *
+ * The L1 columns are derived from the `cooprt::memscope` per-line
+ * serving-level attribution rather than the raw cache counters; the
+ * two agree exactly by the `memscope.traffic_conservation` invariant
+ * (see DESIGN.md), so the headline table is byte-identical to the
+ * pre-memscope accounting. A second table attributes the L1 misses
+ * by BVH tree depth, aggregated over the selected scenes.
  */
 
+#include <algorithm>
+
 #include "bench_util.hpp"
+
+namespace {
+
+using namespace cooprt;
+
+/**
+ * L1 miss rate recomputed from the memscope line-fetch attribution:
+ * every L1 access is classified by the level that served it, so
+ * misses are exactly the lines served by L2 or DRAM.
+ */
+double
+l1MissFromMemscope(const core::RunOutcome &o)
+{
+    const auto &t = o.gpu.memscope_summary.traffic;
+    const std::uint64_t total = t.lineTotal();
+    if (total == 0)
+        return 0.0;
+    return double(t.line_level[1] + t.line_level[2]) / double(total);
+}
+
+/** Per-depth accumulation across scenes for one config column. */
+struct DepthAgg
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0; ///< node fetches served past L1
+    std::uint64_t lanes = 0;
+
+    void
+    add(const memscope::Summary::DepthRow &d)
+    {
+        accesses += d.accesses;
+        misses += d.level[1] + d.level[2];
+        lanes += d.lanes;
+    }
+
+    double missRate() const
+    {
+        return accesses == 0 ? 0.0 : double(misses) / double(accesses);
+    }
+
+    double avgLanes() const
+    {
+        return accesses == 0 ? 0.0 : double(lanes) / double(accesses);
+    }
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -19,20 +75,57 @@ main(int argc, char **argv)
     stats::Table t({"scene", "L1 base", "L1 coop", "L2 base",
                     "L2 coop", "L2 accesses x"});
     const auto cmps = benchutil::compareCoopAll(
-        opt, opt.scenes, core::RunConfig{}, "fig16");
+        opt, opt.scenes, core::RunConfig{}, "fig16",
+        /*attach_memscope=*/true);
+    std::vector<DepthAgg> base_depths, coop_depths;
+    auto accumulate = [](std::vector<DepthAgg> &agg,
+                         const memscope::Summary &m) {
+        for (const auto &d : m.depths) {
+            if (agg.size() <= std::size_t(d.depth))
+                agg.resize(std::size_t(d.depth) + 1);
+            agg[std::size_t(d.depth)].add(d);
+        }
+    };
     for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
         const auto &label = opt.scenes[s];
         const core::Comparison &cmp = cmps[s];
         t.row()
             .cell(label)
-            .cell(cmp.base.gpu.l1.missRate(), 3)
-            .cell(cmp.coop.gpu.l1.missRate(), 3)
+            .cell(l1MissFromMemscope(cmp.base), 3)
+            .cell(l1MissFromMemscope(cmp.coop), 3)
             .cell(cmp.base.gpu.l2.missRate(), 3)
             .cell(cmp.coop.gpu.l2.missRate(), 3)
             .cell(double(cmp.coop.gpu.l2.accesses) /
                       double(cmp.base.gpu.l2.accesses),
                   2);
+        accumulate(base_depths, cmp.base.gpu.memscope_summary);
+        accumulate(coop_depths, cmp.coop.gpu.memscope_summary);
     }
     benchutil::emit(t, opt);
+
+    // Where in the tree do the misses live? Node fetches (RT-unit
+    // side of the memscope attribution), bucketed by BVH depth and
+    // aggregated over the selected scenes.
+    benchutil::banner(
+        "Fig. 16b — L1 miss attribution by BVH depth", opt);
+    stats::Table d({"depth", "base fetches", "base miss",
+                    "coop fetches", "coop miss", "coop lanes"});
+    const std::size_t max_depth =
+        std::max(base_depths.size(), coop_depths.size());
+    base_depths.resize(max_depth);
+    coop_depths.resize(max_depth);
+    for (std::size_t i = 0; i < max_depth; ++i) {
+        if (base_depths[i].accesses == 0 &&
+            coop_depths[i].accesses == 0)
+            continue;
+        d.row()
+            .cell(double(i), 0)
+            .cell(double(base_depths[i].accesses), 0)
+            .cell(base_depths[i].missRate(), 3)
+            .cell(double(coop_depths[i].accesses), 0)
+            .cell(coop_depths[i].missRate(), 3)
+            .cell(coop_depths[i].avgLanes(), 2);
+    }
+    benchutil::emit(d, opt);
     return 0;
 }

@@ -30,6 +30,9 @@
  *                         by job tag (see DESIGN.md "Ray provenance")
  *   --ray-sample-k N      rays sampled per warp for --ray-dir
  *                         recorders (default 4)
+ *   --memscope-dir DIR    per-job memscope JSON + folded node
+ *                         heatmaps, named by job tag (see DESIGN.md
+ *                         "Memory & BVH-topology profiling")
  *   --csv                 CSV summary table
  *   --list-configs        list named configs and exit
  */
@@ -192,7 +195,8 @@ main(int argc, char **argv)
                    "  [--jobs N] [--retries K] [--timeout-s T]\n"
                    "  [--json-out FILE] [--metrics-dir DIR]\n"
                    "  [--profile-dir DIR] [--ray-dir DIR]\n"
-                   "  [--ray-sample-k N] [--csv] [--list-configs]\n";
+                   "  [--ray-sample-k N] [--memscope-dir DIR]\n"
+                   "  [--csv] [--list-configs]\n";
             return 0;
         } else if (a == "--list-configs") {
             for (const auto &c : kConfigs)
@@ -240,6 +244,8 @@ main(int argc, char **argv)
             copt.profile_dir = next("--profile-dir");
         } else if (a == "--ray-dir") {
             copt.raytrace_dir = next("--ray-dir");
+        } else if (a == "--memscope-dir") {
+            copt.memscope_dir = next("--memscope-dir");
         } else if (a == "--ray-sample-k") {
             copt.ray_config.sample_k =
                 std::atoi(next("--ray-sample-k"));

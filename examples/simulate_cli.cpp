@@ -54,6 +54,19 @@
  *   --ray-out FILE        write the per-ray statistics summary —
  *                         JSON, or CSV when FILE ends in ".csv"
  *                         (implies --ray-trace)
+ *
+ * Memory & BVH-topology profiling (DESIGN.md "Memscope" /
+ * src/memscope/):
+ *   --memscope            tag every node fetch with node id, tree
+ *                         depth and serving level; print per-depth
+ *                         miss/divergence rows and the hot-node table
+ *                         (adds a "memscope" object to --json reports
+ *                         and memscope counter tracks to --trace)
+ *   --memscope-out FILE   write folded `scene;depth<d>;node<id> N`
+ *                         stacks for flamegraph.pl / speedscope
+ *                         (implies --memscope)
+ *   --memscope-json FILE  write the hierarchical JSON memscope
+ *                         profile (implies --memscope)
  */
 
 #include <cstdio>
@@ -63,6 +76,7 @@
 
 #include "core/report.hpp"
 #include "core/simulation.hpp"
+#include "memscope/memscope.hpp"
 #include "prof/prof.hpp"
 #include "raytrace/raytrace.hpp"
 #include "trace/session.hpp"
@@ -90,11 +104,14 @@ main(int argc, char **argv)
     bool json = false;
     bool profile = false;
     bool ray_trace = false;
+    bool memscope_on = false;
     std::string trace_path;
     std::string metrics_path;
     std::string profile_folded_path;
     std::string profile_json_path;
     std::string ray_out_path;
+    std::string memscope_folded_path;
+    std::string memscope_json_path;
     trace::SessionOptions trace_opt;
     raytrace::RecorderConfig ray_cfg;
 
@@ -121,7 +138,9 @@ main(int argc, char **argv)
                 "  [--trace-filter PAT] [--trace-capacity N]\n"
                 "  [--profile] [--profile-out FILE]\n"
                 "  [--profile-json FILE]\n"
-                "  [--ray-trace] [--ray-sample-k N] [--ray-out FILE]\n";
+                "  [--ray-trace] [--ray-sample-k N] [--ray-out FILE]\n"
+                "  [--memscope] [--memscope-out FILE]\n"
+                "  [--memscope-json FILE]\n";
             return 0;
         } else if (a == "--scene") {
             scene_label = next("--scene");
@@ -183,6 +202,14 @@ main(int argc, char **argv)
         } else if (a == "--ray-out") {
             ray_out_path = next("--ray-out");
             ray_trace = true;
+        } else if (a == "--memscope") {
+            memscope_on = true;
+        } else if (a == "--memscope-out") {
+            memscope_folded_path = next("--memscope-out");
+            memscope_on = true;
+        } else if (a == "--memscope-json") {
+            memscope_json_path = next("--memscope-json");
+            memscope_on = true;
         } else {
             return usage(("unknown flag " + a).c_str());
         }
@@ -211,6 +238,9 @@ main(int argc, char **argv)
     raytrace::Recorder ray(ray_cfg);
     if (ray_trace)
         cfg.ray_recorder = &ray;
+    memscope::Collector mscope;
+    if (memscope_on)
+        cfg.memscope = &mscope;
 
     const core::Simulation &sim = core::simulationFor(scene_label);
     const core::RunOutcome out = sim.run(cfg);
@@ -262,6 +292,19 @@ main(int argc, char **argv)
                    },
                    csv ? "ray stats csv" : "ray stats json");
     }
+    if (!memscope_folded_path.empty())
+        write_file(memscope_folded_path,
+                   [&](std::ostream &os) {
+                       mscope.writeFolded(os, out.scene);
+                   },
+                   "folded memscope stacks");
+    if (!memscope_json_path.empty())
+        write_file(memscope_json_path,
+                   [&](std::ostream &os) {
+                       mscope.writeJson(os, out.scene);
+                       os << '\n';
+                   },
+                   "json memscope profile");
     if (cfg.trace_session != nullptr) {
         const auto &ts = out.traceSummary();
         std::cerr << "[trace] events recorded " << ts.events_recorded
@@ -318,6 +361,23 @@ main(int argc, char **argv)
                   << r.stats.events_recorded << " events (dropped "
                   << r.stats.events_dropped << ")\n";
         raytrace::writeCriticalPath(std::cout, ray.criticalPath());
+    }
+    if (memscope_on) {
+        const auto &m = out.gpu.memscope_summary;
+        std::cout << "  memscope:         " << m.node_accesses
+                  << " node fetches, " << m.node_bytes
+                  << " B (l1 " << m.node_level[0] << " / l2 "
+                  << m.node_level[1] << " / dram " << m.node_level[2]
+                  << ")\n";
+        std::cout << "  per-depth attribution:\n";
+        for (const auto &d : m.depths)
+            std::printf(
+                "    depth %2d  %10llu fetches  miss %5.1f%%  "
+                "avg lanes %5.2f\n",
+                d.depth,
+                static_cast<unsigned long long>(d.accesses),
+                100.0 * d.missRate(), d.avgLanes());
+        mscope.writeHotNodes(std::cout, 10);
     }
     return 0;
 }

@@ -55,6 +55,38 @@ FlatBvh::FlatBvh(const WideBvh &wide)
     }
 
     root_ = refFor(wide, 0, internal_index);
+
+    // Topology tables (memscope): emission order is preorder, so a
+    // parent always precedes its children and one forward scan
+    // propagates depths (root = 1). Leaves get dense ids after the
+    // internal nodes, in the same emission order.
+    std::vector<std::uint8_t> wide_depth(wide.nodes.size(), 1);
+    for (std::size_t i = 0; i < wide.nodes.size(); ++i) {
+        const WideNode &w = wide.nodes[i];
+        if (w.isLeaf())
+            continue;
+        for (int c = 0; c < w.child_count; ++c)
+            wide_depth[std::size_t(w.child[c])] =
+                std::uint8_t(wide_depth[i] + 1);
+    }
+    internal_depth_.resize(std::size_t(next));
+    leaf_depth_by_slot_.assign(prim_order_.size(), 0);
+    leaf_id_by_slot_.assign(prim_order_.size(), 0);
+    std::uint32_t leaf_ordinal = 0;
+    for (std::size_t i = 0; i < wide.nodes.size(); ++i) {
+        const WideNode &w = wide.nodes[i];
+        if (!w.isLeaf()) {
+            internal_depth_[std::size_t(internal_index[i])] =
+                wide_depth[i];
+            continue;
+        }
+        for (std::uint32_t s = 0; s < w.prim_count; ++s) {
+            leaf_depth_by_slot_[w.first_prim + s] = wide_depth[i];
+            leaf_id_by_slot_[w.first_prim + s] = leaf_ordinal;
+        }
+        ++leaf_ordinal;
+    }
+    leaf_count_ = leaf_ordinal;
 }
 
 ChildInfo

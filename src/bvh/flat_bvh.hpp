@@ -159,6 +159,38 @@ class FlatBvh
     std::size_t nodeCount() const { return nodes_.size(); }
     std::size_t primCount() const { return prim_order_.size(); }
 
+    /**
+     * Stable profiling id of @p ref's node. Internal nodes use their
+     * compact emission-order index; leaves follow at
+     * `nodeCount() + leaf ordinal` (also emission order), so ids are
+     * dense in `[0, flatNodeCount())` and survive across identical
+     * builds of the same scene.
+     */
+    std::uint32_t
+    nodeIdOf(NodeRef ref) const
+    {
+        if (ref.isLeaf())
+            return std::uint32_t(nodes_.size()) +
+                   leaf_id_by_slot_[ref.firstSlot()];
+        return ref.nodeIndex();
+    }
+
+    /** Tree depth of @p ref's node (root = 1). */
+    int
+    depthOf(NodeRef ref) const
+    {
+        if (ref.isLeaf())
+            return leaf_depth_by_slot_[ref.firstSlot()];
+        return internal_depth_[ref.nodeIndex()];
+    }
+
+    /** Distinct addressable nodes (internal + leaf): the id space. */
+    std::size_t flatNodeCount() const
+    { return nodes_.size() + leaf_count_; }
+
+    /** Deepest leaf level (root = 1); 0 for an empty tree. */
+    int maxDepth() const { return max_depth_; }
+
   private:
     /** In-memory image of one 128-byte compressed node record. */
     struct PackedNode
@@ -176,6 +208,15 @@ class FlatBvh
     int max_depth_ = 0;
     std::vector<PackedNode> nodes_;
     std::vector<std::uint32_t> prim_order_;
+
+    // Topology tables for the memscope profiler: leaves carry no
+    // record of their own, so they are keyed by their (unique) first
+    // primitive slot. Every slot of a leaf's range maps to the same
+    // leaf, which keeps the lookup branch-free.
+    std::size_t leaf_count_ = 0;
+    std::vector<std::uint8_t> internal_depth_;
+    std::vector<std::uint8_t> leaf_depth_by_slot_;
+    std::vector<std::uint32_t> leaf_id_by_slot_;
 };
 
 } // namespace cooprt::bvh

@@ -86,6 +86,8 @@ mutationName(Mutation m)
       case Mutation::MetricsCycleRepeat: return "MetricsCycleRepeat";
       case Mutation::ProfMisattribution: return "ProfMisattribution";
       case Mutation::RayProvenanceDrop: return "RayProvenanceDrop";
+      case Mutation::MemscopeMisattribution:
+          return "MemscopeMisattribution";
     }
     return "Unknown";
 }
@@ -99,7 +101,7 @@ allMutations()
         Mutation::LeakWarpSlot,          Mutation::IllegalLbuHelper,
         Mutation::CacheHitMiscount,      Mutation::L2BankTimeTravel,
         Mutation::MetricsCycleRepeat,    Mutation::ProfMisattribution,
-        Mutation::RayProvenanceDrop,
+        Mutation::RayProvenanceDrop,    Mutation::MemscopeMisattribution,
     };
     return all;
 }

@@ -152,6 +152,8 @@ enum class Mutation
     ProfMisattribution,
     /** Ray provenance recorder silently loses a steal event. */
     RayProvenanceDrop,
+    /** Memscope drops one line's serving-level attribution. */
+    MemscopeMisattribution,
 };
 
 /** Stable name of @p m ("DoubleConsumeResponse", ...). */

@@ -109,6 +109,48 @@ writeJson(std::ostream &os, const RunOutcome &o)
         w.close();
     }
 
+    if (o.gpu.memscope_summary.enabled) {
+        const auto &m = o.gpu.memscope_summary;
+        w.open("memscope");
+        w.field("node_accesses", m.node_accesses);
+        w.field("node_bytes", m.node_bytes);
+        w.open("levels");
+        w.field("l1", m.node_level[0]);
+        w.field("l2", m.node_level[1]);
+        w.field("dram", m.node_level[2]);
+        w.close();
+        w.openArray("depths");
+        for (const auto &d : m.depths) {
+            w.open();
+            w.field("depth", d.depth);
+            w.field("accesses", d.accesses);
+            w.field("bytes", d.bytes);
+            w.field("miss_rate", d.missRate());
+            w.field("avg_lanes", d.avgLanes());
+            w.close();
+        }
+        w.closeArray();
+        w.open("mem");
+        w.field("line_l1", m.traffic.line_level[0]);
+        w.field("line_l2", m.traffic.line_level[1]);
+        w.field("line_dram", m.traffic.line_level[2]);
+        w.field("l2_fill_bytes", m.traffic.l2_fill_bytes);
+        w.field("bank_conflicts", m.traffic.bank_conflicts);
+        w.field("bank_wait_cycles", m.traffic.bank_wait_cycles);
+        w.close();
+        w.open("dram");
+        w.field("row_hits", m.dram_row_hits);
+        w.field("row_misses", m.dram_row_misses);
+        w.close();
+        w.open("reuse");
+        w.field("l1_cold", m.l1_reuse_cold);
+        w.field("l1_tracked", m.l1_reuse_tracked);
+        w.field("l2_cold", m.l2_reuse_cold);
+        w.field("l2_tracked", m.l2_reuse_tracked);
+        w.close();
+        w.close();
+    }
+
     if (o.traceSummary().enabled) {
         w.open("trace");
         w.field("events_recorded", o.traceSummary().events_recorded);

@@ -48,6 +48,7 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
     g.setTrace(config.trace_session);
     g.setProf(config.profiler);
     g.setRayTrace(config.ray_recorder);
+    g.setMemscope(config.memscope);
     RunOutcome out;
     out.scene = scene_.name;
     out.resolution = res;

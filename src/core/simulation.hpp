@@ -77,6 +77,18 @@ struct RunConfig
      * recording off (the default, bit-identical timing).
      */
     cooprt::raytrace::Recorder *ray_recorder = nullptr;
+
+    /**
+     * Optional memory & BVH-topology profiler (see
+     * memscope/memscope.hpp): when set, the run tags every node fetch
+     * with node id / tree depth / serving level, measures cache-line
+     * reuse distance and DRAM row locality, and fills
+     * `GpuRunResult::memscope_summary`; the collector keeps the full
+     * heatmaps for JSON / folded-stack export. Borrowed, must outlive
+     * the run, reset by each run that uses it. Null = profiling off
+     * (the default, bit-identical timing).
+     */
+    cooprt::memscope::Collector *memscope = nullptr;
 };
 
 /** The result of one run: timing, power and all collected stats. */

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -131,8 +132,12 @@ Campaign::defaultRunner() const
     const bool attach_ray =
         options_.attach_ray_recorder || !raytrace_dir.empty();
     const raytrace::RecorderConfig ray_config = options_.ray_config;
+    const std::string memscope_dir = options_.memscope_dir;
+    const bool attach_memscope =
+        options_.attach_memscope || !memscope_dir.empty();
     return [metrics_dir, profile_dir, attach_profiler, raytrace_dir,
-            attach_ray, ray_config](const Job &job, std::stop_token) {
+            attach_ray, ray_config, memscope_dir,
+            attach_memscope](const Job &job, std::stop_token) {
         core::RunConfig cfg = job.config;
 
         // Per-job sinks: every worker gets private session/profiler
@@ -154,6 +159,11 @@ Campaign::defaultRunner() const
         if (attach_ray) {
             ray.emplace(ray_config);
             cfg.ray_recorder = &*ray;
+        }
+        std::optional<memscope::Collector> mscope;
+        if (attach_memscope) {
+            mscope.emplace();
+            cfg.memscope = &*mscope;
         }
 
         const core::Simulation &sim =
@@ -186,6 +196,21 @@ Campaign::defaultRunner() const
                               ray->writeRayStatsJson(os, out.scene);
                           },
                           "per-job ray stats");
+        if (!memscope_dir.empty()) {
+            writeSinkFile(memscope_dir + "/" + stem +
+                              ".memscope.json",
+                          [&](std::ostream &os) {
+                              mscope->writeJson(os, out.scene);
+                              os << '\n';
+                          },
+                          "per-job memscope profile");
+            writeSinkFile(memscope_dir + "/" + stem +
+                              ".memscope.folded",
+                          [&](std::ostream &os) {
+                              mscope->writeFolded(os, out.scene);
+                          },
+                          "per-job memscope folded stacks");
+        }
         return out;
     };
 }
@@ -202,6 +227,17 @@ Campaign::run()
     stats_.queued.store(n, std::memory_order_relaxed);
     const int workers = resolveWorkers(options_.jobs, n);
     const double timeout_s = options_.timeout_s;
+
+    // Materialize the per-job sink directories before any worker
+    // starts: writeSinkFile opens plain paths, and doing this once
+    // here (rather than per job) keeps workers free of filesystem
+    // races on a shared parent.
+    for (const std::string *dir :
+         {&options_.metrics_dir, &options_.profile_dir,
+          &options_.raytrace_dir, &options_.memscope_dir})
+        if (!dir->empty())
+            std::filesystem::create_directories(*dir);
+
     const JobRunner runner = runner_ ? runner_ : defaultRunner();
 
     // Per-worker job queues; jobs are dealt round-robin and idle

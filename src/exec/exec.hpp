@@ -147,6 +147,16 @@ struct CampaignOptions
     bool attach_ray_recorder = false;
     /** Sampling parameters for per-job ray recorders. */
     raytrace::RecorderConfig ray_config;
+    /** When set, each job runs with its own memscope collector and
+     *  writes `<dir>/<sanitized tag>.memscope.json` +
+     *  `.memscope.folded`. The sinks depend only on the simulated
+     *  run, so they are byte-identical between `--jobs 1` and
+     *  `--jobs N`. */
+    std::string memscope_dir;
+    /** Attach a per-job memscope collector even without
+     *  `memscope_dir`, filling `outcome.gpu.memscope_summary`
+     *  (bit-identical cycle counts). */
+    bool attach_memscope = false;
     /**
      * Completion hook, invoked once per job (success or final
      * failure) from worker threads, serialized by the campaign.

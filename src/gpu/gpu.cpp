@@ -68,6 +68,19 @@ Gpu::sampleActivity(std::uint64_t cycle)
         metrics->sample(cycle);
     COOPRT_TRACE_COUNTER(tracer, "rtunit", "thread_utilization",
                          cfg_.num_sms, cycle, util_now_);
+    if (mscope_ != nullptr && tracer != nullptr) {
+        // Memscope counter tracks: cumulative node-fetch traffic and
+        // its serving-level split, sampled on the same boundaries.
+        const memscope::NodeCounters t = mscope_->nodeTotals();
+        COOPRT_TRACE_COUNTER(tracer, "memscope", "node_bytes",
+                             cfg_.num_sms, cycle, double(t.bytes));
+        COOPRT_TRACE_COUNTER(tracer, "memscope", "fetches_l1",
+                             cfg_.num_sms, cycle, double(t.level[0]));
+        COOPRT_TRACE_COUNTER(tracer, "memscope", "fetches_l2",
+                             cfg_.num_sms, cycle, double(t.level[1]));
+        COOPRT_TRACE_COUNTER(tracer, "memscope", "fetches_dram",
+                             cfg_.num_sms, cycle, double(t.level[2]));
+    }
 }
 
 GpuRunResult
@@ -114,6 +127,21 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
                     memsys_.lastFetchDepth());
             });
     }
+    if (mscope_ != nullptr) {
+        mscope_->reset();
+        // The unit scopes tag node fetches in the RT units; the cache
+        // and DRAM scopes hook the hierarchy at its fetch choke point
+        // (where the conservation identity is audited in check
+        // builds). Same serving-level contract as the profiler.
+        memsys_.attachMemscope(mscope_);
+        for (std::size_t i = 0; i < sms_.size(); ++i)
+            sms_[i]->attachMemscope(&mscope_->unit(int(i)), [this] {
+                return cooprt::prof::MemLevel(
+                    memsys_.lastFetchDepth());
+            });
+    } else {
+        memsys_.attachMemscope(nullptr); // may be set from a prior run
+    }
     if (session_ != nullptr) {
         // Each run restarts the session's collected data; component
         // registrations are idempotent (overwrite by name).
@@ -122,6 +150,8 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
             prof_->registerMetrics(session_->registry());
         if (ray_ != nullptr)
             ray_->registerMetrics(session_->registry());
+        if (mscope_ != nullptr)
+            mscope_->registerMetrics(session_->registry());
         memsys_.registerMetrics(session_->registry());
         session_->registry().probe(
             "rtunit.thread_utilization",
@@ -242,6 +272,8 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
             ray_->emitPerfetto(*session_->tracer());
         res.ray_summary = ray_->summary();
     }
+    if (mscope_ != nullptr)
+        res.memscope_summary = mscope_->summary();
     if (session_ != nullptr)
         res.trace_summary = session_->summary();
     res.dram_utilization =

@@ -13,6 +13,7 @@
 
 #include "gpu/sm.hpp"
 #include "mem/memory_system.hpp"
+#include "memscope/memscope.hpp"
 #include "prof/prof.hpp"
 #include "raytrace/raytrace.hpp"
 #include "stats/sampler.hpp"
@@ -55,6 +56,14 @@ struct GpuRunResult
      * each SM's slowest sampled warp.
      */
     cooprt::raytrace::Summary ray_summary;
+
+    /**
+     * Memory & BVH-topology attribution roll-up (disabled unless a
+     * `cooprt::memscope::Collector` was attached via setMemscope):
+     * node-heatmap totals, per-depth hit/miss/divergence rows, the
+     * interconnect traffic tallies and reuse-distance summaries.
+     */
+    cooprt::memscope::Summary memscope_summary;
 
     /** Observability collection totals (zero when tracing is off). */
     cooprt::trace::RunTraceSummary trace_summary;
@@ -127,6 +136,20 @@ class Gpu
     { ray_ = recorder; }
 
     /**
+     * Attach a memory & BVH-topology profiler for subsequent run()
+     * calls (null = profiling off, the default). Each run resets the
+     * collector, wires one `memscope::UnitScope` per SM and the
+     * cache/DRAM scopes into the memory hierarchy, and tags every
+     * node fetch with its node id, tree depth and serving level. When
+     * a trace session is also attached, the `memscope.*` probes join
+     * the metrics registry and Perfetto gets memscope counter tracks.
+     * Purely observational: simulated cycle counts are bit-identical
+     * with and without it. The collector must outlive this Gpu.
+     */
+    void setMemscope(cooprt::memscope::Collector *collector)
+    { mscope_ = collector; }
+
+    /**
      * Run @p programs (one per warp / thread block) to completion.
      * Thread blocks are assigned to SMs round-robin, as the
      * Gigathread engine does. The Gpu instance can be reused; state
@@ -158,6 +181,7 @@ class Gpu
     cooprt::trace::Session *session_ = nullptr;
     cooprt::prof::Profiler *prof_ = nullptr;
     cooprt::raytrace::Recorder *ray_ = nullptr;
+    cooprt::memscope::Collector *mscope_ = nullptr;
     /** Busy-thread ratio at the latest sample (metrics probe src). */
     double util_now_ = 0.0;
 };

@@ -56,6 +56,14 @@ StreamingMultiprocessor::attachRayTrace(
     rt_.attachRayTrace(recorder, std::move(level));
 }
 
+void
+StreamingMultiprocessor::attachMemscope(
+    cooprt::memscope::UnitScope *scope,
+    rtunit::RtUnit::ProfLevelFn level)
+{
+    rt_.attachMemscope(scope, std::move(level));
+}
+
 bool
 StreamingMultiprocessor::done() const
 {

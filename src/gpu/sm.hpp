@@ -80,6 +80,15 @@ class StreamingMultiprocessor
     void attachRayTrace(cooprt::raytrace::UnitRecorder *recorder,
                         rtunit::RtUnit::ProfLevelFn level);
 
+    /**
+     * Attach the BVH-topology profiler: the RT unit tags every node
+     * fetch into @p scope with node id, depth and the serving level
+     * read through @p level. Null detaches; behaviour is
+     * bit-identical without it.
+     */
+    void attachMemscope(cooprt::memscope::UnitScope *scope,
+                        rtunit::RtUnit::ProfLevelFn level);
+
     /** True when every assigned warp has finished. */
     bool done() const;
 

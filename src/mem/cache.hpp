@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "memscope/memscope.hpp"
 #include "trace/registry.hpp"
 
 namespace cooprt::mem {
@@ -107,6 +108,14 @@ class Cache
                          const std::string &prefix,
                          const void *owner) const;
 
+    /**
+     * Attach (or detach with nullptr) a reuse-distance profiler. A
+     * borrowed pointer: every access is forwarded to it. Pure
+     * observation — no effect on timing or tag state.
+     */
+    void attachMemscope(memscope::CacheScope *scope)
+    { mscope_ = scope; }
+
     std::uint64_t lineOf(std::uint64_t addr) const
     { return addr / cfg_.line_bytes; }
 
@@ -156,6 +165,8 @@ class Cache
            std::uint64_t now, FetchFn fetchBelow)
     {
         stats_.accesses++;
+        if (mscope_ != nullptr)
+            mscope_->touch(line, setOf(line));
         if (cfg_.sector_bytes == 0)
             sectors = 1u;
         // Outstanding fill covering all needed sectors? Merge (MSHR
@@ -266,6 +277,7 @@ class Cache
     };
     std::unordered_map<std::uint64_t, Mshr> outstanding_;
     std::uint64_t last_compact_ = 0;
+    memscope::CacheScope *mscope_ = nullptr; // borrowed, may be null
 
 #if COOPRT_CHECK_ENABLED
     std::string check_label_ = "mem.cache";

@@ -80,10 +80,23 @@ MemorySystem::registerMetrics(cooprt::trace::Registry &registry)
                    [d] { return double(d->busy_cycles); }, this);
 }
 
+void
+MemorySystem::attachMemscope(cooprt::memscope::Collector *collector)
+{
+    mscope_ = collector;
+    for (std::size_t i = 0; i < l1_.size(); ++i)
+        l1_[i]->attachMemscope(
+            collector ? &collector->l1Scope(int(i)) : nullptr);
+    l2_.attachMemscope(collector ? &collector->l2Scope() : nullptr);
+    dram_.attachMemscope(collector ? &collector->dram() : nullptr);
+}
+
 std::uint64_t
 MemorySystem::l2Access(std::uint64_t line, std::uint32_t bytes,
-                       std::uint64_t now)
+                       std::uint64_t now, int &depth_out)
 {
+    if (depth_out < 1)
+        depth_out = 1; // served by the L2 (or deeper, below)
     // Bank queueing: the line's bank must be free to serve it. Only
     // the requested bytes (the missing sectors) cross the
     // interconnect.
@@ -92,6 +105,15 @@ MemorySystem::l2Access(std::uint64_t line, std::uint32_t bytes,
         double(bytes) / cfg_.l2_bytes_per_cycle + 0.999999);
     const std::uint64_t start =
         bank_free_[bank] > now ? bank_free_[bank] : now;
+    if (mscope_ != nullptr) {
+        memscope::MemTraffic &t = mscope_->traffic();
+        t.l2_fill_bytes += bytes;
+        t.bank_requests++;
+        if (bank_free_[bank] > now) {
+            t.bank_conflicts++;
+            t.bank_wait_cycles += bank_free_[bank] - now;
+        }
+    }
     COOPRT_CHECK_ONLY(const std::uint64_t prev_free =
                           bank_free_[bank];)
     bank_free_[bank] = start + service;
@@ -109,8 +131,9 @@ MemorySystem::l2Access(std::uint64_t line, std::uint32_t bytes,
     stats_.l2_bytes += bytes;
 
     return l2_.access(line, start,
-                      [this](std::uint64_t l, std::uint64_t t) {
-                          last_depth_ = 2;
+                      [this, &depth_out](std::uint64_t l,
+                                         std::uint64_t t) {
+                          depth_out = 2;
                           return dram_.access(
                               l * cfg_.l2.line_bytes,
                               cfg_.l2.line_bytes, t);
@@ -144,24 +167,53 @@ MemorySystem::fetch(int sm, std::uint64_t addr, std::uint32_t bytes,
         const std::uint32_t mask =
             l1.sectorMaskOf(lo, std::uint32_t(hi - lo));
         const std::uint64_t merges_before = l1.stats().mshr_merges;
+        int line_depth = 0; // serving level of this line (0 = L1 hit)
         const std::uint64_t r = l1.access(
             line, mask, now,
-            [this, sector](std::uint64_t l, std::uint32_t missing,
-                           std::uint64_t t) {
-                if (last_depth_ < 1)
-                    last_depth_ = 1; // filled from L2 (or deeper)
+            [this, sector, &line_depth](std::uint64_t l,
+                                        std::uint32_t missing,
+                                        std::uint64_t t) {
                 const std::uint32_t fill_bytes =
                     std::uint32_t(std::popcount(missing)) * sector;
-                return l2Access(l, fill_bytes, t);
+                return l2Access(l, fill_bytes, t, line_depth);
             });
         // An MSHR merge rides an in-flight L2 fill without invoking
         // the fill callback; attribute it to the L2.
         if (l1.stats().mshr_merges != merges_before &&
-            last_depth_ < 1)
-            last_depth_ = 1;
+            line_depth < 1)
+            line_depth = 1;
+        if (line_depth > last_depth_)
+            last_depth_ = line_depth; // a fetch reports its deepest line
+        if (mscope_ != nullptr &&
+            !COOPRT_MUTATE(MemscopeMisattribution))
+            mscope_->traffic().line_level[std::size_t(line_depth)]++;
         if (r > ready)
             ready = r;
     }
+#if COOPRT_CHECK_ENABLED
+    if (mscope_ != nullptr) {
+        // Conservation: fetch() is the single choke point every access
+        // crosses, so the profiled per-level line counts and byte
+        // totals must tie out exactly against the pre-existing
+        // counters after every request.
+        const CacheStats l1t = l1StatsTotal();
+        const memscope::MemTraffic &t = mscope_->trafficConst();
+        COOPRT_AUDIT(
+            "mem", "memscope.traffic_conservation", now,
+            t.lineTotal() == l1t.accesses &&
+                t.line_level[0] == l1t.hits &&
+                t.l2_fill_bytes == stats_.l2_bytes &&
+                mscope_->dramConst().bytes == dram_.stats().bytes,
+            "lines " + std::to_string(t.lineTotal()) + "/" +
+                std::to_string(l1t.accesses) + " l1-hit " +
+                std::to_string(t.line_level[0]) + "/" +
+                std::to_string(l1t.hits) + " l2B " +
+                std::to_string(t.l2_fill_bytes) + "/" +
+                std::to_string(stats_.l2_bytes) + " dramB " +
+                std::to_string(mscope_->dramConst().bytes) + "/" +
+                std::to_string(dram_.stats().bytes));
+    }
+#endif
     return ready;
 }
 

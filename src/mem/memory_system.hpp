@@ -87,6 +87,16 @@ class MemorySystem
      */
     int lastFetchDepth() const { return last_depth_; }
 
+    /**
+     * Attach (or detach with nullptr) a memscope collector: hands the
+     * per-L1 / L2 reuse scopes and the DRAM scope to their owners and
+     * makes fetch() record per-line serving levels, L2 fill bytes and
+     * bank contention into the collector. Observation only; in check
+     * builds every fetch re-audits the traffic-conservation identity
+     * against the `cache.*` / DRAM counters while attached.
+     */
+    void attachMemscope(cooprt::memscope::Collector *collector);
+
     const CacheStats &l1Stats(int sm) const { return l1_[sm]->stats(); }
     /** L1 stats aggregated over all SMs. */
     CacheStats l1StatsTotal() const;
@@ -105,9 +115,13 @@ class MemorySystem
     void resetTiming();
 
   private:
-    /** @p bytes of one line through the banked L2 (and DRAM below). */
+    /**
+     * @p bytes of one line through the banked L2 (and DRAM below).
+     * @p depth_out is raised to the level that served the line
+     * (1 = L2, 2 = DRAM).
+     */
     std::uint64_t l2Access(std::uint64_t line, std::uint32_t bytes,
-                           std::uint64_t now);
+                           std::uint64_t now, int &depth_out);
 
     MemConfig cfg_;
     std::vector<std::unique_ptr<Cache>> l1_;
@@ -117,6 +131,8 @@ class MemorySystem
     MemSystemStats stats_;
     cooprt::trace::Registry *metrics_registry_ = nullptr;
     int last_depth_ = 0; ///< serving level of the last fetch()
+    /** Borrowed memscope collector; null = profiling off. */
+    cooprt::memscope::Collector *mscope_ = nullptr;
 };
 
 } // namespace cooprt::mem

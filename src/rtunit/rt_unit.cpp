@@ -104,6 +104,14 @@ RtUnit::attachRayTrace(cooprt::raytrace::UnitRecorder *recorder,
     ray_level_ = std::move(level);
 }
 
+void
+RtUnit::attachMemscope(cooprt::memscope::UnitScope *scope,
+                       ProfLevelFn level)
+{
+    mscope_ = scope;
+    mscope_level_ = std::move(level);
+}
+
 std::size_t
 RtUnit::predictorIndex(const Ray &ray) const
 {
@@ -447,6 +455,11 @@ RtUnit::tryIssue(std::uint64_t now)
             prof_progress_ |= 1ull << std::uint64_t(slot);
             if (prof_level_)
                 level = std::int8_t(prof_level_());
+        } else if (mscope_ != nullptr && mscope_level_) {
+            // The topology profiler needs the serving level of every
+            // fetch (same const read of MemorySystem::lastFetchDepth
+            // the profiler does).
+            level = std::int8_t(mscope_level_());
         } else if (ray_ != nullptr && ray_->slotSampled(slot) &&
                    ray_level_) {
             // Without the profiler the serving level is only needed
@@ -476,6 +489,20 @@ RtUnit::tryIssue(std::uint64_t now)
             stats_.leaf_fetches++;
         else
             stats_.node_fetches++;
+
+        if (mscope_ != nullptr) {
+            // Tag the fetch: stable node id, tree depth, serving
+            // level, consumer lanes (the per-depth divergence axis)
+            // and the warp's traversal phase. Observation only.
+            bool any_work = false;
+            for (int t = 0; t < kWarpSize && !any_work; ++t)
+                any_work = !w.th[std::size_t(t)].stack.empty();
+            mscope_->record(
+                bvh_.nodeIdOf(ref), bvh_.depthOf(ref), int(level),
+                std::popcount(consumers),
+                int(prof::phaseOf(w.prof_consumed, any_work)),
+                bvh_.fetchBytes(ref));
+        }
 
         if (w.record_timeline)
             for (int t = 0; t < kWarpSize; ++t)
@@ -700,6 +727,10 @@ RtUnit::processOneResponse(std::uint64_t now)
 
     if (prof_ != nullptr) {
         prof_progress_ |= 1ull << std::uint64_t(r.slot);
+        w.prof_consumed = true;
+    } else if (mscope_ != nullptr) {
+        // The topology profiler shares the phase flag (plain observer
+        // store, no timing effect).
         w.prof_consumed = true;
     }
 

@@ -40,6 +40,7 @@
 #include "check/check.hpp"
 #include "bvh/traversal.hpp"
 #include "geom/ray.hpp"
+#include "memscope/memscope.hpp"
 #include "prof/prof.hpp"
 #include "rtunit/trace_config.hpp"
 #include "stats/timeline.hpp"
@@ -189,6 +190,18 @@ class RtUnit
      * bit-identical (pinned-cycle proof in tests/raytrace).
      */
     void attachRayTrace(cooprt::raytrace::UnitRecorder *recorder,
+                        ProfLevelFn level);
+
+    /**
+     * Attach the BVH-topology profiler (`cooprt::memscope`): every
+     * coalesced node fetch is tagged into @p scope with the node's
+     * stable id, tree depth, serving level from @p level, consumer
+     * lane count and the warp's traversal phase. Null @p scope (the
+     * default) disables tagging; hot paths then pay one pointer test
+     * and simulated behaviour is bit-identical (pinned-cycle proof in
+     * tests/memscope).
+     */
+    void attachMemscope(cooprt::memscope::UnitScope *scope,
                         ProfLevelFn level);
 
     /**
@@ -400,6 +413,10 @@ class RtUnit
     cooprt::raytrace::UnitRecorder *ray_ = nullptr;
     /** Serving-level reader for sampled-ray fetch events. */
     ProfLevelFn ray_level_;
+    /** BVH-topology profiler (dormant while null; see attachMemscope). */
+    cooprt::memscope::UnitScope *mscope_ = nullptr;
+    /** Serving-level reader for memscope fetch tagging. */
+    ProfLevelFn mscope_level_;
     /** Slots that issued a fetch or consumed a response this tick. */
     std::uint64_t prof_progress_ = 0;
     /** Slots the LBU served this tick. */

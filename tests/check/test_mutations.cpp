@@ -15,6 +15,7 @@
 #include "check/check.hpp"
 #include "core/simulation.hpp"
 #include "mem/memory_system.hpp"
+#include "memscope/memscope.hpp"
 #include "prof/prof.hpp"
 #include "raytrace/raytrace.hpp"
 #include "trace/metrics.hpp"
@@ -176,6 +177,22 @@ TEST_F(MutationTest, ProfMisattribution)
                  });
 }
 
+TEST_F(MutationTest, MemscopeMisattribution)
+{
+    // Dropping one line's serving-level increment breaks the
+    // lines-classified == L1-accesses identity the traffic
+    // conservation audit re-derives after every fetch.
+    expectCaught(check::Mutation::MemscopeMisattribution,
+                 "memscope.traffic_conservation", [] {
+                     mem::MemConfig mc;
+                     mc.num_sms = 1;
+                     mem::MemorySystem ms(mc);
+                     memscope::Collector mscope;
+                     ms.attachMemscope(&mscope);
+                     ms.fetch(0, 0, 128, 0); // one line, one level
+                 });
+}
+
 TEST_F(MutationTest, RayProvenanceDrop)
 {
     // A steal event the recorder silently loses breaks the
@@ -200,7 +217,7 @@ TEST_F(MutationTest, CatalogueFullyExercised)
 {
     // One TEST_F above per entry; this guards against a new Mutation
     // being added without a matching detection test.
-    EXPECT_EQ(check::allMutations().size(), 11u)
+    EXPECT_EQ(check::allMutations().size(), 12u)
         << "new mutation added: write its detection test and update "
            "this count";
 }

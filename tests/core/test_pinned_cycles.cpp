@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "core/simulation.hpp"
+#include "memscope/memscope.hpp"
 #include "raytrace/raytrace.hpp"
 
 namespace {
@@ -22,13 +23,15 @@ using namespace cooprt;
 core::RunOutcome
 runPinned(const std::string &scene, int resolution,
           core::ShaderKind shader, bool coop,
-          raytrace::Recorder *ray = nullptr)
+          raytrace::Recorder *ray = nullptr,
+          memscope::Collector *mscope = nullptr)
 {
     core::RunConfig cfg;
     cfg.resolution = resolution;
     cfg.shader = shader;
     cfg.gpu.trace.coop = coop;
     cfg.ray_recorder = ray;
+    cfg.memscope = mscope;
     return core::simulationFor(scene).run(cfg);
 }
 
@@ -117,6 +120,76 @@ TEST(PinnedCycles, ShipShadowBaselineWithRayRecorder)
     EXPECT_EQ(out.gpu.cycles, 36233u);
     EXPECT_EQ(out.gpu.rt.stale_pops, 5123u);
     EXPECT_EQ(out.gpu.rt.retired_warps, 50u);
+}
+
+// The memscope collector also claims to be purely observational; the
+// four seed pins are repeated with memscope attached and must report
+// the exact same cycle counts, plus a profiler/counter cross-check:
+// every RT-unit node or leaf fetch is exactly one memscope record.
+
+std::uint64_t
+memscopeAccesses(const memscope::Collector &mscope)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < mscope.unitCount(); ++i)
+        total += mscope.unitAt(i).accesses;
+    return total;
+}
+
+TEST(PinnedCycles, WkndPathTracingBaselineWithMemscope)
+{
+    memscope::Collector mscope;
+    const auto out = runPinned("wknd", 32,
+                               core::ShaderKind::PathTracing, false,
+                               nullptr, &mscope);
+    EXPECT_EQ(out.gpu.cycles, 34868u);
+    EXPECT_EQ(out.gpu.rt.node_fetches, 4545u);
+    EXPECT_EQ(out.gpu.rt.leaf_fetches, 2430u);
+    EXPECT_EQ(out.gpu.l1.accesses, 10863u);
+    EXPECT_EQ(out.gpu.dram.bytes, 158336u);
+    EXPECT_EQ(out.gpu.stalls.rt, 310412u);
+    EXPECT_TRUE(out.gpu.memscope_summary.enabled);
+    EXPECT_EQ(memscopeAccesses(mscope),
+              out.gpu.rt.node_fetches + out.gpu.rt.leaf_fetches);
+}
+
+TEST(PinnedCycles, WkndPathTracingCoopWithMemscope)
+{
+    memscope::Collector mscope;
+    const auto out = runPinned("wknd", 32,
+                               core::ShaderKind::PathTracing, true,
+                               nullptr, &mscope);
+    EXPECT_EQ(out.gpu.cycles, 18756u);
+    EXPECT_EQ(out.gpu.rt.steals, 3750u);
+    EXPECT_EQ(out.gpu.rt.max_trace_latency, 6188u);
+    EXPECT_EQ(out.gpu.dram.bytes, 202624u);
+    EXPECT_EQ(memscopeAccesses(mscope),
+              out.gpu.rt.node_fetches + out.gpu.rt.leaf_fetches);
+}
+
+TEST(PinnedCycles, BunnyAmbientOcclusionCoopWithMemscope)
+{
+    memscope::Collector mscope;
+    const auto out =
+        runPinned("bunny", 24, core::ShaderKind::AmbientOcclusion,
+                  true, nullptr, &mscope);
+    EXPECT_EQ(out.gpu.cycles, 17550u);
+    EXPECT_EQ(out.gpu.rt.steals, 5129u);
+    EXPECT_EQ(out.gpu.rt.retired_warps, 78u);
+    EXPECT_EQ(memscopeAccesses(mscope),
+              out.gpu.rt.node_fetches + out.gpu.rt.leaf_fetches);
+}
+
+TEST(PinnedCycles, ShipShadowBaselineWithMemscope)
+{
+    memscope::Collector mscope;
+    const auto out = runPinned("ship", 24, core::ShaderKind::Shadow,
+                               false, nullptr, &mscope);
+    EXPECT_EQ(out.gpu.cycles, 36233u);
+    EXPECT_EQ(out.gpu.rt.stale_pops, 5123u);
+    EXPECT_EQ(out.gpu.rt.retired_warps, 50u);
+    EXPECT_EQ(memscopeAccesses(mscope),
+              out.gpu.rt.node_fetches + out.gpu.rt.leaf_fetches);
 }
 
 } // namespace

@@ -208,6 +208,60 @@ TEST(ExecCampaign, RayStatsSinksByteIdenticalAcrossWorkerCounts)
     fs::remove_all(root);
 }
 
+TEST(ExecCampaign, MemscopeSinksByteIdenticalAcrossWorkerCounts)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() / "cooprt_memscope_test";
+    fs::remove_all(root);
+
+    auto runWithJobs = [&](int jobs) {
+        const fs::path dir = root / ("jobs" + std::to_string(jobs));
+        fs::create_directories(dir);
+        exec::CampaignOptions opt;
+        opt.jobs = jobs;
+        opt.memscope_dir = dir.string();
+        const auto results = exec::runCampaign(pinnedJobs(), opt);
+        for (const auto &r : results) {
+            EXPECT_TRUE(r.ok) << r.tag;
+            EXPECT_TRUE(r.outcome.gpu.memscope_summary.enabled)
+                << r.tag;
+        }
+        return dir;
+    };
+    const fs::path serial = runWithJobs(1);
+    const fs::path parallel = runWithJobs(4);
+
+    auto slurp = [](const fs::path &p) {
+        std::ifstream is(p, std::ios::binary);
+        EXPECT_TRUE(is.good()) << p;
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        return ss.str();
+    };
+    // Memscope counters depend only on the simulated run, never on
+    // host scheduling, so both the JSON profile and the folded node
+    // heatmap must be byte-identical regardless of worker count.
+    std::size_t json_files = 0, folded_files = 0;
+    for (const auto &entry : fs::directory_iterator(serial)) {
+        const std::string name = entry.path().filename().string();
+        const std::string a = slurp(entry.path());
+        const std::string b = slurp(parallel / name);
+        EXPECT_EQ(a, b) << name;
+        if (name.ends_with(".memscope.json")) {
+            EXPECT_NE(a.find("\"reuse\""), std::string::npos) << name;
+            json_files++;
+        } else if (name.ends_with(".memscope.folded")) {
+            EXPECT_NE(a.find(";depth1;node0 "), std::string::npos)
+                << name;
+            folded_files++;
+        }
+    }
+    EXPECT_EQ(json_files, 4u) << "one memscope JSON per job";
+    EXPECT_EQ(folded_files, 4u) << "one folded heatmap per job";
+    fs::remove_all(root);
+}
+
 TEST(ExecCampaign, UnknownSceneIsAStructuredFailure)
 {
     exec::CampaignOptions opt;

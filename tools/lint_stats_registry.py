@@ -145,6 +145,58 @@ def prof_bucket_problems() -> list[str]:
     return problems
 
 
+def memscope_problems() -> list[str]:
+    """Cross-check the memscope probe surface.
+
+    src/memscope/memscope.cpp is the single registration authority
+    for ``memscope.*`` probes; every literal probe name it registers
+    must be documented (in backticks) in the DESIGN.md memscope
+    section, and the conservation-critical families (per-SM, GPU,
+    interconnect, DRAM, reuse) must all still be present.
+    """
+    problems: list[str] = []
+    cpp = (REPO / "src/memscope/memscope.cpp").read_text()
+
+    names = set(re.findall(r'registry\.probe\("(memscope\.[\w.]+)"',
+                           cpp))
+    if not names:
+        return ["src/memscope/memscope.cpp registers no literal "
+                "memscope.* probes"]
+
+    for family in ("memscope.sm", "memscope.gpu.", "memscope.mem.",
+                   "memscope.dram.", "memscope.l1.", "memscope.l2."):
+        if family not in cpp:
+            problems.append(
+                f"src/memscope/memscope.cpp no longer registers "
+                f"{family}* probes")
+
+    design = (REPO / "DESIGN.md").read_text()
+    for name in sorted(names):
+        if f"`{name}`" not in design:
+            problems.append(
+                f"probe `{name}` is missing from the DESIGN.md "
+                f"memscope probe table")
+    # Computed names (per-SM prefix, per-level suffix) are documented
+    # as patterns; the patterns themselves must stay in DESIGN.md.
+    for pattern in ("`memscope.sm<i>.node_accesses`",
+                    "`memscope.sm<i>.node_bytes`",
+                    "`memscope.gpu.level_<lvl>`"):
+        if pattern not in design:
+            problems.append(
+                f"probe pattern {pattern} is missing from the "
+                f"DESIGN.md memscope probe table")
+
+    for src in (REPO / "src").rglob("*.cpp"):
+        if src.name == "memscope.cpp":
+            continue
+        if re.search(r'probe\(\s*"memscope\.', src.read_text()):
+            problems.append(
+                f"{src.relative_to(REPO)} registers memscope.* "
+                f"probes; memscope.cpp is the single registration "
+                f"authority")
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
 
@@ -187,6 +239,9 @@ def main() -> int:
     # Stall-taxonomy cross-check (enum <-> name table <-> DESIGN.md
     # <-> prof.* registry probes).
     problems += prof_bucket_problems()
+
+    # Memscope probe surface (single authority + DESIGN.md table).
+    problems += memscope_problems()
 
     if problems:
         print("lint_stats_registry: FAIL")

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Validate a memscope JSON profile produced by the BVH-topology &
+memory-hierarchy profiler (``simulate_cli --memscope-json FILE`` or
+the campaign engine's ``--memscope-dir`` sinks).
+
+Checks the schema and the internal conservation laws the collector
+guarantees (see DESIGN.md §14):
+
+  - every counter exists and is a non-negative integer;
+  - node-level totals equal the sum over per-depth rows and over
+    per-unit rows (every fetch is attributed exactly once);
+  - per-depth level and phase histograms each sum to the row's
+    access count;
+  - per-level line counts sum to the reuse-stack access count
+    (``mem.line_* == reuse.l1.tracked``) and each reuse histogram
+    plus its cold count accounts for every tracked access;
+  - hot nodes are ranked by accesses (descending, node id as the
+    tie-break) and never exceed the node totals;
+  - DRAM row hits + misses equal DRAM requests.
+
+CI runs this against a fresh smoke run (see memscope-smoke in
+.github/workflows/ci.yml):
+
+    python3 tools/validate_memscope.py out.memscope.json
+
+With ``--run SIMULATE_CLI`` the script produces its own input by
+running a small scene through the given binary first (the ctest
+``validate_memscope`` case uses this form):
+
+    python3 tools/validate_memscope.py --run build/examples/simulate_cli
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+NODE_COUNTERS = ("accesses", "bytes", "lanes")
+LEVELS = ("l1", "l2", "dram")
+PHASES = ("ramp", "traverse", "drain")
+MEM_COUNTERS = ("line_l1", "line_l2", "line_dram", "l2_fill_bytes",
+                "bank_requests", "bank_conflicts", "bank_wait_cycles")
+DRAM_COUNTERS = ("requests", "bytes", "row_hits", "row_misses")
+REUSE_BUCKETS = 32
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"validate_memscope: FAIL: {msg}")
+
+
+def expect_counter(obj: dict, key: str, where: str) -> int:
+    if key not in obj:
+        fail(f"{where}: missing field {key!r}")
+    v = obj[key]
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        fail(f"{where}: {key} = {v!r} is not a non-negative integer")
+    return v
+
+
+def level_sum(obj: dict, where: str) -> int:
+    """Sum the flat per-level fields (``l1``/``l2``/``dram``)."""
+    return sum(expect_counter(obj, lvl, where) for lvl in LEVELS)
+
+
+def validate_reuse(obj: dict, where: str) -> int:
+    cold = expect_counter(obj, "cold", where)
+    tracked = expect_counter(obj, "tracked", where)
+    hist = obj.get("hist")
+    if not isinstance(hist, list) or len(hist) != REUSE_BUCKETS:
+        fail(f"{where}: 'hist' is not a {REUSE_BUCKETS}-entry array")
+    reused = sum(hist)
+    if cold + reused != tracked:
+        fail(f"{where}: cold {cold} + histogram {reused} != "
+             f"tracked {tracked}")
+    return tracked
+
+
+def validate(doc: dict) -> tuple[int, int]:
+    if not isinstance(doc.get("scene"), str):
+        fail("top level: missing string field 'scene'")
+
+    nodes = doc.get("nodes")
+    if not isinstance(nodes, dict):
+        fail("top level: 'nodes' is not an object")
+    for key in NODE_COUNTERS:
+        expect_counter(nodes, key, "nodes")
+    levels = nodes.get("levels")
+    if not isinstance(levels, dict):
+        fail("nodes: 'levels' is not an object")
+    if sum(expect_counter(levels, lvl, "nodes.levels")
+           for lvl in LEVELS) != nodes["accesses"]:
+        fail("nodes: serving-level histogram does not sum to "
+             f"accesses = {nodes['accesses']}")
+
+    depths = doc.get("depths")
+    if not isinstance(depths, list):
+        fail("top level: 'depths' is not an array")
+    depth_accesses = depth_bytes = 0
+    last_depth = 0
+    for i, d in enumerate(depths):
+        where = f"depths[{i}]"
+        depth = expect_counter(d, "depth", where)
+        if depth <= last_depth:
+            fail(f"{where}: depth {depth} not strictly increasing")
+        last_depth = depth
+        acc = expect_counter(d, "accesses", where)
+        depth_accesses += acc
+        depth_bytes += expect_counter(d, "bytes", where)
+        expect_counter(d, "lanes", where)
+        if level_sum(d, where) != acc:
+            fail(f"{where}: level histogram does not sum to "
+                 f"accesses = {acc}")
+        phases = d.get("phases")
+        if not isinstance(phases, dict):
+            fail(f"{where}: 'phases' is not an object")
+        if sum(expect_counter(phases, p, f"{where}.phases")
+               for p in PHASES) != acc:
+            fail(f"{where}: phase histogram does not sum to "
+                 f"accesses = {acc}")
+    if depth_accesses != nodes["accesses"]:
+        fail(f"per-depth rows hold {depth_accesses} accesses but "
+             f"nodes.accesses = {nodes['accesses']}")
+    if depth_bytes != nodes["bytes"]:
+        fail(f"per-depth rows hold {depth_bytes} bytes but "
+             f"nodes.bytes = {nodes['bytes']}")
+
+    hot = doc.get("hot_nodes")
+    if not isinstance(hot, list):
+        fail("top level: 'hot_nodes' is not an array")
+    prev = None
+    for i, h in enumerate(hot):
+        where = f"hot_nodes[{i}]"
+        node = expect_counter(h, "node", where)
+        expect_counter(h, "depth", where)
+        acc = expect_counter(h, "accesses", where)
+        if acc > nodes["accesses"]:
+            fail(f"{where}: {acc} accesses exceeds the node total")
+        if level_sum(h, where) != acc:
+            fail(f"{where}: level histogram does not sum to "
+                 f"accesses = {acc}")
+        if prev is not None and (acc > prev[0] or
+                                 (acc == prev[0] and node < prev[1])):
+            fail(f"{where}: ranking broken — ({acc}, node {node}) "
+                 f"after ({prev[0]}, node {prev[1]})")
+        prev = (acc, node)
+
+    reuse = doc.get("reuse")
+    if not isinstance(reuse, dict):
+        fail("top level: 'reuse' is not an object")
+    l1_tracked = validate_reuse(reuse.get("l1", {}), "reuse.l1")
+    validate_reuse(reuse.get("l2", {}), "reuse.l2")
+    expect_counter(reuse, "l2_sets_touched", "reuse")
+    expect_counter(reuse, "l2_set_max_accesses", "reuse")
+
+    mem = doc.get("mem")
+    if not isinstance(mem, dict):
+        fail("top level: 'mem' is not an object")
+    for key in MEM_COUNTERS:
+        expect_counter(mem, key, "mem")
+    lines = mem["line_l1"] + mem["line_l2"] + mem["line_dram"]
+    if lines != l1_tracked:
+        fail(f"mem: per-level line counts sum to {lines} but the L1 "
+             f"reuse stack tracked {l1_tracked} accesses")
+    if mem["bank_conflicts"] > mem["bank_requests"]:
+        fail("mem: more bank conflicts than bank requests")
+
+    dram = doc.get("dram")
+    if not isinstance(dram, dict):
+        fail("top level: 'dram' is not an object")
+    for key in DRAM_COUNTERS:
+        expect_counter(dram, key, "dram")
+    if dram["row_hits"] + dram["row_misses"] != dram["requests"]:
+        fail(f"dram: row hits {dram['row_hits']} + misses "
+             f"{dram['row_misses']} != requests {dram['requests']}")
+
+    units = doc.get("units")
+    if not isinstance(units, list):
+        fail("top level: 'units' is not an array")
+    unit_accesses = unit_bytes = 0
+    for i, u in enumerate(units):
+        where = f"units[{i}]"
+        expect_counter(u, "sm", where)
+        unit_accesses += expect_counter(u, "accesses", where)
+        unit_bytes += expect_counter(u, "bytes", where)
+    if unit_accesses != nodes["accesses"]:
+        fail(f"per-unit rows hold {unit_accesses} accesses but "
+             f"nodes.accesses = {nodes['accesses']}")
+    if unit_bytes != nodes["bytes"]:
+        fail(f"per-unit rows hold {unit_bytes} bytes but "
+             f"nodes.bytes = {nodes['bytes']}")
+
+    return nodes["accesses"], len(depths)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) == 3 and argv[1] == "--run":
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "smoke.memscope.json"
+            cmd = [argv[2], "--scene", "wknd", "--shader", "pt",
+                   "--resolution", "32", "--memscope-json", str(out)]
+            r = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if r.returncode != 0:
+                fail(f"{' '.join(cmd)} exited {r.returncode}")
+            return main([argv[0], str(out)])
+    if len(argv) != 2:
+        print("usage: validate_memscope.py FILE.memscope.json\n"
+              "       validate_memscope.py --run SIMULATE_CLI",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{argv[1]}: {e}")
+    accesses, depths = validate(doc)
+    print(f"validate_memscope: OK ({argv[1]}: {accesses} node "
+          f"fetches over {depths} depths, scene {doc['scene']!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
