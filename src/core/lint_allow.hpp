@@ -1,0 +1,23 @@
+#pragma once
+/*
+ * COOPRT_LINT_ALLOW — statement/namespace-scope suppression marker
+ * for cooprt-lint (tools/cooprt_lint).
+ *
+ * Both spellings suppress a finding on their own line or the line
+ * directly below, and both REQUIRE a reason:
+ *
+ *     // cooprt-lint: allow(rule-id) reason text
+ *     COOPRT_LINT_ALLOW("rule-id", "reason text");
+ *
+ * The macro form is for places where a trailing comment is awkward
+ * (macro bodies, long conditions). It compiles to nothing but
+ * enforces the non-empty-reason contract at compile time:
+ * sizeof("") == 1, so an empty reason fails the static_assert.
+ * An unused or malformed allow() is itself a lint finding, so stale
+ * suppressions cannot accumulate.
+ */
+
+#define COOPRT_LINT_ALLOW(rule, reason)                                \
+    static_assert(sizeof(rule) > 1 && sizeof(reason) > 1,              \
+                  "cooprt-lint: allow() needs a rule id and a "        \
+                  "non-empty reason")

@@ -236,6 +236,49 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
     }
 
 #if COOPRT_CHECK_ENABLED
+    // Aggregate re-summation: the reporting loop above must not drop
+    // an SM or double-count an RT-unit counter. Recompute the totals
+    // independently and pin them against the published aggregate.
+    {
+        RtUnitStats audit_rt;
+        for (const auto &sm : sms_) {
+            const auto &rs = sm->rtUnit().stats();
+            audit_rt.node_fetches += rs.node_fetches;
+            audit_rt.leaf_fetches += rs.leaf_fetches;
+            audit_rt.box_tests += rs.box_tests;
+            audit_rt.tri_tests += rs.tri_tests;
+            audit_rt.steals += rs.steals;
+            audit_rt.coalesced_threads += rs.coalesced_threads;
+            audit_rt.stale_pops += rs.stale_pops;
+            audit_rt.stack_overflows += rs.stack_overflows;
+            audit_rt.issue_cycles += rs.issue_cycles;
+            audit_rt.prefetches += rs.prefetches;
+            audit_rt.predictor_hits += rs.predictor_hits;
+            audit_rt.predictor_misses += rs.predictor_misses;
+            audit_rt.hit_stores += rs.hit_stores;
+        }
+        COOPRT_AUDIT("gpu", "gpu.rt_stats_aggregation", now,
+                     audit_rt.node_fetches == res.rt.node_fetches &&
+                         audit_rt.leaf_fetches == res.rt.leaf_fetches &&
+                         audit_rt.box_tests == res.rt.box_tests &&
+                         audit_rt.tri_tests == res.rt.tri_tests &&
+                         audit_rt.steals == res.rt.steals &&
+                         audit_rt.coalesced_threads ==
+                             res.rt.coalesced_threads &&
+                         audit_rt.stale_pops == res.rt.stale_pops &&
+                         audit_rt.stack_overflows ==
+                             res.rt.stack_overflows &&
+                         audit_rt.issue_cycles == res.rt.issue_cycles &&
+                         audit_rt.prefetches == res.rt.prefetches &&
+                         audit_rt.predictor_hits ==
+                             res.rt.predictor_hits &&
+                         audit_rt.predictor_misses ==
+                             res.rt.predictor_misses &&
+                         audit_rt.hit_stores == res.rt.hit_stores,
+                     "per-SM RT-unit counters must re-sum to the "
+                     "published aggregate");
+    }
+
     // End-of-run conservation: the event loop only exits when every
     // SM drained, so every launched warp must have a completion
     // record with a sane lifetime.

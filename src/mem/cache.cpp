@@ -1,5 +1,7 @@
 #include "mem/cache.hpp"
 
+#include <algorithm>
+
 namespace cooprt::mem {
 
 void
@@ -19,6 +21,25 @@ Cache::registerMetrics(cooprt::trace::Registry &registry,
     add("sector_misses", &s->sector_misses);
     registry.probe(prefix + ".miss_rate",
                    [s] { return s->missRate(); }, owner);
+    registry.probe(prefix + ".mshr_live",
+                   [this] { return double(outstanding_.size()); },
+                   owner);
+}
+
+std::vector<Cache::MshrEntry>
+Cache::outstandingLines() const
+{
+    std::vector<MshrEntry> out;
+    out.reserve(outstanding_.size());
+    // cooprt-lint: allow(nondeterministic-iteration) snapshot is
+    // sorted immediately below; hash-order appends cannot leak out
+    for (const auto &[line, mshr] : outstanding_)
+        out.push_back({line, mshr.ready, mshr.sectors});
+    std::sort(out.begin(), out.end(),
+              [](const MshrEntry &a, const MshrEntry &b) {
+                  return a.line < b.line;
+              });
+    return out;
 }
 
 Cache::Cache(const CacheConfig &config) : cfg_(config)

@@ -84,6 +84,27 @@ class Cache
     const CacheConfig &config() const { return cfg_; }
     const CacheStats &stats() const { return stats_; }
 
+    /** One in-flight MSHR fill, snapshot form. */
+    struct MshrEntry
+    {
+        std::uint64_t line;    ///< line address
+        std::uint64_t ready;   ///< cycle the fill completes
+        std::uint32_t sectors; ///< sectors being filled
+    };
+
+    /**
+     * Snapshot of the in-flight fills, sorted by line address. The
+     * MSHR table itself is an unordered_map, so anything that emits,
+     * audits or compares in-flight state must go through this
+     * accessor — hash order is not part of the simulator's
+     * deterministic surface (cooprt-lint: nondeterministic-iteration
+     * rejects direct iteration into a sink).
+     */
+    std::vector<MshrEntry> outstandingLines() const;
+
+    /** Live MSHR entries (completed-but-uncompacted fills count). */
+    std::size_t mshrLive() const { return outstanding_.size(); }
+
     /** Component path reported by COOPRT_CHECK audits ("mem.l1.sm0",
      *  "mem.l2", ...). No-op in default builds. */
     void

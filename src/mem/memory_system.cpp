@@ -78,6 +78,15 @@ MemorySystem::registerMetrics(cooprt::trace::Registry &registry)
                    [d] { return double(d->bytes); }, this);
     registry.probe("mem.dram.busy_cycles",
                    [d] { return double(d->busy_cycles); }, this);
+
+    registry.probe("mem.mshr_live",
+                   [this] {
+                       std::size_t live = l2_.mshrLive();
+                       for (const auto &l1 : l1_)
+                           live += l1->mshrLive();
+                       return double(live);
+                   },
+                   this);
 }
 
 void

@@ -703,6 +703,8 @@ RtUnit::processOneResponse(std::uint64_t now)
     // Seeded bug: the response is accounted for but its data never
     // delivered — the consuming threads stay pending forever.
     if (COOPRT_MUTATE(DropResponse)) {
+        // cooprt-lint: allow(check-purity) seeded-bug mutation:
+        // deliberately corrupts state, armed only under --mutate
         w.outstanding--;
         return true;
     }

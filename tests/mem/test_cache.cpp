@@ -167,4 +167,31 @@ TEST(Cache, Table1Configurations)
     EXPECT_TRUE(l1.contains(1));
 }
 
+TEST(Cache, OutstandingLinesSortedSnapshot)
+{
+    // Issue misses in scrambled line order: the MSHR table is an
+    // unordered_map, but the snapshot the rest of the simulator is
+    // allowed to see must come back sorted by line address — the
+    // deterministic-emission contract cooprt-lint's
+    // nondeterministic-iteration rule enforces statically.
+    Cache c(smallCfg(0));
+    Backing mem;
+    const std::uint64_t lines[] = {9, 2, 17, 5, 33, 1};
+    std::uint64_t now = 0;
+    for (std::uint64_t l : lines)
+        c.access(l, now++, std::ref(mem)); // all in flight
+
+    const auto snap = c.outstandingLines();
+    ASSERT_EQ(snap.size(), 6u);
+    EXPECT_EQ(c.mshrLive(), 6u);
+    for (std::size_t i = 1; i < snap.size(); ++i)
+        EXPECT_LT(snap[i - 1].line, snap[i].line);
+    EXPECT_EQ(snap.front().line, 1u);
+    EXPECT_EQ(snap.back().line, 33u);
+    for (const auto &e : snap) {
+        EXPECT_GT(e.ready, now); // fills still outstanding
+        EXPECT_NE(e.sectors, 0u);
+    }
+}
+
 } // namespace

@@ -1,0 +1,47 @@
+"""cooprt-lint — static determinism & audit-coverage analysis for the
+CoopRT simulator.
+
+Every result this reproduction publishes rests on bit-identical
+determinism (pinned-cycle baselines, jobs-1-vs-4 byte-identity,
+figure tables matching the paper). The runtime ``cooprt::check``
+audits enforce that property *dynamically*; this package rejects the
+hazard patterns *statically*, before they reach a run:
+
+  ====================================  =================================
+  rule id                               hazard class
+  ====================================  =================================
+  ``nondeterministic-iteration``        hash-container iteration feeding
+                                        a report/sink/tracer path
+  ``unseeded-randomness``               wall-clock / rand / pointer
+                                        identity influencing results
+  ``float-accumulation-order``          float ``+=`` reductions in
+                                        unordered loops or exec workers
+  ``audit-coverage``                    registry-observable counters
+                                        mutated but never audited
+  ``check-purity``                      COOPRT_CHECK-only code writing
+                                        non-check state
+  ``registry-authority``                metric names registered twice or
+                                        missing from the DESIGN.md tables
+  ====================================  =================================
+
+Two interchangeable frontends produce the same fact stream:
+
+  - ``text``: a structural C++ scanner (comment/string stripping,
+    brace/paren matching, declaration and loop extraction). Zero
+    dependencies; this is the CI gate and the ctest default.
+  - ``clang``: libclang (``pip install libclang``) driven by
+    ``build/compile_commands.json`` for type-accurate container and
+    float classification. Used when importable; advisory until parity
+    with the text frontend is pinned in CI.
+
+Findings can be suppressed inline with a mandatory reason::
+
+    // cooprt-lint: allow(rule-id) why this is safe
+    COOPRT_LINT_ALLOW("rule-id", "why this is safe");
+
+and a checked-in baseline (``tools/cooprt_lint/BASELINE.json``) makes
+CI fail only on *new* violations. See DESIGN.md §15 for the rule
+catalogue.
+"""
+
+__version__ = "1.0"

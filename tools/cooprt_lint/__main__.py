@@ -1,0 +1,18 @@
+"""Entry point: ``python3 tools/cooprt_lint [args]``.
+
+Directory execution puts the package dir on sys.path (flat module
+imports); the parent ``tools/`` dir is added for ``lintlib``.
+"""
+
+import sys
+from pathlib import Path
+
+_pkg = Path(__file__).resolve().parent
+for p in (str(_pkg), str(_pkg.parent)):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main(sys.argv[1:]))

@@ -1,0 +1,49 @@
+"""Findings baseline.
+
+``BASELINE.json`` holds the keys of findings that are accepted on
+HEAD; the gate fails only on findings whose key is *not* in the
+baseline. Keys are ``rel::rule::what`` — line numbers are excluded
+on purpose so edits above a baselined finding do not resurrect it.
+
+The file is written sorted and newline-terminated so diffs are
+minimal and deterministic. Stale entries (baselined keys the
+current run no longer produces) are reported and pruned by
+``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from model import Finding
+
+_VERSION = 1
+
+
+def load(path: Path) -> set[str]:
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(f"{path}: unsupported baseline version "
+                         f"{data.get('version')!r}")
+    return set(data.get("findings", []))
+
+
+def save(path: Path, findings: list[Finding]) -> None:
+    data = {
+        "version": _VERSION,
+        "findings": sorted({f.key() for f in findings}),
+    }
+    path.write_text(json.dumps(data, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+def compare(findings: list[Finding], baseline: set[str]
+            ) -> tuple[list[Finding], set[str]]:
+    """Return (new_findings, stale_keys)."""
+    present = {f.key() for f in findings}
+    new = [f for f in findings if f.key() not in baseline]
+    stale = baseline - present
+    return new, stale

@@ -1,0 +1,41 @@
+// Fixture: audit-coverage. A registered counter incremented with no
+// COOPRT_AUDIT naming it anywhere is flagged; its audited sibling
+// stays clean.
+#include <cstdint>
+#include <string>
+
+#define COOPRT_AUDIT(component, invariant, cycle, cond, detail)
+
+struct Registry
+{
+    void add(const char *, const std::uint64_t *) {}
+};
+
+struct UnitStats
+{
+    std::uint64_t pops = 0;
+    std::uint64_t pushes = 0;
+};
+
+void
+registerMetrics(Registry &reg, const UnitStats *s)
+{
+    reg.add("unit_pops", &s->pops);
+    reg.add("unit_pushes", &s->pushes);
+}
+
+void
+tick(UnitStats &st)
+{
+    st.pops++;   // V: registered, mutated, never audited
+    st.pushes++; // clean: named in the invariant below
+}
+
+void
+verify(const UnitStats &st, std::uint64_t now,
+       std::uint64_t prev_pushes)
+{
+    COOPRT_AUDIT("unit", "unit.push_monotone", now,
+                 st.pushes >= prev_pushes,
+                 "push counter must never run backwards");
+}

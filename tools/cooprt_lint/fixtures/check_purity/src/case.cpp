@@ -1,0 +1,26 @@
+// Fixture: check-purity. Check-only code may write locals and
+// audit_*/check_* state; writing simulation state is flagged.
+#include <cstdint>
+
+#define COOPRT_CHECK_ENABLED 1
+#define COOPRT_AUDIT(component, invariant, cycle, cond, detail)
+
+struct Warp
+{
+    int outstanding = 0;
+    int audit_expected = 0;
+};
+
+void
+verify(Warp &w, std::uint64_t now)
+{
+#if COOPRT_CHECK_ENABLED
+    std::uint64_t local_total = 0; // clean: region-local
+    for (int i = 0; i < 4; ++i)    // clean: loop header induction
+        local_total += 1;          // clean: writes a local
+    w.audit_expected++;            // clean: audit_* namespace
+    w.outstanding--;               // V: writes simulation state
+    COOPRT_AUDIT("warp", "warp.outstanding_sane", now,
+                 w.outstanding >= 0, "went negative");
+#endif
+}

@@ -1,0 +1,27 @@
+// Fixture: float-accumulation-order (unordered-loop shape).
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+double
+totalHashOrder()
+{
+    std::unordered_map<int, double> weights;
+    double total = 0.0;
+
+    // V: the sum depends on hash iteration order.
+    for (const auto &kv : weights)
+        total += kv.second;
+
+    // Clean: integer accumulation commutes exactly.
+    std::uint64_t count = 0;
+    for (const auto &kv : weights)
+        count += std::uint64_t(kv.first);
+
+    // Clean: ordered container fixes the accumulation order.
+    std::map<int, double> sorted(weights.begin(), weights.end());
+    for (const auto &kv : sorted)
+        total += kv.second;
+
+    return total + double(count);
+}

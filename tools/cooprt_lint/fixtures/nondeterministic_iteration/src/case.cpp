@@ -1,0 +1,40 @@
+// Fixture: nondeterministic-iteration. Lines marked V must be
+// flagged; everything else must stay clean.
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+struct Row
+{
+    int weight = 0;
+};
+
+void
+emitRows(std::ostream &os)
+{
+    std::unordered_map<int, Row> table;
+
+    // V: hash-order iteration straight into a stream.
+    for (const auto &kv : table)
+        os << kv.first << "\n";
+
+    // V: hash-order append into a result container.
+    std::vector<Row> rows;
+    for (const auto &kv : table)
+        rows.push_back(kv.second);
+
+    // Clean: pure reduction, no ordered sink.
+    int total = 0;
+    for (const auto &kv : table)
+        total += kv.second.weight;
+
+    // Clean: erase sweep via iterators (not a range-for).
+    for (auto it = table.begin(); it != table.end();)
+        it = table.erase(it);
+
+    // Clean: the canonical fix — ordered snapshot, then emit.
+    std::map<int, Row> sorted(table.begin(), table.end());
+    for (const auto &kv : sorted)
+        os << kv.first << " " << total << "\n";
+}

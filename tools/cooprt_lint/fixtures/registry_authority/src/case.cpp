@@ -1,0 +1,16 @@
+// Fixture: registry-authority. Literal dotted metric names must be
+// registered once and documented in DESIGN.md (exact or wildcard).
+struct Registry
+{
+    void probe(const char *, double) {}
+};
+
+void
+registerAll(Registry &reg)
+{
+    reg.probe("unit.documented", 1.0);    // clean: exact entry
+    reg.probe("unit.wild.anything", 2.0); // clean: unit.wild.*
+    reg.probe("unit.undocumented", 3.0);  // V: no DESIGN.md entry
+    reg.probe("unit.twice", 4.0);         // clean: first site
+    reg.probe("unit.twice", 5.0);         // V: duplicate
+}

@@ -1,0 +1,30 @@
+// Fixture: suppression mechanics. A valid allow() with a reason
+// silences its finding; missing reasons, unknown rule ids and
+// unused suppressions are findings themselves.
+#include <chrono>
+
+void
+timing()
+{
+    // cooprt-lint: allow(unseeded-randomness) fixture: wall-clock
+    // here is reporting-only and never feeds results
+    auto t0 = std::chrono::steady_clock::now(); // suppressed
+
+    auto t1 = std::chrono::steady_clock::now(); // V: unsuppressed
+
+    // cooprt-lint: allow(unseeded-randomness)
+    auto t2 = std::chrono::steady_clock::now(); // V: reason missing
+
+    // cooprt-lint: allow(no-such-rule) misspelled rule id
+    auto t3 = std::chrono::steady_clock::now(); // V: not covered
+
+    // cooprt-lint: allow(nondeterministic-iteration) nothing here
+    // iterates, so this suppression is dead weight
+    auto t4 = std::chrono::steady_clock::now(); // V: wrong rule
+
+    (void)t0;
+    (void)t1;
+    (void)t2;
+    (void)t3;
+    (void)t4;
+}

@@ -1,0 +1,30 @@
+// Fixture: unseeded-randomness. Lines marked V must be flagged.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+using Clock = std::chrono::steady_clock;
+
+unsigned
+entropySoup(const void *ptr)
+{
+    std::random_device rd;                         // V
+    unsigned a = rd();
+    unsigned b = unsigned(rand());                 // V
+    auto t0 = Clock::now();                        // V (alias)
+    auto t1 = std::chrono::steady_clock::now();    // V (direct)
+    srand(unsigned(time(NULL)));                   // V + V
+    auto key = reinterpret_cast<std::uintptr_t>(ptr); // V
+    (void)t0;
+    (void)t1;
+    return a ^ b ^ unsigned(key);
+}
+
+// Clean: all randomness derives from the run seed.
+std::uint64_t
+seededDraw(std::uint64_t run_seed)
+{
+    std::mt19937_64 gen(run_seed);
+    return gen();
+}

@@ -1,0 +1,131 @@
+"""libclang frontend (optional).
+
+When the ``clang`` Python bindings and a loadable libclang are
+present, declaration and loop classification comes from the real AST
+instead of the text scanner: variable/field/binding types are
+resolved through typedefs and template sugar, so an
+``unordered_map`` hidden behind three aliases still classifies, and
+float detection covers ``auto`` deductions.
+
+Everything preprocessor-shaped (suppressions, COOPRT_CHECK regions,
+COOPRT_AUDIT spans) stays textual — libclang does not keep
+skipped-branch tokens — so this frontend *refines* the text facts
+rather than replacing them: it starts from ``frontend_text`` output
+and overwrites the type-dependent fields when parsing succeeds.
+
+Compilation flags come from ``build/compile_commands.json`` when the
+file has an entry; headers and unlisted files parse with a default
+``-std=c++20 -I<root>/src`` command line.
+
+Availability is probed once; any parse failure falls back to the
+text facts for that file, so a broken libclang install degrades to
+the text frontend instead of crashing the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import frontend_text
+from model import FileFacts
+
+
+def available() -> bool:
+    """True when the clang bindings import and libclang loads."""
+    try:
+        import clang.cindex as ci
+        ci.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def _flags_for(root: Path, path: Path,
+               compile_commands: dict[str, list[str]]) -> list[str]:
+    args = compile_commands.get(str(path))
+    if args:
+        # Drop the compiler and the input/output operands; keep
+        # include paths, defines and the language standard.
+        keep: list[str] = []
+        skip_next = False
+        for a in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-o", "-c"):
+                skip_next = a == "-o"
+                continue
+            if a == str(path):
+                continue
+            keep.append(a)
+        return keep
+    return ["-std=c++20", f"-I{root / 'src'}"]
+
+
+def load_compile_commands(root: Path) -> dict[str, list[str]]:
+    p = root / "build" / "compile_commands.json"
+    if not p.exists():
+        return {}
+    try:
+        entries = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    out: dict[str, list[str]] = {}
+    for e in entries:
+        if "file" in e and "command" in e:
+            out[e["file"]] = e["command"].split()
+        elif "file" in e and "arguments" in e:
+            out[e["file"]] = list(e["arguments"])
+    return out
+
+
+def _refine(facts: FileFacts, tu) -> None:
+    import clang.cindex as ci
+
+    unordered: set[str] = set()
+    floats: set[str] = set()
+    this_file = str(facts.src.path)
+
+    decl_kinds = (ci.CursorKind.VAR_DECL, ci.CursorKind.FIELD_DECL,
+                  ci.CursorKind.PARM_DECL)
+
+    def visit(cursor):
+        for c in cursor.get_children():
+            loc = c.location
+            if loc.file is not None and str(loc.file) != this_file:
+                continue
+            if c.kind in decl_kinds and c.spelling:
+                canon = c.type.get_canonical().spelling
+                if "unordered_map" in canon or \
+                        "unordered_set" in canon or \
+                        "unordered_multi" in canon:
+                    unordered.add(c.spelling)
+                if canon.rstrip("&* ") in ("float", "double",
+                                           "long double"):
+                    floats.add(c.spelling)
+            visit(c)
+
+    visit(tu.cursor)
+    # Union with the text scan: macro-heavy regions the AST skipped
+    # keep their textual classification.
+    facts.unordered_vars |= unordered
+    facts.float_vars |= floats
+
+
+def analyze_file(path: Path, rel: str, root: Path,
+                 compile_commands: dict[str, list[str]]) -> FileFacts:
+    facts = frontend_text.analyze_file(path, rel)
+    try:
+        import clang.cindex as ci
+        index = ci.Index.create()
+        tu = index.parse(str(path),
+                         args=_flags_for(root, path,
+                                         compile_commands),
+                         options=ci.TranslationUnit
+                         .PARSE_DETAILED_PROCESSING_RECORD)
+        if tu is not None:
+            _refine(facts, tu)
+    except Exception:
+        pass  # text facts remain authoritative for this file
+    return facts

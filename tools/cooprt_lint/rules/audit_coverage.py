@@ -1,0 +1,89 @@
+"""Rule: audit-coverage.
+
+Every counter the trace registry can observe is part of the
+published result surface (report tables, pinned-cycle baselines).
+A counter that is bumped on some hot path but never appears in a
+``COOPRT_AUDIT`` invariant is unprotected: a refactor can silently
+double-count or drop it and nothing fails until a human re-diffs a
+figure. This rule cross-references three sets:
+
+  registered   fields reachable from ``Registry::probe``/``add``
+  mutated      fields incremented (``++``/``+=``/``fetch_add``)
+  audited      identifiers named inside any ``COOPRT_AUDIT(...)`` /
+               ``COOPRT_CHECK_ONLY(...)`` argument span, project-wide
+
+and flags registered+mutated fields with no audit mention. Fields
+that are genuinely un-invariantable (pure event tallies with no
+conservation partner) take an inline allow() naming why.
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import Project, Rule
+
+# add("name", &s->field)  /  add("name", &stats.field)
+_ADD_ADDR_RE = re.compile(
+    r'\badd\s*\(\s*"[\w.]+"\s*,\s*&\s*\w+(?:->|\.)(\w+)\s*\)')
+# probe("a.b.c", stats_.field)
+_PROBE_MEMBER_RE = re.compile(
+    r'\bprobe\s*\(\s*"[\w.]+"\s*,\s*\w+(?:\.|->)(\w+)\s*[,)]')
+# agg(&CacheStats::field)
+_AGG_RE = re.compile(r"&\s*\w+Stats\s*::\s*(\w+)")
+# probe("...", [..]{ ... return <chain>.field; ... })
+_PROBE_CALL_RE = re.compile(r'\bprobe\s*\(\s*"[\w.]+"')
+_LAMBDA_RETURN_RE = re.compile(
+    r"return\s+(?:[\w]+(?:\.|->))*(\w+)(?:\.load\(\))?\s*;")
+
+_LAMBDA_WINDOW = 280  # bytes after probe( to look for the return
+
+
+class AuditCoverage(Rule):
+    id = "audit-coverage"
+    description = ("registry-observable counter incremented but "
+                   "named in no COOPRT_AUDIT invariant")
+    roots = ("src",)
+
+    def check_project(self, project: Project, add) -> None:
+        registered: set[str] = set()
+        audited: set[str] = set()
+        for facts in project.files:
+            nc = facts.src.nc
+            for rx in (_ADD_ADDR_RE, _PROBE_MEMBER_RE, _AGG_RE):
+                registered.update(m.group(1) for m in rx.finditer(nc))
+            for m in _PROBE_CALL_RE.finditer(nc):
+                window = nc[m.end():m.end() + _LAMBDA_WINDOW]
+                r = _LAMBDA_RETURN_RE.search(window)
+                if r:
+                    registered.add(r.group(1))
+            code = facts.src.code
+            for span in facts.audit_spans:
+                audited.update(
+                    re.findall(r"[A-Za-z_]\w*",
+                               code[span.start:span.end]))
+
+        uncovered = registered - audited
+        if not uncovered:
+            return
+        for facts in project.files:
+            if not self.applies_to(facts.rel):
+                continue
+            code = facts.src.code
+            for field in sorted(uncovered):
+                rx = re.compile(
+                    r"(?:\.|->)" + re.escape(field)
+                    + r"\s*(?:\+\+|\+=)"
+                    r"|(?:\.|->)" + re.escape(field)
+                    + r"\s*\.\s*fetch_add\s*\(")
+                m = rx.search(code)
+                if not m:
+                    continue
+                add(self.id, facts.rel,
+                    facts.src.line_of(m.start()),
+                    f"counter '{field}' mutated without audit",
+                    f"registry-observable counter '{field}' is "
+                    f"incremented here but appears in no "
+                    f"COOPRT_AUDIT invariant anywhere; add a "
+                    f"conservation check or allow() with the "
+                    f"reason it cannot have one")

@@ -1,0 +1,104 @@
+"""Rule: check-purity.
+
+``COOPRT_CHECK_ENABLED`` builds must produce bit-identical
+simulation results to release builds — that is what makes the audit
+harness trustworthy (DESIGN.md §10: checks observe, never steer).
+Therefore code that exists only under ``#if COOPRT_CHECK_ENABLED``,
+or inside ``COOPRT_AUDIT(...)`` / ``COOPRT_CHECK_ONLY(...)``
+argument spans, must not write simulation state.
+
+Writes are allowed to: locals declared inside the region, and
+fields following the check-state naming convention
+(``audit_*`` / ``check_*`` prefix on the final identifier).
+Everything else is a purity violation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import FileFacts, Rule
+from source import Span, match_forward
+
+_MUTATION_RE = re.compile(
+    r"^\s*([A-Za-z_][\w.\[\]]*(?:->[\w.\[\]]+)*)\s*"
+    r"(\+\+|--|\+=|-=|\*=|/=|\|=|&=|\^=|=(?!=))")
+
+_DECL_RE = re.compile(
+    r"\b(?:auto|bool|int|long|unsigned|short|float|double|char"
+    r"|size_t|std\s*::\s*[\w:]+|uint\d+_t|int\d+_t)\b"
+    r"(?:\s*<[^;<>]*>)?(?:\s*::\s*\w+)*\s*(?:const\s*)?[&*]?\s*"
+    r"(\w+)\s*(?:=|\{|;|\()")
+
+_BINDING_RE = re.compile(r"\bauto\s*&?\s*\[([^\]]*)\]")
+
+_FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+class CheckPurity(Rule):
+    id = "check-purity"
+    description = ("check-only code writes state outside the "
+                   "audit_*/check_* namespace")
+
+    def check_file(self, facts: FileFacts, add) -> None:
+        sf = facts.src
+        regions = list(sf.check_regions) + list(facts.audit_spans)
+        for region in regions:
+            self._check_region(facts, region, add)
+
+    def _check_region(self, facts: FileFacts, region: Span,
+                      add) -> None:
+        sf = facts.src
+        text = sf.code[region.start:region.end]
+        # Loop headers manage their own induction variables; blank
+        # them so `++i` / `i = 0` fragments are not statements.
+        buf = list(text)
+        for m in _FOR_RE.finditer(text):
+            end = match_forward(text, m.end() - 1, "(", ")")
+            for k in range(m.start(), end):
+                if buf[k] != "\n":
+                    buf[k] = " "
+        text = "".join(buf)
+
+        locals_: set[str] = {m.group(1)
+                             for m in _DECL_RE.finditer(text)}
+        for m in _BINDING_RE.finditer(text):
+            locals_.update(n.strip() for n in m.group(1).split(",")
+                           if n.strip())
+
+        pos = 0
+        for m in re.finditer(r"[;{}]", text):
+            stmt = text[pos:m.start()]
+            self._check_statement(facts, region.start + pos, stmt,
+                                  locals_, add)
+            pos = m.end()
+        self._check_statement(facts, region.start + pos, text[pos:],
+                              locals_, add)
+
+    def _check_statement(self, facts: FileFacts, offset: int,
+                         stmt: str, locals_: set[str], add) -> None:
+        m = _MUTATION_RE.match(stmt)
+        if not m:
+            return
+        lvalue = m.group(1)
+        ids = re.findall(r"[A-Za-z_]\w*", lvalue)
+        name = ids[-1] if ids else ""
+        root = ids[0] if ids else ""
+        # Check-private state: either end of the chain carries the
+        # audit_/check_ prefix ('w.audit_steal_expected++',
+        # 'audit_rt.node_fetches += ...'), or the root is a local
+        # declared inside this region.
+        if (name.startswith(("audit_", "check_"))
+                or root.startswith(("audit_", "check_"))
+                or root in locals_):
+            return
+        # `x = y` where the statement is really a declaration
+        # (`type x = y`) never matches: the lvalue chain cannot
+        # span whitespace, so only genuine assignments arrive here.
+        line = facts.src.line_of(offset + m.start(1))
+        add(self.id, facts.rel, line,
+            f"write to '{name}' in check-only code",
+            f"check-only code writes '{lvalue}'; checks must "
+            f"observe, never steer — rename to audit_*/check_* if "
+            f"this is check-private state, otherwise move the "
+            f"write out of the COOPRT_CHECK region")

@@ -1,0 +1,63 @@
+"""Rule: nondeterministic-iteration.
+
+A range-for over ``std::unordered_{map,set,...}`` visits elements in
+hash order, which varies across libstdc++ versions and (for
+pointer-keyed tables) across runs. That is fine for pure reductions
+(sums, erase sweeps) but poisonous the moment the body emits
+anything ordered: report rows, folded-stack lines, tracer events,
+metric registrations. This rule flags unordered-iteration loops
+whose body reaches a sink; the fix is to snapshot + ``std::sort``
+first (see ``memscope.cpp:writeFolded`` for the canonical pattern).
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import FileFacts, Rule
+
+# Ordered-output sinks: stream inserts into stream-ish lvalues,
+# appends into result containers, and writer/recorder calls.
+_STREAM_RE = re.compile(
+    r"\b\w*(?:os|out|stream|ss|cout|cerr|file|log)\w*\s*<<",
+    re.IGNORECASE)
+_APPEND_RE = re.compile(
+    r"\b(?:push_back|emplace_back|append)\s*\(")
+_WRITER_RE = re.compile(
+    r"\b(?:\w*(?:write|emit|record|dump|print|fprintf|probe)\w*)"
+    r"\s*\(")
+
+
+class NondeterministicIteration(Rule):
+    id = "nondeterministic-iteration"
+    description = ("iteration over an unordered container feeds a "
+                   "report/sink/tracer path")
+
+    def check_file(self, facts: FileFacts, add) -> None:
+        code = facts.src.code
+        for loop in facts.loops:
+            if not loop.over_unordered:
+                continue
+            body = code[loop.body.start:loop.body.end]
+            sink = None
+            for rx, kind in ((_STREAM_RE, "stream write"),
+                             (_APPEND_RE, "container append"),
+                             (_WRITER_RE, "writer call")):
+                m = rx.search(body)
+                if m:
+                    sink = (kind, m.group(0).strip())
+                    break
+            if sink is None:
+                continue
+            name = _loop_name(loop.iterated)
+            add(self.id, facts.rel, loop.line,
+                f"loop over '{name}' reaches sink",
+                f"range-for over unordered container '{name}' "
+                f"reaches an ordered sink ({sink[0]} '{sink[1]}'); "
+                f"snapshot into a vector and std::sort before "
+                f"emitting")
+
+
+def _loop_name(iterated: str) -> str:
+    from model import last_identifier
+    return last_identifier(iterated) or iterated[:32]

@@ -1,0 +1,67 @@
+"""Rule: registry-authority.
+
+The trace registry is the single authority for metric names: every
+tool downstream (report tables, lint_stats_registry, campaign
+manifests) resolves names against it. Two registrations of the same
+literal name shadow each other silently (last wins), and a metric
+that exists in code but not in DESIGN.md cannot be reviewed against
+the paper's figure list.
+
+Only *literal dotted* names (``"exec.jobs_queued"``) are checked;
+computed names (``prefix + ".hits"``) follow their prefix family's
+wildcard entry (``rtunit.*``) and are validated at runtime by the
+registry's own collision audit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import Project, Rule
+
+_LITERAL_REG_RE = re.compile(
+    r'\b(?:probe|add)\s*\(\s*"([\w]+(?:\.[\w]+)+)"')
+
+_WILDCARD_RE = re.compile(r"`([\w.]+)\.\*`")
+
+
+class RegistryAuthority(Rule):
+    id = "registry-authority"
+    description = ("literal metric name registered twice or absent "
+                   "from DESIGN.md")
+    roots = ("src",)
+
+    def check_project(self, project: Project, add) -> None:
+        sites: dict[str, list[tuple[str, int]]] = {}
+        for facts in project.files:
+            if not self.applies_to(facts.rel):
+                continue
+            nc = facts.src.nc
+            for m in _LITERAL_REG_RE.finditer(nc):
+                sites.setdefault(m.group(1), []).append(
+                    (facts.rel, facts.src.line_of(m.start())))
+
+        design = project.design_md()
+        wildcards = {w + "." for w in _WILDCARD_RE.findall(design)}
+
+        for name in sorted(sites):
+            where = sites[name]
+            if len(where) > 1:
+                first = f"{where[0][0]}:{where[0][1]}"
+                for rel, line in where[1:]:
+                    add(self.id, rel, line,
+                        f"metric '{name}' registered more than once",
+                        f"metric '{name}' is already registered at "
+                        f"{first}; the registry is single-authority "
+                        f"— rename or merge")
+            documented = (f"`{name}`" in design
+                          or any(name.startswith(w)
+                                 for w in wildcards))
+            if not documented:
+                rel, line = where[0]
+                add(self.id, rel, line,
+                    f"metric '{name}' not documented in DESIGN.md",
+                    f"metric '{name}' is registered here but has "
+                    f"no `{name}` (or wildcard family) entry in "
+                    f"DESIGN.md; document it in the metric "
+                    f"catalogue")

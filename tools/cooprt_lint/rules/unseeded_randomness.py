@@ -1,0 +1,58 @@
+"""Rule: unseeded-randomness.
+
+The simulator's contract is: same config + same seed => bit-identical
+outputs. Anything that injects entropy the seed does not control
+breaks replay: ``rand()``/``srand()``, ``std::random_device``,
+wall-clock reads (``steady_clock::now`` and friends, including
+through ``using Clock = ...`` aliases), ``time(NULL)`` seeds, and
+pointer identity laundered through ``reinterpret_cast<uintptr_t>``
+(ASLR makes the address a per-run random number the moment it is
+compared, hashed or printed).
+
+Legitimate uses (wall-clock timing that is reporting-only and never
+feeds simulated state) must carry an inline allow with a reason.
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import FileFacts, Rule
+
+_PATTERNS: list[tuple[str, re.Pattern]] = [
+    ("std::random_device",
+     re.compile(r"\bstd\s*::\s*random_device\b")),
+    ("rand()",
+     re.compile(r"(?<![\w:.])s?rand\s*\(")),
+    ("chrono ::now()",
+     re.compile(r"\bstd::chrono::(?:steady_clock|system_clock"
+                r"|high_resolution_clock)\s*::\s*now\s*\(")),
+    ("time(NULL)",
+     re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)")),
+    ("pointer identity",
+     re.compile(r"\breinterpret_cast\s*<\s*(?:std::)?u?intptr_t"
+                r"\s*>")),
+]
+
+
+class UnseededRandomness(Rule):
+    id = "unseeded-randomness"
+    description = ("entropy the run seed does not control: rand, "
+                   "random_device, wall clocks, pointer identity")
+
+    def check_file(self, facts: FileFacts, add) -> None:
+        code = facts.src.code
+        patterns = list(_PATTERNS)
+        for alias in sorted(facts.clock_aliases):
+            patterns.append((
+                f"{alias}::now()",
+                re.compile(r"\b" + re.escape(alias)
+                           + r"\s*::\s*now\s*\(")))
+        for construct, rx in patterns:
+            for m in rx.finditer(code):
+                add(self.id, facts.rel, facts.src.line_of(m.start()),
+                    construct,
+                    f"'{construct}' injects per-run entropy the "
+                    f"seed does not control; derive from the run "
+                    f"seed or allow() with a reason if it is "
+                    f"reporting-only")

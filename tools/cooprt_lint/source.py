@@ -1,0 +1,199 @@
+"""Lexical layer: comment/string stripping, brace and paren
+matching, preprocessor regions, and inline suppressions.
+
+The stripped views preserve byte offsets (every skipped character is
+replaced by a space, newlines are kept), so spans computed on one
+view index correctly into every other view and into the original
+text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# // cooprt-lint: allow(rule-a, rule-b) reason text
+_SUPPRESS_COMMENT_RE = re.compile(
+    r"cooprt-lint:\s*allow\(([^)]*)\)\s*(.*?)\s*(?:\*/.*)?$")
+
+# COOPRT_LINT_ALLOW("rule-a", "reason text")
+_SUPPRESS_MACRO_RE = re.compile(
+    r'COOPRT_LINT_ALLOW\(\s*"([^"]*)"\s*,\s*"([^"]*)"\s*\)')
+
+
+@dataclass
+class Suppression:
+    """One inline allow-annotation. Covers its own line and the
+    first following non-comment line (so the reason may wrap over
+    several comment lines)."""
+    line: int                      # 1-based physical line
+    rules: tuple[str, ...]         # rule ids it covers
+    reason: str                    # mandatory justification
+    target: int = -1               # first code line below
+    used: bool = False             # matched at least one finding
+
+    def covers(self, line: int) -> bool:
+        return line in (self.line, self.target)
+
+
+@dataclass
+class Span:
+    """Half-open byte range [start, end) into a SourceFile view."""
+    start: int
+    end: int
+
+
+def strip_views(text: str) -> tuple[str, str]:
+    """Return (code, nocomment) views of @p text, offset-preserving.
+
+    ``code`` blanks comments *and* string/char literals; ``nocomment``
+    blanks comments only (string literals kept, for scanning metric
+    name registrations). Raw strings, escapes and line continuations
+    are handled; blanked bytes become spaces, newlines survive.
+    """
+    n = len(text)
+    code = list(text)
+    nc = list(text)
+
+    def blank(buf, i, j, keep_newlines=True):
+        for k in range(i, j):
+            if not (keep_newlines and buf[k] == "\n"):
+                buf[k] = " "
+
+    i = 0
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            blank(code, i, j)
+            blank(nc, i, j)
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            blank(code, i, j)
+            blank(nc, i, j)
+            i = j
+        elif c == '"' and text[max(0, i - 1):i + 1] == 'R"':
+            # Raw string R"delim( ... )delim"
+            m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1:])
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = text.find(close, i + m.end() - 1)
+                j = n if j < 0 else j + len(close)
+                blank(code, i, j)
+                i = j
+            else:
+                i += 1
+        elif c == '"' or c == "'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            blank(code, i + 1, max(i + 1, j - 1))
+            i = j
+        else:
+            i += 1
+    return "".join(code), "".join(nc)
+
+
+def match_forward(code: str, start: int, open_ch: str,
+                  close_ch: str) -> int:
+    """Index just past the delimiter matching code[start] == open_ch,
+    or len(code) when unbalanced."""
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+class SourceFile:
+    """One analyzed file: raw text, stripped views, line mapping,
+    suppressions and COOPRT_CHECK preprocessor regions."""
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.code, self.nc = strip_views(text)
+        # line_starts[k] = offset of line k+1.
+        self.line_starts = [0]
+        for m in re.finditer("\n", text):
+            self.line_starts.append(m.end())
+        self.suppressions = self._scan_suppressions()
+        self.check_regions = self._scan_check_regions()
+
+    def line_of(self, offset: int) -> int:
+        """1-based line containing byte @p offset."""
+        lo, hi = 0, len(self.line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def _scan_suppressions(self) -> list[Suppression]:
+        lines = self.text.splitlines()
+        out: list[Suppression] = []
+        for idx, line in enumerate(lines, start=1):
+            m = _SUPPRESS_COMMENT_RE.search(line)
+            if not (m and ("//" in line or "/*" in line)):
+                m = _SUPPRESS_MACRO_RE.search(line)
+            if not m:
+                continue
+            rules = tuple(r.strip() for r in m.group(1).split(",")
+                          if r.strip())
+            s = Suppression(idx, rules, m.group(2).strip())
+            # Target: the first following line that is not blank or
+            # comment-only, so wrapped reasons stay covered. A bare
+            # allow() line takes the next comment line as its reason.
+            for j in range(idx, min(idx + 8, len(lines))):
+                stripped = lines[j].strip()
+                if (stripped and not stripped.startswith("//")
+                        and not stripped.startswith("/*")
+                        and not stripped.startswith("*")):
+                    s.target = j + 1
+                    break
+                if not s.reason and stripped.startswith("//"):
+                    s.reason = stripped.lstrip("/ ").strip()
+            out.append(s)
+        return out
+
+    def _scan_check_regions(self) -> list[Span]:
+        """Byte spans of the COOPRT_CHECK-enabled branches of
+        ``#if COOPRT_CHECK_ENABLED`` / ``#endif`` conditionals
+        (the ``#else`` branch is default-build code, not included)."""
+        regions: list[Span] = []
+        stack: list[tuple[int, bool]] = []  # (start_off, is_check)
+        for m in re.finditer(r"^[ \t]*#[ \t]*(\w+)(.*)$", self.code,
+                             re.MULTILINE):
+            directive, rest = m.group(1), m.group(2)
+            if directive in ("if", "ifdef", "ifndef"):
+                is_check = (directive != "ifndef"
+                            and "COOPRT_CHECK_ENABLED" in rest
+                            and "!" not in rest)
+                stack.append((m.end(), is_check))
+            elif directive in ("else", "elif") and stack:
+                start, is_check = stack[-1]
+                if is_check:
+                    regions.append(Span(start, m.start()))
+                stack[-1] = (m.end(), False)
+            elif directive == "endif" and stack:
+                start, is_check = stack.pop()
+                if is_check:
+                    regions.append(Span(start, m.start()))
+        return regions
+
+    def in_check_region(self, offset: int) -> bool:
+        return any(r.start <= offset < r.end
+                   for r in self.check_regions)

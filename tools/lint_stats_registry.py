@@ -25,7 +25,10 @@ import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+import lintlib
+
+tool = lintlib.Tool("lint_stats_registry")
+REPO = lintlib.REPO
 
 # (struct, header, field) -> why it is allowed to skip registration.
 ALLOWLIST = {
@@ -45,8 +48,7 @@ def struct_fields(header: Path, struct: str) -> list[str]:
     m = re.search(rf"struct\s+{struct}\b.*?^\}};", text,
                   re.MULTILINE | re.DOTALL)
     if m is None:
-        sys.exit(f"lint_stats_registry: struct {struct} not found "
-                 f"in {header}")
+        tool.fail(f"struct {struct} not found in {header}")
     return FIELD_RE.findall(m.group(0))
 
 
@@ -243,14 +245,8 @@ def main() -> int:
     # Memscope probe surface (single authority + DESIGN.md table).
     problems += memscope_problems()
 
-    if problems:
-        print("lint_stats_registry: FAIL")
-        for p in problems:
-            print("  -", p)
-        return 1
-    print("lint_stats_registry: OK (all stats counters are "
-          "registry-observable)")
-    return 0
+    return tool.report(problems, ok="all stats counters are "
+                                    "registry-observable")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,89 @@
+"""Shared scaffolding for the repository's Python lint/validation
+tools (``lint_stats_registry``, ``validate_raystats``,
+``validate_memscope`` and ``cooprt_lint``).
+
+Every tool follows the same contract, enforced here once instead of
+four times:
+
+  - usage errors print to stderr and exit 2;
+  - a failed check prints ``<tool>: FAIL`` (plus the problems) and
+    exits 1;
+  - success prints one ``<tool>: OK (...)`` summary line and exits 0;
+  - JSON inputs are loaded with uniform error reporting;
+  - counter fields are validated as non-negative integers the same
+    way everywhere.
+
+Usage::
+
+    import lintlib
+    tool = lintlib.Tool("validate_foo")
+    doc = tool.load_json(path)
+    n = tool.expect_counter(doc, "requests", "top level")
+    ...
+    return tool.report(problems, ok=f"{n} requests validated")
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import NoReturn
+
+#: Repository root (tools/ lives directly under it).
+REPO = Path(__file__).resolve().parent.parent
+
+#: Conventional exit codes shared by every tool.
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
+
+
+class Tool:
+    """One lint/validation tool's reporting surface."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def fail(self, msg: str) -> NoReturn:
+        """Abort immediately: ``<tool>: FAIL: <msg>`` and exit 1."""
+        sys.exit(f"{self.name}: FAIL: {msg}")
+
+    def usage(self, text: str) -> int:
+        """Print usage to stderr; return the usage exit code (2)."""
+        print(text, file=sys.stderr)
+        return EXIT_USAGE
+
+    def load_json(self, path: str | Path):
+        """Load a JSON document, failing with a uniform message."""
+        try:
+            with open(path, encoding="utf-8") as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            self.fail(f"{path}: {e}")
+
+    def expect_counter(self, obj: dict, key: str, where: str) -> int:
+        """``obj[key]`` as a non-negative integer, or fail."""
+        if key not in obj:
+            self.fail(f"{where}: missing field {key!r}")
+        v = obj[key]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            self.fail(
+                f"{where}: {key} = {v!r} is not a non-negative "
+                f"integer")
+        return v
+
+    def report(self, problems: list[str], ok: str) -> int:
+        """Print the verdict and return the exit code.
+
+        A non-empty ``problems`` list prints ``<tool>: FAIL`` with
+        one indented line per problem and returns 1; otherwise prints
+        ``<tool>: OK (<ok>)`` and returns 0.
+        """
+        if problems:
+            print(f"{self.name}: FAIL")
+            for p in problems:
+                print("  -", p)
+            return EXIT_FAIL
+        print(f"{self.name}: OK ({ok})")
+        return EXIT_OK

@@ -32,11 +32,15 @@ running a small scene through the given binary first (the ctest
 
 from __future__ import annotations
 
-import json
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
+
+import lintlib
+
+tool = lintlib.Tool("validate_memscope")
+fail = tool.fail
 
 NODE_COUNTERS = ("accesses", "bytes", "lanes")
 LEVELS = ("l1", "l2", "dram")
@@ -47,17 +51,8 @@ DRAM_COUNTERS = ("requests", "bytes", "row_hits", "row_misses")
 REUSE_BUCKETS = 32
 
 
-def fail(msg: str) -> None:
-    sys.exit(f"validate_memscope: FAIL: {msg}")
-
-
 def expect_counter(obj: dict, key: str, where: str) -> int:
-    if key not in obj:
-        fail(f"{where}: missing field {key!r}")
-    v = obj[key]
-    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
-        fail(f"{where}: {key} = {v!r} is not a non-negative integer")
-    return v
+    return tool.expect_counter(obj, key, where)
 
 
 def level_sum(obj: dict, where: str) -> int:
@@ -206,19 +201,14 @@ def main(argv: list[str]) -> int:
                 fail(f"{' '.join(cmd)} exited {r.returncode}")
             return main([argv[0], str(out)])
     if len(argv) != 2:
-        print("usage: validate_memscope.py FILE.memscope.json\n"
-              "       validate_memscope.py --run SIMULATE_CLI",
-              file=sys.stderr)
-        return 2
-    try:
-        with open(argv[1], encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{argv[1]}: {e}")
+        return tool.usage(
+            "usage: validate_memscope.py FILE.memscope.json\n"
+            "       validate_memscope.py --run SIMULATE_CLI")
+    doc = tool.load_json(argv[1])
     accesses, depths = validate(doc)
-    print(f"validate_memscope: OK ({argv[1]}: {accesses} node "
-          f"fetches over {depths} depths, scene {doc['scene']!r})")
-    return 0
+    return tool.report([], ok=f"{argv[1]}: {accesses} node fetches "
+                             f"over {depths} depths, scene "
+                             f"{doc['scene']!r}")
 
 
 if __name__ == "__main__":

@@ -21,8 +21,12 @@ CI runs this against a fresh smoke run (see ray-trace-smoke in
 
 from __future__ import annotations
 
-import json
 import sys
+
+import lintlib
+
+tool = lintlib.Tool("validate_raystats")
+fail = tool.fail
 
 TOP_COUNTERS = (
     "sample_k", "seed", "warps_seen", "warps_sampled",
@@ -37,24 +41,11 @@ RAY_COUNTERS = (
 )
 
 
-def fail(msg: str) -> None:
-    sys.exit(f"validate_raystats: FAIL: {msg}")
-
-
-def expect_counter(obj: dict, key: str, where: str) -> int:
-    if key not in obj:
-        fail(f"{where}: missing field {key!r}")
-    v = obj[key]
-    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
-        fail(f"{where}: {key} = {v!r} is not a non-negative integer")
-    return v
-
-
 def validate(doc: dict) -> tuple[int, int]:
     if not isinstance(doc.get("scene"), str):
         fail("top level: missing string field 'scene'")
     for key in TOP_COUNTERS:
-        expect_counter(doc, key, "top level")
+        tool.expect_counter(doc, key, "top level")
     sample_k = doc["sample_k"]
     if sample_k <= 0:
         fail(f"sample_k = {sample_k} must be positive")
@@ -85,7 +76,7 @@ def validate(doc: dict) -> tuple[int, int]:
         for j, r in enumerate(rays):
             rwhere = f"{where}.rays[{j}]"
             for key in RAY_COUNTERS:
-                expect_counter(r, key, rwhere)
+                tool.expect_counter(r, key, rwhere)
             lane = r["lane"]
             if lane in lanes:
                 fail(f"{rwhere}: duplicate lane {lane}")
@@ -112,18 +103,12 @@ def validate(doc: dict) -> tuple[int, int]:
 
 def main(argv: list[str]) -> int:
     if len(argv) != 2:
-        print("usage: validate_raystats.py FILE.raystats.json",
-              file=sys.stderr)
-        return 2
-    try:
-        with open(argv[1], encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{argv[1]}: {e}")
+        return tool.usage(
+            "usage: validate_raystats.py FILE.raystats.json")
+    doc = tool.load_json(argv[1])
     rays, warps = validate(doc)
-    print(f"validate_raystats: OK ({argv[1]}: {rays} rays over "
-          f"{warps} warps, scene {doc['scene']!r})")
-    return 0
+    return tool.report([], ok=f"{argv[1]}: {rays} rays over "
+                             f"{warps} warps, scene {doc['scene']!r}")
 
 
 if __name__ == "__main__":
