@@ -37,6 +37,7 @@
 #include "core/simulation.hpp"
 #include "exec/exec.hpp"
 #include "stats/table.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/json.hpp"
 
 namespace cooprt::benchutil {
@@ -132,7 +133,11 @@ emit(const stats::Table &table, const Options &opt)
                      opt.json_out.c_str());
         return;
     }
+    // The build stamp is constant per binary, so lines stay
+    // byte-identical across --jobs while recording which tree and
+    // toolchain produced each bench trajectory point.
     os << "{\"bench\":" << trace::quoteJson(opt.bench_name)
+       << ",\"build\":" << telemetry::buildInfoJson()
        << ",\"table\":";
     table.printJson(os);
     os << "}\n";

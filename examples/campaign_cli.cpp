@@ -23,7 +23,9 @@
  *                         concurrency)
  *   --retries K           extra attempts after a thrown job failure
  *   --timeout-s T         per-job wall-clock budget in seconds
- *   --json-out FILE       append one JSON line per job
+ *   --json-out FILE       append one JSON line per job; "-" writes
+ *                         the lines to stdout (and the summary table
+ *                         moves to stderr, so stdout stays pure JSON)
  *   --metrics-dir DIR     per-job metrics CSV, named by job tag
  *   --profile-dir DIR     per-job folded + JSON stall profiles
  *   --ray-dir DIR         per-job ray-provenance stats JSON, named
@@ -35,6 +37,24 @@
  *                         "Memory & BVH-topology profiling")
  *   --csv                 CSV summary table
  *   --list-configs        list named configs and exit
+ *
+ * Host-side telemetry (DESIGN.md "Telemetry" / src/telemetry/):
+ *   --telemetry-dir DIR   per-job telemetry JSON (phase spans,
+ *                         throughput, RSS), named by job tag;
+ *                         deterministic fields are byte-identical
+ *                         across --jobs counts, wall-clock fields
+ *                         live in each sink's "host" object
+ *   --telemetry-log FILE  campaign lifecycle event log, one JSON
+ *                         line per job start/retry/timeout/finish
+ *                         plus campaign begin/end
+ *   --heartbeat-s S       live stderr status line every S seconds
+ *                         (done/failed/running jobs, steals, EWMA
+ *                         job duration, ETA, RSS); S must be
+ *                         positive
+ *   --prom-out FILE       Prometheus text-exposition snapshot of the
+ *                         campaign counters, rewritten atomically on
+ *                         every heartbeat (or once at exit without
+ *                         --heartbeat-s)
  */
 
 #include <atomic>
@@ -43,11 +63,13 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "exec/exec.hpp"
 #include "stats/table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -142,6 +164,9 @@ main(int argc, char **argv)
     exec::CampaignOptions copt;
     bool csv = false;
     std::string json_out;
+    std::string telemetry_log;
+    std::string prom_out;
+    double heartbeat_s = 0.0;
 
     auto set_scenes = [&](const std::string &list) {
         if (list == "all")
@@ -196,6 +221,8 @@ main(int argc, char **argv)
                    "  [--json-out FILE] [--metrics-dir DIR]\n"
                    "  [--profile-dir DIR] [--ray-dir DIR]\n"
                    "  [--ray-sample-k N] [--memscope-dir DIR]\n"
+                   "  [--telemetry-dir DIR] [--telemetry-log FILE]\n"
+                   "  [--heartbeat-s S] [--prom-out FILE]\n"
                    "  [--csv] [--list-configs]\n";
             return 0;
         } else if (a == "--list-configs") {
@@ -251,6 +278,16 @@ main(int argc, char **argv)
                 std::atoi(next("--ray-sample-k"));
             if (copt.ray_config.sample_k <= 0)
                 return usage("--ray-sample-k wants a positive value");
+        } else if (a == "--telemetry-dir") {
+            copt.telemetry_dir = next("--telemetry-dir");
+        } else if (a == "--telemetry-log") {
+            telemetry_log = next("--telemetry-log");
+        } else if (a == "--heartbeat-s") {
+            heartbeat_s = std::atof(next("--heartbeat-s"));
+            if (heartbeat_s <= 0.0)
+                return usage("--heartbeat-s wants a positive value");
+        } else if (a == "--prom-out") {
+            prom_out = next("--prom-out");
         } else if (a == "--csv") {
             csv = true;
         } else {
@@ -262,6 +299,29 @@ main(int argc, char **argv)
     // session's registry and are printed with the summary.
     trace::Session session;
     copt.session = &session;
+
+    // Campaign telemetry: the event log streams lifecycle events as
+    // JSON lines, the monitor aggregates EWMA/ETA and serves the
+    // heartbeat and Prometheus snapshots.
+    std::ofstream telemetry_log_os;
+    if (!telemetry_log.empty()) {
+        telemetry_log_os.open(telemetry_log);
+        if (!telemetry_log_os) {
+            std::cerr << "error: cannot open " << telemetry_log
+                      << " for the telemetry event log\n";
+            return 1;
+        }
+    }
+    telemetry::EventLog event_log(
+        telemetry_log_os.is_open() ? &telemetry_log_os : nullptr);
+    if (event_log.enabled())
+        copt.event_log = &event_log;
+    telemetry::CampaignMonitor monitor;
+    const bool monitor_on = heartbeat_s > 0.0 || !prom_out.empty();
+    if (monitor_on) {
+        copt.monitor = &monitor;
+        monitor.registerProbes(session.registry(), &monitor);
+    }
 
     const std::size_t total = scenes.size() * config_names.size();
     std::atomic<std::size_t> completed{0};
@@ -287,17 +347,46 @@ main(int argc, char **argv)
                 exec::Job{label, cfg, label + "/" + cname});
         }
 
-    const auto results = campaign.run();
+    std::vector<exec::JobResult> results;
+    {
+        // Heartbeat scope: lives exactly as long as the run. Each
+        // beat prints the monitor's status line to stderr and, when
+        // requested, refreshes the Prometheus snapshot atomically.
+        std::optional<telemetry::Heartbeat> heartbeat;
+        if (heartbeat_s > 0.0)
+            heartbeat.emplace(
+                heartbeat_s,
+                [&] {
+                    const telemetry::CampaignCounters c =
+                        exec::countersSnapshot(campaign.stats());
+                    if (!prom_out.empty())
+                        monitor.writePrometheus(prom_out, c);
+                    return monitor.statusLine(c);
+                },
+                std::cerr);
+        results = campaign.run();
+    }
+    if (!prom_out.empty())
+        monitor.writePrometheus(
+            prom_out, exec::countersSnapshot(campaign.stats()));
 
+    // "--json-out -" streams the JSON lines to stdout; the summary
+    // table then moves to stderr so stdout stays pure JSON.
+    const bool json_to_stdout = json_out == "-";
     if (!json_out.empty()) {
-        std::ofstream os(json_out, std::ios::app);
-        if (!os) {
-            std::cerr << "error: cannot append to " << json_out
-                      << "\n";
-            return 1;
+        if (json_to_stdout) {
+            for (const auto &r : results)
+                exec::writeJsonLine(std::cout, r);
+        } else {
+            std::ofstream os(json_out, std::ios::app);
+            if (!os) {
+                std::cerr << "error: cannot append to " << json_out
+                          << "\n";
+                return 1;
+            }
+            for (const auto &r : results)
+                exec::writeJsonLine(os, r);
         }
-        for (const auto &r : results)
-            exec::writeJsonLine(os, r);
     }
 
     // Summary table: cycles per scene × config, plus speedup columns
@@ -331,10 +420,11 @@ main(int argc, char **argv)
                 row->cell("-");
         }
     }
+    std::ostream &table_os = json_to_stdout ? std::cerr : std::cout;
     if (csv)
-        t.printCsv(std::cout);
+        t.printCsv(table_os);
     else
-        t.print(std::cout);
+        t.print(table_os);
 
     const auto &st = campaign.stats();
     std::fprintf(stderr,
@@ -349,6 +439,11 @@ main(int argc, char **argv)
     for (const auto &sample : session.registry().snapshot("exec.*"))
         std::fprintf(stderr, "[campaign] %s = %.0f\n",
                      sample.name.c_str(), sample.value);
+    if (monitor_on)
+        for (const auto &sample :
+             session.registry().snapshot("telemetry.*"))
+            std::fprintf(stderr, "[campaign] %s = %.2f\n",
+                         sample.name.c_str(), sample.value);
 
     return st.failed.load() == 0 ? 0 : 1;
 }

@@ -67,6 +67,23 @@
  *                         (implies --memscope)
  *   --memscope-json FILE  write the hierarchical JSON memscope
  *                         profile (implies --memscope)
+ *
+ * Host-side telemetry (DESIGN.md "Telemetry" / src/telemetry/):
+ *   --telemetry           record phase-scoped wall-clock spans
+ *                         (scene load, BVH build, warmup, sim loop,
+ *                         report), derived throughput (cycles/sec,
+ *                         rays/sec) and RSS; print a summary line.
+ *                         Unlike the observers above this measures
+ *                         the simulator process, not the simulated
+ *                         GPU; simulated results stay bit-identical.
+ *   --telemetry-out FILE  write the per-run telemetry JSON sink —
+ *                         deterministic "sim" fields plus a "host"
+ *                         object with the wall-clock/RSS fields
+ *                         (implies --telemetry)
+ *   --heartbeat-s S       print a live progress line (simulated
+ *                         cycle, rays retired, RSS) to stderr every
+ *                         S seconds while the run executes; S must
+ *                         be positive (implies --telemetry)
  */
 
 #include <cstdio>
@@ -74,11 +91,14 @@
 #include <fstream>
 #include <iostream>
 
+#include <optional>
+
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 #include "memscope/memscope.hpp"
 #include "prof/prof.hpp"
 #include "raytrace/raytrace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/session.hpp"
 
 namespace {
@@ -112,6 +132,9 @@ main(int argc, char **argv)
     std::string ray_out_path;
     std::string memscope_folded_path;
     std::string memscope_json_path;
+    bool telemetry_on = false;
+    std::string telemetry_out_path;
+    double heartbeat_s = 0.0;
     trace::SessionOptions trace_opt;
     raytrace::RecorderConfig ray_cfg;
 
@@ -140,7 +163,9 @@ main(int argc, char **argv)
                 "  [--profile-json FILE]\n"
                 "  [--ray-trace] [--ray-sample-k N] [--ray-out FILE]\n"
                 "  [--memscope] [--memscope-out FILE]\n"
-                "  [--memscope-json FILE]\n";
+                "  [--memscope-json FILE]\n"
+                "  [--telemetry] [--telemetry-out FILE]\n"
+                "  [--heartbeat-s S]\n";
             return 0;
         } else if (a == "--scene") {
             scene_label = next("--scene");
@@ -210,6 +235,16 @@ main(int argc, char **argv)
         } else if (a == "--memscope-json") {
             memscope_json_path = next("--memscope-json");
             memscope_on = true;
+        } else if (a == "--telemetry") {
+            telemetry_on = true;
+        } else if (a == "--telemetry-out") {
+            telemetry_out_path = next("--telemetry-out");
+            telemetry_on = true;
+        } else if (a == "--heartbeat-s") {
+            heartbeat_s = std::atof(next("--heartbeat-s"));
+            if (heartbeat_s <= 0.0)
+                return usage("--heartbeat-s needs a positive value");
+            telemetry_on = true;
         } else {
             return usage(("unknown flag " + a).c_str());
         }
@@ -241,9 +276,34 @@ main(int argc, char **argv)
     memscope::Collector mscope;
     if (memscope_on)
         cfg.memscope = &mscope;
+    telemetry::Recorder telem;
+    if (telemetry_on)
+        cfg.telemetry = &telem;
 
     const core::Simulation &sim = core::simulationFor(scene_label);
-    const core::RunOutcome out = sim.run(cfg);
+    core::RunOutcome out;
+    {
+        // Heartbeat scope: lives exactly as long as the run, reading
+        // the recorder's lock-free live gauges from its own thread.
+        std::optional<telemetry::Heartbeat> heartbeat;
+        if (heartbeat_s > 0.0)
+            heartbeat.emplace(
+                heartbeat_s,
+                [&] {
+                    const telemetry::Rss rss = telemetry::readRss();
+                    return scene_label + " cycle " +
+                           std::to_string(telem.liveCycle()) +
+                           ", rays retired " +
+                           std::to_string(telem.liveRays()) +
+                           ", rss " +
+                           std::to_string(rss.current_kb / 1024) +
+                           " MB";
+                },
+                std::cerr);
+        out = sim.run(cfg);
+    }
+    const double report_t0 =
+        telemetry_on ? telemetry::monotonicSeconds() : 0.0;
 
     auto write_file = [](const std::string &path, auto &&writer,
                          const char *what) {
@@ -314,6 +374,20 @@ main(int argc, char **argv)
                   << " metrics\n";
     }
 
+    if (telemetry_on) {
+        // The report phase covers the sink emission above; the
+        // telemetry sink itself is written last so it can carry the
+        // measurement.
+        telem.recordPhase(telemetry::Phase::Report,
+                          telemetry::monotonicSeconds() - report_t0);
+        if (!telemetry_out_path.empty())
+            write_file(telemetry_out_path,
+                       [&](std::ostream &os) {
+                           telem.writeJson(os, out.scene);
+                       },
+                       "telemetry json");
+    }
+
     if (json) {
         core::writeJson(std::cout, out);
         return 0;
@@ -378,6 +452,24 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(d.accesses),
                 100.0 * d.missRate(), d.avgLanes());
         mscope.writeHotNodes(std::cout, 10);
+    }
+    if (telemetry_on) {
+        const auto &t = telem.summary();
+        std::printf("  telemetry:        sim %.3f s, %.3g cycles/s, "
+                    "%.3g rays/s, rss %llu/%llu MB\n",
+                    t.sim_seconds, t.cycles_per_sec, t.rays_per_sec,
+                    static_cast<unsigned long long>(
+                        t.rss.current_kb / 1024),
+                    static_cast<unsigned long long>(
+                        t.rss.peak_kb / 1024));
+        std::cout << "  phases:          ";
+        for (int p = 0; p < telemetry::kNumPhases; ++p) {
+            const auto phase = telemetry::Phase(p);
+            std::printf(" %s %.3fs",
+                        telemetry::phaseName(phase),
+                        t.phase(phase).seconds);
+        }
+        std::cout << "\n";
     }
     return 0;
 }

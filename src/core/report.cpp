@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "telemetry/telemetry.hpp"
 #include "trace/json.hpp"
 
 namespace cooprt::core {
@@ -15,6 +16,13 @@ writeJson(std::ostream &os, const RunOutcome &o)
     w.field("scene", o.scene);
     w.field("resolution", o.resolution);
     w.field("cycles", o.gpu.cycles);
+
+    // Configure-time provenance: constant per binary, so reports stay
+    // byte-identical across worker counts. Wall-clock telemetry never
+    // joins this report (see Recorder::writeJson for the host sink).
+    w.open("build");
+    telemetry::writeBuildFields(w);
+    w.close();
 
     w.open("rt_unit");
     w.field("node_fetches", o.gpu.rt.node_fetches);

@@ -7,8 +7,17 @@
 namespace cooprt::core {
 
 Simulation::Simulation(const scene::Scene &scene)
-    : scene_(scene), flat_(bvh::buildWideBvh(scene.mesh))
+    : scene_(scene), flat_(timedBuild(scene, &bvh_build_seconds_))
 {
+}
+
+bvh::FlatBvh
+Simulation::timedBuild(const scene::Scene &scene, double *seconds)
+{
+    const double t0 = telemetry::monotonicSeconds();
+    bvh::FlatBvh flat(bvh::buildWideBvh(scene.mesh));
+    *seconds = telemetry::monotonicSeconds() - t0;
+    return flat;
 }
 
 RunOutcome
@@ -20,23 +29,38 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
                         ? config.resolution
                         : scene_.default_resolution;
 
+    if (config.telemetry != nullptr) {
+        config.telemetry->reset();
+        // Scene and BVH construction are one-time, process-cached
+        // costs; every run that uses the cache re-reports them so a
+        // run's telemetry is self-contained (DESIGN.md §16.2).
+        config.telemetry->recordPhase(telemetry::Phase::SceneLoad,
+                                      scene_.build_seconds);
+        config.telemetry->recordPhase(telemetry::Phase::BvhBuild,
+                                      bvh_build_seconds_);
+    }
+
     std::vector<std::unique_ptr<gpu::WarpProgram>> programs;
     // Kept alive for the whole run (Shadow programs reference it).
     std::unique_ptr<shaders::LightSampler> lights;
-    switch (config.shader) {
-      case ShaderKind::PathTracing:
-        programs = shaders::makePathTracerFrame(scene_, film, res, res,
-                                                config.pt);
-        break;
-      case ShaderKind::AmbientOcclusion:
-        programs = shaders::makeAmbientOcclusionFrame(scene_, film, res,
-                                                      res, config.ao);
-        break;
-      case ShaderKind::Shadow:
-        lights = std::make_unique<shaders::LightSampler>(scene_);
-        programs = shaders::makeShadowFrame(scene_, *lights, film, res,
-                                            res, config.sh);
-        break;
+    {
+        const auto warmup = telemetry::Recorder::span(
+            config.telemetry, telemetry::Phase::Warmup);
+        switch (config.shader) {
+          case ShaderKind::PathTracing:
+            programs = shaders::makePathTracerFrame(scene_, film, res,
+                                                    res, config.pt);
+            break;
+          case ShaderKind::AmbientOcclusion:
+            programs = shaders::makeAmbientOcclusionFrame(
+                scene_, film, res, res, config.ao);
+            break;
+          case ShaderKind::Shadow:
+            lights = std::make_unique<shaders::LightSampler>(scene_);
+            programs = shaders::makeShadowFrame(scene_, *lights, film,
+                                                res, res, config.sh);
+            break;
+        }
     }
 
     std::vector<gpu::WarpProgram *> ptrs;
@@ -49,10 +73,15 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
     g.setProf(config.profiler);
     g.setRayTrace(config.ray_recorder);
     g.setMemscope(config.memscope);
+    g.setTelemetry(config.telemetry);
     RunOutcome out;
     out.scene = scene_.name;
     out.resolution = res;
-    out.gpu = g.run(ptrs, timeline, timeline_skip);
+    {
+        const auto simloop = telemetry::Recorder::span(
+            config.telemetry, telemetry::Phase::SimLoop);
+        out.gpu = g.run(ptrs, timeline, timeline_skip);
+    }
 
     power::EnergyModel energy(config.energy);
     out.power = energy.evaluate(out.gpu, config.gpu.num_sms);
@@ -67,6 +96,11 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
                      std::to_string(ptrs.size()) + " completed=" +
                      std::to_string(out.gpu.completions.size()));
 #endif
+    if (config.telemetry != nullptr) {
+        config.telemetry->finishRun(out.gpu.cycles,
+                                    out.gpu.rt.retired_warps);
+        out.telemetry = config.telemetry->summary();
+    }
     return out;
 }
 

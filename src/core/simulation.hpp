@@ -28,6 +28,7 @@
 #include "shaders/ao.hpp"
 #include "shaders/path_tracer.hpp"
 #include "shaders/shadow.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/session.hpp"
 
 namespace cooprt::core {
@@ -89,6 +90,20 @@ struct RunConfig
      * (the default, bit-identical timing).
      */
     cooprt::memscope::Collector *memscope = nullptr;
+
+    /**
+     * Optional host-side telemetry recorder (see
+     * telemetry/telemetry.hpp): when set, the run records phase-
+     * scoped wall-clock spans (scene load, BVH build, warmup, sim
+     * loop), derives throughput gauges (simulated cycles/sec, rays
+     * retired/sec), samples RSS and fills `RunOutcome::telemetry`.
+     * Unlike its observer peers it measures the simulator process,
+     * not the simulated GPU; like them it is borrowed, must outlive
+     * the run, is reset by each run that uses it, and is purely
+     * observational — simulated results are bit-identical with and
+     * without it. Null = telemetry off (the default, zero overhead).
+     */
+    cooprt::telemetry::Recorder *telemetry = nullptr;
 };
 
 /** The result of one run: timing, power and all collected stats. */
@@ -98,6 +113,10 @@ struct RunOutcome
     int resolution = 0;
     gpu::GpuRunResult gpu;
     power::PowerReport power;
+
+    /** Host-side telemetry summary (enabled == false unless a
+     *  `telemetry::Recorder` was attached via RunConfig). */
+    cooprt::telemetry::Summary telemetry;
 
     /** Shorthand for the run's observability totals. */
     const cooprt::trace::RunTraceSummary &traceSummary() const
@@ -116,6 +135,9 @@ class Simulation
 
     const scene::Scene &scene() const { return scene_; }
     const bvh::FlatBvh &bvh() const { return flat_; }
+    /** Wall-clock cost of the one-time BVH build (telemetry's
+     *  bvh_build phase; re-reported by every run on this object). */
+    double bvhBuildSeconds() const { return bvh_build_seconds_; }
     /** Table 2 columns for this scene. */
     bvh::TreeStats treeStats() const { return flat_.stats(); }
 
@@ -135,7 +157,14 @@ class Simulation
                    int timeline_skip = 0) const;
 
   private:
+    /** buildWideBvh timed with telemetry's wall clock; fills
+     *  @p seconds (declared before flat_ so the ctor init list can
+     *  write through it). */
+    static bvh::FlatBvh timedBuild(const scene::Scene &scene,
+                                   double *seconds);
+
     const scene::Scene &scene_;
+    double bvh_build_seconds_ = 0.0;
     bvh::FlatBvh flat_;
 };
 

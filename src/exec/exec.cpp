@@ -66,6 +66,20 @@ failureKindName(FailureKind kind)
     return "unknown";
 }
 
+telemetry::CampaignCounters
+countersSnapshot(const CampaignStats &s)
+{
+    telemetry::CampaignCounters c;
+    c.queued = s.queued.load(std::memory_order_relaxed);
+    c.running = s.running.load(std::memory_order_relaxed);
+    c.done = s.done.load(std::memory_order_relaxed);
+    c.failed = s.failed.load(std::memory_order_relaxed);
+    c.retried = s.retried.load(std::memory_order_relaxed);
+    c.timed_out = s.timed_out.load(std::memory_order_relaxed);
+    c.steals = s.steals.load(std::memory_order_relaxed);
+    return c;
+}
+
 std::string
 sanitizeTag(const std::string &tag)
 {
@@ -138,9 +152,13 @@ Campaign::defaultRunner() const
     const std::string memscope_dir = options_.memscope_dir;
     const bool attach_memscope =
         options_.attach_memscope || !memscope_dir.empty();
+    const std::string telemetry_dir = options_.telemetry_dir;
+    const bool attach_telemetry =
+        options_.attach_telemetry || !telemetry_dir.empty();
     return [metrics_dir, profile_dir, attach_profiler, raytrace_dir,
-            attach_ray, ray_config, memscope_dir,
-            attach_memscope](const Job &job, std::stop_token) {
+            attach_ray, ray_config, memscope_dir, attach_memscope,
+            telemetry_dir,
+            attach_telemetry](const Job &job, std::stop_token) {
         core::RunConfig cfg = job.config;
 
         // Per-job sinks: every worker gets private session/profiler
@@ -167,6 +185,11 @@ Campaign::defaultRunner() const
         if (attach_memscope) {
             mscope.emplace();
             cfg.memscope = &*mscope;
+        }
+        std::optional<telemetry::Recorder> telem;
+        if (attach_telemetry) {
+            telem.emplace();
+            cfg.telemetry = &*telem;
         }
 
         const core::Simulation &sim =
@@ -219,6 +242,13 @@ Campaign::defaultRunner() const
                           },
                           "per-job memscope folded stacks");
         }
+        if (telem && !telemetry_dir.empty())
+            writeSinkFile(telemetry_dir + "/" + stem +
+                              ".telemetry.json",
+                          [&](std::ostream &os) {
+                              telem->writeJson(os, out.scene);
+                          },
+                          "per-job telemetry");
         return out;
     };
 }
@@ -244,9 +274,20 @@ Campaign::run()
     // races on a shared parent.
     for (const std::string *dir :
          {&options_.metrics_dir, &options_.profile_dir,
-          &options_.raytrace_dir, &options_.memscope_dir})
+          &options_.raytrace_dir, &options_.memscope_dir,
+          &options_.telemetry_dir})
         if (!dir->empty())
             std::filesystem::create_directories(*dir);
+
+    telemetry::EventLog *events = options_.event_log;
+    telemetry::CampaignMonitor *monitor = options_.monitor;
+    if (monitor != nullptr) {
+        monitor->begin(n, workers);
+        monitor->setCountersSource(
+            [this] { return countersSnapshot(stats_); });
+    }
+    if (events != nullptr)
+        events->campaignBegin(n, workers);
 
     const JobRunner runner = runner_ ? runner_ : defaultRunner();
 
@@ -297,6 +338,8 @@ Campaign::run()
         }
 
         attempts[idx]++;
+        if (events != nullptr)
+            events->jobStart(idx, job.tag, attempts[idx]);
         bool ok = false;
         std::optional<JobFailure> failure;
         core::RunOutcome outcome;
@@ -332,8 +375,12 @@ Campaign::run()
                 "exceeded wall-clock budget of " +
                     std::to_string(timeout_s) + " s"};
             stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+            if (events != nullptr)
+                events->jobTimeout(idx, job.tag, timeout_s);
         } else if (!ok && attempts[idx] <= options_.retries) {
             stats_.retried.fetch_add(1, std::memory_order_relaxed);
+            if (events != nullptr)
+                events->jobRetry(idx, job.tag, attempts[idx] + 1);
             std::lock_guard<std::mutex> lock(
                 queues[std::size_t(wid)].m);
             queues[std::size_t(wid)].q.push_back(idx);
@@ -352,6 +399,12 @@ Campaign::run()
             stats_.failed.fetch_add(1, std::memory_order_relaxed);
         }
         remaining.fetch_sub(1);
+        if (monitor != nullptr)
+            monitor->jobFinished(r.wall_seconds);
+        if (events != nullptr)
+            events->jobFinish(idx, job.tag, r.ok, r.attempts,
+                              r.ok ? r.outcome.gpu.cycles : 0,
+                              r.wall_seconds);
         if (options_.on_job_done) {
             std::lock_guard<std::mutex> lock(completion_mtx);
             options_.on_job_done(r);
@@ -429,6 +482,8 @@ Campaign::run()
     } // joins the watchdog
 
     wall_seconds_ = secondsSince(campaign_start);
+    if (events != nullptr)
+        events->campaignEnd(countersSnapshot(stats_), wall_seconds_);
 
 #if COOPRT_CHECK_ENABLED
     // Campaign accounting must conserve jobs: every queued job ends

@@ -157,6 +157,32 @@ struct CampaignOptions
      *  `memscope_dir`, filling `outcome.gpu.memscope_summary`
      *  (bit-identical cycle counts). */
     bool attach_memscope = false;
+    /** When set, each job runs with its own host-telemetry recorder
+     *  and writes `<dir>/<sanitized tag>.telemetry.json`. The sink's
+     *  deterministic fields are byte-identical between `--jobs 1`
+     *  and `--jobs N`; its wall-clock/RSS fields live in a `"host"`
+     *  object that identity tooling strips (DESIGN.md §16). */
+    std::string telemetry_dir;
+    /** Attach a per-job telemetry recorder even without
+     *  `telemetry_dir`, filling `outcome.telemetry` (bit-identical
+     *  cycle counts). */
+    bool attach_telemetry = false;
+    /**
+     * Optional campaign lifecycle event log (JSON lines: job start /
+     * retry / timeout / finish with durations). Borrowed, must
+     * outlive `run()`; null = off. Workers emit concurrently; the
+     * log serializes them.
+     */
+    telemetry::EventLog *event_log = nullptr;
+    /**
+     * Optional campaign aggregate monitor: `run()` arms it
+     * (total/workers), feeds it per-job durations for the EWMA/ETA,
+     * and points its counters source at this campaign's stats.
+     * Borrowed, must outlive `run()`; reads through the counters
+     * source (heartbeats, Prometheus snapshots) must not outlive the
+     * campaign. Null = off.
+     */
+    telemetry::CampaignMonitor *monitor = nullptr;
     /**
      * Completion hook, invoked once per job (success or final
      * failure) from worker threads, serialized by the campaign.
@@ -234,6 +260,10 @@ void writeJsonLine(std::ostream &os, const JobResult &result);
 
 /** @p tag reduced to a file-name-safe form ([A-Za-z0-9._-]). */
 std::string sanitizeTag(const std::string &tag);
+
+/** Relaxed snapshot of live campaign counters in telemetry's
+ *  exec-independent mirror (heartbeats/Prometheus read this). */
+telemetry::CampaignCounters countersSnapshot(const CampaignStats &s);
 
 } // namespace cooprt::exec
 

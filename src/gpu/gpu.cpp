@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace cooprt::gpu {
 
 std::uint64_t
@@ -38,6 +40,16 @@ Gpu::sampleActivity(std::uint64_t cycle)
         session_ != nullptr ? session_->tracer() : nullptr;
     cooprt::trace::MetricsSampler *metrics =
         session_ != nullptr ? session_->metrics() : nullptr;
+
+    if (telem_ != nullptr) {
+        // Live progress for campaign heartbeats: simulated values
+        // only, published on the same deterministic boundaries as
+        // the activity sampler (reads never perturb the run).
+        std::uint64_t retired = 0;
+        for (const auto &sm : sms_)
+            retired += sm->rtUnit().stats().retired_warps;
+        telem_->publishProgress(cycle, retired);
+    }
 
     rtunit::ThreadStatusCounts total;
     for (std::size_t i = 0; i < sms_.size(); ++i) {
@@ -152,6 +164,8 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
             ray_->registerMetrics(session_->registry());
         if (mscope_ != nullptr)
             mscope_->registerMetrics(session_->registry());
+        if (telem_ != nullptr)
+            telem_->registerMetrics(session_->registry());
         memsys_.registerMetrics(session_->registry());
         session_->registry().probe(
             "rtunit.thread_utilization",

@@ -19,6 +19,10 @@
 #include "stats/sampler.hpp"
 #include "trace/session.hpp"
 
+namespace cooprt::telemetry {
+class Recorder;
+} // namespace cooprt::telemetry
+
 namespace cooprt::gpu {
 
 /** Everything a simulation run reports. */
@@ -150,6 +154,19 @@ class Gpu
     { mscope_ = collector; }
 
     /**
+     * Attach a host-side telemetry recorder for subsequent run()
+     * calls (null = telemetry off, the default). The run publishes
+     * live simulated progress (cycle, retired trace_rays warps) at
+     * activity-sampling boundaries so campaign heartbeats can read
+     * it, and registers the deterministic `telemetry.*` probes when a
+     * trace session is also attached. Purely observational: simulated
+     * cycle counts are bit-identical with and without it. The
+     * recorder must outlive this Gpu.
+     */
+    void setTelemetry(cooprt::telemetry::Recorder *recorder)
+    { telem_ = recorder; }
+
+    /**
      * Run @p programs (one per warp / thread block) to completion.
      * Thread blocks are assigned to SMs round-robin, as the
      * Gigathread engine does. The Gpu instance can be reused; state
@@ -182,6 +199,7 @@ class Gpu
     cooprt::prof::Profiler *prof_ = nullptr;
     cooprt::raytrace::Recorder *ray_ = nullptr;
     cooprt::memscope::Collector *mscope_ = nullptr;
+    cooprt::telemetry::Recorder *telem_ = nullptr;
     /** Busy-thread ratio at the latest sample (metrics probe src). */
     double util_now_ = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "scene/registry.hpp"
 
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -7,6 +8,23 @@
 #include "scene/generators.hpp"
 
 namespace cooprt::scene {
+
+namespace {
+
+/** Monotonic host seconds, for Scene::build_seconds only (scene does
+ *  not depend on cooprt_telemetry; telemetry re-reports the value). */
+double
+wallSeconds()
+{
+    // cooprt-lint: allow(unseeded-randomness) one-time scene
+    // construction cost is reporting-only (telemetry scene_load
+    // phase) and never feeds simulated state
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 const std::vector<std::string> &
 SceneRegistry::allLabels()
@@ -116,8 +134,10 @@ SceneRegistry::get(const std::string &label)
         throw std::out_of_range("unknown scene label: " + label);
     SceneSlot &slot = it->second;
     std::call_once(slot.once, [&] {
+        const double t0 = wallSeconds();
         auto s = std::make_unique<Scene>(build(label));
         s->default_resolution = benchResolution(label);
+        s->build_seconds = wallSeconds() - t0;
         slot.scene = std::move(s);
     });
     return *slot.scene;

@@ -32,6 +32,11 @@ struct Scene
     float sky_emission = 1.0f;
     /** Default render resolution for benches (paper: 256, ours: 64). */
     int default_resolution = 64;
+    /** Host wall-clock cost of constructing this scene, filled by
+     *  SceneRegistry::get (telemetry's scene_load phase; the scene is
+     *  process-cached, so every run sharing it re-reports the same
+     *  one-time cost — see DESIGN.md §16.2). */
+    double build_seconds = 0.0;
 
     const Material &materialOf(std::uint32_t prim) const
     { return materials[mesh.materialOf(prim)]; }

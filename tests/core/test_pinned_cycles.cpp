@@ -15,6 +15,7 @@
 #include "core/simulation.hpp"
 #include "memscope/memscope.hpp"
 #include "raytrace/raytrace.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -24,7 +25,8 @@ core::RunOutcome
 runPinned(const std::string &scene, int resolution,
           core::ShaderKind shader, bool coop,
           raytrace::Recorder *ray = nullptr,
-          memscope::Collector *mscope = nullptr)
+          memscope::Collector *mscope = nullptr,
+          telemetry::Recorder *telem = nullptr)
 {
     core::RunConfig cfg;
     cfg.resolution = resolution;
@@ -32,6 +34,7 @@ runPinned(const std::string &scene, int resolution,
     cfg.gpu.trace.coop = coop;
     cfg.ray_recorder = ray;
     cfg.memscope = mscope;
+    cfg.telemetry = telem;
     return core::simulationFor(scene).run(cfg);
 }
 
@@ -190,6 +193,64 @@ TEST(PinnedCycles, ShipShadowBaselineWithMemscope)
     EXPECT_EQ(out.gpu.rt.retired_warps, 50u);
     EXPECT_EQ(memscopeAccesses(mscope),
               out.gpu.rt.node_fetches + out.gpu.rt.leaf_fetches);
+}
+
+// The host-telemetry recorder watches the simulator process (wall
+// clock, RSS), not the simulated machine; the four seed pins are
+// repeated with a recorder attached and must report the exact same
+// cycle counts, while the telemetry summary's deterministic fields
+// must mirror the outcome.
+
+TEST(PinnedCycles, WkndPathTracingBaselineWithTelemetry)
+{
+    telemetry::Recorder telem;
+    const auto out = runPinned("wknd", 32,
+                               core::ShaderKind::PathTracing, false,
+                               nullptr, nullptr, &telem);
+    EXPECT_EQ(out.gpu.cycles, 34868u);
+    EXPECT_EQ(out.gpu.rt.node_fetches, 4545u);
+    EXPECT_EQ(out.gpu.l1.accesses, 10863u);
+    EXPECT_EQ(out.gpu.dram.bytes, 158336u);
+    EXPECT_EQ(out.gpu.stalls.rt, 310412u);
+    EXPECT_TRUE(out.telemetry.enabled);
+    EXPECT_EQ(out.telemetry.cycles, out.gpu.cycles);
+    EXPECT_EQ(out.telemetry.rays_retired, out.gpu.rt.retired_warps);
+}
+
+TEST(PinnedCycles, WkndPathTracingCoopWithTelemetry)
+{
+    telemetry::Recorder telem;
+    const auto out = runPinned("wknd", 32,
+                               core::ShaderKind::PathTracing, true,
+                               nullptr, nullptr, &telem);
+    EXPECT_EQ(out.gpu.cycles, 18756u);
+    EXPECT_EQ(out.gpu.rt.steals, 3750u);
+    EXPECT_EQ(out.gpu.rt.max_trace_latency, 6188u);
+    EXPECT_EQ(out.gpu.dram.bytes, 202624u);
+    EXPECT_EQ(out.telemetry.cycles, out.gpu.cycles);
+}
+
+TEST(PinnedCycles, BunnyAmbientOcclusionCoopWithTelemetry)
+{
+    telemetry::Recorder telem;
+    const auto out =
+        runPinned("bunny", 24, core::ShaderKind::AmbientOcclusion,
+                  true, nullptr, nullptr, &telem);
+    EXPECT_EQ(out.gpu.cycles, 17550u);
+    EXPECT_EQ(out.gpu.rt.steals, 5129u);
+    EXPECT_EQ(out.gpu.rt.retired_warps, 78u);
+    EXPECT_EQ(out.telemetry.rays_retired, 78u);
+}
+
+TEST(PinnedCycles, ShipShadowBaselineWithTelemetry)
+{
+    telemetry::Recorder telem;
+    const auto out = runPinned("ship", 24, core::ShaderKind::Shadow,
+                               false, nullptr, nullptr, &telem);
+    EXPECT_EQ(out.gpu.cycles, 36233u);
+    EXPECT_EQ(out.gpu.rt.stale_pops, 5123u);
+    EXPECT_EQ(out.gpu.rt.retired_warps, 50u);
+    EXPECT_EQ(out.telemetry.cycles, 36233u);
 }
 
 } // namespace

@@ -13,4 +13,5 @@ registerAll(Registry &reg)
     reg.probe("unit.undocumented", 3.0);  // V: no DESIGN.md entry
     reg.probe("unit.twice", 4.0);         // clean: first site
     reg.probe("unit.twice", 5.0);         // V: duplicate
+    reg.probe("prof.outside", 6.0);       // V: owned family, wrong file
 }

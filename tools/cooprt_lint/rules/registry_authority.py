@@ -11,6 +11,13 @@ Only *literal dotted* names (``"exec.jobs_queued"``) are checked;
 computed names (``prefix + ".hits"``) follow their prefix family's
 wildcard entry (``rtunit.*``) and are validated at runtime by the
 registry's own collision audit.
+
+Some metric families additionally have a single *owning file* (the
+DESIGN.md authority tables): a ``prof.*`` probe registered outside
+``src/prof/prof.cpp`` would fork the taxonomy, so any literal
+registration of an owned family outside its home file is a finding.
+Families whose names are legitimately registered from several files
+(``mem.*``, ``rtunit.*``) are not in the map.
 """
 
 from __future__ import annotations
@@ -23,6 +30,16 @@ _LITERAL_REG_RE = re.compile(
     r'\b(?:probe|add)\s*\(\s*"([\w]+(?:\.[\w]+)+)"')
 
 _WILDCARD_RE = re.compile(r"`([\w.]+)\.\*`")
+
+#: Metric families with a single registration authority: literal
+#: names under the prefix may only be registered from the owning
+#: file (mirrors the DESIGN.md authority tables; in-repo paths).
+_AUTHORITY_FILES = {
+    "prof.": "src/prof/prof.cpp",
+    "memscope.": "src/memscope/memscope.cpp",
+    "exec.": "src/exec/exec.cpp",
+    "telemetry.": "src/telemetry/telemetry.cpp",
+}
 
 
 class RegistryAuthority(Rule):
@@ -54,6 +71,19 @@ class RegistryAuthority(Rule):
                         f"metric '{name}' is already registered at "
                         f"{first}; the registry is single-authority "
                         f"— rename or merge")
+            for prefix, owner in _AUTHORITY_FILES.items():
+                if not name.startswith(prefix):
+                    continue
+                for rel, line in where:
+                    if rel != owner:
+                        add(self.id, rel, line,
+                            f"metric '{name}' registered outside "
+                            f"its authority file",
+                            f"the {prefix}* family is registered "
+                            f"only from {owner} (DESIGN.md "
+                            f"authority table); move the "
+                            f"registration there or compute the "
+                            f"name through that module's API")
             documented = (f"`{name}`" in design
                           or any(name.startswith(w)
                                  for w in wildcards))

@@ -199,6 +199,49 @@ def memscope_problems() -> list[str]:
     return problems
 
 
+def telemetry_problems() -> list[str]:
+    """Cross-check the host-telemetry probe surface.
+
+    src/telemetry/telemetry.cpp is the single registration authority
+    for ``telemetry.*`` probes; every literal probe name it registers
+    must be documented (in backticks) in the DESIGN.md §16 authority
+    table, and both probe groups (per-run deterministic progress,
+    campaign host gauges) must still be present.
+    """
+    problems: list[str] = []
+    cpp = (REPO / "src/telemetry/telemetry.cpp").read_text()
+
+    names = set(re.findall(r'"(telemetry\.[\w.]+)"', cpp))
+    if not names:
+        return ["src/telemetry/telemetry.cpp registers no literal "
+                "telemetry.* probes"]
+
+    for required in ("telemetry.sim_cycle", "telemetry.rays_retired",
+                     "telemetry.ewma_job_seconds",
+                     "telemetry.eta_seconds"):
+        if required not in names:
+            problems.append(
+                f"src/telemetry/telemetry.cpp no longer registers "
+                f"the {required} probe")
+
+    design = (REPO / "DESIGN.md").read_text()
+    for name in sorted(names):
+        if f"`{name}`" not in design:
+            problems.append(
+                f"probe `{name}` is missing from the DESIGN.md "
+                f"telemetry probe table")
+
+    for src in (REPO / "src").rglob("*.cpp"):
+        if src.name == "telemetry.cpp":
+            continue
+        if re.search(r'probe\(\s*"telemetry\.', src.read_text()):
+            problems.append(
+                f"{src.relative_to(REPO)} registers telemetry.* "
+                f"probes; telemetry.cpp is the single registration "
+                f"authority")
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
 
@@ -244,6 +287,9 @@ def main() -> int:
 
     # Memscope probe surface (single authority + DESIGN.md table).
     problems += memscope_problems()
+
+    # Telemetry probe surface (single authority + DESIGN.md table).
+    problems += telemetry_problems()
 
     return tool.report(problems, ok="all stats counters are "
                                     "registry-observable")

@@ -13,6 +13,7 @@ Registered as a ctest case; the binary paths arrive on argv:
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 
@@ -53,13 +54,41 @@ def main(argv: list[str]) -> int:
     expect([simulate, "--scene", "not-a-scene"], 2, "unknown scene")
     expect([simulate, "--shader", "bogus"], 2, "unknown shader")
     expect([simulate, "--ray-sample-k", "0"], 2, "--ray-sample-k")
+    expect([simulate, "--telemetry-out"], 2, "--telemetry-out")
+    expect([simulate, "--heartbeat-s"], 2, "--heartbeat-s")
+    expect([simulate, "--heartbeat-s", "0"], 2, "--heartbeat-s")
+    expect([simulate, "--heartbeat-s", "-1"], 2, "--heartbeat-s")
 
     # campaign_cli: flag errors exit 2; --list-configs is a success.
     expect([campaign, "--no-such-flag"], 2)
     expect([campaign, "--configs", "no-such-config"], 2)
     expect([campaign, "--jobs"], 2)
     expect([campaign, "--ray-sample-k", "0"], 2)
+    expect([campaign, "--telemetry-log"], 2, "--telemetry-log")
+    expect([campaign, "--heartbeat-s", "0"], 2, "--heartbeat-s")
+    expect([campaign, "--heartbeat-s", "-0.5"], 2, "--heartbeat-s")
     expect([campaign, "--list-configs"], 0)
+
+    # `--json-out -` contract: stdout is *pure* JSON lines (human
+    # output goes to stderr), so piping into jq etc. always works.
+    p = run([campaign, "--scenes", "wknd", "--configs", "base",
+             "--resolution", "16", "--json-out", "-"])
+    if p.returncode != 0:
+        FAILURES.append(f"{campaign} --json-out -: exit "
+                        f"{p.returncode}\n    stderr: "
+                        f"{p.stderr.strip()[:200]}")
+    else:
+        lines = p.stdout.splitlines()
+        if not lines:
+            FAILURES.append(f"{campaign} --json-out -: empty stdout")
+        for i, line in enumerate(lines, 1):
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                FAILURES.append(
+                    f"{campaign} --json-out -: stdout line {i} is "
+                    f"not JSON: {line[:120]!r}")
+                break
 
     # bench binaries share bench_util's strict parser.
     expect([bench, "--no-such-flag"], 2, "unknown flag")

@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Validate host-telemetry sinks produced by ``cooprt::telemetry``
+(``simulate_cli --telemetry-out FILE``, the campaign engine's
+``--telemetry-dir`` sinks, and ``--telemetry-log`` event logs).
+
+Telemetry files split into *deterministic* fields (a pure function of
+the simulated run: cycles, rays retired, job indices/tags/attempts)
+and *host* fields (wall clock, RSS, worker scheduling), which always
+live inside a ``"host"`` object (see DESIGN.md §16). This tool checks
+three things:
+
+per-run sink (``validate_telemetry.py FILE.telemetry.json``)
+  schema: version, build stamp, sim counters, all five phase spans
+  present with non-negative seconds, derived throughput consistent
+  with cycles / sim_seconds.
+
+event log (``--log FILE.jsonl``)
+  every line parses, known event kinds only, and the conservation
+  laws hold: campaign_begin announces exactly the jobs that then
+  start; each job finishes exactly once; campaign_end's done+failed
+  equals the job count and its retried count matches the job_retry
+  lines observed.
+
+deterministic identity (``--identical A B``)
+  the deterministic projection of two sinks is equal: strip every
+  ``"host"`` object, and for event logs sort the per-job lines
+  (completion order is scheduling-dependent, the set is not). This is
+  how CI proves ``--jobs 1`` and ``--jobs 4`` agree.
+
+With ``--run SIMULATE_CLI`` the script produces its own input by
+running a small scene through the given binary first (the ctest
+``validate_telemetry`` case uses this form):
+
+    python3 tools/validate_telemetry.py --run build/examples/simulate_cli
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import lintlib
+
+tool = lintlib.Tool("validate_telemetry")
+fail = tool.fail
+
+PHASES = ("scene_load", "bvh_build", "warmup", "sim_loop", "report")
+BUILD_FIELDS = {"revision": str, "dirty": bool, "compiler": str,
+                "build_type": str, "check": bool}
+EVENTS = ("campaign_begin", "job_start", "job_retry", "job_timeout",
+          "job_finish", "campaign_end")
+#: Relative tolerance for derived gauges recomputed from their inputs.
+REL_TOL = 1e-6
+
+
+def expect_number(obj: dict, key: str, where: str) -> float:
+    """``obj[key]`` as a finite non-negative number, or fail."""
+    if key not in obj:
+        fail(f"{where}: missing field {key!r}")
+    v = obj[key]
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        fail(f"{where}: {key} = {v!r} is not a number")
+    if not (v >= 0.0) or v != v or v in (float("inf"),):
+        fail(f"{where}: {key} = {v!r} is not finite and non-negative")
+    return float(v)
+
+
+def validate_build(build, where: str) -> None:
+    if not isinstance(build, dict):
+        fail(f"{where}: 'build' is not an object")
+    for key, kind in BUILD_FIELDS.items():
+        if key not in build:
+            fail(f"{where}.build: missing field {key!r}")
+        if not isinstance(build[key], kind):
+            fail(f"{where}.build: {key} = {build[key]!r} is not a "
+                 f"{kind.__name__}")
+    if build["revision"] == "":
+        fail(f"{where}.build: empty revision")
+
+
+def validate_sink(doc: dict) -> tuple[str, int]:
+    """Per-run sink schema; returns (scene, cycles)."""
+    if not isinstance(doc.get("scene"), str):
+        fail("top level: missing string field 'scene'")
+    if doc.get("telemetry_version") != 1:
+        fail("top level: telemetry_version != 1")
+    validate_build(doc.get("build"), "top level")
+
+    sim = doc.get("sim")
+    if not isinstance(sim, dict):
+        fail("top level: 'sim' is not an object")
+    cycles = tool.expect_counter(sim, "cycles", "sim")
+    tool.expect_counter(sim, "rays_retired", "sim")
+
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        fail("top level: 'host' is not an object")
+    phases = host.get("phases")
+    if not isinstance(phases, dict):
+        fail("host: 'phases' is not an object")
+    if tuple(phases) != PHASES:
+        fail(f"host.phases: keys {tuple(phases)} != {PHASES}")
+    for name, span in phases.items():
+        where = f"host.phases.{name}"
+        if not isinstance(span, dict):
+            fail(f"{where}: not an object")
+        expect_number(span, "seconds", where)
+        tool.expect_counter(span, "count", where)
+        if span["count"] == 0 and span["seconds"] != 0:
+            fail(f"{where}: nonzero seconds with zero entries")
+
+    sim_seconds = expect_number(host, "sim_seconds", "host")
+    cps = expect_number(host, "cycles_per_sec", "host")
+    rps = expect_number(host, "rays_per_sec", "host")
+    tool.expect_counter(host, "rss_current_kb", "host")
+    tool.expect_counter(host, "rss_peak_kb", "host")
+    if host["rss_peak_kb"] < host["rss_current_kb"]:
+        fail("host: rss_peak_kb below rss_current_kb")
+    loop = phases["sim_loop"]["seconds"]
+    if abs(sim_seconds - loop) > REL_TOL * max(sim_seconds, loop):
+        fail(f"host: sim_seconds {sim_seconds} != sim_loop span "
+             f"{loop}")
+    if sim_seconds > 0:
+        want = cycles / sim_seconds
+        if abs(cps - want) > max(1.0, REL_TOL * want) * 1e3:
+            # cycles_per_sec is serialized with %g (6 significant
+            # digits), so compare loosely.
+            fail(f"host: cycles_per_sec {cps} inconsistent with "
+                 f"cycles {cycles} / sim_seconds {sim_seconds}")
+    elif cps != 0 or rps != 0:
+        fail("host: nonzero throughput with sim_seconds == 0")
+    return doc["scene"], cycles
+
+
+def load_log(path: str | Path) -> list[dict]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    events = []
+    for i, line in enumerate(raw, 1):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i}: not a JSON line: {e}")
+        if not isinstance(ev, dict) or not isinstance(
+                ev.get("ev"), str):
+            fail(f"{path}:{i}: missing string field 'ev'")
+        if ev["ev"] not in EVENTS:
+            fail(f"{path}:{i}: unknown event {ev['ev']!r}")
+        if not isinstance(ev.get("host"), dict):
+            fail(f"{path}:{i}: missing 'host' object")
+        events.append(ev)
+    return events
+
+
+def validate_log(path: str | Path) -> tuple[int, int]:
+    """Event-log schema + conservation; returns (jobs, lines)."""
+    events = load_log(path)
+    if not events:
+        fail(f"{path}: empty event log")
+    if events[0]["ev"] != "campaign_begin":
+        fail(f"{path}: first event is {events[0]['ev']!r}, "
+             "expected campaign_begin")
+    if events[-1]["ev"] != "campaign_end":
+        fail(f"{path}: last event is {events[-1]['ev']!r}, "
+             "expected campaign_end")
+    begin, end = events[0], events[-1]
+    jobs = tool.expect_counter(begin, "jobs", "campaign_begin")
+    validate_build(begin.get("build"), "campaign_begin")
+
+    started: set[int] = set()
+    finished: dict[int, dict] = {}
+    retries = 0
+    for i, ev in enumerate(events[1:-1], 2):
+        where = f"{path}:{i} ({ev['ev']})"
+        if ev["ev"] in ("campaign_begin", "campaign_end"):
+            fail(f"{where}: lifecycle event in the middle of the log")
+        index = tool.expect_counter(ev, "index", where)
+        if index >= jobs:
+            fail(f"{where}: index {index} out of range for "
+                 f"{jobs} jobs")
+        if not isinstance(ev.get("tag"), str):
+            fail(f"{where}: missing string field 'tag'")
+        if ev["ev"] == "job_start":
+            tool.expect_counter(ev, "attempt", where)
+            started.add(index)
+        elif ev["ev"] == "job_retry":
+            tool.expect_counter(ev, "next_attempt", where)
+            retries += 1
+        elif ev["ev"] == "job_timeout":
+            expect_number(ev, "budget_s", where)
+        elif ev["ev"] == "job_finish":
+            if not isinstance(ev.get("ok"), bool):
+                fail(f"{where}: missing bool field 'ok'")
+            tool.expect_counter(ev, "attempts", where)
+            tool.expect_counter(ev, "cycles", where)
+            if index in finished:
+                fail(f"{where}: job {index} finished twice")
+            finished[index] = ev
+
+    if started != set(range(jobs)):
+        fail(f"{path}: job_start covers indices {sorted(started)}, "
+             f"expected 0..{jobs - 1}")
+    if set(finished) != set(range(jobs)):
+        fail(f"{path}: job_finish covers {sorted(finished)}, "
+             f"expected 0..{jobs - 1}")
+    done = tool.expect_counter(end, "done", "campaign_end")
+    failed = tool.expect_counter(end, "failed", "campaign_end")
+    if done + failed != jobs:
+        fail(f"{path}: campaign_end done {done} + failed {failed} "
+             f"!= jobs {jobs}")
+    oks = sum(1 for ev in finished.values() if ev["ok"])
+    if oks != done:
+        fail(f"{path}: {oks} ok job_finish lines but campaign_end "
+             f"done = {done}")
+    if tool.expect_counter(end, "retried", "campaign_end") != retries:
+        fail(f"{path}: campaign_end retried != {retries} job_retry "
+             "lines")
+    return jobs, len(events)
+
+
+def strip_host(obj):
+    """Drop every ``"host"`` object, recursively."""
+    if isinstance(obj, dict):
+        return {k: strip_host(v) for k, v in obj.items()
+                if k != "host"}
+    if isinstance(obj, list):
+        return [strip_host(v) for v in obj]
+    return obj
+
+
+def projection(path: str | Path):
+    """The deterministic projection of a sink or event log.
+
+    Event logs (.jsonl) keep lifecycle lines in order but sort the
+    per-job lines: workers interleave them nondeterministically, yet
+    the *set* of per-job events is a pure function of the campaign.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    try:
+        docs = [json.loads(l) for l in lines]
+    except json.JSONDecodeError:
+        # A pretty-printed single document (e.g. *.telemetry.json).
+        try:
+            docs = [json.loads(text)]
+        except json.JSONDecodeError as e:
+            fail(f"{path}: {e}")
+    stripped = [strip_host(d) for d in docs]
+    if len(stripped) == 1:
+        return stripped
+    key = lambda d: json.dumps(d, sort_keys=True)
+    ordered = [d for d in stripped
+               if not str(d.get("ev", "")).startswith("job_")]
+    jobs = sorted((d for d in stripped
+                   if str(d.get("ev", "")).startswith("job_")),
+                  key=key)
+    return ordered + jobs
+
+
+def check_identical(a: str, b: str) -> int:
+    pa, pb = projection(a), projection(b)
+    if pa != pb:
+        for i, (da, db) in enumerate(zip(pa, pb)):
+            if da != db:
+                fail(f"deterministic projections differ at entry "
+                     f"{i}:\n  {a}: {da}\n  {b}: {db}")
+        fail(f"deterministic projections differ in length: "
+             f"{a} has {len(pa)} entries, {b} has {len(pb)}")
+    return tool.report([], ok=f"{a} and {b}: deterministic "
+                             f"projections identical "
+                             f"({len(pa)} entries)")
+
+
+def run_smoke(simulate_cli: str) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "smoke.telemetry.json"
+        cmd = [simulate_cli, "--scene", "wknd", "--shader", "pt",
+               "--resolution", "32", "--telemetry-out", str(out)]
+        r = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+        if r.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {r.returncode}")
+        doc = tool.load_json(out)
+        scene, cycles = validate_sink(doc)
+        return tool.report([], ok=f"fresh {scene!r} run: {cycles} "
+                                 f"cycles, schema + derivations hold")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) == 3 and argv[1] == "--run":
+        return run_smoke(argv[2])
+    if len(argv) == 3 and argv[1] == "--log":
+        jobs, lines = validate_log(argv[2])
+        return tool.report([], ok=f"{argv[2]}: {lines} events over "
+                                 f"{jobs} jobs, conservation holds")
+    if len(argv) == 4 and argv[1] == "--identical":
+        return check_identical(argv[2], argv[3])
+    if len(argv) == 2 and not argv[1].startswith("-"):
+        doc = tool.load_json(argv[1])
+        scene, cycles = validate_sink(doc)
+        return tool.report([], ok=f"{argv[1]}: scene {scene!r}, "
+                                 f"{cycles} cycles, schema + "
+                                 f"derivations hold")
+    return tool.usage(
+        "usage: validate_telemetry.py FILE.telemetry.json\n"
+        "       validate_telemetry.py --log EVENTS.jsonl\n"
+        "       validate_telemetry.py --identical A B\n"
+        "       validate_telemetry.py --run SIMULATE_CLI")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
