@@ -4,25 +4,65 @@
  * scene. Our procedural stand-ins are scaled down from LumiBench, but
  * the relative ordering (wknd smallest ... car/robot largest) and
  * the depth growth with size are preserved.
+ *
+ * The query scenes (src/query/ point clouds and AMR grids) get rows
+ * too when the default scene list is used: their "triangles" are
+ * proxy primitives (one per point / leaf cell), and a "mean trav"
+ * column reports the average node+leaf fetches per query from a
+ * cheap low-resolution run of the scene's natural workload (k-NN
+ * for point clouds, containment for AMR; "-" for rendering scenes,
+ * whose traversal statistics the figure benches already report).
  */
 
 #include "bench_util.hpp"
+
+namespace {
+
+using namespace cooprt;
+
+/** Mean node+leaf fetches per query from a small probe run. */
+double
+meanTraversal(const std::string &label)
+{
+    core::RunConfig cfg;
+    cfg.shader =
+        scene::SceneRegistry::get(label).kind ==
+                scene::SceneKind::AmrCells
+            ? core::ShaderKind::QueryContain
+            : core::ShaderKind::QueryKnn;
+    cfg.resolution = 16;
+    cfg.query.verify = false;
+    const auto out = core::simulationFor(label).run(cfg);
+    const double queries = double(out.query.queries);
+    return queries > 0 ? double(out.gpu.rt.node_fetches +
+                                out.gpu.rt.leaf_fetches) /
+                             queries
+                       : 0.0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace cooprt;
     auto opt = benchutil::parse(argc, argv);
+    // The query scenes join the sweep unless --scenes picked a
+    // subset explicitly.
+    if (opt.scenes == scene::SceneRegistry::allLabels())
+        for (const auto &l : scene::SceneRegistry::queryLabels())
+            opt.scenes.push_back(l);
     benchutil::banner("Table 2 — scene/BVH statistics", opt);
 
     stats::Table t({"scene", "triangles", "internal nodes", "leaves",
-                    "tree size (MiB)", "depth", "bench res"});
+                    "tree size (MiB)", "depth", "bench res",
+                    "mean trav"});
     for (const auto &label : opt.scenes) {
         benchutil::note("table2 " + label);
         const auto &sim = core::simulationFor(label);
         const auto s = sim.treeStats();
-        t.row()
-            .cell(label)
+        auto row = &t.row();
+        row->cell(label)
             .cell(std::uint64_t(s.triangles))
             .cell(std::uint64_t(s.internal_nodes))
             .cell(std::uint64_t(s.leaf_nodes))
@@ -30,6 +70,10 @@ main(int argc, char **argv)
             .cell(std::uint64_t(s.max_depth))
             .cell(std::uint64_t(
                 scene::SceneRegistry::benchResolution(label)));
+        if (sim.scene().kind == scene::SceneKind::Triangles)
+            row->cell("-");
+        else
+            row->cell(meanTraversal(label), 1);
     }
     benchutil::emit(t, opt);
     return 0;

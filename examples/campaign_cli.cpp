@@ -14,10 +14,16 @@
  *   --matrix S x C        scene list and config list in one flag
  *                         (either side may be "all"); equivalent to
  *                         --scenes S --configs C
- *   --scenes a,b,c        scene axis (default: all 15)
+ *   --scenes a,b,c        scene axis (default: all 15 rendering
+ *                         scenes; query shaders default to their
+ *                         matching query scenes instead — point
+ *                         clouds for knn/radius, AMR grids for
+ *                         contain — and "all" resolves the same way)
  *   --configs c1,c2       config axis (default: base,coop); see
  *                         --list-configs for the named presets
- *   --shader pt|ao|sh     workload applied to every config
+ *   --shader pt|ao|sh|knn|radius|contain
+ *                         workload applied to every config (query
+ *                         workloads: see src/query/)
  *   --resolution N        square frame size (default: scene's bench)
  *   --jobs N              worker threads (default: hardware
  *                         concurrency)
@@ -158,6 +164,7 @@ main(int argc, char **argv)
 {
     std::vector<std::string> scenes =
         scene::SceneRegistry::allLabels();
+    bool scenes_explicit = false;
     std::vector<std::string> config_names = {"base", "coop"};
     core::ShaderKind shader = core::ShaderKind::PathTracing;
     int resolution = 0;
@@ -170,7 +177,8 @@ main(int argc, char **argv)
 
     auto set_scenes = [&](const std::string &list) {
         if (list == "all")
-            return;
+            return; // keeps the shader-dependent default axis
+        scenes_explicit = true;
         scenes = splitList(list);
         for (const auto &s : scenes)
             if (!scene::SceneRegistry::has(s)) {
@@ -216,7 +224,8 @@ main(int argc, char **argv)
             std::cout
                 << "usage: campaign_cli [--matrix S x C]\n"
                    "  [--scenes a,b,c] [--configs c1,c2]\n"
-                   "  [--shader pt|ao|sh] [--resolution N]\n"
+                   "  [--shader pt|ao|sh|knn|radius|contain]\n"
+                   "  [--resolution N]\n"
                    "  [--jobs N] [--retries K] [--timeout-s T]\n"
                    "  [--json-out FILE] [--metrics-dir DIR]\n"
                    "  [--profile-dir DIR] [--ray-dir DIR]\n"
@@ -253,8 +262,15 @@ main(int argc, char **argv)
                 shader = core::ShaderKind::AmbientOcclusion;
             else if (s == "sh")
                 shader = core::ShaderKind::Shadow;
+            else if (s == "knn")
+                shader = core::ShaderKind::QueryKnn;
+            else if (s == "radius")
+                shader = core::ShaderKind::QueryRadius;
+            else if (s == "contain")
+                shader = core::ShaderKind::QueryContain;
             else
-                return usage("unknown shader (pt|ao|sh)");
+                return usage(
+                    "unknown shader (pt|ao|sh|knn|radius|contain)");
         } else if (a == "--resolution") {
             resolution = std::atoi(next("--resolution"));
         } else if (a == "--jobs") {
@@ -293,6 +309,20 @@ main(int argc, char **argv)
         } else {
             return usage("unknown flag " + a);
         }
+    }
+
+    // Query shaders only run on query scenes, so when the scene axis
+    // was left at its default (or given as "all"), resolve it to the
+    // query scenes whose kind matches the workload.
+    if (core::isQueryShader(shader) && !scenes_explicit) {
+        const scene::SceneKind need =
+            shader == core::ShaderKind::QueryContain
+                ? scene::SceneKind::AmrCells
+                : scene::SceneKind::PointCloud;
+        scenes.clear();
+        for (const auto &l : scene::SceneRegistry::queryLabels())
+            if (scene::SceneRegistry::get(l).kind == need)
+                scenes.push_back(l);
     }
 
     // The campaign's own observability: exec.* counters live in this

@@ -9,8 +9,13 @@
  *   ./simulate_cli --list
  *
  * Flags:
- *   --scene <label>       scene to simulate (default crnvl)
- *   --shader pt|ao|sh     workload (default pt)
+ *   --scene <label>       scene to simulate (default crnvl; query
+ *                         shaders default to ptsu / amrs instead)
+ *   --shader pt|ao|sh|knn|radius|contain
+ *                         workload (default pt). knn/radius run
+ *                         nearest-neighbor / fixed-radius search over
+ *                         point-cloud scenes; contain runs point
+ *                         containment over AMR scenes (src/query/)
  *   --resolution N        square frame size (default: scene's bench)
  *   --coop                enable CoopRT
  *   --subwarp N           CoopRT helper scope (4/8/16/32)
@@ -20,6 +25,11 @@
  *   --bfs                 BFS traversal order
  *   --mobile              mobile GPU configuration
  *   --bounces N           path-tracing bounce limit
+ *   --query-k N           k for the knn workload (default 4)
+ *   --query-radius R      search radius for the radius workload
+ *   --query-steps N       locate-advect rounds for contain
+ *   --no-oracle           skip the brute-force oracle cross-check
+ *                         that query runs perform by default
  *   --json                emit a JSON report instead of text
  *   --list                list scene labels and exit
  *
@@ -120,6 +130,7 @@ main(int argc, char **argv)
     using namespace cooprt;
 
     std::string scene_label = "crnvl";
+    bool scene_explicit = false;
     core::RunConfig cfg;
     bool json = false;
     bool profile = false;
@@ -150,13 +161,18 @@ main(int argc, char **argv)
         if (a == "--list") {
             for (const auto &l : scene::SceneRegistry::allLabels())
                 std::cout << l << "\n";
+            for (const auto &l : scene::SceneRegistry::queryLabels())
+                std::cout << l << "\n";
             return 0;
         } else if (a == "--help" || a == "-h") {
             std::cout <<
-                "usage: simulate_cli [--scene L] [--shader pt|ao|sh]\n"
+                "usage: simulate_cli [--scene L]\n"
+                "  [--shader pt|ao|sh|knn|radius|contain]\n"
                 "  [--resolution N] [--coop] [--subwarp N]\n"
                 "  [--warp-buffer N] [--prefetch] [--predictor]\n"
-                "  [--bfs] [--mobile] [--bounces N] [--json] [--list]\n"
+                "  [--bfs] [--mobile] [--bounces N]\n"
+                "  [--query-k N] [--query-radius R] [--query-steps N]\n"
+                "  [--no-oracle] [--json] [--list]\n"
                 "  [--trace FILE] [--metrics FILE]\n"
                 "  [--trace-filter PAT] [--trace-capacity N]\n"
                 "  [--profile] [--profile-out FILE]\n"
@@ -169,6 +185,7 @@ main(int argc, char **argv)
             return 0;
         } else if (a == "--scene") {
             scene_label = next("--scene");
+            scene_explicit = true;
         } else if (a == "--shader") {
             const std::string s = next("--shader");
             if (s == "pt")
@@ -177,8 +194,15 @@ main(int argc, char **argv)
                 cfg.shader = core::ShaderKind::AmbientOcclusion;
             else if (s == "sh")
                 cfg.shader = core::ShaderKind::Shadow;
+            else if (s == "knn")
+                cfg.shader = core::ShaderKind::QueryKnn;
+            else if (s == "radius")
+                cfg.shader = core::ShaderKind::QueryRadius;
+            else if (s == "contain")
+                cfg.shader = core::ShaderKind::QueryContain;
             else
-                return usage("unknown shader (pt|ao|sh)");
+                return usage(
+                    "unknown shader (pt|ao|sh|knn|radius|contain)");
         } else if (a == "--resolution") {
             cfg.resolution = std::atoi(next("--resolution"));
         } else if (a == "--coop") {
@@ -198,6 +222,21 @@ main(int argc, char **argv)
             cfg.gpu = gpu::GpuConfig::mobileBench();
         } else if (a == "--bounces") {
             cfg.pt.max_bounces = std::atoi(next("--bounces"));
+        } else if (a == "--query-k") {
+            cfg.query.k = std::atoi(next("--query-k"));
+            if (cfg.query.k <= 0)
+                return usage("--query-k needs a positive value");
+        } else if (a == "--query-radius") {
+            cfg.query.radius =
+                float(std::atof(next("--query-radius")));
+            if (cfg.query.radius <= 0.0f)
+                return usage("--query-radius needs a positive value");
+        } else if (a == "--query-steps") {
+            cfg.query.steps = std::atoi(next("--query-steps"));
+            if (cfg.query.steps <= 0)
+                return usage("--query-steps needs a positive value");
+        } else if (a == "--no-oracle") {
+            cfg.query.verify = false;
         } else if (a == "--json") {
             json = true;
         } else if (a == "--trace") {
@@ -250,8 +289,33 @@ main(int argc, char **argv)
         }
     }
 
+    // Query workloads need a query scene; when the user didn't pick
+    // one, swap the rendering default for the matching query default
+    // (point cloud for knn/radius, AMR hierarchy for contain).
+    if (core::isQueryShader(cfg.shader) && !scene_explicit)
+        scene_label = cfg.shader == core::ShaderKind::QueryContain
+                          ? "amrs"
+                          : "ptsu";
     if (!scene::SceneRegistry::has(scene_label))
         return usage(("unknown scene " + scene_label).c_str());
+    if (core::isQueryShader(cfg.shader)) {
+        const auto kind = scene::SceneRegistry::get(scene_label).kind;
+        const bool want_amr =
+            cfg.shader == core::ShaderKind::QueryContain;
+        if (kind != (want_amr ? scene::SceneKind::AmrCells
+                              : scene::SceneKind::PointCloud))
+            return usage((std::string("query shaders need a ") +
+                          (want_amr ? "cell (amr*)"
+                                    : "point-cloud (pts*)") +
+                          " scene, got '" + scene_label + "'")
+                             .c_str());
+    } else if (scene::SceneRegistry::get(scene_label).kind !=
+               scene::SceneKind::Triangles) {
+        return usage(("rendering shaders need a triangle scene; '" +
+                      scene_label + "' is a query scene (use "
+                      "--shader knn/radius/contain)")
+                         .c_str());
+    }
     try {
         cfg.gpu.trace.validate();
     } catch (const std::exception &e) {
@@ -412,6 +476,25 @@ main(int argc, char **argv)
               << " W\n";
     std::cout << "  energy:           " << out.power.totalJoules()
               << " J (EDP " << out.power.edp() << ")\n";
+    if (out.query.enabled) {
+        std::printf("  query:            %s, %llu queries, "
+                    "%llu rounds, %llu found, checksum 0x%llx\n",
+                    out.query.workload.c_str(),
+                    static_cast<unsigned long long>(out.query.queries),
+                    static_cast<unsigned long long>(out.query.rounds),
+                    static_cast<unsigned long long>(out.query.found),
+                    static_cast<unsigned long long>(
+                        out.query.checksum));
+        if (out.query.verified)
+            std::printf("  oracle:           %llu checked, "
+                        "%llu mismatches (%s)\n",
+                        static_cast<unsigned long long>(
+                            out.query.oracle_checked),
+                        static_cast<unsigned long long>(
+                            out.query.oracle_mismatches),
+                        out.query.oracleMatches() ? "agree"
+                                                  : "DISAGREE");
+    }
     if (profile) {
         const auto &p = out.gpu.prof_summary;
         std::cout << "  stall taxonomy (" << p.resident_cycles

@@ -159,6 +159,28 @@ writeJson(std::ostream &os, const RunOutcome &o)
         w.close();
     }
 
+    if (o.query.enabled) {
+        w.open("query");
+        w.field("workload", o.query.workload);
+        w.field("queries", o.query.queries);
+        w.field("rounds", o.query.rounds);
+        w.field("found", o.query.found);
+        // Hex string: a 64-bit checksum exceeds the exact-integer
+        // range of JSON readers that decode numbers as doubles.
+        std::ostringstream csum;
+        csum << "0x" << std::hex << o.query.checksum;
+        w.field("checksum", csum.str());
+        if (o.query.verified) {
+            w.open("oracle");
+            w.field("checked", o.query.oracle_checked);
+            w.field("mismatches", o.query.oracle_mismatches);
+            w.field("matches",
+                    o.query.oracleMatches() ? "true" : "false");
+            w.close();
+        }
+        w.close();
+    }
+
     if (o.traceSummary().enabled) {
         w.open("trace");
         w.field("events_recorded", o.traceSummary().events_recorded);

@@ -43,6 +43,13 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
     std::vector<std::unique_ptr<gpu::WarpProgram>> programs;
     // Kept alive for the whole run (Shadow programs reference it).
     std::unique_ptr<shaders::LightSampler> lights;
+    // Query-workload result sink (query programs write into it).
+    std::unique_ptr<query::ResultStore> qstore;
+    const query::Workload qwl =
+        config.shader == ShaderKind::QueryRadius ? query::Workload::Radius
+        : config.shader == ShaderKind::QueryContain
+            ? query::Workload::Contain
+            : query::Workload::Knn;
     {
         const auto warmup = telemetry::Recorder::span(
             config.telemetry, telemetry::Phase::Warmup);
@@ -59,6 +66,17 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
             lights = std::make_unique<shaders::LightSampler>(scene_);
             programs = shaders::makeShadowFrame(scene_, *lights, film,
                                                 res, res, config.sh);
+            break;
+          case ShaderKind::QueryKnn:
+          case ShaderKind::QueryRadius:
+          case ShaderKind::QueryContain:
+            qstore = std::make_unique<query::ResultStore>(
+                std::size_t(res) * std::size_t(res));
+            if (config.trace_session != nullptr)
+                qstore->registerMetrics(
+                    config.trace_session->registry());
+            programs = query::makeQueryFrame(scene_, qwl, *qstore,
+                                             res, res, config.query);
             break;
         }
     }
@@ -96,6 +114,26 @@ Simulation::run(const RunConfig &config, shaders::Film *film,
                      std::to_string(ptrs.size()) + " completed=" +
                      std::to_string(out.gpu.completions.size()));
 #endif
+    if (qstore != nullptr) {
+        out.query = query::summarize(qwl, *qstore);
+        if (config.query.verify) {
+            const query::OracleCheck chk = query::verifyAgainstOracle(
+                scene_, qwl, config.query, res, res, *qstore);
+            out.query.verified = true;
+            out.query.oracle_checked = chk.checked;
+            out.query.oracle_mismatches = chk.mismatches;
+#if COOPRT_CHECK_ENABLED
+            COOPRT_AUDIT("core.simulation", "core.query_oracle_agrees",
+                         chk.mismatches, chk.mismatches == 0,
+                         "scene " + out.scene + " workload " +
+                             out.query.workload + ": " +
+                             std::to_string(chk.mismatches) + " of " +
+                             std::to_string(chk.checked) +
+                             " queries disagree with the brute-force "
+                             "oracle");
+#endif
+        }
+    }
     if (config.telemetry != nullptr) {
         config.telemetry->finishRun(out.gpu.cycles,
                                     out.gpu.rt.retired_warps);
@@ -121,6 +159,8 @@ simulationFor(const std::string &label)
     static std::once_flag init;
     std::call_once(init, [] {
         for (const auto &l : scene::SceneRegistry::allLabels())
+            cache.try_emplace(l);
+        for (const auto &l : scene::SceneRegistry::queryLabels())
             cache.try_emplace(l);
     });
     auto it = cache.find(label);

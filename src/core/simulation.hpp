@@ -24,6 +24,7 @@
 #include "bvh/flat_bvh.hpp"
 #include "gpu/gpu.hpp"
 #include "power/energy_model.hpp"
+#include "query/query.hpp"
 #include "scene/registry.hpp"
 #include "shaders/ao.hpp"
 #include "shaders/path_tracer.hpp"
@@ -33,8 +34,29 @@
 
 namespace cooprt::core {
 
-/** Which raygen workload to run (paper Sections 6.2 / 7.3). */
-enum class ShaderKind { PathTracing, AmbientOcclusion, Shadow };
+/**
+ * Which workload to run: the paper's three raygen shaders (Sections
+ * 6.2 / 7.3) or one of the non-rendering `cooprt::query` workloads
+ * (k-NN / radius search over point-cloud scenes, point containment
+ * over AMR scenes — see query/query.hpp).
+ */
+enum class ShaderKind
+{
+    PathTracing,
+    AmbientOcclusion,
+    Shadow,
+    QueryKnn,
+    QueryRadius,
+    QueryContain,
+};
+
+/** True for the `cooprt::query` workloads. */
+inline bool
+isQueryShader(ShaderKind k)
+{
+    return k == ShaderKind::QueryKnn || k == ShaderKind::QueryRadius ||
+           k == ShaderKind::QueryContain;
+}
 
 /** Everything configurable about one simulation run. */
 struct RunConfig
@@ -46,6 +68,9 @@ struct RunConfig
     shaders::PtParams pt;
     shaders::AoParams ao;
     shaders::ShadowParams sh;
+    /** Parameters of the Query* workloads (k, radius, steps, oracle
+     *  verification). */
+    query::QueryParams query;
     power::EnergyCoefficients energy;
 
     /**
@@ -117,6 +142,12 @@ struct RunOutcome
     /** Host-side telemetry summary (enabled == false unless a
      *  `telemetry::Recorder` was attached via RunConfig). */
     cooprt::telemetry::Summary telemetry;
+
+    /** Query-workload summary (enabled == false unless the run's
+     *  shader was one of the Query* kinds): deterministic counts and
+     *  checksum, plus the oracle cross-check when
+     *  `RunConfig::query.verify` is set. */
+    query::Summary query;
 
     /** Shorthand for the run's observability totals. */
     const cooprt::trace::RunTraceSummary &traceSummary() const

@@ -84,10 +84,26 @@ struct AABB
      *                ray.tmax)); entry distances beyond it are misses.
      * @return The entry distance (clamped below by ray.tmin; a ray
      *         starting inside the box returns ray.tmin), or kNoHit.
+     *
+     * Zero-direction *query* rays (k-NN / containment workloads) take
+     * a dedicated branch: their "entry distance" is the Euclidean
+     * distance from the origin to the closest point of the box, so
+     * closest-hit traversal orders nodes by proximity to the query
+     * point (the RTNN mapping) instead of depending on the 1e-30
+     * reciprocal nudge producing huge-but-finite slab distances.
      */
     float
     intersect(const Ray &ray, float t_limit) const
     {
+        if (ray.degenerate()) {
+            const Vec3 closest = min(max(ray.orig, lo), hi);
+            const float d = (ray.orig - closest).length();
+            const float dentry = d > ray.tmin ? d : ray.tmin;
+            if (dentry > t_limit)
+                return kNoHit;
+            return dentry;
+        }
+
         float t0 = (lo.x - ray.orig.x) * ray.inv_dir.x;
         float t1 = (hi.x - ray.orig.x) * ray.inv_dir.x;
         float tn = t0 < t1 ? t0 : t1;

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Proxy primitives and leaf tests for non-rendering query workloads
+ * (`cooprt::query`): k-nearest / fixed-radius neighbor search over
+ * point clouds (RTNN) and point-containment queries over AMR cell
+ * hierarchies (Zellmann et al.).
+ *
+ * Both workloads reuse the triangle mesh + BVH pipeline unchanged by
+ * encoding their primitives as *degenerate triangles* whose bounding
+ * boxes carry the real geometry:
+ *
+ *  - a data point p becomes Triangle{p, p, p} — its AABB is the point
+ *    itself, and the Moller-Trumbore determinant of the degenerate
+ *    triangle is 0, so it can never register as a rendering hit;
+ *  - an AMR leaf cell [lo, hi] becomes Triangle{lo, hi, centroid} —
+ *    its AABB is exactly the cell bounds.
+ *
+ * A query is a zero-direction ray (see Ray::degenerate()): the slab
+ * test returns the point-to-box distance, so the RT unit's closest-hit
+ * machinery (min_thit culling, stale-pop elimination, LBU work
+ * stealing) performs exact distance-ordered search with no changes to
+ * the BVH builder, caches, or timing model. The leaf test dispatches
+ * on QueryKind instead of running the triangle intersector.
+ */
+
+#ifndef COOPRT_GEOM_PROXY_HPP
+#define COOPRT_GEOM_PROXY_HPP
+
+#include <cstdint>
+
+#include "geom/aabb.hpp"
+#include "geom/ray.hpp"
+#include "geom/triangle.hpp"
+#include "geom/vec3.hpp"
+
+namespace cooprt::geom {
+
+/**
+ * Leaf-test dispatch for a traced warp. `None` is the rendering
+ * default (Moller-Trumbore); the query kinds interpret the proxy
+ * encodings above.
+ */
+enum class QueryKind : std::uint8_t
+{
+    None = 0,
+    /** Distance to the proxy point (v0); nearest-first refinement. */
+    NearestPoint = 1,
+    /** Containment in the proxy cell [v0, v1]; finest cell wins. */
+    CellContain = 2,
+};
+
+/** Encode data point @p p as a degenerate proxy triangle. */
+inline Triangle
+pointProxy(const Vec3 &p)
+{
+    return {p, p, p};
+}
+
+/** Encode AMR cell @p cell as a proxy triangle (AABB == cell). */
+inline Triangle
+cellProxy(const AABB &cell)
+{
+    return {cell.lo, cell.hi, cell.centroid()};
+}
+
+/**
+ * Query leaf test, the QueryKind != None counterpart of
+ * Triangle::intersect. Returns the query "hit distance" — a value the
+ * closest-hit loop minimizes — or kNoHit:
+ *
+ *  - NearestPoint: the Euclidean distance d from the query origin to
+ *    the data point, accepted iff ray.tmin < d < min(t_limit,
+ *    ray.tmax). Strict rejection at tmin makes shrinking-sphere k-NN
+ *    rounds exact: round j sets tmin to round j-1's distance, and the
+ *    previous neighbor recomputes the *identical* float expression,
+ *    so it is excluded deterministically with no exclusion lists.
+ *  - CellContain: accepted iff the query origin lies inside the cell
+ *    [v0, v1] (inclusive); the returned "distance" is the cell width,
+ *    so overlapping coarse/fine candidates resolve to the finest cell
+ *    through the ordinary min_thit ordering.
+ */
+inline float
+queryLeafTest(QueryKind kind, const Triangle &tri, const Ray &ray,
+              float t_limit)
+{
+    const float limit = t_limit < ray.tmax ? t_limit : ray.tmax;
+    if (kind == QueryKind::NearestPoint) {
+        const float d = (tri.v0 - ray.orig).length();
+        if (d <= ray.tmin || d >= limit)
+            return kNoHit;
+        return d;
+    }
+    // CellContain: tri.v0/tri.v1 are the cell's lo/hi corners.
+    const Vec3 &p = ray.orig;
+    if (p.x < tri.v0.x || p.x > tri.v1.x || p.y < tri.v0.y ||
+        p.y > tri.v1.y || p.z < tri.v0.z || p.z > tri.v1.z)
+        return kNoHit;
+    const float width = tri.v1.x - tri.v0.x;
+    if (width <= ray.tmin || width >= limit)
+        return kNoHit;
+    return width;
+}
+
+} // namespace cooprt::geom
+
+#endif // COOPRT_GEOM_PROXY_HPP

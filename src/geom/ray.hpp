@@ -49,6 +49,19 @@ struct Ray
 
     /** Point along the ray at parameter @p t. */
     Vec3 at(float t) const { return orig + dir * t; }
+
+    /**
+     * True for a zero-direction *query* ray (k-NN / containment
+     * workloads): the stored direction is kept exactly as given, so
+     * all-zero components identify a point query unambiguously. The
+     * slab test switches to a point-to-box distance for these rays
+     * instead of relying on the 1e-30 reciprocal nudge.
+     */
+    bool
+    degenerate() const
+    {
+        return dir.x == 0.0f && dir.y == 0.0f && dir.z == 0.0f;
+    }
 };
 
 /**

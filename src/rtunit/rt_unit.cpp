@@ -225,6 +225,7 @@ RtUnit::submit(const TraceJob &job, std::uint64_t now, RetireFn on_retire)
     w = WarpEntry{};
     w.valid = true;
     w.any_hit = job.any_hit;
+    w.query = job.query;
     w.issue_cycle = now;
     w.on_retire = std::move(on_retire);
 
@@ -242,7 +243,11 @@ RtUnit::submit(const TraceJob &job, std::uint64_t now, RetireFn on_retire)
         if (t_root != kNoHit && bvh_.primCount() > 0)
             th.stack.push_back(
                 {bvh_.root(), t_root, std::int8_t(t)});
-        if (cfg_.intersection_predictor)
+        // Query rays have no meaningful triangle intersection: the
+        // predictor would seed from (and later learn) degenerate
+        // proxy hits, polluting the shared table.
+        if (cfg_.intersection_predictor &&
+            w.query == geom::QueryKind::None)
             predictorSeed(w, t);
     }
     resident_++;
@@ -642,7 +647,11 @@ RtUnit::processNode(int slot, WarpEntry &w, int tid, NodeRef ref,
             stats_.tri_tests++;
             tested++;
             const float limit = searchLimit(w, main);
-            const float thit = mesh_.tri(prim).intersect(ray, limit);
+            const float thit =
+                w.query == geom::QueryKind::None
+                    ? mesh_.tri(prim).intersect(ray, limit)
+                    : geom::queryLeafTest(w.query, mesh_.tri(prim),
+                                          ray, limit);
             if (thit != kNoHit) {
                 // Paper Section 5.3: helpers update the *main*
                 // thread's min_thit register.
@@ -650,7 +659,13 @@ RtUnit::processNode(int slot, WarpEntry &w, int tid, NodeRef ref,
                 geom::HitRecord &rec = w.hit[std::size_t(main)];
                 rec.thit = thit;
                 rec.prim_id = prim;
-                rec.normal = mesh_.tri(prim).shadingNormal(ray.dir);
+                // Proxy triangles are degenerate; their shading
+                // normal is undefined (0/0), so query hits carry
+                // none.
+                rec.normal = w.query == geom::QueryKind::None
+                                 ? mesh_.tri(prim).shadingNormal(
+                                       ray.dir)
+                                 : geom::Vec3{};
                 if (w.any_hit) {
                     // Any-hit: this ray is done. Collapsing the
                     // search limit to zero makes every remaining
@@ -760,7 +775,8 @@ RtUnit::maybeRetire(int slot, std::uint64_t now)
     result.issue_cycle = w.issue_cycle;
     result.retire_cycle = now;
 
-    if (cfg_.intersection_predictor)
+    if (cfg_.intersection_predictor &&
+        w.query == geom::QueryKind::None)
         predictorLearn(w);
 
     if (cfg_.model_hit_stores) {

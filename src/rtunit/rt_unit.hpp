@@ -39,6 +39,7 @@
 #include "bvh/flat_bvh.hpp"
 #include "check/check.hpp"
 #include "bvh/traversal.hpp"
+#include "geom/proxy.hpp"
 #include "geom/ray.hpp"
 #include "memscope/memscope.hpp"
 #include "prof/prof.hpp"
@@ -73,6 +74,14 @@ struct TraceJob
      * shadow and ambient-occlusion shaders.
      */
     bool any_hit = false;
+
+    /**
+     * Leaf-test dispatch for non-rendering query workloads
+     * (`cooprt::query`): None runs the triangle intersector, the
+     * query kinds interpret proxy primitives (see geom/proxy.hpp).
+     * Traversal, caching and timing are identical either way.
+     */
+    geom::QueryKind query = geom::QueryKind::None;
 
     int
     activeCount() const
@@ -296,6 +305,7 @@ class RtUnit
     {
         bool valid = false;
         bool any_hit = false;
+        geom::QueryKind query = geom::QueryKind::None;
         std::array<ThreadState, kWarpSize> th;
         std::array<float, kWarpSize> min_thit;
         std::array<geom::HitRecord, kWarpSize> hit;

@@ -1,7 +1,9 @@
 #include "scene/generators.hpp"
 
 #include <cmath>
+#include <vector>
 
+#include "geom/proxy.hpp"
 #include "geom/rng.hpp"
 #include "scene/primitives.hpp"
 
@@ -435,6 +437,143 @@ makeTerrainScene(const std::string &name, std::uint64_t seed, int detail)
 
     s.sky_emission = 1.0f;
     s.camera = Camera({18, 7, 18}, {0, 2, 0}, {0, 1, 0}, 48.0f);
+    return s;
+}
+
+// --- Query scenes (cooprt::query) ---------------------------------
+
+namespace {
+
+/** Shared domain for the point-cloud scenes: a non-cubic box, so no
+ *  axis is special and BVH splits exercise all three. */
+const Vec3 kPointLo{0.0f, 0.0f, 0.0f};
+const Vec3 kPointHi{2.3f, 1.7f, 2.9f};
+
+} // namespace
+
+Scene
+makeUniformPointCloudScene(const std::string &name, std::uint64_t seed,
+                           int points)
+{
+    Scene s;
+    s.name = name;
+    s.kind = SceneKind::PointCloud;
+    Pcg32 rng(seed, 1);
+    for (int i = 0; i < points; ++i)
+        s.mesh.addTriangle(geom::pointProxy(
+            rng.nextInBox(kPointLo, kPointHi)));
+    s.sky_emission = 0.0f;
+    return s;
+}
+
+Scene
+makeClusteredPointCloudScene(const std::string &name,
+                             std::uint64_t seed, int points,
+                             int clusters)
+{
+    Scene s;
+    s.name = name;
+    s.kind = SceneKind::PointCloud;
+    Pcg32 rng(seed, 1);
+
+    struct Bell
+    {
+        Vec3 center;
+        float sigma;
+    };
+    std::vector<Bell> bells;
+    bells.reserve(std::size_t(clusters));
+    const float span = (kPointHi - kPointLo).length();
+    for (int c = 0; c < clusters; ++c)
+        bells.push_back({rng.nextInBox(kPointLo, kPointHi),
+                         span * rng.nextRange(0.01f, 0.05f)});
+
+    for (int i = 0; i < points; ++i) {
+        const Bell &b = bells[rng.nextBelow(std::uint32_t(clusters))];
+        // Isotropic bell: uniform direction, Rayleigh-distributed
+        // radius (inverse-CDF of 1 - exp(-r^2 / 2sigma^2)).
+        const float u = rng.nextFloat();
+        const float r =
+            b.sigma * std::sqrt(-2.0f * std::log(1.0f - u));
+        s.mesh.addTriangle(geom::pointProxy(
+            b.center + rng.nextUnitVector() * r));
+    }
+    s.sky_emission = 0.0f;
+    return s;
+}
+
+Scene
+makeSurfacePointCloudScene(const std::string &name, std::uint64_t seed,
+                           int points)
+{
+    Scene s;
+    s.name = name;
+    s.kind = SceneKind::PointCloud;
+    Pcg32 rng(seed, 1);
+
+    const Vec3 center = (kPointLo + kPointHi) * 0.5f;
+    const float radius = 0.35f * (kPointHi - kPointLo).minComponent();
+    for (int i = 0; i < points; ++i) {
+        const Vec3 d = rng.nextUnitVector();
+        // Deterministic wavy displacement of the shell, a stand-in
+        // for a scanned object's relief.
+        const float disp = 1.0f + 0.18f * std::sin(5.3f * d.x) *
+                                      std::cos(4.1f * d.y) +
+                           0.09f * std::sin(7.7f * d.z);
+        s.mesh.addTriangle(geom::pointProxy(
+            center + d * (radius * disp)));
+    }
+    s.sky_emission = 0.0f;
+    return s;
+}
+
+Scene
+makeAmrScene(const std::string &name, std::uint64_t seed,
+             int max_levels, float hotspot_bias)
+{
+    Scene s;
+    s.name = name;
+    s.kind = SceneKind::AmrCells;
+    Pcg32 rng(seed, 2);
+
+    // Non-power-of-two domain: see the generators.hpp contract.
+    const Vec3 root_lo{0.0f, 0.0f, 0.0f};
+    const Vec3 root_hi{2.7f, 2.7f, 2.7f};
+    const Vec3 hotspot = rng.nextInBox(root_lo, root_hi);
+
+    // Recursive 2x2x2 refinement. The refine decision consumes one
+    // rng draw per visited cell in a fixed (depth-first, octant-
+    // ordered) traversal, so the grid is a pure function of the seed.
+    auto refine = [&](const Vec3 &lo, const Vec3 &hi,
+                      int level) -> bool {
+        if (level >= max_levels)
+            return false;
+        if (level == 0)
+            return true; // at least one refinement everywhere
+        const float d = (((lo + hi) * 0.5f) - hotspot).length();
+        const float p = 0.32f - 0.05f * float(level) +
+                        hotspot_bias * std::exp(-3.0f * d * d);
+        return rng.nextFloat() < p;
+    };
+    auto emit = [&](auto &&self, const Vec3 &lo, const Vec3 &hi,
+                    int level) -> void {
+        if (!refine(lo, hi, level)) {
+            s.mesh.addTriangle(geom::cellProxy({lo, hi}));
+            return;
+        }
+        const Vec3 mid = (lo + hi) * 0.5f;
+        for (int oct = 0; oct < 8; ++oct) {
+            const Vec3 clo{oct & 1 ? mid.x : lo.x,
+                           oct & 2 ? mid.y : lo.y,
+                           oct & 4 ? mid.z : lo.z};
+            const Vec3 chi{oct & 1 ? hi.x : mid.x,
+                           oct & 2 ? hi.y : mid.y,
+                           oct & 4 ? hi.z : mid.z};
+            self(self, clo, chi, level + 1);
+        }
+    };
+    emit(emit, root_lo, root_hi, 0);
+    s.sky_emission = 0.0f;
     return s;
 }
 

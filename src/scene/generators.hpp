@@ -76,6 +76,47 @@ Scene makeForestScene(const std::string &name, std::uint64_t seed,
 Scene makeTerrainScene(const std::string &name, std::uint64_t seed,
                        int detail);
 
+// --- Query scenes (cooprt::query, non-rendering workloads) --------
+//
+// These encode point clouds and AMR cell hierarchies as degenerate
+// proxy triangles (geom/proxy.hpp) so they flow through the BVH
+// builder, the RT unit and every profiling layer unchanged. The
+// three point distributions span the clustering axis that drives
+// traversal-length skew: uniform (shallow, balanced BVH), Gaussian
+// mixture (hot clusters, deep subtrees) and surface-sampled (a 2D
+// shell in 3D space, extreme anisotropy).
+
+/** Uniform points in a (non-cubic) box; kind = PointCloud (ptsu). */
+Scene makeUniformPointCloudScene(const std::string &name,
+                                 std::uint64_t seed, int points);
+
+/**
+ * Gaussian-mixture points: `clusters` isotropic bells with random
+ * centers/widths; kind = PointCloud (ptsc).
+ */
+Scene makeClusteredPointCloudScene(const std::string &name,
+                                   std::uint64_t seed, int points,
+                                   int clusters);
+
+/**
+ * Points sampled on a displaced-sphere shell (a 2D surface, as from
+ * a LiDAR scan); kind = PointCloud (ptss).
+ */
+Scene makeSurfacePointCloudScene(const std::string &name,
+                                 std::uint64_t seed, int points);
+
+/**
+ * A nested-refinement AMR grid: the root cell subdivides 2x2x2
+ * recursively, biased toward a random hotspot (refinement follows a
+ * feature, as in flow solvers); only unrefined *leaf* cells are
+ * emitted, so every interior point lies in exactly one cell. The
+ * domain extent is deliberately non-power-of-two so cell boundaries
+ * are float-rounded products that query points essentially never hit
+ * exactly. kind = AmrCells (amrs, amrd).
+ */
+Scene makeAmrScene(const std::string &name, std::uint64_t seed,
+                   int max_levels, float hotspot_bias);
+
 } // namespace cooprt::scene
 
 #endif // COOPRT_SCENE_GENERATORS_HPP

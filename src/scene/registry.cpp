@@ -37,10 +37,22 @@ SceneRegistry::allLabels()
     return labels;
 }
 
+const std::vector<std::string> &
+SceneRegistry::queryLabels()
+{
+    static const std::vector<std::string> labels = {
+        "ptsu", "ptsc", "ptss", "amrs", "amrd",
+    };
+    return labels;
+}
+
 bool
 SceneRegistry::has(const std::string &label)
 {
     for (const auto &l : allLabels())
+        if (l == label)
+            return true;
+    for (const auto &l : queryLabels())
         if (l == label)
             return true;
     return false;
@@ -93,6 +105,19 @@ SceneRegistry::build(const std::string &label)
         return makeObjectScene("car", 114, 350, 1.2f);
     if (label == "robot")
         return makeObjectScene("robot", 115, 400, 1.4f);
+    // Query scenes (cooprt::query): proxy-primitive point clouds and
+    // AMR grids, sized so their trees land in the same
+    // L1-exceeding range as the rendering scenes above.
+    if (label == "ptsu")
+        return makeUniformPointCloudScene("ptsu", 116, 9000);
+    if (label == "ptsc")
+        return makeClusteredPointCloudScene("ptsc", 117, 9000, 24);
+    if (label == "ptss")
+        return makeSurfacePointCloudScene("ptss", 118, 9000);
+    if (label == "amrs")
+        return makeAmrScene("amrs", 119, 4, 0.55f);
+    if (label == "amrd")
+        return makeAmrScene("amrd", 120, 6, 1.3f);
     throw std::out_of_range("unknown scene label: " + label);
 }
 
@@ -118,6 +143,8 @@ sceneCache()
     static std::once_flag init;
     std::call_once(init, [] {
         for (const auto &l : SceneRegistry::allLabels())
+            cache.try_emplace(l);
+        for (const auto &l : SceneRegistry::queryLabels())
             cache.try_emplace(l);
     });
     return cache;
@@ -152,6 +179,11 @@ SceneRegistry::benchResolution(const std::string &label)
     // paper's own down-scaling of its heaviest scenes.
     if (label == "fox" || label == "party" || label == "frst")
         return 40;
+    // Query scenes issue one query per "pixel"; 32x32 = 1024 queries
+    // keeps the oracle cross-check cheap at bench scale.
+    for (const auto &l : queryLabels())
+        if (l == label)
+            return 32;
     if (!has(label))
         throw std::out_of_range("unknown scene label: " + label);
     return 48;

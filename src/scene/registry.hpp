@@ -28,10 +28,24 @@ namespace cooprt::scene {
 class SceneRegistry
 {
   public:
-    /** All 15 benchmark labels, in the paper's figure order. */
+    /**
+     * The 15 rendering benchmark labels, in the paper's figure
+     * order. Query scenes are deliberately *not* included: every
+     * existing bench path-traces this list, and the proxy-primitive
+     * scenes are not renderable.
+     */
     static const std::vector<std::string> &allLabels();
 
-    /** True when @p label names a registered scene. */
+    /**
+     * The non-rendering query scenes (`cooprt::query`): three point
+     * clouds (ptsu uniform, ptsc Gaussian-mixture, ptss
+     * surface-sampled) for k-NN / radius search, and two AMR grids
+     * (amrs shallow, amrd deep hotspot-refined) for point
+     * containment.
+     */
+    static const std::vector<std::string> &queryLabels();
+
+    /** True when @p label names a registered scene (either list). */
     static bool has(const std::string &label);
 
     /**

@@ -6,6 +6,7 @@
 #ifndef COOPRT_SCENE_SCENE_HPP
 #define COOPRT_SCENE_SCENE_HPP
 
+#include <cstdint>
 #include <string>
 
 #include "scene/camera.hpp"
@@ -13,6 +14,22 @@
 #include "scene/mesh.hpp"
 
 namespace cooprt::scene {
+
+/**
+ * What the mesh's primitives encode, and hence which workloads the
+ * scene supports. Rendering shaders require `Triangles`; the
+ * `cooprt::query` workloads require the matching proxy encoding
+ * (see geom/proxy.hpp).
+ */
+enum class SceneKind : std::uint8_t
+{
+    /** Ordinary renderable triangles (the 15 benchmark scenes). */
+    Triangles,
+    /** Degenerate point-proxy triangles (k-NN / radius search). */
+    PointCloud,
+    /** AMR leaf-cell proxy triangles (point containment). */
+    AmrCells,
+};
 
 /**
  * Everything the shader workloads need to trace a frame.
@@ -25,6 +42,8 @@ namespace cooprt::scene {
 struct Scene
 {
     std::string name;
+    /** Primitive encoding; gates shader/scene compatibility. */
+    SceneKind kind = SceneKind::Triangles;
     Mesh mesh;
     MaterialTable materials;
     Camera camera;

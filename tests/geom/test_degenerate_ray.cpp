@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Zero-direction ("degenerate") query rays and the proxy-primitive
+ * leaf tests backing the cooprt::query workloads: the slab test must
+ * return an exact point-to-box distance for them — by dedicated
+ * branch, not by epsilon luck with the 1e-30 reciprocal nudge — and
+ * zero-extent (tmin == tmax) directional rays must still traverse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/aabb.hpp"
+#include "geom/proxy.hpp"
+#include "geom/rng.hpp"
+#include "geom/triangle.hpp"
+
+namespace {
+
+using cooprt::geom::AABB;
+using cooprt::geom::cellProxy;
+using cooprt::geom::kNoHit;
+using cooprt::geom::Pcg32;
+using cooprt::geom::pointProxy;
+using cooprt::geom::QueryKind;
+using cooprt::geom::queryLeafTest;
+using cooprt::geom::Ray;
+using cooprt::geom::Triangle;
+using cooprt::geom::Vec3;
+
+const AABB unit_box{{0, 0, 0}, {1, 1, 1}};
+
+/** A point query at @p o searching out to @p tmax beyond @p tmin. */
+Ray
+pointQuery(const Vec3 &o, float tmin = 0.0f, float tmax = kNoHit)
+{
+    return Ray(o, Vec3{}, tmin, tmax);
+}
+
+TEST(DegenerateRay, DetectedExactly)
+{
+    EXPECT_TRUE(pointQuery({0.5f, 0.5f, 0.5f}).degenerate());
+    EXPECT_FALSE(Ray({0, 0, 0}, {1, 0, 0}).degenerate());
+    // One tiny nonzero component is still a directional ray.
+    EXPECT_FALSE(Ray({0, 0, 0}, {0, 1e-30f, 0}).degenerate());
+}
+
+TEST(DegenerateRay, StoredDirectionStaysZero)
+{
+    // The ctor nudges only the *reciprocal*; the stored direction
+    // must remain exactly zero or degenerate() could not detect it.
+    const Ray r = pointQuery({1, 2, 3});
+    EXPECT_EQ(r.dir.x, 0.0f);
+    EXPECT_EQ(r.dir.y, 0.0f);
+    EXPECT_EQ(r.dir.z, 0.0f);
+}
+
+TEST(DegenerateSlab, OriginInsideReturnsTmin)
+{
+    EXPECT_FLOAT_EQ(
+        unit_box.intersect(pointQuery({0.5f, 0.5f, 0.5f}), kNoHit),
+        0.0f);
+    EXPECT_FLOAT_EQ(
+        unit_box.intersect(pointQuery({0.5f, 0.5f, 0.5f}, 0.25f),
+                           kNoHit),
+        0.25f);
+}
+
+TEST(DegenerateSlab, FaceDistance)
+{
+    // Closest point of the box is the x = 1 face.
+    EXPECT_FLOAT_EQ(
+        unit_box.intersect(pointQuery({2.0f, 0.5f, 0.5f}), kNoHit),
+        1.0f);
+}
+
+TEST(DegenerateSlab, CornerDistance)
+{
+    EXPECT_NEAR(
+        unit_box.intersect(pointQuery({2.0f, 2.0f, 2.0f}), kNoHit),
+        std::sqrt(3.0f), 1e-6f);
+}
+
+TEST(DegenerateSlab, SearchLimitCulls)
+{
+    const Ray q = pointQuery({2.0f, 0.5f, 0.5f});
+    EXPECT_EQ(unit_box.intersect(q, 0.5f), kNoHit);
+    // The limit is inclusive, matching the directional slab test.
+    EXPECT_FLOAT_EQ(unit_box.intersect(q, 1.0f), 1.0f);
+}
+
+TEST(DegenerateSlab, TminClampsDoesNotReject)
+{
+    // A box closer than tmin is still *visitable* at distance tmin —
+    // it may contain points beyond tmin; only the leaf test rejects.
+    const Ray q = pointQuery({1.1f, 0.5f, 0.5f}, 0.5f);
+    EXPECT_FLOAT_EQ(unit_box.intersect(q, kNoHit), 0.5f);
+}
+
+TEST(ZeroExtentSlab, TminEqualsTmaxStillTraverses)
+{
+    // A zero-extent directional ray probes exactly one parameter
+    // value; entry == limit must hit (inclusive comparisons).
+    Ray r({-2.0f, 0.5f, 0.5f}, {1, 0, 0}, 2.0f, 2.0f);
+    const float limit = r.tmax; // searchLimit(min_thit = inf, tmax)
+    EXPECT_FLOAT_EQ(unit_box.intersect(r, limit), 2.0f);
+
+    // Probing just before the box must miss: entry 2.0 > limit 1.9.
+    Ray before({-2.0f, 0.5f, 0.5f}, {1, 0, 0}, 1.9f, 1.9f);
+    EXPECT_EQ(unit_box.intersect(before, before.tmax), kNoHit);
+}
+
+/**
+ * Property: the degenerate branch equals the clamped point-to-box
+ * distance everywhere, and growing the box never increases it.
+ */
+TEST(DegenerateSlabProperty, MatchesPointToBoxDistance)
+{
+    Pcg32 rng(1234);
+    for (int iter = 0; iter < 2000; ++iter) {
+        AABB box;
+        box.grow(rng.nextInBox(Vec3(-5), Vec3(5)));
+        box.grow(rng.nextInBox(Vec3(-5), Vec3(5)));
+        const Vec3 o = rng.nextInBox(Vec3(-10), Vec3(10));
+        const float t =
+            box.intersect(pointQuery(o), kNoHit);
+        const Vec3 closest = min(max(o, box.lo), box.hi);
+        const float expect = (o - closest).length();
+        ASSERT_FALSE(std::isnan(t)) << "iter " << iter;
+        EXPECT_FLOAT_EQ(t, expect) << "iter " << iter;
+
+        AABB outer = box;
+        outer.grow(rng.nextInBox(Vec3(-8), Vec3(8)));
+        EXPECT_LE(outer.intersect(pointQuery(o), kNoHit), t)
+            << "iter " << iter;
+    }
+}
+
+TEST(Proxy, PointProxyIsDegenerateTriangle)
+{
+    const Vec3 p{1.0f, 2.0f, 3.0f};
+    const Triangle tri = pointProxy(p);
+    EXPECT_EQ(tri.v0, p);
+    EXPECT_EQ(tri.v1, p);
+    EXPECT_EQ(tri.v2, p);
+    // Zero-area proxy can never register as a *rendering* hit even
+    // for a ray aimed straight through the point.
+    Ray through({0, 2.0f, 3.0f}, {1, 0, 0});
+    EXPECT_EQ(tri.intersect(through, kNoHit), kNoHit);
+}
+
+TEST(Proxy, CellProxyCarriesBounds)
+{
+    const AABB cell{{0, 0, 0}, {2, 4, 6}};
+    const Triangle tri = cellProxy(cell);
+    EXPECT_EQ(tri.v0, cell.lo);
+    EXPECT_EQ(tri.v1, cell.hi);
+    EXPECT_EQ(tri.v2, cell.centroid());
+}
+
+TEST(QueryLeaf, NearestPointExactDistance)
+{
+    const Triangle tri = pointProxy({1, 0, 0});
+    const Ray q = pointQuery({0, 0, 0});
+    EXPECT_FLOAT_EQ(queryLeafTest(QueryKind::NearestPoint, tri, q,
+                                  kNoHit),
+                    1.0f);
+}
+
+TEST(QueryLeaf, NearestPointStrictTminExcludesPreviousNeighbor)
+{
+    // Shrinking-sphere k-NN: round j sets tmin to round j-1's
+    // distance; recomputing the identical expression must reject.
+    const Triangle tri = pointProxy({1, 0, 0});
+    const float d =
+        queryLeafTest(QueryKind::NearestPoint, tri,
+                      pointQuery({0, 0, 0}), kNoHit);
+    EXPECT_EQ(queryLeafTest(QueryKind::NearestPoint, tri,
+                            pointQuery({0, 0, 0}, /*tmin=*/d),
+                            kNoHit),
+              kNoHit);
+}
+
+TEST(QueryLeaf, NearestPointRespectsRadiusAndLimit)
+{
+    const Triangle tri = pointProxy({1, 0, 0});
+    // tmax is the fixed search radius: d >= tmax rejects.
+    EXPECT_EQ(queryLeafTest(QueryKind::NearestPoint, tri,
+                            pointQuery({0, 0, 0}, 0.0f, 1.0f),
+                            kNoHit),
+              kNoHit);
+    // t_limit (a closer accepted neighbor) rejects the same way.
+    EXPECT_EQ(queryLeafTest(QueryKind::NearestPoint, tri,
+                            pointQuery({0, 0, 0}), 0.5f),
+              kNoHit);
+    EXPECT_FLOAT_EQ(queryLeafTest(QueryKind::NearestPoint, tri,
+                                  pointQuery({0, 0, 0}, 0.0f, 1.5f),
+                                  2.0f),
+                    1.0f);
+}
+
+TEST(QueryLeaf, CellContainInclusiveBounds)
+{
+    const Triangle cell = cellProxy({{0, 0, 0}, {1, 1, 1}});
+    EXPECT_FLOAT_EQ(queryLeafTest(QueryKind::CellContain, cell,
+                                  pointQuery({0.5f, 0.5f, 0.5f}),
+                                  kNoHit),
+                    1.0f);
+    // Boundary points are inside (the AMR grid tiles the domain).
+    EXPECT_FLOAT_EQ(queryLeafTest(QueryKind::CellContain, cell,
+                                  pointQuery({0, 0, 0}), kNoHit),
+                    1.0f);
+    EXPECT_FLOAT_EQ(queryLeafTest(QueryKind::CellContain, cell,
+                                  pointQuery({1, 1, 1}), kNoHit),
+                    1.0f);
+    EXPECT_EQ(queryLeafTest(QueryKind::CellContain, cell,
+                            pointQuery({1.01f, 0.5f, 0.5f}), kNoHit),
+              kNoHit);
+}
+
+TEST(QueryLeaf, CellContainFinestCellWins)
+{
+    // Overlapping coarse and fine candidates: the fine cell's width
+    // is the smaller "hit distance", and once accepted it culls the
+    // coarse cell through the ordinary t_limit path.
+    const Triangle coarse = cellProxy({{0, 0, 0}, {1, 1, 1}});
+    const Triangle fine = cellProxy({{0, 0, 0}, {0.25f, 0.25f, 0.25f}});
+    const Ray q = pointQuery({0.1f, 0.1f, 0.1f});
+    const float wf =
+        queryLeafTest(QueryKind::CellContain, fine, q, kNoHit);
+    const float wc =
+        queryLeafTest(QueryKind::CellContain, coarse, q, kNoHit);
+    EXPECT_LT(wf, wc);
+    EXPECT_EQ(queryLeafTest(QueryKind::CellContain, coarse, q, wf),
+              kNoHit);
+}
+
+} // namespace

@@ -39,6 +39,7 @@ _AUTHORITY_FILES = {
     "memscope.": "src/memscope/memscope.cpp",
     "exec.": "src/exec/exec.cpp",
     "telemetry.": "src/telemetry/telemetry.cpp",
+    "query.": "src/query/query.cpp",
 }
 
 

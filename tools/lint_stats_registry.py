@@ -242,6 +242,47 @@ def telemetry_problems() -> list[str]:
     return problems
 
 
+def query_problems() -> list[str]:
+    """Cross-check the query-workload probe surface.
+
+    src/query/query.cpp is the single registration authority for
+    ``query.*`` probes (ResultStore::registerMetrics); the three
+    run-progress probes must all still be present, every literal name
+    it registers must be documented (in backticks) in the DESIGN.md
+    §17 probe table, and no other translation unit may register
+    ``query.*`` names.
+    """
+    problems: list[str] = []
+    cpp = (REPO / "src/query/query.cpp").read_text()
+
+    names = set(re.findall(r'probe\("(query\.[\w.]+)"', cpp))
+    if not names:
+        return ["src/query/query.cpp registers no literal query.* "
+                "probes"]
+
+    for required in ("query.queries", "query.rounds", "query.found"):
+        if required not in names:
+            problems.append(
+                f"src/query/query.cpp no longer registers the "
+                f"{required} probe")
+
+    design = (REPO / "DESIGN.md").read_text()
+    for name in sorted(names):
+        if f"`{name}`" not in design:
+            problems.append(
+                f"probe `{name}` is missing from the DESIGN.md "
+                f"query probe table")
+
+    for src in (REPO / "src").rglob("*.cpp"):
+        if src.name == "query.cpp":
+            continue
+        if re.search(r'probe\(\s*"query\.', src.read_text()):
+            problems.append(
+                f"{src.relative_to(REPO)} registers query.* probes; "
+                f"query.cpp is the single registration authority")
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
 
@@ -290,6 +331,10 @@ def main() -> int:
 
     # Telemetry probe surface (single authority + DESIGN.md table).
     problems += telemetry_problems()
+
+    # Query-workload probe surface (single authority + DESIGN.md
+    # table).
+    problems += query_problems()
 
     return tool.report(problems, ok="all stats counters are "
                                     "registry-observable")

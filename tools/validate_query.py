@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate query-workload reports produced by ``cooprt::query``
+(the ``"query"`` object of ``simulate_cli --json`` reports and of the
+campaign engine's JSON lines).
+
+A query run reports deterministic counts (queries, traversal rounds,
+neighbors/cells found), an order-insensitive 64-bit checksum (emitted
+as a hex *string* — JSON numbers are doubles and cannot carry 64
+bits), and — unless ``--no-oracle`` was passed — the brute-force
+oracle cross-check: every simulator result replayed against an
+exhaustive scan and compared bit-for-bit (see DESIGN.md §17). This
+tool checks the result schema and demands oracle agreement:
+
+report file (``validate_query.py FILE.json``)
+  the report carries a well-formed "query" object: known workload
+  name, queries == resolution^2, round/found conservation, hex
+  checksum, and an oracle block with zero mismatches.
+
+fresh smoke runs (``--run SIMULATE_CLI``)
+  produce the input by running one k-NN (point-cloud) and one
+  containment (AMR) scene through the given binary with ``--json``
+  (the ctest ``validate_query`` case and the query-smoke CI job use
+  this form):
+
+    python3 tools/validate_query.py --run build/examples/simulate_cli
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+
+import lintlib
+
+tool = lintlib.Tool("validate_query")
+fail = tool.fail
+
+WORKLOADS = ("knn", "radius", "contain")
+CHECKSUM_RE = re.compile(r"^0x[0-9a-f]{1,16}$")
+
+
+def validate_report(doc: dict, where: str) -> tuple[str, str]:
+    """Schema + oracle agreement; returns (scene, workload)."""
+    if not isinstance(doc.get("scene"), str):
+        fail(f"{where}: missing string field 'scene'")
+    resolution = tool.expect_counter(doc, "resolution", where)
+    tool.expect_counter(doc, "cycles", where)
+
+    q = doc.get("query")
+    if not isinstance(q, dict):
+        fail(f"{where}: missing 'query' object (not a query run?)")
+    if q.get("workload") not in WORKLOADS:
+        fail(f"{where}.query: workload {q.get('workload')!r} not in "
+             f"{WORKLOADS}")
+    queries = tool.expect_counter(q, "queries", f"{where}.query")
+    rounds = tool.expect_counter(q, "rounds", f"{where}.query")
+    found = tool.expect_counter(q, "found", f"{where}.query")
+    if queries != resolution * resolution:
+        fail(f"{where}.query: {queries} queries != resolution^2 = "
+             f"{resolution * resolution}")
+    if rounds < queries:
+        fail(f"{where}.query: {rounds} rounds < {queries} queries "
+             "(every query issues at least one round)")
+    if found > rounds:
+        fail(f"{where}.query: found {found} exceeds rounds {rounds} "
+             "(at most one accept per round)")
+    checksum = q.get("checksum")
+    if not isinstance(checksum, str) or not CHECKSUM_RE.match(checksum):
+        fail(f"{where}.query: checksum {checksum!r} is not a 64-bit "
+             "hex string")
+
+    oracle = q.get("oracle")
+    if not isinstance(oracle, dict):
+        fail(f"{where}.query: missing 'oracle' object (run without "
+             "--no-oracle to cross-check)")
+    checked = tool.expect_counter(oracle, "checked",
+                                  f"{where}.query.oracle")
+    mismatches = tool.expect_counter(oracle, "mismatches",
+                                     f"{where}.query.oracle")
+    if checked != queries:
+        fail(f"{where}.query.oracle: checked {checked} != "
+             f"{queries} queries")
+    if oracle.get("matches") is not True:
+        fail(f"{where}.query.oracle: 'matches' is "
+             f"{oracle.get('matches')!r}, expected true")
+    if mismatches != 0:
+        fail(f"{where}.query.oracle: {mismatches} of {checked} "
+             "queries disagree with the brute-force oracle")
+    return doc["scene"], q["workload"]
+
+
+def run_one(simulate_cli: str, shader: str, want_scene: str) -> str:
+    cmd = [simulate_cli, "--shader", shader, "--resolution", "12",
+           "--json"]
+    r = subprocess.run(cmd, stdout=subprocess.PIPE)
+    if r.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {r.returncode}")
+    try:
+        doc = json.loads(r.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"{' '.join(cmd)}: output is not JSON: {e}")
+    scene, workload = validate_report(doc, f"--shader {shader}")
+    if scene != want_scene:
+        fail(f"--shader {shader}: defaulted to scene {scene!r}, "
+             f"expected {want_scene!r}")
+    if workload != shader:
+        fail(f"--shader {shader}: report says workload {workload!r}")
+    return f"{workload}@{scene} oracle-clean"
+
+
+def run_smoke(simulate_cli: str) -> int:
+    notes = [run_one(simulate_cli, "knn", "ptsu"),
+             run_one(simulate_cli, "contain", "amrs")]
+    return tool.report([], ok="fresh runs: " + ", ".join(notes))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) == 3 and argv[1] == "--run":
+        return run_smoke(argv[2])
+    if len(argv) == 2 and not argv[1].startswith("-"):
+        doc = tool.load_json(argv[1])
+        scene, workload = validate_report(doc, argv[1])
+        return tool.report([], ok=f"{argv[1]}: {workload}@{scene}, "
+                                 f"schema holds, oracle agrees")
+    return tool.usage(
+        "usage: validate_query.py FILE.json\n"
+        "       validate_query.py --run SIMULATE_CLI")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
