@@ -136,7 +136,8 @@ emit(const stats::Table &table, const Options &opt)
     // The build stamp is constant per binary, so lines stay
     // byte-identical across --jobs while recording which tree and
     // toolchain produced each bench trajectory point.
-    os << "{\"bench\":" << trace::quoteJson(opt.bench_name)
+    os << "{\"schema_version\":" << trace::kSchemaVersion
+       << ",\"bench\":" << trace::quoteJson(opt.bench_name)
        << ",\"build\":" << telemetry::buildInfoJson()
        << ",\"table\":";
     table.printJson(os);

@@ -9,6 +9,8 @@
 
 #include "bench_util.hpp"
 
+#include "diff/diff.hpp"
+
 namespace {
 
 void
@@ -51,16 +53,22 @@ main(int argc, char **argv)
     for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
         const auto &label = opt.scenes[s];
         const core::Comparison &cmp = cmps[s];
-        speedups.push_back(cmp.speedup());
-        powers.push_back(cmp.powerRatio());
-        energies.push_back(cmp.energyRatio());
+        // Route the compare columns through the diff engine — same
+        // double arithmetic as core::Comparison, and the same numbers
+        // diff_cli reports for the exported (base, coop) report pair.
+        const diff::RunDiff d =
+            diff::diffRuns(diff::recordFromOutcome(cmp.base),
+                           diff::recordFromOutcome(cmp.coop));
+        speedups.push_back(d.speedup);
+        powers.push_back(d.power_ratio);
+        energies.push_back(d.energy_ratio);
         t.row()
             .cell(label)
-            .cell(cmp.speedup(), 2)
-            .cell(cmp.powerRatio(), 2)
-            .cell(cmp.energyRatio(), 2)
-            .cell(cmp.base.gpu.avg_thread_utilization, 2)
-            .cell(cmp.coop.gpu.avg_thread_utilization, 2);
+            .cell(d.speedup, 2)
+            .cell(d.power_ratio, 2)
+            .cell(d.energy_ratio, 2)
+            .cell(d.utilization_base, 2)
+            .cell(d.utilization_other, 2);
     }
     if (!speedups.empty())
         t.row()

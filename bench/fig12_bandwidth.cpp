@@ -7,6 +7,8 @@
 
 #include "bench_util.hpp"
 
+#include "diff/diff.hpp"
+
 int
 main(int argc, char **argv)
 {
@@ -23,10 +25,14 @@ main(int argc, char **argv)
     for (std::size_t s = 0; s < opt.scenes.size(); ++s) {
         const auto &label = opt.scenes[s];
         const core::Comparison &cmp = cmps[s];
-        const double l2 = cmp.coop.gpu.l2BytesPerCycle() /
-                          cmp.base.gpu.l2BytesPerCycle();
-        const double dram = cmp.coop.gpu.dramBytesPerCycle() /
-                            cmp.base.gpu.dramBytesPerCycle();
+        // The normalized-bandwidth columns come from the diff engine
+        // (same bytes/cycle arithmetic as gpu::RunStats, same numbers
+        // as the "bandwidth" ratios in a diff_cli JSON document).
+        const diff::RunDiff d =
+            diff::diffRuns(diff::recordFromOutcome(cmp.base),
+                           diff::recordFromOutcome(cmp.coop));
+        const double l2 = d.l2BandwidthRatio();
+        const double dram = d.dramBandwidthRatio();
         l2s.push_back(l2);
         drams.push_back(dram);
         t.row()

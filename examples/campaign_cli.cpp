@@ -32,6 +32,10 @@
  *   --json-out FILE       append one JSON line per job; "-" writes
  *                         the lines to stdout (and the summary table
  *                         moves to stderr, so stdout stays pure JSON)
+ *   --report-dir DIR      per-job schema-stamped run report
+ *                         (`<tag>.report.json`) — the files
+ *                         diff_cli and --diff-baseline consume;
+ *                         byte-identical across --jobs counts
  *   --metrics-dir DIR     per-job metrics CSV, named by job tag
  *   --profile-dir DIR     per-job folded + JSON stall profiles
  *   --ray-dir DIR         per-job ray-provenance stats JSON, named
@@ -43,6 +47,20 @@
  *                         "Memory & BVH-topology profiling")
  *   --csv                 CSV summary table
  *   --list-configs        list named configs and exit
+ *   --version             print build provenance (git revision,
+ *                         compiler, COOPRT_CHECK) and exit
+ *
+ * Differential attribution (DESIGN.md section 18 / src/diff/):
+ *   --diff-baseline DIR   diff every successful job against the
+ *                         matching `<tag>.report.json` under DIR (a
+ *                         previous run's --report-dir); requires
+ *                         --diff-out. A missing DIR exits 2 before
+ *                         any job runs.
+ *   --diff-out FILE       where the per-job diff documents go, one
+ *                         JSON line per job in submission order —
+ *                         byte-identical across --jobs counts.
+ *                         "-" writes them to stdout (the summary
+ *                         table then moves to stderr)
  *
  * Host-side telemetry (DESIGN.md "Telemetry" / src/telemetry/):
  *   --telemetry-dir DIR   per-job telemetry JSON (phase spans,
@@ -66,6 +84,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -73,6 +92,8 @@
 #include <sstream>
 #include <vector>
 
+#include "core/build_info.hpp"
+#include "diff/diff.hpp"
 #include "exec/exec.hpp"
 #include "stats/table.hpp"
 #include "telemetry/telemetry.hpp"
@@ -157,6 +178,19 @@ usage(const std::string &msg = {})
     return 2;
 }
 
+void
+printVersion(std::ostream &os)
+{
+    os << "cooprt campaign_cli\n"
+       << "  revision:   " << cooprt::build::kGitRevision
+       << (cooprt::build::kGitDirty ? " (dirty)" : "") << "\n"
+       << "  compiler:   " << cooprt::build::kCompiler << "\n"
+       << "  build type: " << cooprt::build::kBuildType << "\n"
+       << "  check:      "
+       << (cooprt::build::kCheckEnabled ? "on" : "off") << "\n"
+       << "  schema:     v" << cooprt::trace::kSchemaVersion << "\n";
+}
+
 } // namespace
 
 int
@@ -171,6 +205,8 @@ main(int argc, char **argv)
     exec::CampaignOptions copt;
     bool csv = false;
     std::string json_out;
+    std::string diff_baseline;
+    std::string diff_out;
     std::string telemetry_log;
     std::string prom_out;
     double heartbeat_s = 0.0;
@@ -227,12 +263,17 @@ main(int argc, char **argv)
                    "  [--shader pt|ao|sh|knn|radius|contain]\n"
                    "  [--resolution N]\n"
                    "  [--jobs N] [--retries K] [--timeout-s T]\n"
-                   "  [--json-out FILE] [--metrics-dir DIR]\n"
+                   "  [--json-out FILE] [--report-dir DIR]\n"
+                   "  [--diff-baseline DIR --diff-out FILE]\n"
+                   "  [--metrics-dir DIR]\n"
                    "  [--profile-dir DIR] [--ray-dir DIR]\n"
                    "  [--ray-sample-k N] [--memscope-dir DIR]\n"
                    "  [--telemetry-dir DIR] [--telemetry-log FILE]\n"
                    "  [--heartbeat-s S] [--prom-out FILE]\n"
-                   "  [--csv] [--list-configs]\n";
+                   "  [--csv] [--list-configs] [--version]\n";
+            return 0;
+        } else if (a == "--version") {
+            printVersion(std::cout);
             return 0;
         } else if (a == "--list-configs") {
             for (const auto &c : kConfigs)
@@ -281,6 +322,12 @@ main(int argc, char **argv)
             copt.timeout_s = std::atof(next("--timeout-s"));
         } else if (a == "--json-out") {
             json_out = next("--json-out");
+        } else if (a == "--report-dir") {
+            copt.report_dir = next("--report-dir");
+        } else if (a == "--diff-baseline") {
+            diff_baseline = next("--diff-baseline");
+        } else if (a == "--diff-out") {
+            diff_out = next("--diff-out");
         } else if (a == "--metrics-dir") {
             copt.metrics_dir = next("--metrics-dir");
         } else if (a == "--profile-dir") {
@@ -311,6 +358,20 @@ main(int argc, char **argv)
         }
     }
 
+    // The diff sink is a gate: refuse to start a campaign whose
+    // comparison target cannot exist, so "regressed" (exit 1 from a
+    // downstream gate) stays distinguishable from "not comparable"
+    // (exit 2 here, before any job has run).
+    if (diff_baseline.empty() != diff_out.empty())
+        return usage("--diff-baseline and --diff-out go together");
+    if (!diff_baseline.empty() &&
+        !std::filesystem::is_directory(diff_baseline)) {
+        std::cerr << "error: --diff-baseline " << diff_baseline
+                  << " is not a directory (expected a previous "
+                     "run's --report-dir)\n";
+        return 2;
+    }
+
     // Query shaders only run on query scenes, so when the scene axis
     // was left at its default (or given as "all"), resolve it to the
     // query scenes whose kind matches the workload.
@@ -326,9 +387,14 @@ main(int argc, char **argv)
     }
 
     // The campaign's own observability: exec.* counters live in this
-    // session's registry and are printed with the summary.
+    // session's registry and are printed with the summary. The diff
+    // engine adds its diff.* probes when --diff-baseline is active;
+    // the Differ outlives the end-of-run registry snapshot below.
     trace::Session session;
     copt.session = &session;
+    diff::Differ differ;
+    if (!diff_baseline.empty())
+        differ.registerMetrics(session.registry());
 
     // Campaign telemetry: the event log streams lifecycle events as
     // JSON lines, the monitor aggregates EWMA/ETA and serves the
@@ -419,6 +485,52 @@ main(int argc, char **argv)
         }
     }
 
+    // Differential attribution sink: each successful job diffed
+    // against the matching report under --diff-baseline, one JSON
+    // line per job. Results are walked in submission order, so the
+    // sink is byte-identical between --jobs 1 and --jobs N.
+    const bool diff_to_stdout = diff_out == "-";
+    if (!diff_baseline.empty()) {
+        std::ofstream diff_file;
+        std::ostream *diff_os = &std::cout;
+        if (!diff_to_stdout) {
+            diff_file.open(diff_out);
+            if (!diff_file) {
+                std::cerr << "error: cannot write " << diff_out
+                          << "\n";
+                return 2;
+            }
+            diff_os = &diff_file;
+        }
+        for (const auto &r : results) {
+            if (!r.ok)
+                continue;
+            const std::string base_path =
+                diff_baseline + "/" + exec::sanitizeTag(r.tag) +
+                ".report.json";
+            diff::RunRecord base;
+            std::string error;
+            if (!diff::loadReportFile(base_path, &base, &error)) {
+                std::fprintf(stderr,
+                             "[campaign] diff: no baseline for %s "
+                             "(%s)\n",
+                             r.tag.c_str(), error.c_str());
+                continue;
+            }
+            diff::RunRecord other = diff::recordFromOutcome(r.outcome);
+            other.source = r.tag;
+            diff::RunDiff d;
+            if (!differ.compare(base, other, &d, &error)) {
+                std::fprintf(stderr,
+                             "[campaign] diff: key mismatch for %s: "
+                             "%s\n",
+                             r.tag.c_str(), error.c_str());
+                continue;
+            }
+            diff::writeJson(*diff_os, d);
+        }
+    }
+
     // Summary table: cycles per scene × config, plus speedup columns
     // relative to the first config when there is more than one.
     std::vector<std::string> headers = {"scene"};
@@ -450,7 +562,8 @@ main(int argc, char **argv)
                 row->cell("-");
         }
     }
-    std::ostream &table_os = json_to_stdout ? std::cerr : std::cout;
+    std::ostream &table_os =
+        (json_to_stdout || diff_to_stdout) ? std::cerr : std::cout;
     if (csv)
         t.printCsv(table_os);
     else
@@ -469,6 +582,11 @@ main(int argc, char **argv)
     for (const auto &sample : session.registry().snapshot("exec.*"))
         std::fprintf(stderr, "[campaign] %s = %.0f\n",
                      sample.name.c_str(), sample.value);
+    if (!diff_baseline.empty())
+        for (const auto &sample :
+             session.registry().snapshot("diff.*"))
+            std::fprintf(stderr, "[campaign] %s = %.0f\n",
+                         sample.name.c_str(), sample.value);
     if (monitor_on)
         for (const auto &sample :
              session.registry().snapshot("telemetry.*"))

@@ -32,6 +32,8 @@
  *                         that query runs perform by default
  *   --json                emit a JSON report instead of text
  *   --list                list scene labels and exit
+ *   --version             print build provenance (git revision,
+ *                         compiler, COOPRT_CHECK) and exit
  *
  * Observability (see DESIGN.md "Observability" and src/trace/):
  *   --trace FILE          write Chrome trace_event JSON (open in
@@ -103,6 +105,7 @@
 
 #include <optional>
 
+#include "core/build_info.hpp"
 #include "core/report.hpp"
 #include "core/simulation.hpp"
 #include "memscope/memscope.hpp"
@@ -120,6 +123,19 @@ usage(const char *msg = nullptr)
         std::cerr << "error: " << msg << "\n";
     std::cerr << "see the header of simulate_cli.cpp or run --help\n";
     return 2;
+}
+
+void
+printVersion(std::ostream &os)
+{
+    os << "cooprt simulate_cli\n"
+       << "  revision:   " << cooprt::build::kGitRevision
+       << (cooprt::build::kGitDirty ? " (dirty)" : "") << "\n"
+       << "  compiler:   " << cooprt::build::kCompiler << "\n"
+       << "  build type: " << cooprt::build::kBuildType << "\n"
+       << "  check:      "
+       << (cooprt::build::kCheckEnabled ? "on" : "off") << "\n"
+       << "  schema:     v" << cooprt::trace::kSchemaVersion << "\n";
 }
 
 } // namespace
@@ -158,7 +174,10 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (a == "--list") {
+        if (a == "--version") {
+            printVersion(std::cout);
+            return 0;
+        } else if (a == "--list") {
             for (const auto &l : scene::SceneRegistry::allLabels())
                 std::cout << l << "\n";
             for (const auto &l : scene::SceneRegistry::queryLabels())
@@ -172,7 +191,7 @@ main(int argc, char **argv)
                 "  [--warp-buffer N] [--prefetch] [--predictor]\n"
                 "  [--bfs] [--mobile] [--bounces N]\n"
                 "  [--query-k N] [--query-radius R] [--query-steps N]\n"
-                "  [--no-oracle] [--json] [--list]\n"
+                "  [--no-oracle] [--json] [--list] [--version]\n"
                 "  [--trace FILE] [--metrics FILE]\n"
                 "  [--trace-filter PAT] [--trace-capacity N]\n"
                 "  [--profile] [--profile-out FILE]\n"

@@ -13,6 +13,9 @@ writeJson(std::ostream &os, const RunOutcome &o)
 {
     cooprt::trace::JsonWriter w(os);
     w.open();
+    trace::writeSchemaVersion(w);
+    if (o.run_key.valid())
+        trace::writeRunKey(w, o.run_key);
     w.field("scene", o.scene);
     w.field("resolution", o.resolution);
     w.field("cycles", o.gpu.cycles);
@@ -45,6 +48,7 @@ writeJson(std::ostream &os, const RunOutcome &o)
     w.field("l2_miss_rate", o.gpu.l2.missRate());
     w.field("dram_requests", o.gpu.dram.requests);
     w.field("dram_bytes", o.gpu.dram.bytes);
+    w.field("l2_bytes", o.gpu.mem_sys.l2_bytes);
     w.field("dram_utilization", o.gpu.dram_utilization);
     w.close();
 
@@ -133,6 +137,11 @@ writeJson(std::ostream &os, const RunOutcome &o)
             w.field("depth", d.depth);
             w.field("accesses", d.accesses);
             w.field("bytes", d.bytes);
+            // Serving-level split per depth: the diff engine's
+            // depth × level attribution axis (DESIGN.md §18).
+            w.field("l1", d.level[0]);
+            w.field("l2", d.level[1]);
+            w.field("dram", d.level[2]);
             w.field("miss_rate", d.missRate());
             w.field("avg_lanes", d.avgLanes());
             w.close();

@@ -30,6 +30,7 @@
 #include "shaders/path_tracer.hpp"
 #include "shaders/shadow.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/json.hpp"
 #include "trace/session.hpp"
 
 namespace cooprt::core {
@@ -57,6 +58,11 @@ isQueryShader(ShaderKind k)
     return k == ShaderKind::QueryKnn || k == ShaderKind::QueryRadius ||
            k == ShaderKind::QueryContain;
 }
+
+/** Stable CLI token for @p k (pt|ao|sh|knn|radius|contain) — the
+ *  same spelling every CLI's --shader flag accepts, and the spelling
+ *  run keys are stamped with. */
+const char *shaderToken(ShaderKind k);
 
 /** Everything configurable about one simulation run. */
 struct RunConfig
@@ -129,13 +135,39 @@ struct RunConfig
      * without it. Null = telemetry off (the default, zero overhead).
      */
     cooprt::telemetry::Recorder *telemetry = nullptr;
+
+    /**
+     * Canonical 64-bit configuration fingerprint: an FNV-1a hash over
+     * every *deterministic* value field — the GPU/memory/RT-unit
+     * configuration, shader kind, resolution, workload parameters and
+     * energy coefficients — and over none of the borrowed observer
+     * pointers (attaching observers never changes simulated results,
+     * so it must not change the identity either). Two RunConfigs with
+     * equal fingerprints produce bit-identical simulated outcomes on
+     * the same scene; the fingerprint is stamped into every report/
+     * sink as part of the run key (DESIGN.md section 18).
+     */
+    std::uint64_t fingerprint() const;
 };
+
+/** The run key `Simulation::run` stamps into outcomes and attached
+ *  observers: scene + shader token + resolved resolution +
+ *  fingerprint (see trace::RunKeyFields). */
+cooprt::trace::RunKeyFields makeRunKey(const RunConfig &config,
+                                       const std::string &scene,
+                                       int resolved_resolution);
 
 /** The result of one run: timing, power and all collected stats. */
 struct RunOutcome
 {
     std::string scene;
     int resolution = 0;
+
+    /** Canonical run identity (scene, shader, resolution,
+     *  config fingerprint), stamped by `Simulation::run` and written
+     *  into every JSON report (`core::writeJson`) so cross-run
+     *  tooling can align reports (src/diff/, DESIGN.md §18). */
+    cooprt::trace::RunKeyFields run_key;
     gpu::GpuRunResult gpu;
     power::PowerReport power;
 

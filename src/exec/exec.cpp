@@ -155,10 +155,11 @@ Campaign::defaultRunner() const
     const std::string telemetry_dir = options_.telemetry_dir;
     const bool attach_telemetry =
         options_.attach_telemetry || !telemetry_dir.empty();
+    const std::string report_dir = options_.report_dir;
     return [metrics_dir, profile_dir, attach_profiler, raytrace_dir,
             attach_ray, ray_config, memscope_dir, attach_memscope,
-            telemetry_dir,
-            attach_telemetry](const Job &job, std::stop_token) {
+            telemetry_dir, attach_telemetry,
+            report_dir](const Job &job, std::stop_token) {
         core::RunConfig cfg = job.config;
 
         // Per-job sinks: every worker gets private session/profiler
@@ -249,6 +250,12 @@ Campaign::defaultRunner() const
                               telem->writeJson(os, out.scene);
                           },
                           "per-job telemetry");
+        if (!report_dir.empty())
+            writeSinkFile(report_dir + "/" + stem + ".report.json",
+                          [&](std::ostream &os) {
+                              core::writeJson(os, out);
+                          },
+                          "per-job run report");
         return out;
     };
 }
@@ -275,7 +282,7 @@ Campaign::run()
     for (const std::string *dir :
          {&options_.metrics_dir, &options_.profile_dir,
           &options_.raytrace_dir, &options_.memscope_dir,
-          &options_.telemetry_dir})
+          &options_.telemetry_dir, &options_.report_dir})
         if (!dir->empty())
             std::filesystem::create_directories(*dir);
 
@@ -524,7 +531,8 @@ runCampaign(std::vector<Job> jobs, const CampaignOptions &options)
 void
 writeJsonLine(std::ostream &os, const JobResult &result)
 {
-    os << "{\"tag\":" << trace::quoteJson(result.tag)
+    os << "{\"schema_version\":" << trace::kSchemaVersion
+       << ",\"tag\":" << trace::quoteJson(result.tag)
        << ",\"ok\":" << (result.ok ? "true" : "false");
     if (result.ok) {
         std::string outcome_json = core::toJson(result.outcome);

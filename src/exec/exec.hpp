@@ -167,6 +167,12 @@ struct CampaignOptions
      *  `telemetry_dir`, filling `outcome.telemetry` (bit-identical
      *  cycle counts). */
     bool attach_telemetry = false;
+    /** When set, each job writes its full schema-stamped run report
+     *  to `<dir>/<sanitized tag>.report.json` (`core::writeJson`) —
+     *  the file format `diff_cli` and `--diff-baseline` consume.
+     *  Deterministic, byte-identical between `--jobs 1` and
+     *  `--jobs N`. */
+    std::string report_dir;
     /**
      * Optional campaign lifecycle event log (JSON lines: job start /
      * retry / timeout / finish with durations). Borrowed, must

@@ -254,7 +254,7 @@ Gpu::run(const std::vector<WarpProgram *> &programs,
     // an SM or double-count an RT-unit counter. Recompute the totals
     // independently and pin them against the published aggregate.
     {
-        RtUnitStats audit_rt;
+        rtunit::RtUnitStats audit_rt;
         for (const auto &sm : sms_) {
             const auto &rs = sm->rtUnit().stats();
             audit_rt.node_fetches += rs.node_fetches;

@@ -444,7 +444,10 @@ Collector::writeJson(std::ostream &os,
                      const std::string &scene) const
 {
     const NodeCounters t = nodeTotals();
-    os << "{\"scene\":" << trace::quoteJson(scene)
+    os << "{\"schema_version\":" << trace::kSchemaVersion;
+    if (run_key_.valid())
+        os << ",\"run_key\":" << trace::runKeyJson(run_key_);
+    os << ",\"scene\":" << trace::quoteJson(scene)
        << ",\"nodes\":{\"accesses\":" << t.accesses
        << ",\"bytes\":" << t.bytes << ",\"lanes\":" << t.lanes
        << ",\"levels\":{";

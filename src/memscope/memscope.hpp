@@ -50,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/json.hpp"
 #include "trace/registry.hpp"
 
 namespace cooprt::memscope {
@@ -327,6 +328,13 @@ class Collector
     /** Human-readable top-@p k hot-node table. */
     void writeHotNodes(std::ostream &os, std::size_t k) const;
 
+    /** Stamp the run identity (called by `Simulation::run`); emitted
+     *  into writeJson. Metadata only — survives reset(). */
+    void setRunKey(const cooprt::trace::RunKeyFields &key)
+    { run_key_ = key; }
+    const cooprt::trace::RunKeyFields &runKey() const
+    { return run_key_; }
+
   private:
     std::vector<std::unique_ptr<UnitScope>> units_;
     std::vector<std::unique_ptr<CacheScope>> l1_scopes_;
@@ -334,6 +342,7 @@ class Collector
     MemTraffic traffic_;
     DramScope dram_;
     cooprt::trace::Registry *registry_ = nullptr;
+    cooprt::trace::RunKeyFields run_key_;
 };
 
 } // namespace cooprt::memscope

@@ -714,6 +714,9 @@ Recorder::writeRayStatsJson(std::ostream &os,
 {
     trace::JsonWriter w(os);
     w.open();
+    trace::writeSchemaVersion(w);
+    if (run_key_.valid())
+        trace::writeRunKey(w, run_key_);
     w.field("scene", scene);
     w.field("sample_k", cfg_.sample_k);
     w.field("seed", cfg_.seed);

@@ -47,6 +47,7 @@
 #include "check/check.hpp"
 #include "prof/prof.hpp"
 #include "stats/timeline.hpp"
+#include "trace/json.hpp"
 
 namespace cooprt::trace {
 class Tracer;
@@ -414,10 +415,18 @@ class Recorder
     /** Snapshot for GpuRunResult (stats + critical path). */
     Summary summary() const;
 
+    /** Stamp the run identity (called by `Simulation::run`); emitted
+     *  into writeRayStatsJson. Metadata only — survives reset(). */
+    void setRunKey(const cooprt::trace::RunKeyFields &key)
+    { run_key_ = key; }
+    const cooprt::trace::RunKeyFields &runKey() const
+    { return run_key_; }
+
   private:
     RecorderConfig cfg_;
     std::vector<std::unique_ptr<UnitRecorder>> units_;
     trace::Registry *registry_ = nullptr;
+    cooprt::trace::RunKeyFields run_key_;
 };
 
 /**

@@ -155,6 +155,9 @@ Recorder::writeJson(std::ostream &os, const std::string &scene) const
     const Summary &s = summary_;
     trace::JsonWriter w(os);
     w.open();
+    trace::writeSchemaVersion(w);
+    if (run_key_.valid())
+        trace::writeRunKey(w, run_key_);
     w.field("scene", scene);
     w.field("telemetry_version", 1);
     w.open("build");

@@ -44,8 +44,9 @@
 #include <string>
 #include <thread>
 
+#include "trace/json.hpp"
+
 namespace cooprt::trace {
-class JsonWriter;
 class Registry;
 } // namespace cooprt::trace
 
@@ -228,10 +229,16 @@ class Recorder
      */
     void writeJson(std::ostream &os, const std::string &scene) const;
 
+    /** Stamp the run identity (called by `Simulation::run`); emitted
+     *  into writeJson. Metadata only — survives reset(). */
+    void setRunKey(const trace::RunKeyFields &key) { run_key_ = key; }
+    const trace::RunKeyFields &runKey() const { return run_key_; }
+
   private:
     Summary summary_;
     std::atomic<std::uint64_t> live_cycle_{0};
     std::atomic<std::uint64_t> live_rays_{0};
+    trace::RunKeyFields run_key_;
 };
 
 /* ------------------------------------------------------------------ */

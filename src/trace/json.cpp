@@ -1,6 +1,7 @@
 #include "trace/json.hpp"
 
 #include <cstdio>
+#include <sstream>
 
 namespace cooprt::trace {
 
@@ -53,6 +54,50 @@ quoteJson(std::string_view s)
     std::string out = "\"";
     out += escapeJson(s);
     out += '"';
+    return out;
+}
+
+void
+writeSchemaVersion(JsonWriter &w)
+{
+    w.field("schema_version", kSchemaVersion);
+}
+
+void
+writeRunKey(JsonWriter &w, const RunKeyFields &key)
+{
+    w.open("run_key");
+    w.field("scene", key.scene);
+    w.field("shader", key.shader);
+    w.field("resolution", key.resolution);
+    w.field("fingerprint", key.fingerprint);
+    w.close();
+}
+
+std::string
+runKeyJson(const RunKeyFields &key)
+{
+    std::ostringstream ss;
+    JsonWriter w(ss);
+    w.open();
+    w.field("scene", key.scene);
+    w.field("shader", key.shader);
+    w.field("resolution", key.resolution);
+    w.field("fingerprint", key.fingerprint);
+    w.close();
+    return ss.str();
+}
+
+std::string
+runKeyCsvComment(const RunKeyFields &key)
+{
+    std::string out = "# cooprt schema_version=";
+    out += std::to_string(kSchemaVersion);
+    out += " scene=" + key.scene;
+    out += " shader=" + key.shader;
+    out += " resolution=" + std::to_string(key.resolution);
+    out += " fingerprint=" + key.fingerprint;
+    out += '\n';
     return out;
 }
 

@@ -122,6 +122,57 @@ class JsonWriter
     bool first_ = true;
 };
 
+/**
+ * Version of the repository's report/sink schema. Bumped whenever a
+ * JSON report or sink changes shape in a way downstream tooling must
+ * detect (field renames/removals, semantic changes); purely additive
+ * fields do not bump it. Version 1 is the implicit, unstamped schema
+ * of PRs 1-9; version 2 introduced the stamp itself plus the
+ * `run_key` block (DESIGN.md section 18).
+ */
+inline constexpr int kSchemaVersion = 2;
+
+/**
+ * The canonical identity of one simulation run, stamped into every
+ * JSON report/sink and the metrics CSV so cross-run tooling
+ * (`cooprt::diff`, tools/validate_diff.py) can align or refuse to
+ * align two documents. Two runs are *comparable* when scene, shader
+ * and resolution agree; their fingerprints then say whether the
+ * configurations were identical or are the very thing being compared
+ * (DESIGN.md section 18).
+ */
+struct RunKeyFields
+{
+    /** Scene registry label. */
+    std::string scene;
+    /** Shader token (pt|ao|sh|knn|radius|contain). */
+    std::string shader;
+    /** Resolved square resolution (never 0 once stamped). */
+    int resolution = 0;
+    /** `RunConfig::fingerprint()` as "0x%016llx". */
+    std::string fingerprint;
+
+    /** True once a run has stamped the key. */
+    bool valid() const { return !scene.empty(); }
+};
+
+/** Emit `"schema_version":N` into the current object. */
+void writeSchemaVersion(JsonWriter &w);
+
+/** Emit `"run_key":{...}` into the current object. */
+void writeRunKey(JsonWriter &w, const RunKeyFields &key);
+
+/** The run-key block as a standalone JSON object string (for the
+ *  hand-concatenated emitters that bypass JsonWriter). */
+std::string runKeyJson(const RunKeyFields &key);
+
+/**
+ * The schema/run-key stamp as one `#`-prefixed CSV comment line
+ * (trailing newline included), prepended to metric time-series
+ * exports. CSV consumers must skip `#` lines.
+ */
+std::string runKeyCsvComment(const RunKeyFields &key);
+
 } // namespace cooprt::trace
 
 #endif // COOPRT_TRACE_JSON_HPP

@@ -40,8 +40,11 @@ Session::writeTrace(std::ostream &os) const
 void
 Session::writeMetricsCsv(std::ostream &os) const
 {
-    if (metrics_)
+    if (metrics_) {
+        if (run_key_.valid())
+            os << runKeyCsvComment(run_key_);
         metrics_->writeCsv(os);
+    }
 }
 
 void

@@ -40,6 +40,7 @@
 #include <string>
 
 #include "trace/chrome_trace.hpp"
+#include "trace/json.hpp"
 #include "trace/metrics.hpp"
 #include "trace/registry.hpp"
 
@@ -101,11 +102,18 @@ class Session
     /** Drop collected data (start of a new run on a reused session). */
     void resetData();
 
+    /** Stamp the run identity (called by `Simulation::run`); emitted
+     *  as a leading `#` comment by writeMetricsCsv. Metadata only —
+     *  does not touch collected data and survives resetData(). */
+    void setRunKey(const RunKeyFields &key) { run_key_ = key; }
+    const RunKeyFields &runKey() const { return run_key_; }
+
   private:
     SessionOptions options_;
     Registry registry_;
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<MetricsSampler> metrics_;
+    RunKeyFields run_key_;
 };
 
 } // namespace cooprt::trace

@@ -135,6 +135,11 @@ TEST(TraceIntegration, MetricsCsvIsWellFormed)
     std::istringstream lines(ss.str());
     std::string header;
     ASSERT_TRUE(std::getline(lines, header));
+    // Schema v2 prepends the run-key stamp as a `#` comment line.
+    EXPECT_EQ(header.rfind("# cooprt schema_version=", 0), 0u);
+    EXPECT_NE(header.find("scene=wknd"), std::string::npos);
+    EXPECT_NE(header.find("fingerprint=0x"), std::string::npos);
+    ASSERT_TRUE(std::getline(lines, header));
     EXPECT_EQ(header.rfind("cycle,", 0), 0u);
     EXPECT_NE(header.find("rtunit.thread_utilization"),
               std::string::npos);
@@ -163,8 +168,12 @@ TEST(TraceIntegration, FilterRestrictsExportedData)
 
     std::ostringstream mf;
     session.writeMetricsCsv(mf);
+    std::istringstream mlines(mf.str());
     std::string header;
-    std::istringstream(mf.str()) >> header;
+    // Skip the schema/run-key `#` comment stamp (schema v2).
+    while (std::getline(mlines, header) && !header.empty() &&
+           header[0] == '#') {
+    }
     EXPECT_NE(header.find("rtunit."), std::string::npos);
     EXPECT_EQ(header.find("mem."), std::string::npos);
 

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * The differential attribution engine on real simulations: the
+ * pinned wknd (baseline, CoopRT) pair must reproduce fig09's speedup
+ * arithmetic bit-for-bit, bucket deltas must conserve exactly, and
+ * every output path must be deterministic — including the campaign
+ * diff sink, which must be byte-identical between --jobs 1 and
+ * --jobs 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+#include "diff/diff.hpp"
+#include "exec/exec.hpp"
+#include "memscope/memscope.hpp"
+#include "prof/prof.hpp"
+
+namespace {
+
+using namespace cooprt;
+
+/** The pinned pair: wknd at 32x32, path tracing, base vs CoopRT,
+ *  with the profiler and memscope attached to both runs. */
+core::Comparison
+wkndPair()
+{
+    const core::Simulation &sim = core::simulationFor("wknd");
+    core::Comparison cmp;
+
+    core::RunConfig base;
+    base.resolution = 32;
+    prof::Profiler base_prof;
+    memscope::Collector base_scope;
+    base.profiler = &base_prof;
+    base.memscope = &base_scope;
+    cmp.base = sim.run(base);
+
+    core::RunConfig coop = base;
+    coop.gpu.trace.coop = true;
+    prof::Profiler coop_prof;
+    memscope::Collector coop_scope;
+    coop.profiler = &coop_prof;
+    coop.memscope = &coop_scope;
+    cmp.coop = sim.run(coop);
+    return cmp;
+}
+
+std::string
+diffJson(const diff::RunDiff &d)
+{
+    std::ostringstream ss;
+    diff::writeJson(ss, d);
+    return ss.str();
+}
+
+TEST(Fingerprint, StableAndSensitiveToConfigOnly)
+{
+    core::RunConfig a;
+    core::RunConfig b;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    core::RunConfig coop = a;
+    coop.gpu.trace.coop = true;
+    EXPECT_NE(a.fingerprint(), coop.fingerprint());
+
+    core::RunConfig res = a;
+    res.resolution = 64;
+    EXPECT_NE(a.fingerprint(), res.fingerprint());
+
+    // Observers are borrowed pointers outside the determinism
+    // boundary: attaching one must not move the run identity.
+    core::RunConfig observed = a;
+    prof::Profiler profiler;
+    observed.profiler = &profiler;
+    EXPECT_EQ(a.fingerprint(), observed.fingerprint());
+}
+
+TEST(Fingerprint, StampedIntoOutcomeRunKey)
+{
+    const core::Simulation &sim = core::simulationFor("wknd");
+    core::RunConfig cfg;
+    cfg.resolution = 24;
+    const core::RunOutcome out = sim.run(cfg);
+    EXPECT_TRUE(out.run_key.valid());
+    EXPECT_EQ(out.run_key.scene, "wknd");
+    EXPECT_EQ(out.run_key.shader, "pt");
+    EXPECT_EQ(out.run_key.resolution, 24);
+    EXPECT_EQ(out.run_key.fingerprint.substr(0, 2), "0x");
+    EXPECT_EQ(out.run_key.fingerprint.size(), 18u);
+}
+
+TEST(Diff, WkndPairReproducesFig09Arithmetic)
+{
+    const core::Comparison cmp = wkndPair();
+    const diff::RunDiff d =
+        diff::diffRuns(diff::recordFromOutcome(cmp.base),
+                       diff::recordFromOutcome(cmp.coop));
+
+    // Exactly the same doubles, not within-epsilon.
+    EXPECT_EQ(d.speedup, cmp.speedup());
+    EXPECT_EQ(d.power_ratio, cmp.powerRatio());
+    EXPECT_EQ(d.energy_ratio, cmp.energyRatio());
+    EXPECT_EQ(d.edp_improvement, cmp.edpImprovement());
+    EXPECT_EQ(std::uint64_t(d.cycles.base), cmp.base.gpu.cycles);
+    EXPECT_EQ(std::uint64_t(d.cycles.other), cmp.coop.gpu.cycles);
+    EXPECT_FALSE(d.same_fingerprint);
+    EXPECT_GT(d.speedup, 1.0);
+}
+
+TEST(Diff, BucketDeltasConserveBitExactly)
+{
+    const core::Comparison cmp = wkndPair();
+    const diff::RunDiff d =
+        diff::diffRuns(diff::recordFromOutcome(cmp.base),
+                       diff::recordFromOutcome(cmp.coop));
+    ASSERT_TRUE(d.has_prof);
+    ASSERT_FALSE(d.buckets.empty());
+
+    std::int64_t sum = 0;
+    for (const auto &nd : d.buckets)
+        if (nd.name != "warp_buffer_full")
+            sum += nd.d.delta();
+    EXPECT_EQ(sum, d.resident_cycles.delta());
+}
+
+TEST(Diff, RoundTripThroughJsonReportKeepsIntegersExact)
+{
+    const core::Comparison cmp = wkndPair();
+
+    const auto roundTrip = [](const core::RunOutcome &out) {
+        std::ostringstream ss;
+        core::writeJson(ss, out);
+        std::string err;
+        const diff::JsonValue doc =
+            diff::JsonValue::parse(ss.str(), &err);
+        EXPECT_TRUE(doc.valid()) << err;
+        diff::RunRecord rec;
+        EXPECT_TRUE(diff::recordFromReportJson(doc, &rec, &err))
+            << err;
+        return rec;
+    };
+
+    const diff::RunRecord base = roundTrip(cmp.base);
+    const diff::RunRecord coop = roundTrip(cmp.coop);
+    const diff::RunDiff parsed = diff::diffRuns(base, coop);
+    const diff::RunDiff live =
+        diff::diffRuns(diff::recordFromOutcome(cmp.base),
+                       diff::recordFromOutcome(cmp.coop));
+
+    // Integer surfaces round-trip exactly through the JSON text, so
+    // the parsed diff's cycle/bucket math matches the live diff
+    // bit-for-bit (doubles are text-rounded and are NOT compared).
+    EXPECT_EQ(parsed.base_key.fingerprint,
+              live.base_key.fingerprint);
+    EXPECT_EQ(parsed.cycles.delta(), live.cycles.delta());
+    EXPECT_EQ(parsed.speedup, live.speedup);
+    ASSERT_TRUE(parsed.has_prof);
+    ASSERT_EQ(parsed.buckets.size(), live.buckets.size());
+    for (std::size_t i = 0; i < parsed.buckets.size(); ++i) {
+        EXPECT_EQ(parsed.buckets[i].name, live.buckets[i].name);
+        EXPECT_EQ(parsed.buckets[i].d.delta(),
+                  live.buckets[i].d.delta());
+    }
+    ASSERT_TRUE(parsed.has_memscope);
+    EXPECT_EQ(parsed.node_accesses.delta(),
+              live.node_accesses.delta());
+    ASSERT_EQ(parsed.depths.size(), live.depths.size());
+    for (std::size_t i = 0; i < parsed.depths.size(); ++i)
+        for (int l = 0; l < 3; ++l)
+            EXPECT_EQ(parsed.depths[i].level[l].delta(),
+                      live.depths[i].level[l].delta());
+}
+
+TEST(Diff, JsonEmissionIsDeterministic)
+{
+    const core::Comparison cmp = wkndPair();
+    const diff::RunDiff d =
+        diff::diffRuns(diff::recordFromOutcome(cmp.base),
+                       diff::recordFromOutcome(cmp.coop));
+    EXPECT_EQ(diffJson(d), diffJson(d));
+
+    // And across independent re-simulations of the same configs.
+    const core::Comparison again = wkndPair();
+    const diff::RunDiff d2 =
+        diff::diffRuns(diff::recordFromOutcome(again.base),
+                       diff::recordFromOutcome(again.coop));
+    EXPECT_EQ(diffJson(d), diffJson(d2));
+}
+
+TEST(Diff, IdentityDiffIsAllZero)
+{
+    const core::Simulation &sim = core::simulationFor("wknd");
+    core::RunConfig cfg;
+    cfg.resolution = 24;
+    const core::RunOutcome out = sim.run(cfg);
+
+    const diff::RunRecord rec = diff::recordFromOutcome(out);
+    const diff::RunDiff d = diff::diffRuns(rec, rec);
+    EXPECT_TRUE(d.same_fingerprint);
+    EXPECT_EQ(d.cycles.delta(), 0);
+    EXPECT_EQ(d.speedup, 1.0);
+    EXPECT_TRUE(diff::attributionSummary(d).empty());
+}
+
+TEST(Differ, KeyMismatchIsCountedAndExplained)
+{
+    const core::Simulation &wknd = core::simulationFor("wknd");
+    const core::Simulation &fox = core::simulationFor("fox");
+    core::RunConfig cfg;
+    cfg.resolution = 24;
+    const diff::RunRecord a =
+        diff::recordFromOutcome(wknd.run(cfg));
+    const diff::RunRecord b = diff::recordFromOutcome(fox.run(cfg));
+
+    diff::Differ differ;
+    diff::RunDiff d;
+    std::string error;
+    EXPECT_FALSE(differ.compare(a, b, &d, &error));
+    EXPECT_NE(error.find("scene mismatch"), std::string::npos);
+    EXPECT_EQ(differ.keyMismatches(), 1u);
+    EXPECT_EQ(differ.comparisons(), 0u);
+
+    EXPECT_TRUE(differ.compare(a, a, &d, &error));
+    EXPECT_EQ(differ.comparisons(), 1u);
+}
+
+TEST(Differ, SchemaV1ReportIsRejected)
+{
+    std::string err;
+    const diff::JsonValue doc = diff::JsonValue::parse(
+        R"({"scene":"wknd","resolution":32,"cycles":100})", &err);
+    ASSERT_TRUE(doc.valid()) << err;
+    diff::RunRecord rec;
+    EXPECT_FALSE(diff::recordFromReportJson(doc, &rec, &err));
+    EXPECT_NE(err.find("run_key"), std::string::npos);
+}
+
+/** Campaign diff sink (what campaign_cli --diff-baseline emits) for
+ *  @p jobs worker threads, against reports in @p baseline_dir. */
+std::string
+campaignDiffSink(std::vector<exec::Job> jobs_vec,
+                 const std::string &baseline_dir, int jobs)
+{
+    exec::CampaignOptions opt;
+    opt.jobs = jobs;
+    opt.attach_profiler = true;
+    const auto results = exec::runCampaign(std::move(jobs_vec), opt);
+
+    std::ostringstream sink;
+    diff::Differ differ;
+    for (const auto &r : results) {
+        EXPECT_TRUE(r.ok) << r.tag;
+        diff::RunRecord base;
+        std::string error;
+        EXPECT_TRUE(diff::loadReportFile(
+            baseline_dir + "/" + exec::sanitizeTag(r.tag) +
+                ".report.json",
+            &base, &error))
+            << error;
+        diff::RunRecord other = diff::recordFromOutcome(r.outcome);
+        other.source = r.tag;
+        diff::RunDiff d;
+        EXPECT_TRUE(differ.compare(base, other, &d, &error))
+            << error;
+        diff::writeJson(sink, d);
+    }
+    return sink.str();
+}
+
+TEST(Differ, CampaignDiffSinkIsJobsInvariant)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "cooprt_diff_sink_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const auto makeJobs = [] {
+        std::vector<exec::Job> jobs;
+        for (const char *scene : {"wknd", "fox", "ship"})
+            for (const bool coop : {false, true}) {
+                core::RunConfig cfg;
+                cfg.resolution = 24;
+                cfg.gpu.trace.coop = coop;
+                jobs.push_back(exec::Job{
+                    scene, cfg,
+                    std::string(scene) + "/" +
+                        (coop ? "coop" : "base")});
+            }
+        return jobs;
+    };
+
+    // Baseline campaign: write per-job reports (the --report-dir
+    // sink the diff baselines come from).
+    exec::CampaignOptions base_opt;
+    base_opt.jobs = 2;
+    base_opt.attach_profiler = true;
+    base_opt.report_dir = dir.string();
+    const auto base_results =
+        exec::runCampaign(makeJobs(), base_opt);
+    for (const auto &r : base_results)
+        ASSERT_TRUE(r.ok) << r.tag;
+
+    const std::string serial =
+        campaignDiffSink(makeJobs(), dir.string(), 1);
+    const std::string parallel =
+        campaignDiffSink(makeJobs(), dir.string(), 4);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+
+    fs::remove_all(dir);
+}
+
+} // namespace

@@ -211,8 +211,12 @@ TEST(ProfIntegration, MetricsCsvCarriesProfColumns)
 
     std::ostringstream ss;
     session.writeMetricsCsv(ss);
+    std::istringstream lines(ss.str());
     std::string header;
-    std::istringstream(ss.str()) >> header;
+    // Skip the schema/run-key `#` comment stamp (schema v2).
+    while (std::getline(lines, header) && !header.empty() &&
+           header[0] == '#') {
+    }
     EXPECT_NE(header.find("prof.sm0.issue_compute"),
               std::string::npos);
     EXPECT_NE(header.find("prof.gpu.starved_l2"), std::string::npos);

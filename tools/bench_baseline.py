@@ -14,6 +14,17 @@ is machine-dependent, so those metrics are marked ``warn_only`` — a
 tolerance breach prints WARN and never fails the gate; the committed
 trajectory still makes simulator-speed drift visible across PRs.
 
+Regression sentinel: a scalar gate can only say *that* fig09
+regressed; with the differential attribution engine (src/diff/,
+DESIGN.md §18) it can also say *where the cycles went*. When a
+tracked figure metric regresses, the gate re-runs the scene's
+(baseline, CoopRT) pair with the profiler and memscope attached,
+diffs the pair through ``diff_cli``, and appends the engine's
+attribution summary to the regression line, e.g.::
+
+    REGRESSION fig09/wknd/speedup: baseline 1.86 -> 1.74 (-6.45%)
+      attribution: cycles +6.1%: starved_l2 +4.1% (depth 3-5), ...
+
 The simulator is deterministic, so on an unmodified tree a comparison
 matches the baseline exactly; the 5% tolerance only gives headroom to
 intentional model changes, which must re-pin the baseline explicitly:
@@ -215,9 +226,51 @@ def collect(build_dir: str, scenes: str | None,
     return doc
 
 
-def compare(baseline: dict, current: dict) -> int:
+#: Benches whose rows are per-scene (baseline, CoopRT) comparisons
+#: that the diff engine can attribute.
+ATTRIBUTABLE = {"fig09", "fig12"}
+
+
+def attribute_regression(build_dir: str, scene: str,
+                         cache: dict) -> str | None:
+    """One attribution line for a regressed scene: re-run its
+    (baseline, CoopRT) pair with prof + memscope attached and pull
+    the diff engine's summary out of the diff document."""
+    if scene in cache:
+        return cache[scene]
+    simulate = os.path.join(build_dir, "examples", "simulate_cli")
+    diff_cli = os.path.join(build_dir, "examples", "diff_cli")
+    if not (os.path.exists(simulate) and os.path.exists(diff_cli)):
+        cache[scene] = None
+        return None
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for tag, extra in (("base", []), ("coop", ["--coop"])):
+                path = os.path.join(tmp, f"{tag}.json")
+                with open(path, "w") as f:
+                    subprocess.run(
+                        [simulate, "--scene", scene, "--profile",
+                         "--memscope", "--json", *extra],
+                        check=True, stdout=f,
+                        stderr=subprocess.DEVNULL)
+                paths.append(path)
+            out = subprocess.run(
+                [diff_cli, "--json", "-", *paths],
+                check=True, capture_output=True, text=True)
+            doc = json.loads(out.stdout.splitlines()[0])
+            cache[scene] = doc.get("attribution") or None
+    except (subprocess.CalledProcessError, json.JSONDecodeError,
+            IndexError):
+        cache[scene] = None
+    return cache[scene]
+
+
+def compare(baseline: dict, current: dict,
+            build_dir: str | None = None) -> int:
     """Print a report; return the number of tolerance regressions."""
     regressions = 0
+    attribution_cache: dict = {}
     for name, base_bench in baseline["benches"].items():
         cur_bench = current["benches"].get(name)
         if cur_bench is None:
@@ -257,6 +310,12 @@ def compare(baseline: dict, current: dict) -> int:
                     print(f"{status} {name}/{scene}/{metric}: "
                           f"baseline {base_v} -> {cur_v} "
                           f"({100 * delta:+.2f}%)")
+                if (status == "REGRESSION" and build_dir
+                        and name in ATTRIBUTABLE):
+                    attribution = attribute_regression(
+                        build_dir, scene, attribution_cache)
+                    if attribution:
+                        print(f"  attribution: {attribution}")
     return regressions
 
 
@@ -293,7 +352,7 @@ def main() -> int:
     if args.compare:
         with open(args.compare) as f:
             baseline = json.load(f)
-        regressions = compare(baseline, current)
+        regressions = compare(baseline, current, args.build_dir)
         if regressions:
             print(f"[bench_baseline] {regressions} regression(s) vs "
                   f"{args.compare}", file=sys.stderr)

@@ -40,6 +40,7 @@ _AUTHORITY_FILES = {
     "exec.": "src/exec/exec.cpp",
     "telemetry.": "src/telemetry/telemetry.cpp",
     "query.": "src/query/query.cpp",
+    "diff.": "src/diff/diff.cpp",
 }
 
 

@@ -73,6 +73,30 @@ class Tool:
                 f"integer")
         return v
 
+    def expect_stamp(self, doc: dict, where: str = "top level",
+                     run_key: bool = True) -> None:
+        """Assert the schema-v2 stamp every JSON sink carries: a
+        ``schema_version`` field and (for per-run sinks) a complete
+        ``run_key`` identity block (DESIGN.md §18)."""
+        v = doc.get("schema_version")
+        if not isinstance(v, int) or v < 2:
+            self.fail(f"{where}: schema_version = {v!r} (want an "
+                      f"integer >= 2; re-capture with a current "
+                      f"build)")
+        if not run_key:
+            return
+        key = doc.get("run_key")
+        if not isinstance(key, dict):
+            self.fail(f"{where}: missing 'run_key' identity block")
+        for f in ("scene", "shader", "resolution", "fingerprint"):
+            if f not in key:
+                self.fail(f"{where}: run_key is missing {f!r}")
+        fp = key["fingerprint"]
+        if (not isinstance(fp, str) or not fp.startswith("0x")
+                or len(fp) != 18):
+            self.fail(f"{where}: run_key.fingerprint {fp!r} is not "
+                      f"a 0x-prefixed 64-bit hex string")
+
     def report(self, problems: list[str], ok: str) -> int:
         """Print the verdict and return the exit code.
 

@@ -8,14 +8,16 @@ Successful informational paths (``--list-configs``) must exit 0.
 
 Registered as a ctest case; the binary paths arrive on argv:
 
-    test_cli_exit_codes.py SIMULATE_CLI CAMPAIGN_CLI BENCH_BIN
+    test_cli_exit_codes.py SIMULATE_CLI CAMPAIGN_CLI BENCH_BIN DIFF_CLI
 """
 
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
+import tempfile
 
 
 def run(argv: list[str]) -> subprocess.CompletedProcess:
@@ -44,10 +46,10 @@ def expect(argv: list[str], code: int, on_stderr: str = "") -> None:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 4:
+    if len(argv) != 5:
         print(__doc__, file=sys.stderr)
         return 2
-    simulate, campaign, bench = argv[1:]
+    simulate, campaign, bench, diff_cli = argv[1:]
 
     # simulate_cli: every malformed invocation is a usage error.
     expect([simulate, "--no-such-flag"], 2, "unknown flag")
@@ -94,6 +96,58 @@ def main(argv: list[str]) -> int:
     expect([bench, "--no-such-flag"], 2, "unknown flag")
     expect([bench, "--scenes"], 2, "needs a value")
     expect([bench, "--scenes", "not-a-scene"], 2, "unknown scene")
+
+    # --version is a success path everywhere it exists.
+    for binary in (simulate, campaign, diff_cli):
+        p = run([binary, "--version"])
+        if p.returncode != 0 or "revision" not in p.stdout:
+            FAILURES.append(
+                f"{binary} --version: exit {p.returncode}, "
+                f"stdout {p.stdout.strip()[:120]!r}")
+
+    # diff_cli: the exit-2 contract separates "not comparable" from
+    # "regressed" for scripted gates (DESIGN.md section 18).
+    expect([diff_cli], 2)
+    expect([diff_cli, "--no-such-flag", "a", "b"], 2, "unknown flag")
+    expect([diff_cli, "/does/not/exist.json",
+            "/does/not/exist2.json"], 2, "no such input")
+    with tempfile.TemporaryDirectory() as tmp:
+        # Two reports from different scenes: parseable, stamped,
+        # but with mismatched run keys -> exit 2.
+        reports = {}
+        for scene in ("wknd", "fox"):
+            p = run([simulate, "--scene", scene,
+                     "--resolution", "16", "--json"])
+            if p.returncode != 0:
+                FAILURES.append(
+                    f"{simulate} --scene {scene} --json: exit "
+                    f"{p.returncode}")
+                break
+            path = os.path.join(tmp, f"{scene}.json")
+            with open(path, "w") as f:
+                f.write(p.stdout)
+            reports[scene] = path
+        else:
+            expect([diff_cli, reports["wknd"], reports["fox"]], 2,
+                   "mismatch")
+            # Matching keys diff cleanly (identity pair, exit 0).
+            expect([diff_cli, reports["wknd"], reports["wknd"]], 0)
+            # A file cannot be diffed against a directory.
+            expect([diff_cli, reports["wknd"], tmp], 2)
+        # Empty/missing baseline directories are usage errors.
+        empty = os.path.join(tmp, "empty")
+        os.mkdir(empty)
+        other = os.path.join(tmp, "other")
+        os.mkdir(other)
+        expect([diff_cli, empty, other], 2, "no *.json")
+
+        # campaign_cli --diff-baseline contract: needs --diff-out,
+        # and the baseline must be an existing directory.
+        expect([campaign, "--diff-baseline", empty], 2, "--diff-out")
+        expect([campaign, "--diff-baseline",
+                os.path.join(tmp, "missing"), "--diff-out",
+                os.path.join(tmp, "d.ndjson")], 2,
+               "not a directory")
 
     if FAILURES:
         print("test_cli_exit_codes: FAIL")

@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Validate a diff document produced by the cross-run differential
+attribution engine (``diff_cli --json`` or the campaign engine's
+``--diff-baseline``/``--diff-out`` sink).
+
+Checks the schema and the delta laws the engine guarantees (see
+DESIGN.md §18):
+
+  - ``schema_version`` is present and current, and both ``run_key``
+    and ``other_key`` blocks are complete (scene, shader, resolution,
+    ``0x``-prefixed 64-bit fingerprint) and agree on everything but
+    the fingerprint;
+  - ``same_fingerprint`` is consistent with the two fingerprints, and
+    an identity diff (equal fingerprints) has all-zero deterministic
+    deltas;
+  - every delta triple satisfies ``delta == other - base`` exactly
+    (integers end to end);
+  - ``speedup`` equals base/other cycles (fig09's arithmetic, checked
+    to the document's printed precision);
+  - prof: non-``warp_buffer_full`` bucket deltas sum *bit-exactly* to
+    the ``resident_cycles`` delta (conservation under subtraction);
+  - memscope: per-depth serving-level deltas sum to the row's access
+    delta, and depth rows sum to the node totals.
+
+Usage::
+
+    python3 tools/validate_diff.py DIFF.json
+    python3 tools/validate_diff.py --ndjson DIFFS.ndjson
+    python3 tools/validate_diff.py --run SIMULATE_CLI --diff DIFF_CLI
+
+The ``--run``/``--diff`` form (the ctest ``validate_diff`` case)
+produces its own input: a (baseline, CoopRT) wknd pair through the
+given ``simulate_cli``, diffed by the given ``diff_cli``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import lintlib
+
+tool = lintlib.Tool("validate_diff")
+fail = tool.fail
+
+SCHEMA_VERSION = 2
+KEY_FIELDS = ("scene", "shader", "resolution", "fingerprint")
+LEVELS = ("l1", "l2", "dram")
+#: The one prof bucket outside the resident-cycle conservation sum.
+NON_RESIDENT_BUCKET = "warp_buffer_full"
+
+
+def expect_delta(obj: dict, key: str, where: str) -> dict:
+    """``obj[key]`` as a {base, other, delta} triple of exact ints
+    with ``delta == other - base``."""
+    d = obj.get(key)
+    if not isinstance(d, dict):
+        fail(f"{where}: '{key}' is not a delta object")
+    for f in ("base", "other", "delta"):
+        v = d.get(f)
+        if not isinstance(v, int) or isinstance(v, bool):
+            fail(f"{where}.{key}: {f} = {v!r} is not an integer")
+    if d["delta"] != d["other"] - d["base"]:
+        fail(f"{where}.{key}: delta {d['delta']} != other "
+             f"{d['other']} - base {d['base']}")
+    return d
+
+
+def validate_key(doc: dict, name: str) -> dict:
+    key = doc.get(name)
+    if not isinstance(key, dict):
+        fail(f"top level: '{name}' is not an object")
+    for f in KEY_FIELDS:
+        if f not in key:
+            fail(f"{name}: missing field {f!r}")
+    if not isinstance(key["scene"], str) or not key["scene"]:
+        fail(f"{name}: empty scene")
+    fp = key["fingerprint"]
+    if (not isinstance(fp, str) or not fp.startswith("0x")
+            or len(fp) != 18):
+        fail(f"{name}: fingerprint {fp!r} is not a 0x-prefixed "
+             f"64-bit hex string")
+    return key
+
+
+def validate(doc: dict, where: str = "diff") -> str:
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{where}: schema_version = "
+             f"{doc.get('schema_version')!r}, want {SCHEMA_VERSION}")
+    base_key = validate_key(doc, "run_key")
+    other_key = validate_key(doc, "other_key")
+    for f in ("scene", "shader", "resolution"):
+        if base_key[f] != other_key[f]:
+            fail(f"{where}: keys disagree on {f}: {base_key[f]!r} "
+                 f"vs {other_key[f]!r} (not comparable)")
+    identical = base_key["fingerprint"] == other_key["fingerprint"]
+    if doc.get("same_fingerprint") != identical:
+        fail(f"{where}: same_fingerprint = "
+             f"{doc.get('same_fingerprint')!r} but fingerprints "
+             f"{'match' if identical else 'differ'}")
+
+    build = doc.get("build")
+    if not isinstance(build, dict) or "revision" not in build:
+        fail(f"{where}: missing build provenance block")
+
+    cycles = expect_delta(doc, "cycles", where)
+    speedup = doc.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        fail(f"{where}: 'speedup' is not a number")
+    if cycles["other"] > 0:
+        want = cycles["base"] / cycles["other"]
+        # The document prints 6 significant digits.
+        if abs(speedup - want) > 1e-4 * max(1.0, abs(want)):
+            fail(f"{where}: speedup {speedup} != base/other cycles "
+                 f"{want}")
+
+    bw = doc.get("bandwidth")
+    if not isinstance(bw, dict):
+        fail(f"{where}: 'bandwidth' is not an object")
+    expect_delta(bw, "l2_bytes", f"{where}.bandwidth")
+    expect_delta(bw, "dram_bytes", f"{where}.bandwidth")
+
+    if identical and cycles["delta"] != 0:
+        fail(f"{where}: identity diff (equal fingerprints) has a "
+             f"non-zero cycle delta {cycles['delta']}")
+
+    prof = doc.get("prof")
+    if prof is not None:
+        if not isinstance(prof, dict):
+            fail(f"{where}: 'prof' is not an object")
+        resident = expect_delta(prof, "resident_cycles",
+                                f"{where}.prof")
+        expect_delta(prof, "rt_stall_cycles", f"{where}.prof")
+        buckets = prof.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            fail(f"{where}.prof: 'buckets' is not a non-empty array")
+        total = 0
+        names = set()
+        for i, b in enumerate(buckets):
+            bwhere = f"{where}.prof.buckets[{i}]"
+            name = b.get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"{bwhere}: missing bucket name")
+            if name in names:
+                fail(f"{bwhere}: duplicate bucket {name!r}")
+            names.add(name)
+            if b.get("delta") != b.get("other") - b.get("base"):
+                fail(f"{bwhere}: delta is not other - base")
+            if name != NON_RESIDENT_BUCKET:
+                total += b["delta"]
+        # The conservation law: exact integer equality, no epsilon.
+        if total != resident["delta"]:
+            fail(f"{where}.prof: non-{NON_RESIDENT_BUCKET} bucket "
+                 f"deltas sum to {total}, but the resident-cycle "
+                 f"delta is {resident['delta']}")
+
+    mscope = doc.get("memscope")
+    if mscope is not None:
+        if not isinstance(mscope, dict):
+            fail(f"{where}: 'memscope' is not an object")
+        accesses = expect_delta(mscope, "node_accesses",
+                                f"{where}.memscope")
+        bytes_ = expect_delta(mscope, "node_bytes",
+                              f"{where}.memscope")
+        levels = mscope.get("levels")
+        if not isinstance(levels, dict):
+            fail(f"{where}.memscope: 'levels' is not an object")
+        level_sum = sum(
+            expect_delta(levels, lvl,
+                         f"{where}.memscope.levels")["delta"]
+            for lvl in LEVELS)
+        if level_sum != accesses["delta"]:
+            fail(f"{where}.memscope: serving-level deltas sum to "
+                 f"{level_sum}, not the access delta "
+                 f"{accesses['delta']}")
+        depths = mscope.get("depths")
+        if not isinstance(depths, list):
+            fail(f"{where}.memscope: 'depths' is not an array")
+        depth_acc = depth_bytes = 0
+        last = 0
+        for i, row in enumerate(depths):
+            rwhere = f"{where}.memscope.depths[{i}]"
+            depth = row.get("depth")
+            if not isinstance(depth, int) or depth <= last:
+                fail(f"{rwhere}: depth {depth!r} not strictly "
+                     f"increasing")
+            last = depth
+            acc = expect_delta(row, "accesses", rwhere)
+            depth_acc += acc["delta"]
+            depth_bytes += expect_delta(row, "bytes",
+                                        rwhere)["delta"]
+            row_levels = sum(
+                expect_delta(row, lvl, rwhere)["delta"]
+                for lvl in LEVELS)
+            if row_levels != acc["delta"]:
+                fail(f"{rwhere}: level deltas sum to {row_levels}, "
+                     f"not the access delta {acc['delta']}")
+        if depth_acc != accesses["delta"]:
+            fail(f"{where}.memscope: depth rows sum to {depth_acc} "
+                 f"accesses, not {accesses['delta']}")
+        if depth_bytes != bytes_["delta"]:
+            fail(f"{where}.memscope: depth rows sum to "
+                 f"{depth_bytes} bytes, not {bytes_['delta']}")
+
+    if "attribution" not in doc:
+        fail(f"{where}: missing 'attribution' summary")
+
+    return (f"{base_key['scene']} {base_key['fingerprint']} -> "
+            f"{other_key['fingerprint']}")
+
+
+def self_generate(simulate: str, diff_cli: str) -> int:
+    """Produce a (baseline, CoopRT) wknd pair and validate its diff
+    (plus an identity diff) end to end."""
+    with tempfile.TemporaryDirectory() as tmp:
+        reports = {}
+        for name, extra in (("base", []), ("coop", ["--coop"])):
+            cmd = [simulate, "--scene", "wknd", "--resolution",
+                   "32", "--profile", "--memscope", "--json",
+                   *extra]
+            r = subprocess.run(cmd, capture_output=True, text=True)
+            if r.returncode != 0:
+                fail(f"{' '.join(cmd)} exited {r.returncode}")
+            reports[name] = Path(tmp) / f"{name}.json"
+            reports[name].write_text(r.stdout)
+        out = Path(tmp) / "diff.ndjson"
+        cmd = [diff_cli, "--quiet", "--json", str(out),
+               str(reports["base"]), str(reports["coop"])]
+        r = subprocess.run(cmd)
+        if r.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {r.returncode}")
+        summary = validate(json.loads(out.read_text()))
+
+        # Identity pair: must diff to all-zero, exit 0.
+        cmd = [diff_cli, "--quiet", "--json", str(out),
+               str(reports["base"]), str(reports["base"])]
+        r = subprocess.run(cmd)
+        if r.returncode != 0:
+            fail(f"identity diff exited {r.returncode}")
+        identity = json.loads(out.read_text())
+        validate(identity, "identity-diff")
+        if not identity.get("same_fingerprint"):
+            fail("identity diff does not report same_fingerprint")
+        return tool.report([], ok=f"generated pair: {summary}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) == 5 and argv[1] == "--run" and argv[3] == "--diff":
+        return self_generate(argv[2], argv[4])
+    if len(argv) == 3 and argv[1] == "--ndjson":
+        count = 0
+        with open(argv[2], encoding="utf-8") as f:
+            for i, line in enumerate(f, 1):
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{argv[2]}:{i}: {e}")
+                validate(doc, f"{argv[2]}:{i}")
+                count += 1
+        if count == 0:
+            fail(f"{argv[2]}: no diff documents")
+        return tool.report([], ok=f"{count} diff lines validated")
+    if len(argv) != 2:
+        return tool.usage(
+            "usage: validate_diff.py DIFF.json\n"
+            "       validate_diff.py --ndjson DIFFS.ndjson\n"
+            "       validate_diff.py --run SIMULATE_CLI "
+            "--diff DIFF_CLI")
+    summary = validate(tool.load_json(argv[1]))
+    return tool.report([], ok=f"{argv[1]}: {summary}")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

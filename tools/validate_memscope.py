@@ -74,6 +74,7 @@ def validate_reuse(obj: dict, where: str) -> int:
 
 
 def validate(doc: dict) -> tuple[int, int]:
+    tool.expect_stamp(doc)
     if not isinstance(doc.get("scene"), str):
         fail("top level: missing string field 'scene'")
 

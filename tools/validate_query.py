@@ -43,6 +43,7 @@ CHECKSUM_RE = re.compile(r"^0x[0-9a-f]{1,16}$")
 
 def validate_report(doc: dict, where: str) -> tuple[str, str]:
     """Schema + oracle agreement; returns (scene, workload)."""
+    tool.expect_stamp(doc, where)
     if not isinstance(doc.get("scene"), str):
         fail(f"{where}: missing string field 'scene'")
     resolution = tool.expect_counter(doc, "resolution", where)

@@ -42,6 +42,7 @@ RAY_COUNTERS = (
 
 
 def validate(doc: dict) -> tuple[int, int]:
+    tool.expect_stamp(doc)
     if not isinstance(doc.get("scene"), str):
         fail("top level: missing string field 'scene'")
     for key in TOP_COUNTERS:

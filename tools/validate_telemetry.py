@@ -83,6 +83,7 @@ def validate_build(build, where: str) -> None:
 
 def validate_sink(doc: dict) -> tuple[str, int]:
     """Per-run sink schema; returns (scene, cycles)."""
+    tool.expect_stamp(doc)
     if not isinstance(doc.get("scene"), str):
         fail("top level: missing string field 'scene'")
     if doc.get("telemetry_version") != 1:
